@@ -1,0 +1,69 @@
+"""Shared helpers for the table/figure reproduction benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure of the paper.
+Budgets are scaled to a laptop-class Python run; set the environment
+variable ``COMPASS_BENCH_BUDGET`` (seconds, default 25) to change the
+per-verification-task budget.  Rendered tables are printed and also
+written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from functools import lru_cache
+
+from repro.cores import CoreConfig, core_registry
+from repro.contracts import make_contract_task
+from repro.cegar import CegarConfig, run_compass
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_budget() -> float:
+    return float(os.environ.get("COMPASS_BENCH_BUDGET", "25"))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@lru_cache(maxsize=None)
+def formal_core(name: str, with_shadow: bool = True):
+    """Build (and cache) a core in the formal configuration."""
+    return core_registry()[name](CoreConfig.formal(), with_shadow)
+
+
+@lru_cache(maxsize=None)
+def simulation_core(name: str, with_shadow: bool = False):
+    return core_registry()[name](CoreConfig.simulation(), with_shadow)
+
+
+@lru_cache(maxsize=None)
+def refined_scheme_by_testing(core_name: str, simulation: bool = False, seed: int = 0):
+    """Derive a Compass scheme via refinement-by-testing (no model checker).
+
+    Cheap enough to run inside benchmarks; the resulting scheme is what
+    the overhead/simulation experiments (Figures 5 and 6) instrument.
+    """
+    from repro.cegar import prune_refinements
+
+    core = simulation_core(core_name, True) if simulation else formal_core(core_name)
+    task = make_contract_task(core)
+    result = run_compass(task, CegarConfig(
+        mc_enabled=False,
+        sim_trials=96,
+        sim_depth=16,
+        max_refinements=400,
+        max_counterexamples=200,
+        exact_validation=False,
+        seed=seed,
+    ))
+    # Drop refinements made redundant by later, closer-to-source cuts
+    # (the paper's Section 6.5 observation, implemented in repro.cegar.prune).
+    pruned, _report = prune_refinements(task, result.scheme, result.stats.eliminated)
+    return pruned, result.stats
+

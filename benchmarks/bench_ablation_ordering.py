@@ -1,0 +1,77 @@
+"""Ablation: the Figure 4 refinement ordering.
+
+Compass explores refinement options complexity-first (naive -> partial
+-> full at word granularity before touching per-bit granularity).  The
+ablation compares the final scheme's overhead against a
+granularity-first ordering: taking per-bit options first should yield a
+heavier final scheme for the same verification outcome — the reason the
+paper orders the ladder by overhead.
+"""
+
+import pytest
+
+from repro.contracts import make_contract_task
+from repro.cegar import CegarConfig, run_compass
+from repro.cegar.loop import instrument_task
+from repro.taint import instrumentation_overhead
+from repro.taint.space import (
+    Complexity,
+    Granularity,
+    REFINEMENT_LADDER,
+    TaintOption,
+)
+
+from _common import emit, formal_core
+
+GRANULARITY_FIRST = (
+    TaintOption(Granularity.WORD, Complexity.NAIVE),
+    TaintOption(Granularity.BIT, Complexity.NAIVE),
+    TaintOption(Granularity.BIT, Complexity.PARTIAL),
+    TaintOption(Granularity.BIT, Complexity.FULL),
+    TaintOption(Granularity.WORD, Complexity.PARTIAL),
+    TaintOption(Granularity.WORD, Complexity.FULL),
+)
+
+
+def _run_with_ladder(core_name, ladder):
+    import repro.taint.space as space
+
+    original = space.REFINEMENT_LADDER
+    space.REFINEMENT_LADDER = ladder
+    try:
+        core = formal_core(core_name)
+        task = make_contract_task(core)
+        result = run_compass(task, CegarConfig(
+            mc_enabled=False, sim_trials=96, sim_depth=16,
+            max_refinements=400, max_counterexamples=200,
+            exact_validation=False, seed=0,
+        ))
+        design, _ = instrument_task(task, result.scheme)
+        return instrumentation_overhead(design), result.stats
+    finally:
+        space.REFINEMENT_LADDER = original
+
+
+def test_ablation_refinement_ordering(benchmark):
+    def run():
+        return {
+            "complexity-first (paper)": _run_with_ladder("Sodor", REFINEMENT_LADDER),
+            "granularity-first": _run_with_ladder("Sodor", GRANULARITY_FIRST),
+        }
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    lines = [
+        "Ablation: refinement option ordering (Sodor, refinement-by-testing)",
+        f"{'ordering':<26} {'gate ovh':>10} {'reg-bit ovh':>12} {'refinements':>12}",
+    ]
+    for label, (overhead, stats) in results.items():
+        lines.append(
+            f"{label:<26} {overhead.gate_overhead * 100:9.1f}% "
+            f"{overhead.reg_bit_overhead * 100:11.1f}% {stats.refinements:>12}"
+        )
+    paper_first = results["complexity-first (paper)"][0]
+    gran_first = results["granularity-first"][0]
+    lines.append("")
+    lines.append("expected: complexity-first yields the lighter final scheme")
+    emit("ablation_ordering", "\n".join(lines))
+    assert paper_first.reg_bit_overhead <= gran_first.reg_bit_overhead + 1e-9

@@ -1,0 +1,69 @@
+"""Figure 5: taint-logic overhead (gates and register bits) of CellIFT
+vs the Compass-refined scheme, normalized to the uninstrumented DUV.
+
+Paper shape: CellIFT averages ~293 % gate overhead and 100 % register-bit
+overhead; Compass cuts these to ~46 % and ~15 %.  We must see CellIFT
+gate overhead a multiple of Compass's and register bits at exactly 100 %
+for CellIFT vs far less for Compass.
+"""
+
+import pytest
+
+from repro.contracts import make_contract_task
+from repro.cegar.loop import instrument_task
+from repro.taint import cellift_scheme, instrumentation_overhead
+
+from _common import emit, formal_core, refined_scheme_by_testing
+
+CORES = ("Sodor", "Rocket", "BOOM-S", "ProSpeCT-S")
+
+
+def _overheads(core_name):
+    core = formal_core(core_name)
+    task = make_contract_task(core)
+    compass_scheme, _ = refined_scheme_by_testing(core_name)
+    cellift = cellift_scheme()
+    cellift.module_defaults = dict(compass_scheme.module_defaults)
+    rows = {}
+    for label, scheme in (("CellIFT", cellift), ("Compass", compass_scheme)):
+        design, _prop = instrument_task(task, scheme.copy())
+        rows[label] = instrumentation_overhead(design)
+    return rows
+
+
+@pytest.mark.parametrize("core_name", CORES)
+def test_fig5_overhead_per_core(benchmark, core_name):
+    rows = benchmark.pedantic(lambda: _overheads(core_name), iterations=1, rounds=1)
+    cellift, compass = rows["CellIFT"], rows["Compass"]
+    # Paper shape: Compass strictly lighter on both axes.
+    assert compass.gate_overhead < cellift.gate_overhead
+    assert compass.reg_bit_overhead < cellift.reg_bit_overhead
+    assert cellift.reg_bit_overhead == pytest.approx(1.0, abs=0.01)
+
+
+def test_fig5_render_table(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    lines = [
+        "Figure 5: instrumentation overhead normalized to the DUV",
+        f"{'core':<12} {'scheme':<10} {'gate overhead':>14} {'reg-bit overhead':>18}",
+    ]
+    totals = {"CellIFT": [0.0, 0.0], "Compass": [0.0, 0.0]}
+    for core_name in CORES:
+        rows = _overheads(core_name)
+        for label in ("CellIFT", "Compass"):
+            rep = rows[label]
+            lines.append(
+                f"{core_name:<12} {label:<10} {rep.gate_overhead * 100:13.1f}% "
+                f"{rep.reg_bit_overhead * 100:17.1f}%"
+            )
+            totals[label][0] += rep.gate_overhead
+            totals[label][1] += rep.reg_bit_overhead
+    n = len(CORES)
+    lines.append("-" * 58)
+    for label, (g, r) in totals.items():
+        lines.append(
+            f"{'average':<12} {label:<10} {g / n * 100:13.1f}% {r / n * 100:17.1f}%"
+        )
+    lines.append("")
+    lines.append("paper: CellIFT avg +293% gates / +100% bits; Compass +46% / +15%")
+    emit("fig5_overhead", "\n".join(lines))

@@ -1,0 +1,25 @@
+"""Table 1: processor configurations (and core construction cost)."""
+
+from repro.cores import CoreConfig, core_registry
+from repro.cores.configs import format_table1
+from repro.hdl.stats import circuit_stats
+
+from _common import emit, formal_core
+
+
+def test_table1_configurations(benchmark):
+    registry = core_registry()
+    benchmark.pedantic(
+        lambda: registry["Rocket"](CoreConfig.formal(), True),
+        iterations=1, rounds=3,
+    )
+    lines = [format_table1(), "", "built circuits (formal configuration):"]
+    for name in ("Sodor", "Rocket", "BOOM", "BOOM-S", "ProSpeCT", "ProSpeCT-S"):
+        core = formal_core(name)
+        stats = circuit_stats(core.circuit)
+        lines.append(
+            f"  {name:<12} {stats.cells:5d} cells  {stats.gates:6d} gates  "
+            f"{stats.reg_bits:5d} state bits  "
+            f"({len(core.circuit.module_paths())} modules)"
+        )
+    emit("table1_configs", "\n".join(lines))

@@ -1,0 +1,77 @@
+"""Table 3: statistics of the CEGAR refinement procedure per core —
+counterexamples eliminated, refinements applied, and the runtime
+breakdown into t_MC / t_Simu / t_BT / t_Gen.
+
+Paper shape: model checking and counterexample simulation dominate the
+runtime; complex cores need more refinements than simple ones.
+"""
+
+import pytest
+
+from repro.contracts import make_contract_task
+from repro.cegar import CegarConfig, run_compass
+
+from _common import bench_budget, emit, formal_core
+
+CORES = ("Sodor", "Rocket", "BOOM-S", "ProSpeCT-S")
+_STATS = {}
+
+
+@pytest.mark.parametrize("core_name", CORES)
+def test_table3_refinement_stats(benchmark, core_name):
+    budget = bench_budget()
+    core = formal_core(core_name)
+    task = make_contract_task(core)
+
+    def run():
+        return run_compass(task, CegarConfig(
+            max_bound=60,
+            use_induction=False,
+            mc_time_limit=budget,
+            total_time_limit=budget * 5,
+            max_refinements=250,
+            seed=0,
+        ))
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    _STATS[core_name] = result
+    assert result.stats.refinements > 0
+    assert result.stats.counterexamples_eliminated > 0
+    # Within scaled budgets the loop converges (secure), runs out of
+    # budget mid-refinement, or — on ProSpeCT-S — stops with the
+    # correlation-imprecision alert of Sections 3.2/5.4: the defense's
+    # per-register secret bits are value-correlated with the address
+    # region checks, which is exactly the imprecision class the paper
+    # declares out of scope for local refinement (the fix is a manual
+    # module-level handler; see repro.taint.custom).  A *real leak*
+    # must never be reported on these secure cores.
+    from repro.cegar import CegarStatus
+
+    assert result.status is not CegarStatus.REAL_LEAK, \
+        f"{core_name}: {result.status}"
+
+
+def test_table3_render(benchmark):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    if not _STATS:
+        pytest.skip("per-core results not collected")
+    lines = [
+        "Table 3: taint refinement statistics",
+        f"{'core':<12} {'#CEX':>5} {'#refine':>8} "
+        f"{'t_MC':>8} {'t_Simu':>8} {'t_BT':>8} {'t_Gen':>8}",
+    ]
+    from repro.cegar import CegarStatus
+
+    for core_name, result in _STATS.items():
+        s = result.stats
+        note = " (correlation alert: manual module-level logic needed)" \
+            if result.status is CegarStatus.CORRELATION_ALERT else ""
+        lines.append(
+            f"{core_name:<12} {s.counterexamples_eliminated:>5} {s.refinements:>8} "
+            f"{s.t_mc:>7.1f}s {s.t_simu:>7.1f}s {s.t_bt:>7.1f}s {s.t_gen:>7.1f}s"
+            f"{note}"
+        )
+    lines.append("")
+    lines.append("paper: Sodor 6 CEX / 12 refinements; Rocket 15/74; "
+                 "BOOM-S 14/161; ProSpeCT-S 13/39; t_MC and t_Simu dominate")
+    emit("table3_refinement", "\n".join(lines))

@@ -1,0 +1,52 @@
+"""Table 5: existing taint schemes placed in the three-dimensional space,
+plus the instrumentation cost of each preset on a real core."""
+
+from repro.taint import PRESETS, TaintSources, cellift_scheme, glift_scheme, instrument
+from repro.taint.space import imprecise_scheme, rtlift_scheme, Complexity
+from repro.hdl.stats import gate_count, register_bits
+
+from _common import emit, formal_core
+
+
+def _render_table5() -> str:
+    dims = [
+        ("unit", ("gate", "cell", "module")),
+        ("granularity", ("bit", "word", "reg group")),
+        ("complexity", ("full dyn", "partial dyn", "naive")),
+    ]
+    header = f"{'scheme':<16}" + "".join(
+        f"{opt:<12}" for _, options in dims for opt in options
+    )
+    lines = ["Table 5: taxonomy of taint schemes in the 3-D space", header]
+    for scheme, row in PRESETS.items():
+        cells = []
+        for dim, options in dims:
+            supported = row[dim]
+            for option in options:
+                mark = "x" if (option in supported or "customized" in supported) else " "
+                cells.append(f"{mark:<12}")
+        lines.append(f"{scheme:<16}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def test_table5_taxonomy(benchmark):
+    core = formal_core("Sodor", with_shadow=False)
+    sources = TaintSources(registers=core.secret_register_masks())
+    presets = {
+        "GLIFT": glift_scheme(),
+        "Imprecise-naive": imprecise_scheme(Complexity.NAIVE),
+        "RTLIFT": rtlift_scheme(True),
+        "CellIFT": cellift_scheme(),
+    }
+    benchmark.pedantic(
+        lambda: instrument(core.circuit, cellift_scheme(), sources),
+        iterations=1, rounds=3,
+    )
+    lines = [_render_table5(), "", "instrumenting Sodor with each preset:"]
+    for name, scheme in presets.items():
+        design = instrument(core.circuit, scheme, sources)
+        lines.append(
+            f"  {name:<16} -> {gate_count(design.circuit):6d} gates, "
+            f"{register_bits(design.circuit):5d} state bits"
+        )
+    emit("table5_taxonomy", "\n".join(lines))

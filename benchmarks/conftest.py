@@ -1,0 +1,10 @@
+"""Pytest fixtures for the benchmark suite."""
+
+import pytest
+
+from _common import bench_budget
+
+
+@pytest.fixture(scope="session")
+def budget():
+    return bench_budget()

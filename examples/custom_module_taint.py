@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Correlation-based imprecision and manual module-level taint logic.
+
+The paper draws a boundary (Sections 3.2, 5.4): Compass removes *local*
+imprecision automatically; when no per-cell refinement can cut a false
+flow, the imprecision is correlation-based and the tool alerts the user
+to write custom module-level taint logic.
+
+This example builds the classic case — a masking unit computing
+``(s & a) | (~s & a)``, which equals ``a`` regardless of the secret
+``s`` — shows the CEGAR loop raising the alert, fixes it with a
+:class:`~repro.taint.custom.PassthroughTaint` handler, validates the
+handler's soundness with the differential fuzzer, and proves the fixed
+scheme unboundedly with PDR.
+
+Run:  python examples/custom_module_taint.py      (seconds)
+"""
+
+from repro.hdl import ModuleBuilder
+from repro.bench.fuzz import fuzz_soundness
+from repro.cegar import CegarConfig, CegarStatus, TaintVerificationTask, run_compass
+from repro.cegar.loop import instrument_task
+from repro.formal import SafetyProperty, pdr_prove
+from repro.formal.pdr import PdrStatus
+from repro.taint import TaintSources
+from repro.taint.custom import PassthroughTaint
+
+
+def build_masking_circuit():
+    b = ModuleBuilder("masking")
+    secret = b.reg("secret", 8)
+    secret.drive(secret)
+    data = b.reg("data", 8)
+    data.drive(data)
+    with b.scope("masker"):
+        masked = b.named("masked", secret & data)
+        unmasked = b.named("unmasked", (~secret) & data)
+        out = b.named("out", masked | unmasked)   # == data, always
+    b.output("sink", out)
+    return b.build()
+
+
+def main() -> None:
+    circuit = build_masking_circuit()
+    task = TaintVerificationTask(
+        name="masking",
+        circuit=circuit,
+        sources=TaintSources(registers={"secret": -1}),
+        sinks=("sink",),
+        symbolic_registers=frozenset({"secret", "data"}),
+    )
+
+    print("1. running Compass on the masking circuit...")
+    result = run_compass(task, CegarConfig(max_bound=4, induction_max_k=4, seed=0))
+    print(f"   status: {result.status.value}")
+    assert result.status is CegarStatus.CORRELATION_ALERT
+    print(f"   alert: {result.alert}")
+
+    print("\n2. attaching custom module-level taint logic "
+          "(out depends only on `data`)...")
+    scheme = task.initial_scheme()
+    scheme.custom_modules["masker"] = PassthroughTaint({"masker.out": ["data"]})
+
+    print("3. validating the handler with differential fuzzing...")
+    design, prop = instrument_task(task, scheme)
+    report = fuzz_soundness(design, trials=30, cycles=4, seed=1)
+    print(f"   {report.trials} trials, "
+          f"{'no false negatives' if report.sound else report.violations[:3]}")
+    assert report.sound
+
+    print("4. proving the property unboundedly with PDR...")
+    proof = pdr_prove(design.circuit, prop, time_limit=60)
+    print(f"   {proof.status.value} in {proof.elapsed:.2f}s "
+          f"({proof.invariant_clauses} invariant clauses)")
+    assert proof.status is PdrStatus.PROVED
+    print("\ndone: the correlation-based false flow needed exactly the manual,")
+    print("module-level taint logic the paper prescribes — and nothing more.")
+
+
+if __name__ == "__main__":
+    main()

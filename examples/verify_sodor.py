@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Verify the sandboxing contract on the Sodor-lite core with Compass.
+
+This is the paper's headline flow (Table 2, Sodor row): start from the
+blackboxing scheme, let CEGAR refine until the model checker no longer
+finds counterexamples, and report the final scheme, its overhead vs.
+CellIFT, and the refinement statistics (Table 3 row).
+
+Run:  python examples/verify_sodor.py            (~2-3 minutes)
+      python examples/verify_sodor.py --tiny     (faster, smaller core)
+"""
+
+import argparse
+import time
+
+from repro.cores import CoreConfig, build_sodor
+from repro.contracts import make_contract_task
+from repro.cegar import CegarConfig, run_compass
+from repro.cegar.loop import instrument_task
+from repro.taint import cellift_scheme, instrumentation_overhead, scheme_summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="use the smallest core configuration")
+    parser.add_argument("--budget", type=float, default=240.0,
+                        help="total time budget in seconds")
+    args = parser.parse_args()
+
+    cfg = (CoreConfig(xlen=4, imem_depth=4, dmem_depth=4, secret_words=1)
+           if args.tiny else CoreConfig.formal())
+    core = build_sodor(cfg)
+    print(f"built {core.name}: {core.circuit!r}")
+    task = make_contract_task(core)
+
+    started = time.monotonic()
+    result = run_compass(task, CegarConfig(
+        max_bound=10,
+        use_induction=False,
+        mc_time_limit=min(60.0, args.budget / 3),
+        total_time_limit=args.budget,
+        max_refinements=150,
+        seed=0,
+    ))
+    elapsed = time.monotonic() - started
+
+    print(f"\nresult: {result.status.value} "
+          f"(bounded-clean up to cycle {result.bound}) in {elapsed:.1f}s")
+    print(result.stats.row(core.name))
+    print("\nrefinements applied:")
+    for line in result.stats.refinement_log:
+        print(f"  {line}")
+
+    # Compare the refined scheme's overhead against CellIFT (Figure 5).
+    compass_design, _ = instrument_task(task, result.scheme)
+    cellift = cellift_scheme()
+    cellift.module_defaults = dict(result.scheme.module_defaults)
+    cellift_design, _ = instrument_task(task, cellift)
+    print("\ninstrumentation overhead (Figure 5 style):")
+    print("  " + instrumentation_overhead(cellift_design).row())
+    print("  " + instrumentation_overhead(compass_design).row())
+
+    print("\nfinal taint scheme per module (Table 4 style):")
+    print(f"  {'module':<28} {'granularity':<10} taintBit/origBit  refined/cells")
+    for row in scheme_summary(compass_design, depth=2):
+        print("  " + row.format())
+
+
+if __name__ == "__main__":
+    main()

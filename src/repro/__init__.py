@@ -1,0 +1,34 @@
+"""Compass reproduction: CEGAR-driven taint-scheme refinement for RTL
+security verification.
+
+Subpackages:
+
+- :mod:`repro.hdl` — hardware IR, builder eDSL, lowering, optimizer,
+  Verilog/JSON emission;
+- :mod:`repro.sim` — cycle-accurate simulation, waveforms, VCD;
+- :mod:`repro.formal` — SAT solver, BMC, k-induction, IC3/PDR,
+  self-composition, abstraction;
+- :mod:`repro.taint` — the three-dimensional taint space, propagation
+  policies, instrumentation pass, presets, custom handlers, metrics;
+- :mod:`repro.cegar` — the Compass CEGAR loop (false-taint tests,
+  backtracing, refinement strategy, pruning);
+- :mod:`repro.cores` — RV-lite ISA and the four evaluated processors;
+- :mod:`repro.contracts` — the security properties under verification;
+- :mod:`repro.bench` — workload kernels and attack gadgets.
+
+The front door for verification tasks is
+:func:`repro.cegar.run_compass`; see ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "hdl",
+    "sim",
+    "formal",
+    "taint",
+    "cegar",
+    "cores",
+    "contracts",
+    "bench",
+]

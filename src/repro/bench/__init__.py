@@ -1,0 +1,13 @@
+"""Benchmark harness: workloads, gadgets, and table/figure renderers."""
+
+from repro.bench.workloads import WORKLOADS, Workload, workload_names
+from repro.bench.gadgets import SPECTRE_GADGET, MUL_TIMING_GADGET, NESTED_BRANCH_GADGET
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "workload_names",
+    "SPECTRE_GADGET",
+    "MUL_TIMING_GADGET",
+    "NESTED_BRANCH_GADGET",
+]

@@ -1,0 +1,49 @@
+"""Attack gadget programs used by tests, examples and benchmarks.
+
+All gadgets assume the formal memory layout: a small word-addressed
+data memory whose top ``secret_words`` addresses hold the secret
+(address 6 is secret in the default 8-word / 2-secret configuration).
+Each is *architecturally* silent — the branch is always taken, so no
+secret is ever architecturally read — which is exactly what makes the
+transient leak a contract violation.
+"""
+
+from repro.cores.isa import assemble
+
+#: Spectre-style gadget: a transient load reads the secret, a dependent
+#: transient load turns its value into a data-memory *address* (visible
+#: on the dmem-address observation).  Leaks on BOOM; blocked on BOOM-S
+#: (loads wait for branch resolution) and on correct ProSpeCT (the
+#: secret-valued address operand is gated); leaks again under ProSpeCT
+#: bug 1 (the gate consults the wrong register's secret bit).
+SPECTRE_GADGET = assemble("""
+    beq r0, r0, skip     # architecturally always taken
+    lw  r1, 6(r0)        # transient: secret value into r1
+    lw  r2, 0(r1)        # transient: secret-dependent address
+skip:
+    halt
+""")
+
+#: Multiplier timing gadget: a transient MUL with a secret multiplier
+#: operand; the early-exit multiplier's latency depends on the value,
+#: shifting the PC/commit timing (a pure timing channel).
+MUL_TIMING_GADGET = assemble("""
+    beq r0, r0, skip
+    lw  r1, 6(r0)        # transient: secret into r1
+    mul r2, r0, r1       # rs2 secret -> data-dependent latency
+skip:
+    halt
+""")
+
+#: Nested-branch gadget for ProSpeCT bug 2: the outer branch (never
+#: taken, correctly predicted) resolves first and — in the buggy
+#: design — clears the transient flag of the blocked secret-address
+#: load even though the inner (mispredicted) branch is still in flight.
+NESTED_BRANCH_GADGET = assemble("""
+    bne r1, r1, 1        # outer: never taken, resolves without squash
+    beq r0, r0, skip     # inner: taken -> mispredicted
+    lw  r1, 6(r0)        # transient: secret value
+    lw  r2, 0(r1)        # transient: secret address (gated unless bug 2)
+skip:
+    halt
+""")

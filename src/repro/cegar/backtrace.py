@@ -1,0 +1,183 @@
+"""Backward tracing algorithm (paper Algorithm 1, Section 5.3).
+
+Starting from the falsely tainted sink at the last cycle of the
+counterexample, trace upstream through the taint propagation graph:
+
+- at each step, fan-ins are taken through the producing cell of the
+  *original* netlist (registers step back one cycle to their
+  next-value signal);
+- a fan-in is a traceback candidate when it is tainted, *claimed
+  falsely tainted* by the fast test, and *observable* under the
+  concrete values of the counterexample (Appendix A);
+- when no candidate remains, the taint logic computing the current
+  signal's taint bit is the refinement location.
+
+Signals produced inside a blackboxed module map to a MODULE location:
+the only possible refinement there is opening the blackbox.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.hdl.cells import Cell
+from repro.hdl.circuit import Circuit
+from repro.sim.waveform import Waveform
+from repro.taint.instrument import InstrumentedDesign
+from repro.cegar.falsetaint import FastFalseTaintOracle
+from repro.cegar.observability import observable_fanins
+
+
+class LocationKind(enum.Enum):
+    CELL = "cell"
+    REGISTER = "register"
+    MODULE = "module"
+    SOURCE = "source"   # traced all the way back to a taint source
+
+
+@dataclass(frozen=True)
+class RefinementLocation:
+    """Where the imprecision enters the taint propagation graph."""
+
+    kind: LocationKind
+    name: str      # cell output name / register name / module path
+    cycle: int
+    signal: str    # the falsely tainted signal at that point
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.name}@{self.cycle}"
+
+
+class BacktraceError(RuntimeError):
+    pass
+
+
+def find_refinement_location(
+    design: InstrumentedDesign,
+    taint_waveform: Waveform,
+    oracle: FastFalseTaintOracle,
+    sink: str,
+    cycle: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    max_steps: int = 100000,
+    excluded: Optional[Set[str]] = None,
+) -> RefinementLocation:
+    """Run Algorithm 1 and return the refinement location.
+
+    Args:
+        design: the instrumented design that produced the spurious cex.
+        taint_waveform: waveform of the *instrumented* circuit replaying
+            the counterexample (provides taint values).
+        oracle: fast false-taint test over the *original* circuit.
+        sink: original signal name of the falsely tainted sink.
+        cycle: cycle at which the sink is falsely tainted (default:
+            last cycle of the waveform).
+        rng: source of randomness for candidate picking (Algorithm 1
+            picks one candidate arbitrarily); defaults to deterministic
+            first-candidate order.
+        excluded: location names where refinement already failed; the
+            trace pushes past them by relaxing the false-taint filter
+            (the fast test may over- or under-claim, so a dead end is
+            not necessarily correlation imprecision).
+    """
+    original = design.original
+    excluded = excluded or set()
+    if cycle is None:
+        cycle = taint_waveform.length - 1
+
+    def is_tainted(name: str, t: int) -> bool:
+        taint_name = design.taint_name.get(name)
+        if taint_name is None or not taint_waveform.has_signal(taint_name):
+            # Signals internal to blackboxes have no individual taint
+            # bit; treat them as tainted so tracing can continue into
+            # the region (the region bit itself is what tainted them).
+            return True
+        return taint_waveform.value(taint_name, t) != 0
+
+    current_name = sink
+    current_cycle = cycle
+    visited: Set[Tuple[str, int]] = set()
+
+    for _ in range(max_steps):
+        visited.add((current_name, current_cycle))
+        signal = original.signal(current_name)
+
+        register = original.register_of(signal)
+        if register is not None:
+            if current_cycle == 0:
+                # Tainted at reset: either a module-grouped register (open
+                # the blackbox), a word-grouped register whose taint reset
+                # over-approximates (refine granularity), or a genuine
+                # taint source.
+                return _locate(design, original, current_name, 0, register=True)
+            d_name = register.d.name
+            previous = current_cycle - 1
+            if (
+                (d_name, previous) not in visited
+                and is_tainted(d_name, previous)
+                and (oracle.is_falsely_tainted(d_name, previous)
+                     or current_name in excluded)
+            ):
+                current_name, current_cycle = d_name, previous
+                continue
+            # The register's own taint update introduced the imprecision
+            # (e.g. word-grouping of per-bit taint).
+            return _locate(design, original, current_name, current_cycle, register=True)
+
+        producer = original.producer(signal)
+        if producer is None:
+            # Input or constant: taint is a source constant.
+            return RefinementLocation(
+                LocationKind.SOURCE, current_name, current_cycle, current_name
+            )
+
+        values = [taint_waveform.value(s.name, current_cycle) for s in producer.ins]
+        observable = observable_fanins(producer, values)
+        candidates: List[str] = []
+        relaxed: List[str] = []
+        for index, fan_in in enumerate(producer.ins):
+            if index not in observable:
+                continue
+            if (fan_in.name, current_cycle) in visited:
+                continue
+            if not is_tainted(fan_in.name, current_cycle):
+                continue
+            relaxed.append(fan_in.name)
+            if not oracle.is_falsely_tainted(fan_in.name, current_cycle):
+                continue
+            candidates.append(fan_in.name)
+        if not candidates and current_name in excluded and relaxed:
+            # Refinement already failed here; the fast test may have
+            # misjudged an upstream signal — push past the dead end.
+            candidates = relaxed
+        if candidates:
+            pick = rng.choice(candidates) if rng is not None else candidates[0]
+            current_name = pick
+            continue
+        return _locate(design, original, current_name, current_cycle, register=False)
+
+    raise BacktraceError(f"backtrace exceeded {max_steps} steps from sink {sink!r}")
+
+
+def _locate(
+    design: InstrumentedDesign,
+    original: Circuit,
+    signal_name: str,
+    cycle: int,
+    register: bool,
+) -> RefinementLocation:
+    """Map the stopping point to a refinement location, honouring blackboxes."""
+    signal = original.signal(signal_name)
+    region = design.scheme.effective_blackbox(signal.module)
+    if region is None and not register:
+        producer = original.producer(signal)
+        if producer is not None:
+            region = design.scheme.effective_blackbox(producer.module)
+    if region is not None:
+        return RefinementLocation(LocationKind.MODULE, region, cycle, signal_name)
+    if register:
+        return RefinementLocation(LocationKind.REGISTER, signal_name, cycle, signal_name)
+    return RefinementLocation(LocationKind.CELL, signal_name, cycle, signal_name)

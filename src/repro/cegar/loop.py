@@ -1,0 +1,454 @@
+"""The Compass CEGAR loop (paper Figure 1 / Figure 3, Section 4).
+
+``run_compass`` drives the whole flow:
+
+1. *Taint initialization* — start from the blackboxing scheme (one
+   sticky taint bit per module, naive logic elsewhere).
+2. *Model checking and counterexample validation* — k-induction /
+   BMC on the instrumented design; counterexamples are validated with
+   the exact two-copy bounded check.
+3. *Taint refinement* — the backtracing algorithm finds a location;
+   options are substituted in the Figure 4 order; the counterexample is
+   re-simulated until its spurious taint is blocked; then back to 2.
+
+Statistics mirror Table 3: number of counterexamples eliminated, number
+of refinements, and the t_MC / t_Simu / t_BT / t_Gen runtime breakdown.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.hdl.circuit import Circuit
+from repro.formal.bmc import BmcStatus, bounded_model_check
+from repro.formal.counterexample import Counterexample
+from repro.formal.induction import InductionStatus, k_induction
+from repro.formal.properties import SafetyProperty
+from repro.taint.instrument import InstrumentedDesign, TaintSources, instrument
+from repro.taint.space import TaintScheme, blackbox_scheme
+from repro.cegar.backtrace import find_refinement_location
+from repro.cegar.falsetaint import (
+    ExactValidator,
+    FastFalseTaintOracle,
+    SecretSpec,
+    exact_false_taint_check,
+)
+from repro.cegar.refine import CorrelationImprecisionAlert, apply_refinement
+
+
+@dataclass(frozen=True)
+class TaintVerificationTask:
+    """One verification task: design, taint sources, sinks, assumptions.
+
+    Attributes:
+        circuit: the design under verification (may already include
+            shadow logic such as the ISA reference machine).
+        sources: which registers/inputs start tainted (the secret).
+        sinks: original signal names that must stay untainted (the
+            attacker-observable microarchitectural observation).
+        clean_assumptions: signals whose *taint* is assumed 0 at every
+            cycle (the contract constraint check: the ISA machine's
+            architectural observation must not be tainted).
+        gated_clean_assumptions: pairs (condition signal, value signal);
+            assumed: never (condition == 1 and value's taint != 0).
+        assumption_outputs: 1-bit design signals assumed 1 every cycle
+            (environment constraints, e.g. "no external interrupts").
+        init_assumption_outputs: 1-bit design signals assumed 1 at the
+            initial state only (e.g. "ISA-machine memory equals DUV
+            memory at reset").
+        symbolic_registers: registers whose initial value is universally
+            quantified (program memory, secret and public data, ...).
+        blackbox_modules: modules for the initial blackboxing scheme
+            (default: every module path in the design).
+        precise_modules: module subtrees pinned at CellIFT (bit/full)
+            precision and never blackboxed — used for shadow logic such
+            as the ISA reference machine.
+        stimulus_sampler: optional ``fn(rng, depth) -> (initial_state,
+            input_frames)`` producing random environments that satisfy
+            the task's *init* assumptions by construction; used by the
+            simulation prefilter (the paper's simulation-based testing
+            mode) to find counterexamples cheaply before invoking the
+            model checker.
+    """
+
+    name: str
+    circuit: Circuit
+    sources: TaintSources
+    sinks: Tuple[str, ...]
+    clean_assumptions: Tuple[str, ...] = ()
+    gated_clean_assumptions: Tuple[Tuple[str, str], ...] = ()
+    assumption_outputs: Tuple[str, ...] = ()
+    init_assumption_outputs: Tuple[str, ...] = ()
+    symbolic_registers: FrozenSet[str] = frozenset()
+    blackbox_modules: Optional[Tuple[str, ...]] = None
+    precise_modules: Tuple[str, ...] = ()
+    stimulus_sampler: Optional[object] = field(default=None, compare=False)
+
+    def initial_scheme(self) -> TaintScheme:
+        from repro.taint.space import Complexity, Granularity, TaintOption
+
+        modules = self.blackbox_modules
+        if modules is None:
+            modules = tuple(
+                m for m in sorted(self.circuit.module_paths())
+                if not any(m == p or m.startswith(p + ".") for p in self.precise_modules)
+            )
+        scheme = blackbox_scheme(modules, name=f"{self.name}-blackbox")
+        for module in self.precise_modules:
+            scheme.module_defaults[module] = TaintOption(Granularity.BIT, Complexity.FULL)
+        return scheme
+
+    def secret_registers(self) -> Tuple[str, ...]:
+        return tuple(self.sources.registers)
+
+
+@dataclass
+class CegarConfig:
+    """Budgets and knobs for the CEGAR loop."""
+
+    max_bound: int = 20                  # BMC depth per model-checking call
+    mc_time_limit: Optional[float] = None
+    use_induction: bool = True
+    induction_max_k: int = 12
+    unique_states: bool = True
+    max_counterexamples: int = 50
+    max_refinements: int = 400
+    #: How many alternative refinement locations to try for one stuck
+    #: counterexample before declaring correlation imprecision.
+    max_location_retries: int = 8
+    total_time_limit: Optional[float] = None
+    exact_validation: bool = True
+    seed: Optional[int] = 0
+    #: Simulation prefilter: try random stimuli on the instrumented
+    #: design before each model-checking call (paper Section 6.2's
+    #: simulation-based testing, used here to accelerate refinement).
+    sim_prefilter: bool = True
+    sim_trials: int = 48
+    sim_depth: int = 12
+    #: Refinement-by-testing mode: when False, no model checker is ever
+    #: invoked — counterexamples come from random simulation only and the
+    #: loop ends when simulation finds nothing (cheap scheme derivation
+    #: for the simulation-oriented experiments of Section 6.2).
+    mc_enabled: bool = True
+
+
+@dataclass
+class RefinementStats:
+    """Table 3 statistics."""
+
+    counterexamples_eliminated: int = 0
+    refinements: int = 0
+    t_mc: float = 0.0
+    t_simu: float = 0.0
+    t_bt: float = 0.0
+    t_gen: float = 0.0
+    refinement_log: List[str] = field(default_factory=list)
+    #: The spurious counterexamples the loop eliminated, kept for the
+    #: unnecessary-refinement pruning pass (paper Section 6.5).
+    eliminated: List[Counterexample] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return self.t_mc + self.t_simu + self.t_bt + self.t_gen
+
+    def row(self, name: str) -> str:
+        return (
+            f"{name:<12} CEX={self.counterexamples_eliminated:<3} "
+            f"refinements={self.refinements:<4} "
+            f"t_MC={self.t_mc:6.2f}s t_Simu={self.t_simu:6.2f}s "
+            f"t_BT={self.t_bt:6.2f}s t_Gen={self.t_gen:6.2f}s"
+        )
+
+
+class CegarStatus(enum.Enum):
+    PROVED = "proved"                    # unbounded proof
+    BOUND_REACHED = "bound_reached"      # bounded proof up to `bound`
+    REAL_LEAK = "real_leak"              # valid counterexample
+    CORRELATION_ALERT = "correlation_alert"
+    BUDGET_EXHAUSTED = "budget_exhausted"
+
+
+@dataclass
+class CegarResult:
+    status: CegarStatus
+    task: TaintVerificationTask
+    scheme: TaintScheme
+    design: InstrumentedDesign
+    prop: SafetyProperty
+    stats: RefinementStats
+    bound: int = -1
+    leak: Optional[Counterexample] = None
+    alert: Optional[CorrelationImprecisionAlert] = None
+    verify_time: float = 0.0             # t_veri: final model-checking time
+
+    @property
+    def secure(self) -> bool:
+        return self.status in (CegarStatus.PROVED, CegarStatus.BOUND_REACHED)
+
+
+def instrument_task(
+    task: TaintVerificationTask, scheme: TaintScheme
+) -> Tuple[InstrumentedDesign, SafetyProperty]:
+    """Instrument the task's design and build the safety property."""
+    design = instrument(task.circuit, scheme, task.sources)
+    bad = design.add_taint_monitor(task.sinks, out_name="__compass_bad")
+    assumptions: List[str] = list(task.assumption_outputs)
+    if task.clean_assumptions:
+        assumptions.append(
+            design.add_zero_taint_monitor(task.clean_assumptions, out_name="__compass_clean")
+        )
+    if task.gated_clean_assumptions:
+        assumptions.append(
+            design.add_gated_clean_monitor(
+                task.gated_clean_assumptions, out_name="__compass_gated_clean"
+            )
+        )
+    prop = SafetyProperty(
+        name=task.name,
+        bad=bad,
+        assumptions=tuple(assumptions),
+        init_assumptions=tuple(task.init_assumption_outputs),
+        symbolic_registers=frozenset(task.symbolic_registers),
+    )
+    return design, prop
+
+
+def _tainted_sink(
+    design: InstrumentedDesign, waveform, sinks: Sequence[str], cycle: int
+) -> Optional[str]:
+    for sink in sinks:
+        taint_name = design.taint_name.get(sink)
+        if taint_name and waveform.value(taint_name, cycle) != 0:
+            return sink
+    return None
+
+
+def simulate_for_counterexample(
+    task: TaintVerificationTask,
+    design: InstrumentedDesign,
+    prop: SafetyProperty,
+    trials: int,
+    depth: int,
+    rng: random.Random,
+) -> Optional[Counterexample]:
+    """Random-stimulus search for a property violation (sim prefilter).
+
+    Runs the instrumented design on random environments; a trial yields
+    a counterexample when the ``bad`` signal fires in a cycle where all
+    per-cycle assumptions held so far.  Environments come from the
+    task's ``stimulus_sampler`` when provided (which guarantees the
+    init assumptions hold); otherwise symbolic registers and inputs are
+    sampled uniformly and trials violating init assumptions are skipped.
+    """
+    from repro.sim.simulator import Simulator
+
+    circuit = design.circuit
+    input_names = [sig.name for sig in circuit.inputs]
+    reg_widths = {reg.q.name: reg.q.width for reg in circuit.registers}
+    symbolic = [name for name in sorted(task.symbolic_registers) if name in reg_widths]
+
+    best: Optional[Counterexample] = None
+    for _ in range(trials):
+        if best is not None and best.length <= 3:
+            break  # shallow enough; deeper search will not beat it much
+        if task.stimulus_sampler is not None:
+            init, frames = task.stimulus_sampler(rng, depth)
+            frames = [
+                {name: frame.get(name, rng.getrandbits(circuit.signal(name).width))
+                 for name in input_names}
+                for frame in frames
+            ]
+        else:
+            init = {name: rng.getrandbits(reg_widths[name]) for name in symbolic}
+            frames = [
+                {name: rng.getrandbits(circuit.signal(name).width)
+                 for name in input_names}
+                for _ in range(depth)
+            ]
+        sim = Simulator(circuit, initial_state=init)
+        horizon = len(frames) if best is None else min(len(frames), best.length - 1)
+        for t, frame in enumerate(frames[:horizon]):
+            sim.step(frame)
+            if t == 0 and any(sim.peek(n) == 0 for n in prop.init_assumptions):
+                break
+            if any(sim.peek(name) == 0 for name in prop.assumptions):
+                break
+            if sim.peek(prop.bad):
+                best = Counterexample(
+                    length=t + 1,
+                    inputs=[dict(f) for f in frames[:t + 1]],
+                    initial_state=dict(init),
+                    bad_signal=prop.bad,
+                )
+                break
+    return best
+
+
+def run_compass(
+    task: TaintVerificationTask,
+    config: Optional[CegarConfig] = None,
+    initial_scheme: Optional[TaintScheme] = None,
+) -> CegarResult:
+    """Run the full Compass CEGAR loop on a verification task."""
+    config = config or CegarConfig()
+    rng = random.Random(config.seed) if config.seed is not None else None
+    stats = RefinementStats()
+    scheme = (initial_scheme or task.initial_scheme()).copy(name=f"{task.name}-compass")
+    started = time.monotonic()
+
+    def out_of_time() -> bool:
+        return (
+            config.total_time_limit is not None
+            and time.monotonic() - started > config.total_time_limit
+        )
+
+    t0 = time.monotonic()
+    design, prop = instrument_task(task, scheme)
+    stats.t_gen += time.monotonic() - t0
+
+    validator: Optional[ExactValidator] = None
+    if config.exact_validation:
+        t0 = time.monotonic()
+        validator = ExactValidator(
+            task.circuit, task.secret_registers(), task.sinks,
+            init_assumption_outputs=task.init_assumption_outputs,
+        )
+        stats.t_mc += time.monotonic() - t0
+
+    last_bound = -1
+    verify_time = 0.0
+    for _ in range(config.max_counterexamples + 1):
+        # ---- Step 2: model checking -----------------------------------
+        cex: Optional[Counterexample] = None
+        if config.sim_prefilter:
+            t0 = time.monotonic()
+            sim_rng = rng if rng is not None else random.Random()
+            cex = simulate_for_counterexample(
+                task, design, prop, config.sim_trials, config.sim_depth, sim_rng,
+            )
+            stats.t_simu += time.monotonic() - t0
+        t0 = time.monotonic()
+        if cex is not None:
+            pass  # the prefilter already produced a violation
+        elif not config.mc_enabled:
+            pass  # testing-only mode: simulation found nothing; stop
+        elif config.use_induction:
+            ind = k_induction(
+                design.circuit, prop,
+                max_k=config.induction_max_k,
+                time_limit=config.mc_time_limit,
+                unique_states=config.unique_states,
+            )
+            if ind.status is InductionStatus.PROVED:
+                verify_time = time.monotonic() - t0
+                stats.t_mc += verify_time
+                return CegarResult(CegarStatus.PROVED, task, scheme, design, prop,
+                                   stats, bound=-1, verify_time=verify_time)
+            if ind.status is InductionStatus.COUNTEREXAMPLE:
+                cex = ind.counterexample
+                last_bound = max(last_bound, ind.bound)
+            else:
+                # Induction inconclusive: fall back to plain BMC for depth.
+                bmc = bounded_model_check(
+                    design.circuit, prop,
+                    max_bound=config.max_bound, time_limit=config.mc_time_limit,
+                )
+                if bmc.status is BmcStatus.COUNTEREXAMPLE:
+                    cex = bmc.counterexample
+                last_bound = max(last_bound, bmc.bound)
+        else:
+            bmc = bounded_model_check(
+                design.circuit, prop,
+                max_bound=config.max_bound, time_limit=config.mc_time_limit,
+            )
+            if bmc.status is BmcStatus.COUNTEREXAMPLE:
+                cex = bmc.counterexample
+            last_bound = max(last_bound, bmc.bound)
+        verify_time = time.monotonic() - t0
+        stats.t_mc += verify_time
+
+        if cex is None:
+            return CegarResult(CegarStatus.BOUND_REACHED, task, scheme, design, prop,
+                               stats, bound=last_bound, verify_time=verify_time)
+
+        # ---- Counterexample validation --------------------------------
+        t0 = time.monotonic()
+        taint_wf = cex.replay(design.circuit)
+        stats.t_simu += time.monotonic() - t0
+        final_cycle = taint_wf.length - 1
+        sink = _tainted_sink(design, taint_wf, task.sinks, final_cycle)
+        if sink is None:
+            raise RuntimeError("model checker produced a trace with no tainted sink")
+
+        if config.exact_validation:
+            t0 = time.monotonic()
+            spurious = validator.is_falsely_tainted(
+                cex, sink, time_limit=config.mc_time_limit,
+            )
+            stats.t_mc += time.monotonic() - t0
+        else:
+            t0 = time.monotonic()
+            quick = FastFalseTaintOracle(
+                task.circuit, cex, SecretSpec.from_sources(task.sources)
+            )
+            spurious = quick.is_falsely_tainted(sink, final_cycle)
+            stats.t_simu += time.monotonic() - t0
+        if not spurious:
+            return CegarResult(CegarStatus.REAL_LEAK, task, scheme, design, prop,
+                               stats, bound=last_bound, leak=cex, verify_time=verify_time)
+
+        # ---- Step 3: iterative refinement (Figure 3) -------------------
+        t0 = time.monotonic()
+        oracle = FastFalseTaintOracle(
+            task.circuit, cex, SecretSpec.from_sources(task.sources)
+        )
+        stats.t_simu += time.monotonic() - t0
+        failed_locations: set = set()
+        while _tainted_sink(design, taint_wf, task.sinks, final_cycle) is not None:
+            if stats.refinements >= config.max_refinements or out_of_time():
+                return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme, design,
+                                   prop, stats, bound=last_bound)
+            sink = _tainted_sink(design, taint_wf, task.sinks, final_cycle)
+            outcome = None
+            alert = None
+            for _attempt in range(config.max_location_retries):
+                t0 = time.monotonic()
+                location = find_refinement_location(
+                    design, taint_wf, oracle, sink, cycle=final_cycle, rng=rng,
+                    excluded=failed_locations,
+                )
+                stats.t_bt += time.monotonic() - t0
+                try:
+                    outcome = apply_refinement(
+                        task.circuit, task.sources, scheme, design, location, cex,
+                    )
+                    break
+                except CorrelationImprecisionAlert as caught:
+                    # The ladder is exhausted here; the fast test may have
+                    # misjudged an upstream signal, so retry the trace
+                    # with this location excluded before giving up.
+                    alert = caught
+                    failed_locations.add(location.name)
+            if outcome is None:
+                return CegarResult(CegarStatus.CORRELATION_ALERT, task, scheme, design,
+                                   prop, stats, bound=last_bound, alert=alert)
+            stats.t_gen += outcome.gen_time
+            stats.t_simu += outcome.sim_time
+            stats.refinements += 1
+            stats.refinement_log.append(f"{location}: {outcome.description}")
+            scheme = outcome.scheme
+            design, prop = instrument_task(task, scheme)
+            t0 = time.monotonic()
+            taint_wf = cex.replay(design.circuit)
+            stats.t_simu += time.monotonic() - t0
+        stats.counterexamples_eliminated += 1
+        stats.eliminated.append(cex)
+        if out_of_time():
+            return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme, design,
+                               prop, stats, bound=last_bound)
+    return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme, design, prop,
+                       stats, bound=last_bound)

@@ -1,0 +1,153 @@
+"""Observable fan-ins (paper Appendix A).
+
+Given a cell and a concrete valuation of its inputs, a *set* of inputs
+is observable when changing only those inputs can flip the output; the
+observable fan-ins are the union of all *minimal* observable sets.  The
+backtracing algorithm only traces back into observable fan-ins — the
+paper obtains them from JasperGold's ``why`` command, we compute them
+directly from the definition.
+
+:func:`observable_fanins` uses closed forms per operator (exact for the
+binary forms our builder emits) with a conservative all-inputs fallback;
+:func:`observable_fanins_exact` enumerates the definition and is used to
+validate the closed forms in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.hdl.cells import Cell, CellOp, evaluate_cell
+
+
+def observable_fanins(cell: Cell, in_values: Sequence[int]) -> FrozenSet[int]:
+    """Indices of ``cell.ins`` that belong to some minimal observable set."""
+    op = cell.op
+    n = len(cell.ins)
+    if op is CellOp.CONST:
+        return frozenset()
+    if n == 1:
+        return frozenset({0})
+    all_inputs = frozenset(range(n))
+
+    if op in (CellOp.XOR, CellOp.ADD, CellOp.SUB, CellOp.CONCAT, CellOp.EQ, CellOp.NEQ):
+        # Every input can flip the output on its own.
+        return all_inputs
+
+    if op is CellOp.AND:
+        if n != 2:
+            singles = [i for i in range(n) if _and_others(cell, in_values, i) != 0]
+            return frozenset(singles) if singles else all_inputs
+        a, b = in_values
+        singles = [i for i, other in ((0, b), (1, a)) if other != 0]
+        return frozenset(singles) if singles else all_inputs
+
+    if op is CellOp.OR:
+        mask = cell.out.mask
+        if n != 2:
+            singles = [i for i in range(n) if _or_others(cell, in_values, i) != mask]
+            return frozenset(singles) if singles else all_inputs
+        a, b = in_values
+        singles = [i for i, other in ((0, b), (1, a)) if other != mask]
+        return frozenset(singles) if singles else all_inputs
+
+    if op is CellOp.MUX:
+        sel, a, b = in_values
+        selected = 1 if sel else 2
+        unselected = 2 if sel else 1
+        if a != b:
+            return frozenset({0, selected})
+        # a == b: the selector alone cannot flip the output, but the
+        # minimal set {sel, unselected} can — so all three are observable.
+        return frozenset({0, 1, 2})
+
+    if op is CellOp.ULT:
+        a, b = in_values
+        max_a = cell.ins[0].mask
+        singles = []
+        if b > 0:
+            singles.append(0)
+        if a < max_a:
+            singles.append(1)
+        return frozenset(singles) if singles else frozenset({0, 1})
+
+    if op is CellOp.ULE:
+        a, b = in_values
+        max_b = cell.ins[1].mask
+        singles = []
+        if b < max_b:
+            singles.append(0)
+        if a > 0:
+            singles.append(1)
+        return frozenset(singles) if singles else frozenset({0, 1})
+
+    if op in (CellOp.SHL, CellOp.SHR):
+        a, sh = in_values
+        width = cell.out.width
+        singles = []
+        if sh < width:
+            singles.append(0)
+        if a != 0:
+            singles.append(1)
+        return frozenset(singles) if singles else frozenset({0, 1})
+
+    # Conservative fallback: trace into everything (sound for the
+    # backtracing algorithm — observability only prunes work).
+    return all_inputs
+
+
+def _and_others(cell: Cell, in_values: Sequence[int], index: int) -> int:
+    acc = cell.out.mask
+    for i, v in enumerate(in_values):
+        if i != index:
+            acc &= v
+    return acc
+
+
+def _or_others(cell: Cell, in_values: Sequence[int], index: int) -> int:
+    acc = 0
+    for i, v in enumerate(in_values):
+        if i != index:
+            acc |= v
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation of the Appendix A definition (test oracle)
+# ---------------------------------------------------------------------------
+
+def _observable(cell: Cell, in_values: Sequence[int], subset: Tuple[int, ...]) -> bool:
+    """Exhaustively decide observable(subset, v, F)."""
+    baseline = evaluate_cell(cell, list(in_values))
+    domains = [range(1 << cell.ins[i].width) for i in subset]
+    for assignment in itertools.product(*domains):
+        trial = list(in_values)
+        for idx, value in zip(subset, assignment):
+            trial[idx] = value
+        if evaluate_cell(cell, trial) != baseline:
+            return True
+    return False
+
+
+def observable_fanins_exact(cell: Cell, in_values: Sequence[int]) -> FrozenSet[int]:
+    """Union of minimal observable sets, by exhaustive enumeration.
+
+    Exponential in total input width — only suitable for narrow cells
+    (it is the *test oracle* for :func:`observable_fanins`).
+    """
+    n = len(cell.ins)
+    observable_sets: List[Tuple[int, ...]] = []
+    for size in range(1, n + 1):
+        for subset in itertools.combinations(range(n), size):
+            if _observable(cell, in_values, subset):
+                observable_sets.append(subset)
+    minimal: List[Tuple[int, ...]] = []
+    for candidate in observable_sets:
+        cand = set(candidate)
+        if not any(set(other) < cand for other in observable_sets):
+            minimal.append(candidate)
+    result: set = set()
+    for subset in minimal:
+        result.update(subset)
+    return frozenset(result)

@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+- ``verify``     — run the Compass CEGAR loop on a core's contract.
+- ``leak-check`` — directed formal leak check with a gadget program.
+- ``overhead``   — Figure-5-style instrumentation overhead comparison.
+- ``simulate``   — run a benchmark kernel on a core (optionally tainted).
+- ``export``     — emit a core's circuit as Verilog or JSON netlist.
+- ``tables``     — print the static tables (Table 1 and Table 5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.cores import CoreConfig, core_registry
+
+
+def _core_names() -> List[str]:
+    return list(core_registry())
+
+
+def _build_core(args, with_shadow: bool = True):
+    cfg = CoreConfig(
+        xlen=args.xlen, imem_depth=args.imem, dmem_depth=args.dmem,
+        secret_words=args.secret_words,
+    )
+    return core_registry()[args.core](cfg, with_shadow)
+
+
+def _add_core_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--core", choices=_core_names(), default="Sodor")
+    parser.add_argument("--xlen", type=int, default=8)
+    parser.add_argument("--imem", type=int, default=8)
+    parser.add_argument("--dmem", type=int, default=8)
+    parser.add_argument("--secret-words", type=int, default=2)
+
+
+def cmd_verify(args) -> int:
+    from repro.contracts import make_contract_task
+    from repro.cegar import CegarConfig, CegarStatus, run_compass, prune_refinements
+
+    core = _build_core(args)
+    task = make_contract_task(core)
+    print(f"verifying {core.name}: {core.circuit!r}")
+    config = CegarConfig(
+        max_bound=args.max_bound,
+        use_induction=False,
+        mc_enabled=not args.testing_only,
+        mc_time_limit=args.budget / 3 if args.budget else None,
+        total_time_limit=args.budget,
+        max_refinements=args.max_refinements,
+        seed=args.seed,
+    )
+    result = run_compass(task, config)
+    print(f"status: {result.status.value} (bound {result.bound})")
+    print(result.stats.row(core.name))
+    for line in result.stats.refinement_log:
+        print(f"  {line}")
+    scheme = result.scheme
+    if args.prune and result.secure:
+        scheme, report = prune_refinements(task, result.scheme,
+                                           result.stats.eliminated)
+        print(report.row())
+        for line in report.removed_log:
+            print(f"  pruned: {line}")
+    if args.save_scheme:
+        from repro.taint.scheme_io import save_scheme
+
+        with open(args.save_scheme, "w") as handle:
+            save_scheme(scheme, handle)
+        print(f"saved refined scheme to {args.save_scheme}")
+    if args.report:
+        from repro.cegar.report import render_report
+
+        with open(args.report, "w") as handle:
+            handle.write(render_report(result, task))
+        print(f"wrote verification report to {args.report}")
+    return 0 if result.secure else 1
+
+
+def cmd_leak_check(args) -> int:
+    from repro.bench import gadgets
+    from repro.contracts import make_contract_task
+    from repro.cegar.falsetaint import exact_false_taint_check
+    from repro.cegar.loop import instrument_task
+    from repro.formal import BmcStatus, SafetyProperty, bounded_model_check
+    from repro.taint import cellift_scheme
+
+    gadget = {
+        "spectre": gadgets.SPECTRE_GADGET,
+        "nested": gadgets.NESTED_BRANCH_GADGET,
+        "mul": gadgets.MUL_TIMING_GADGET,
+    }[args.gadget]
+    core = _build_core(args)
+    task = make_contract_task(core)
+    scheme = cellift_scheme()
+    for module in core.precise_modules:
+        scheme.module_defaults[module] = scheme.default
+    design, prop = instrument_task(task, scheme)
+    pinned = core.initial_state_for(gadget)
+    free = frozenset(set(task.symbolic_registers) - set(core.imem_words))
+    directed = SafetyProperty(prop.name, prop.bad, prop.assumptions,
+                              prop.init_assumptions, free)
+    started = time.monotonic()
+    result = bounded_model_check(design.circuit, directed, max_bound=args.max_bound,
+                                 time_limit=args.budget, initial_values=pinned)
+    elapsed = time.monotonic() - started
+    if result.status is not BmcStatus.COUNTEREXAMPLE:
+        print(f"{core.name}: no taint violation up to cycle {result.bound} "
+              f"({elapsed:.1f}s) — secure on this gadget")
+        return 0
+    cex = result.counterexample.with_initial_state(pinned)
+    taint_wf = cex.replay(design.circuit)
+    sink = next(s for s in core.sinks
+                if taint_wf.value(design.taint_name[s], taint_wf.length - 1))
+    real = not exact_false_taint_check(
+        core.circuit, cex, task.secret_registers(), sink,
+        init_assumption_outputs=core.init_assumption_outputs,
+    )
+    verdict = "REAL LEAK" if real else "spurious taint (refine the scheme)"
+    print(f"{core.name}: taint on {sink} at cycle {cex.length - 1} "
+          f"({elapsed:.1f}s) — {verdict}")
+    if args.trace:
+        from repro.sim.trace_view import format_counterexample
+
+        print()
+        print(format_counterexample(cex, core.circuit, signals=list(core.sinks)))
+    return 2 if real else 0
+
+
+def cmd_overhead(args) -> int:
+    from repro.contracts import make_contract_task
+    from repro.cegar import CegarConfig, run_compass
+    from repro.cegar.loop import instrument_task
+    from repro.taint import cellift_scheme, instrumentation_overhead, scheme_summary
+
+    core = _build_core(args)
+    task = make_contract_task(core)
+    refined = run_compass(task, CegarConfig(
+        mc_enabled=False, sim_trials=96, sim_depth=16,
+        exact_validation=False, max_refinements=400,
+        max_counterexamples=200, seed=args.seed,
+    )).scheme
+    cellift = cellift_scheme()
+    cellift.module_defaults = dict(refined.module_defaults)
+    for label, scheme in (("CellIFT", cellift), ("Compass", refined)):
+        design, _ = instrument_task(task, scheme.copy())
+        print(instrumentation_overhead(design).row())
+        if label == "Compass" and args.detail:
+            for row in scheme_summary(design, depth=2):
+                print("  " + row.format())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.bench.workloads import WORKLOADS, run_workload_on_core
+    from repro.taint import TaintSources, cellift_scheme, instrument
+    from repro.sim import make_simulator
+
+    cfg = CoreConfig.simulation()
+    core = core_registry()[args.core](cfg, False)
+    workload = WORKLOADS[args.workload]
+    started = time.monotonic()
+    cycles, sim = run_workload_on_core(core, workload, seed=args.seed)
+    elapsed = time.monotonic() - started
+    print(f"{workload.name} on {core.name}: {cycles} cycles, {elapsed:.3f}s "
+          "(self-checked against the ISA interpreter)")
+    if args.taint:
+        sources = TaintSources(registers={core.dmem_words[i]: -1 for i in range(4)})
+        design = instrument(core.circuit, cellift_scheme(), sources)
+        import random
+
+        data = workload.make_data(random.Random(args.seed), cfg)
+        tsim = make_simulator(design.circuit, compiled=True,
+                              initial_state=core.initial_state_for(workload.program, data))
+        for _ in range(cycles):
+            tsim.step({})
+        tainted = [i for i in range(cfg.dmem_depth)
+                   if tsim.peek(design.taint_name[core.dmem_words[i]]) != 0]
+        print(f"tainted memory words after run (inputs 0-3 tainted): {tainted}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    from repro.hdl.serialize import dump
+    from repro.hdl.verilog import write_verilog
+
+    core = _build_core(args, with_shadow=not args.no_shadow)
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.format == "verilog":
+            write_verilog(core.circuit, out)
+        else:
+            dump(core.circuit, out)
+    finally:
+        if args.output:
+            out.close()
+            print(f"wrote {args.format} for {core.name} to {args.output}")
+    return 0
+
+
+def cmd_tables(_args) -> int:
+    from repro.cores.configs import format_table1
+    from repro.taint import PRESETS
+
+    print(format_table1())
+    print("\nTable 5 rows (scheme -> dimensions):")
+    for scheme, dims in PRESETS.items():
+        print(f"  {scheme:<16} unit={','.join(dims['unit'])} "
+              f"granularity={','.join(dims['granularity'])} "
+              f"complexity={','.join(dims['complexity'])}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("verify", help="run the Compass CEGAR loop on a core")
+    _add_core_options(p)
+    p.add_argument("--budget", type=float, default=180.0)
+    p.add_argument("--max-bound", type=int, default=10)
+    p.add_argument("--max-refinements", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prune", action="store_true",
+                   help="prune unnecessary refinements afterwards")
+    p.add_argument("--testing-only", action="store_true",
+                   help="refinement by simulation only (no model checker)")
+    p.add_argument("--save-scheme", metavar="FILE", default=None,
+                   help="save the refined taint scheme as JSON")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="write a Markdown verification report")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("leak-check", help="directed formal leak check")
+    _add_core_options(p)
+    p.add_argument("--gadget", choices=("spectre", "nested", "mul"),
+                   default="spectre")
+    p.add_argument("--budget", type=float, default=240.0)
+    p.add_argument("--max-bound", type=int, default=12)
+    p.add_argument("--trace", action="store_true",
+                   help="print the observation trace of the counterexample")
+    p.set_defaults(func=cmd_leak_check)
+
+    p = sub.add_parser("overhead", help="CellIFT vs Compass overhead")
+    _add_core_options(p)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--detail", action="store_true")
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("simulate", help="run a workload on a core")
+    p.add_argument("--core", choices=_core_names(), default="Rocket")
+    p.add_argument("--workload", default="median")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--taint", action="store_true",
+                   help="also run CellIFT-instrumented taint simulation")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("export", help="emit a core as Verilog or JSON")
+    _add_core_options(p)
+    p.add_argument("--format", choices=("verilog", "json"), default="verilog")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--no-shadow", action="store_true")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("tables", help="print Table 1 and Table 5")
+    p.set_defaults(func=cmd_tables)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

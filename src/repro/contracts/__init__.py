@@ -1,0 +1,23 @@
+"""Security properties: software-hardware contracts (paper Appendix B).
+
+- :func:`~repro.contracts.contract.make_contract_task` — the sandboxing
+  contract with taint: assume the ISA shadow machine's observation taint
+  is 0 at every commit, assert the DUV's microarchitectural observation
+  taint is 0.
+- :func:`~repro.contracts.contract.make_prospect_task` — the ProSpeCT
+  property: same shape, with the secret memory region *hardwired*
+  tainted (the statically-partitioned ProSpeCT memory model).
+- :func:`~repro.contracts.selfcomp.make_selfcomp_property` — the
+  self-composition baseline (Contract Shadow Logic style) used for the
+  Table 2 comparison.
+"""
+
+from repro.contracts.contract import make_contract_task, make_prospect_task
+from repro.contracts.selfcomp import SelfCompTask, make_selfcomp_property
+
+__all__ = [
+    "make_contract_task",
+    "make_prospect_task",
+    "SelfCompTask",
+    "make_selfcomp_property",
+]

@@ -1,0 +1,80 @@
+"""The contract property with taint (paper Appendix B).
+
+The original contract: for all programs P, public memories M_pub and
+secret pairs (M_sec, M'_sec), if the ISA (1-cycle) machine's
+architectural observations agree, then the processor's cycle-by-cycle
+microarchitectural observations agree.
+
+Rephrased with taint (what we check): initialize the secret region's
+taint to 1 and the rest to 0 (in both the DUV and the shadow ISA
+machine); *assume* the ISA observation taint trace is all zeros;
+*assert* the microarchitectural observation taint trace is all zeros.
+The ISA machine carries the most precise (CellIFT) taint logic to keep
+the assumption as weak as the paper recommends; the DUV's taint scheme
+is whatever Compass is currently refining.
+
+Universally quantified state: instruction memory (the program P),
+both data memories (constrained equal at reset — M_pub and M_sec are
+shared between machines).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.taint.instrument import TaintSources
+from repro.cegar.loop import TaintVerificationTask
+from repro.cores.common import CoreDesign
+
+
+def make_contract_task(
+    core: CoreDesign, name: Optional[str] = None
+) -> TaintVerificationTask:
+    """Sandboxing-contract verification task for a built core.
+
+    The core must have been built ``with_shadow=True``.
+    """
+    if not core.isa_dmem_words:
+        raise ValueError(
+            f"core {core.name!r} was built without the ISA shadow machine; "
+            "rebuild with with_shadow=True to verify the contract"
+        )
+
+    def sampler(rng, depth):
+        """Random program + mirrored memories (init assumptions hold)."""
+        init = {}
+        for word in core.imem_words:
+            init[word] = rng.getrandbits(16)
+        mask = (1 << core.config.xlen) - 1
+        for address in range(core.config.dmem_depth):
+            value = rng.getrandbits(core.config.xlen) & mask
+            init[core.dmem_words[address]] = value
+            init[core.isa_dmem_words[address]] = value
+        return init, [{} for _ in range(depth)]
+
+    return TaintVerificationTask(
+        name=name or f"{core.name}-contract",
+        circuit=core.circuit,
+        sources=TaintSources(registers=core.secret_register_masks()),
+        sinks=core.sinks,
+        gated_clean_assumptions=core.isa_obs_pairs,
+        init_assumption_outputs=core.init_assumption_outputs,
+        symbolic_registers=core.symbolic_registers(),
+        blackbox_modules=core.blackbox_modules,
+        precise_modules=core.precise_modules,
+        stimulus_sampler=sampler,
+    )
+
+
+def make_prospect_task(
+    core: CoreDesign, name: Optional[str] = None
+) -> TaintVerificationTask:
+    """The ProSpeCT property (Appendix B): hardwired secret-region taint.
+
+    Structurally this is the contract task — memory is statically
+    partitioned, the secret region starts tainted, the constant-time
+    assumption is expressed as "the ISA observation taint is 0" — so
+    the same task construction applies; the defense-specific part lives
+    in the ProSpeCT core itself (its secret bits and issue gating).
+    """
+    return make_contract_task(core, name=name or f"{core.name}-prospect-property")

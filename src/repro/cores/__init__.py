@@ -1,0 +1,54 @@
+"""Processor designs under verification.
+
+Four RV-lite cores mirroring the paper's Table 1 line-up (scaled to the
+same 64-byte-cache formal setup the paper uses):
+
+- :func:`~repro.cores.sodor.build_sodor` — 2-stage in-order (secure).
+- :func:`~repro.cores.rocket.build_rocket` — 5-stage in-order with BTB,
+  I/D caches, TLB/PMA/PTW stubs, CSR, iterative MulDiv (secure: branches
+  resolve before younger loads reach memory).
+- :func:`~repro.cores.boom.build_boom` — 6-stage with late (commit-time)
+  branch resolution and speculative load issue (Spectre-leaky); the
+  ``secure=True`` variant (BOOM-S) delays loads until they are the
+  oldest unresolved instruction.
+- :func:`~repro.cores.prospect.build_prospect` — BOOM-style core with
+  the ProSpeCT secret-tracking defense; the two Appendix C bugs can be
+  individually enabled, and ProSpeCT-S is the fixed version.
+
+Each builder returns a :class:`~repro.cores.common.CoreDesign` bundling
+the circuit with the signal names the contracts package needs.
+"""
+
+from repro.cores.isa import (
+    Instr,
+    Op,
+    AluFn,
+    assemble,
+    encode,
+    decode,
+    IsaInterpreter,
+)
+from repro.cores.common import CoreConfig, CoreDesign
+from repro.cores.sodor import build_sodor
+from repro.cores.rocket import build_rocket
+from repro.cores.boom import build_boom
+from repro.cores.prospect import build_prospect
+from repro.cores.configs import CORE_CONFIG_TABLE, core_registry
+
+__all__ = [
+    "Instr",
+    "Op",
+    "AluFn",
+    "assemble",
+    "encode",
+    "decode",
+    "IsaInterpreter",
+    "CoreConfig",
+    "CoreDesign",
+    "build_sodor",
+    "build_rocket",
+    "build_boom",
+    "build_prospect",
+    "CORE_CONFIG_TABLE",
+    "core_registry",
+]

@@ -1,0 +1,410 @@
+"""BOOM-lite / ProSpeCT-lite: speculative cores with a small ROB.
+
+Pipeline: **F** | **D** | **X** (operands + ALU + MulDiv) | **M** (data
+memory, *speculative* load issue) | **ROB** (in-order commit from the
+head; conditional branches only resolve after ``branch_resolve_delay``
+extra head cycles — modelling BOOM's deep speculation window).
+
+The Spectre-style leak: a conditional branch sits unresolved at the ROB
+head while younger loads issue data-memory requests at M.  A transient
+load can read the secret region and forward the value to a dependent
+transient load whose *address* is then secret — visible on the
+``obs_dmem_addr`` sink before the squash.
+
+Variants (all built by :func:`build_speculative_core`):
+
+- **BOOM** — vulnerable as described.
+- **BOOM-S** (``secure_loads=True``) — loads stall at M until no older
+  unresolved branch remains (the paper's "delay loads until the head of
+  the ROB" patch).
+- **ProSpeCT(-S)** — loads issue speculatively, but the regfile carries
+  a *secret* bit per value (set by loads from the statically-partitioned
+  secret region) and the X stage refuses to fire, while transient, any
+  instruction whose timing-relevant operand is secret (memory address
+  from rs1; multiplier early-exit latency from rs2).  Appendix C's two
+  bugs: ``bug_rs1_for_rs2`` consults the wrong source register's secret
+  bit in the issue gate (the paper's rs1/rs2 typo: the load-address gate
+  reads rs2's status where rs1's is required), and
+  ``bug_clear_transient`` clears the X-stage transient flag whenever
+  *any* branch resolves, even though another older branch is still in
+  flight (the paper's nested-branch scenario, adapted to in-order
+  resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.hdl.builder import ModuleBuilder, Value
+from repro.cores.common import (
+    CoreConfig,
+    CoreDesign,
+    MulDiv,
+    Regfile,
+    alu,
+    decode_instruction,
+)
+from repro.cores.isa import LUI_SHIFT
+from repro.cores.isa_machine import build_isa_shadow
+
+
+@dataclass(frozen=True)
+class SpecCoreOptions:
+    name: str
+    secure_loads: bool = False          # BOOM-S: delay loads to ROB head
+    prospect: bool = False              # enable the ProSpeCT defense
+    bug_rs1_for_rs2: bool = False       # Appendix C bug 1
+    bug_clear_transient: bool = False   # Appendix C bug 2
+    branch_resolve_delay: int = 2       # extra head cycles per branch
+
+
+def build_boom(
+    cfg: Optional[CoreConfig] = None,
+    secure: bool = False,
+    with_shadow: bool = True,
+) -> CoreDesign:
+    """BOOM-lite (``secure=True`` gives BOOM-S)."""
+    opts = SpecCoreOptions(name="BOOM-S" if secure else "BOOM", secure_loads=secure)
+    return build_speculative_core(cfg or CoreConfig.formal(), opts, with_shadow)
+
+
+def build_speculative_core(
+    cfg: CoreConfig, opts: SpecCoreOptions, with_shadow: bool = True
+) -> CoreDesign:
+    xlen, pw, aw = cfg.xlen, cfg.pc_width, cfg.dmem_addr_width
+    depth = cfg.rob_depth
+    cnt_w = max(1, depth.bit_length())
+    b = ModuleBuilder(opts.name.lower().replace("-", "_"))
+
+    with b.scope("frontend"):
+        with b.scope("icache"):
+            imem = b.mem("data", cfg.imem_depth, 16)
+        pc = b.reg("pc", pw)
+        fd_valid = b.reg("fd_valid", 1)
+        fd_instr = b.reg("fd_instr", 16)
+        fd_pc = b.reg("fd_pc", pw)
+
+    with b.scope("dcache"):
+        dmem = b.mem("data", cfg.dmem_depth, xlen)
+
+    with b.scope("core"):
+        halted = b.reg("halted", 1)
+        rf = Regfile(b, cfg, name="rf")
+        md = MulDiv(b, cfg, name="muldiv")
+        sec_rf: List = []
+        if opts.prospect:
+            with b.scope("secfile"):
+                sec_rf = [b.reg(f"s{i}", 1) for i in range(1, 8)]
+
+        dx_valid = b.reg("dx_valid", 1)
+        dx_instr = b.reg("dx_instr", 16)
+        dx_pc = b.reg("dx_pc", pw)
+
+        xm_valid = b.reg("xm_valid", 1)
+        xm_pc = b.reg("xm_pc", pw)
+        xm_instr = b.reg("xm_instr", 16)
+        xm_wb_pre = b.reg("xm_wb_pre", xlen)
+        xm_addr = b.reg("xm_addr", aw)
+        xm_store_val = b.reg("xm_store_val", xlen)
+        xm_taken = b.reg("xm_taken", 1)
+        xm_target = b.reg("xm_target", pw)
+        xm_sec = b.reg("xm_sec", 1)        # result secret flag (ProSpeCT)
+        xm_store_sec = b.reg("xm_store_sec", 1)
+
+        with b.scope("rob"):
+            rob_valid = [b.reg(f"e{i}_valid", 1) for i in range(depth)]
+            rob_instr = [b.reg(f"e{i}_instr", 16) for i in range(depth)]
+            rob_pc = [b.reg(f"e{i}_pc", pw) for i in range(depth)]
+            rob_wb = [b.reg(f"e{i}_wb", xlen) for i in range(depth)]
+            rob_addr = [b.reg(f"e{i}_addr", aw) for i in range(depth)]
+            rob_store = [b.reg(f"e{i}_store", xlen) for i in range(depth)]
+            rob_taken = [b.reg(f"e{i}_taken", 1) for i in range(depth)]
+            rob_target = [b.reg(f"e{i}_target", pw) for i in range(depth)]
+            rob_sec = [b.reg(f"e{i}_sec", 1) for i in range(depth)]
+            rob_store_sec = [b.reg(f"e{i}_store_sec", 1) for i in range(depth)]
+            rob_count = b.reg("count", cnt_w)
+            resolve_cnt = b.reg("resolve_cnt", 2)
+
+        dec_x = decode_instruction(b, dx_instr, cfg)
+        dec_m = decode_instruction(b, xm_instr, cfg)
+        dec_rob = [decode_instruction(b, rob_instr[i], cfg) for i in range(depth)]
+        dec_h = dec_rob[0]  # head
+
+        m_valid = b.named("m_valid", xm_valid & ~halted)
+
+        # ---- ROB head: commit and branch resolution ---------------------
+        head_valid = b.named("head_valid", rob_valid[0] & ~halted)
+        head_is_branch = head_valid & dec_h.is_branch
+        resolve_done = resolve_cnt.eq(opts.branch_resolve_delay)
+        commit_fire = b.named(
+            "commit_fire", head_valid & (~dec_h.is_branch | resolve_done)
+        )
+        squash = b.named("squash", commit_fire & dec_h.is_branch & rob_taken[0])
+        commit = b.named("commit", commit_fire & ~dec_h.is_halt)
+        resolve_cnt.drive(b.mux(
+            head_is_branch & ~resolve_done, resolve_cnt + 1, b.const(0, 2)
+        ))
+        any_resolve = b.named("any_resolve", commit_fire & dec_h.is_branch)
+
+        commit_store = b.named("commit_store", commit & dec_h.is_sw)
+        rf.write(dec_h.rd, rob_wb[0], commit & dec_h.writes_rd)
+        if opts.prospect:
+            for i, sreg in enumerate(sec_rf, start=1):
+                hit = commit & dec_h.writes_rd & dec_h.rd.eq(i)
+                sreg.drive(rob_sec[0], en=hit)
+
+        halt_now = head_valid & dec_h.is_halt
+        halted_next = b.named("halted_next", halted | halt_now)
+        halted.drive(halted_next)
+
+        # ---- transient status (any unresolved older branch in flight) ---
+        rob_branch_bits = []
+        for i in range(depth):
+            is_br = rob_valid[i] & dec_rob[i].is_branch
+            if i == 0:
+                is_br = is_br & ~resolve_done  # head branch resolving now
+            rob_branch_bits.append(is_br)
+        transient_dyn = b.named("transient_dyn", b.any_of(
+            *(rob_branch_bits + [m_valid & dec_m.is_branch])
+        ))
+        any_rob_store = b.any_of(*[
+            rob_valid[i] & dec_rob[i].is_sw for i in range(depth)
+        ])
+
+        # ---- M stage: speculative data-memory access --------------------
+        rob_full = rob_count.eq(depth)
+        m_stall_struct = m_valid & rob_full & ~commit_fire
+        m_stall_order = m_valid & dec_m.is_lw & any_rob_store
+        m_stall_spec = b.const(0, 1)
+        if opts.secure_loads:
+            m_stall_spec = m_valid & dec_m.is_lw & transient_dyn
+        m_stall = b.named("m_stall", m_stall_struct | m_stall_order | m_stall_spec)
+        with b.at_scope("dcache"):
+            m_load_data = b.named("load_data", dmem.read(Value(b, xm_addr.signal)))
+        m_load_req = b.named(
+            "m_load_req", m_valid & dec_m.is_lw & ~m_stall & ~squash
+        )
+        m_wb = b.named("m_wb", b.mux(dec_m.is_lw, m_load_data, xm_wb_pre))
+        secret_base = cfg.dmem_depth - cfg.secret_words
+        m_load_sec = Value(b, xm_addr.signal).uge(secret_base)
+        m_sec = b.named("m_sec", b.mux(dec_m.is_lw, m_load_sec, xm_sec)) \
+            if opts.prospect else b.const(0, 1)
+
+        # stores retire from the ROB head
+        with b.at_scope("dcache"):
+            dmem.write(Value(b, rob_addr[0].signal), rob_store[0], commit_store)
+
+        # ---- X stage -----------------------------------------------------
+        x_valid_pre = b.named("x_valid_pre", dx_valid & ~halted)
+
+        def forward(idx: Value) -> Tuple[Value, Value]:
+            nonzero = idx.ne(0)
+            value = rf.read(idx)
+            sec = b.const(0, 1)
+            if opts.prospect:
+                leaves = [b.const(0, 1)] + [Value(b, s.signal) for s in sec_rf]
+                sec = rf._tree(idx, leaves)
+            # oldest -> youngest so the youngest match wins
+            for i in range(depth):
+                hit = rob_valid[i] & dec_rob[i].writes_rd & dec_rob[i].rd.eq(idx) & nonzero
+                value = b.mux(hit, rob_wb[i], value)
+                if opts.prospect:
+                    sec = b.mux(hit, rob_sec[i], sec)
+            hit_m = m_valid & dec_m.writes_rd & dec_m.rd.eq(idx) & nonzero
+            value = b.mux(hit_m, m_wb, value)
+            if opts.prospect:
+                sec = b.mux(hit_m, m_sec, sec)
+            return value, sec
+
+        rs1_val, rs1_sec = forward(dec_x.rs1)
+        rs2_val, rs2_sec = forward(dec_x.rs2)
+        store_val, store_sec = forward(dec_x.rd)
+        rs1_val = b.named("x_rs1", rs1_val)
+        rs2_val = b.named("x_rs2", rs2_val)
+        store_val = b.named("x_store", store_val)
+
+        # ---- ProSpeCT defense: block transient secret-timing operands ---
+        blocked = b.const(0, 1)
+        x_transient_flag = None
+        if opts.prospect:
+            x_transient_flag = b.reg("x_transient_flag", 1)
+            if opts.bug_clear_transient:
+                transient_here = x_transient_flag
+            else:
+                transient_here = transient_dyn
+            # The memory address comes from rs1; bug 1 consults the wrong
+            # source register's secret bit (the paper's rs1/rs2 typo).
+            mem_operand_sec = rs2_sec if opts.bug_rs1_for_rs2 else rs1_sec
+            mul_operand_sec = rs2_sec
+            blocked = b.named("x_blocked", x_valid_pre & transient_here & (
+                (dec_x.is_mem & mem_operand_sec) | (dec_x.is_mul & mul_operand_sec)
+            ))
+
+        md_start = x_valid_pre & dec_x.is_mul & ~blocked
+        md_stall, _md_done, md_result = md.connect(
+            md_start, rs1_val, rs2_val, kill=squash
+        )
+        stall_x = b.named("stall_x", md_stall | blocked | m_stall)
+        fire_x = b.named("fire_x", x_valid_pre & ~stall_x & ~squash)
+
+        if opts.prospect:
+            # Correct: transiency is recomputed every cycle.  Bug 2: the
+            # flag captured at X entry is cleared when *any* branch
+            # resolves, even with another unresolved branch in flight.
+            flag_next = b.mux(
+                squash, b.const(0, 1),
+                b.mux(any_resolve, b.const(0, 1),
+                      b.mux(stall_x, x_transient_flag, transient_dyn)),
+            )
+            x_transient_flag.drive(flag_next)
+
+        with b.scope("alu"):
+            alu_out = alu(b, cfg, dec_x.funct, rs1_val, rs2_val)
+        seq_pc = dx_pc + 1
+        link = b.named("link", seq_pc.zext(xlen) if pw < xlen else seq_pc[xlen - 1:0])
+        imm6_raw = dx_instr[5:0]
+        imm6_x = imm6_raw.zext(xlen) if xlen >= 6 else imm6_raw[xlen - 1:0]
+        lui_val = imm6_x << LUI_SHIFT
+        x_result = b.named("x_result", b.priority_mux(
+            b.const(0, xlen),
+            (dec_x.is_alu, alu_out),
+            (dec_x.is_mul, md_result),
+            (dec_x.is_addi, rs1_val + dec_x.imm),
+            (dec_x.is_jal, link),
+            (dec_x.is_lui, lui_val),
+            (dec_x.is_sw, store_val),
+        ))
+        x_sec = b.const(0, 1)
+        if opts.prospect:
+            x_sec = b.named("x_sec", (dec_x.uses_rs1 & rs1_sec) | (dec_x.uses_rs2 & rs2_sec))
+        mem_addr = b.named("x_addr", (rs1_val + dec_x.imm)[aw - 1:0])
+        taken = b.named(
+            "x_taken",
+            (dec_x.is_beq & rs1_val.eq(rs2_val)) | (dec_x.is_bne & rs1_val.ne(rs2_val)),
+        )
+        branch_target = b.named("x_btarget", seq_pc + dec_x.branch_off)
+        redirect_jal = b.named("redirect_jal", fire_x & dec_x.is_jal)
+        jal_target = seq_pc + dec_x.jal_off
+
+        # ---- ROB next-state ----------------------------------------------
+        enq = b.named("enq", m_valid & ~m_stall & ~squash)
+        pop = commit_fire
+        count_after = b.named("rob_count_next", b.mux(
+            squash, b.const(0, cnt_w),
+            (rob_count - pop.zext(cnt_w)) + enq.zext(cnt_w),
+        ))
+        insert_pos = b.named("insert_pos", rob_count - pop.zext(cnt_w))
+
+        def rob_update(regs, new_value):
+            for i in range(depth):
+                shifted = regs[i + 1] if i + 1 < depth else regs[i]
+                base = b.mux(pop, shifted, regs[i])
+                if regs is rob_valid and i + 1 >= depth:
+                    base = b.mux(pop, b.const(0, 1), regs[i])
+                at_insert = enq & insert_pos.eq(i)
+                value = b.mux(at_insert, new_value, base)
+                if regs is rob_valid:
+                    value = b.mux(squash, b.const(0, 1), value)
+                regs[i].drive(value)
+
+        rob_update(rob_valid, b.const(1, 1))
+        rob_update(rob_instr, Value(b, xm_instr.signal))
+        rob_update(rob_pc, Value(b, xm_pc.signal))
+        rob_update(rob_wb, m_wb)
+        rob_update(rob_addr, Value(b, xm_addr.signal))
+        rob_update(rob_store, Value(b, xm_store_val.signal))
+        rob_update(rob_taken, Value(b, xm_taken.signal))
+        rob_update(rob_target, Value(b, xm_target.signal))
+        rob_update(rob_sec, m_sec)
+        rob_update(rob_store_sec, Value(b, xm_store_sec.signal))
+        rob_count.drive(count_after)
+
+        # ---- pipeline register updates ------------------------------------
+        kill_young = b.named("kill_young", squash | halted_next)
+        xm_valid.drive(b.mux(
+            kill_young, b.const(0, 1), b.mux(m_stall, xm_valid, fire_x)
+        ))
+        xm_instr.drive(dx_instr, en=~m_stall)
+        xm_pc.drive(dx_pc, en=~m_stall)
+        xm_wb_pre.drive(x_result, en=~m_stall)
+        xm_addr.drive(mem_addr, en=~m_stall)
+        xm_store_val.drive(store_val, en=~m_stall)
+        xm_taken.drive(taken, en=~m_stall)
+        xm_target.drive(branch_target, en=~m_stall)
+        xm_sec.drive(x_sec, en=~m_stall)
+        xm_store_sec.drive(store_sec if opts.prospect else b.const(0, 1), en=~m_stall)
+
+        dx_valid.drive(b.mux(
+            kill_young | redirect_jal, b.const(0, 1),
+            b.mux(stall_x, dx_valid, fd_valid),
+        ))
+        dx_instr.drive(fd_instr, en=~stall_x)
+        dx_pc.drive(fd_pc, en=~stall_x)
+
+    # ---- F stage ----------------------------------------------------------
+    with b.at_scope("frontend"):
+        with b.at_scope("frontend.icache"):
+            fetch_instr = b.named("fetch_instr", imem.read(Value(b, pc.signal)))
+        pc_plus1 = pc + 1
+        pc.drive(b.priority_mux(
+            pc_plus1,
+            (squash, rob_target[0]),
+            (halted_next | stall_x, Value(b, pc.signal)),
+            (redirect_jal, jal_target),
+        ))
+        fd_valid.drive(b.mux(
+            kill_young | redirect_jal, b.const(0, 1),
+            b.mux(stall_x, fd_valid, b.const(1, 1)),
+        ))
+        fd_instr.drive(fetch_instr, en=~stall_x)
+        fd_pc.drive(pc, en=~stall_x)
+
+    # ---- microarchitectural observation -----------------------------------
+    b.output("obs_imem_addr", Value(b, pc.signal))
+    b.output("obs_dmem_laddr", b.mux(m_load_req, Value(b, xm_addr.signal), b.const(0, aw)))
+    b.output("obs_dmem_saddr", b.mux(commit_store, Value(b, rob_addr[0].signal), b.const(0, aw)))
+    b.output("obs_dmem_req", m_load_req | commit_store)
+    b.output("obs_commit", commit)
+    sinks = ("obs_imem_addr", "obs_dmem_laddr", "obs_dmem_saddr", "obs_dmem_req", "obs_commit")
+
+    # ---- ISA shadow machine ------------------------------------------------
+    isa_dmem_words: tuple = ()
+    isa_obs_pairs: tuple = ()
+    init_assumptions: tuple = ()
+    if with_shadow:
+        shadow = build_isa_shadow(b, cfg, imem, commit, scope="isa")
+        isa_dmem_words = shadow.dmem_words
+        b.output("isa_obs", shadow.obs)
+        isa_obs_pairs = ((shadow.step_en_name, "isa.obs"),)
+        eq_bits = [dmem.word(i).eq(shadow.dmem.word(i)) for i in range(cfg.dmem_depth)]
+        b.output("init_mem_eq", b.all_of(*eq_bits))
+        init_assumptions = ("init_mem_eq",)
+
+    circuit = b.build()
+    blackboxes = tuple(sorted(
+        m for m in circuit.module_paths()
+        if not (m == "isa" or m.startswith("isa.") or m.startswith("_"))
+    ))
+    return CoreDesign(
+        name=opts.name,
+        circuit=circuit,
+        config=cfg,
+        imem_words=tuple(f"frontend.icache.data_{i}" for i in range(cfg.imem_depth)),
+        dmem_words=tuple(f"dcache.data_{i}" for i in range(cfg.dmem_depth)),
+        isa_dmem_words=isa_dmem_words,
+        sinks=sinks,
+        commit_valid="core.commit",
+        halted="core.halted",
+        isa_obs_pairs=isa_obs_pairs,
+        init_assumption_outputs=init_assumptions,
+        blackbox_modules=blackboxes,
+        precise_modules=("isa",) if with_shadow else (),
+        regfile_registers=tuple(f"core.rf.x{i}" for i in range(1, 8)),
+        description=(
+            "Out-of-order-style processor; "
+            f"{cfg.rob_depth}-entry ROB, commit-time branch resolution"
+            + (", delayed loads (secure)" if opts.secure_loads else "")
+            + (", ProSpeCT defense" if opts.prospect else "")
+        ),
+    )

@@ -1,0 +1,387 @@
+"""Shared building blocks for the RV-lite cores.
+
+Everything here is instantiated inside a core's
+:class:`~repro.hdl.builder.ModuleBuilder`: the register file, the ALU,
+the iterative multiplier (MulDiv), the BTB, instruction decode, and the
+:class:`CoreDesign` bundle the contracts package consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hdl.builder import Memory, ModuleBuilder, RegValue, Value
+from repro.hdl.circuit import Circuit
+from repro.cores.isa import AluFn, Instr, Op, encode, LUI_SHIFT
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Size parameters of a core (all memory depths are powers of two).
+
+    The formal configuration mirrors the paper's scaled-down setup
+    (64-byte caches); the simulation configuration mirrors the 2 KB one.
+    """
+
+    xlen: int = 8
+    imem_depth: int = 8
+    dmem_depth: int = 8
+    secret_words: int = 2        # top addresses of dmem hold the secret
+    rob_depth: int = 4           # OoO cores only
+
+    def __post_init__(self) -> None:
+        for name in ("imem_depth", "dmem_depth"):
+            depth = getattr(self, name)
+            if depth & (depth - 1):
+                raise ValueError(f"{name} must be a power of two, got {depth}")
+        if not (0 < self.secret_words < self.dmem_depth):
+            raise ValueError("secret_words must be within dmem")
+
+    @property
+    def pc_width(self) -> int:
+        return max(1, (self.imem_depth - 1).bit_length())
+
+    @property
+    def dmem_addr_width(self) -> int:
+        return max(1, (self.dmem_depth - 1).bit_length())
+
+    @property
+    def secret_addresses(self) -> Tuple[int, ...]:
+        return tuple(range(self.dmem_depth - self.secret_words, self.dmem_depth))
+
+    @classmethod
+    def formal(cls, **overrides) -> "CoreConfig":
+        return cls(**overrides)
+
+    @classmethod
+    def simulation(cls, **overrides) -> "CoreConfig":
+        defaults = dict(xlen=16, imem_depth=64, dmem_depth=32, secret_words=4)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
+class CoreDesign:
+    """A built core plus everything the verification flow needs to know."""
+
+    name: str
+    circuit: Circuit
+    config: CoreConfig
+    imem_words: Tuple[str, ...]
+    dmem_words: Tuple[str, ...]          # DUV data memory registers
+    isa_dmem_words: Tuple[str, ...]      # shadow ISA machine memory (may be empty)
+    sinks: Tuple[str, ...]               # microarchitectural observation signals
+    commit_valid: str
+    halted: str
+    isa_obs_pairs: Tuple[Tuple[str, str], ...]  # (step condition, obs value)
+    init_assumption_outputs: Tuple[str, ...]
+    blackbox_modules: Tuple[str, ...]
+    precise_modules: Tuple[str, ...]
+    regfile_registers: Tuple[str, ...] = ()
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    def secret_register_masks(self) -> Dict[str, int]:
+        """Taint-source masks: the secret dmem words in both machines."""
+        masks: Dict[str, int] = {}
+        for addr in self.config.secret_addresses:
+            masks[self.dmem_words[addr]] = -1
+            if self.isa_dmem_words:
+                masks[self.isa_dmem_words[addr]] = -1
+        return masks
+
+    def symbolic_registers(self) -> frozenset:
+        """Registers with universally-quantified initial values."""
+        names = set(self.imem_words) | set(self.dmem_words) | set(self.isa_dmem_words)
+        return frozenset(names)
+
+    def initial_state_for(
+        self,
+        program: Sequence[int],
+        data: Optional[Mapping[int, int]] = None,
+    ) -> Dict[str, int]:
+        """Register initial values that load a program + data memory image."""
+        cfg = self.config
+        if len(program) > cfg.imem_depth:
+            raise ValueError(
+                f"program ({len(program)} words) exceeds imem depth {cfg.imem_depth}"
+            )
+        halt = encode(Instr(Op.HALT))
+        state: Dict[str, int] = {}
+        for i, name in enumerate(self.imem_words):
+            state[name] = program[i] if i < len(program) else halt
+        mask = (1 << cfg.xlen) - 1
+        for addr, value in (data or {}).items():
+            state[self.dmem_words[addr % cfg.dmem_depth]] = value & mask
+            if self.isa_dmem_words:
+                state[self.isa_dmem_words[addr % cfg.dmem_depth]] = value & mask
+        return state
+
+
+# ---------------------------------------------------------------------------
+# decode bundle
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Decoded:
+    """Hardware decode of a 16-bit instruction word."""
+
+    op: Value
+    rd: Value
+    rs1: Value
+    rs2: Value
+    funct: Value
+    imm: Value        # sign-extended to xlen
+    branch_off: Value # sign-extended/truncated to pc width
+    jal_off: Value    # sign-extended/truncated to pc width
+    is_alu: Value
+    is_addi: Value
+    is_lw: Value
+    is_sw: Value
+    is_beq: Value
+    is_bne: Value
+    is_branch: Value
+    is_jal: Value
+    is_lui: Value
+    is_mul: Value
+    is_halt: Value
+    writes_rd: Value
+    uses_rs1: Value
+    uses_rs2: Value
+    is_mem: Value
+
+
+def resize_signed(b: ModuleBuilder, value: Value, width: int) -> Value:
+    """Resize a two's-complement value (sign-extend or truncate)."""
+    if value.width == width:
+        return value
+    if value.width < width:
+        return value.sext(width)
+    return value[width - 1:0]
+
+
+def decode_instruction(b: ModuleBuilder, instr: Value, cfg: CoreConfig) -> Decoded:
+    op = instr[15:12]
+    rd = instr[11:9]
+    rs1 = instr[8:6]
+    rs2 = instr[5:3]
+    funct = instr[2:0]
+    imm6 = instr[5:0]
+    imm = resize_signed(b, imm6, cfg.xlen)
+    boff6 = b.cat(rd, funct)
+    branch_off = resize_signed(b, boff6, cfg.pc_width)
+    jal_off = resize_signed(b, imm6, cfg.pc_width)
+
+    def is_op(code: Op) -> Value:
+        return op.eq(int(code))
+
+    is_alu = is_op(Op.ALU)
+    is_addi = is_op(Op.ADDI)
+    is_lw = is_op(Op.LW)
+    is_sw = is_op(Op.SW)
+    is_beq = is_op(Op.BEQ)
+    is_bne = is_op(Op.BNE)
+    is_jal = is_op(Op.JAL)
+    is_lui = is_op(Op.LUI)
+    is_mul = is_op(Op.MUL)
+    is_halt = is_op(Op.HALT)
+    is_branch = is_beq | is_bne
+    writes_rd = is_alu | is_addi | is_lw | is_jal | is_lui | is_mul
+    uses_rs1 = is_alu | is_addi | is_lw | is_sw | is_branch | is_mul
+    uses_rs2 = is_alu | is_branch | is_mul
+    return Decoded(
+        op=op, rd=rd, rs1=rs1, rs2=rs2, funct=funct, imm=imm,
+        branch_off=branch_off, jal_off=jal_off,
+        is_alu=is_alu, is_addi=is_addi, is_lw=is_lw, is_sw=is_sw,
+        is_beq=is_beq, is_bne=is_bne, is_branch=is_branch, is_jal=is_jal,
+        is_lui=is_lui, is_mul=is_mul, is_halt=is_halt,
+        writes_rd=writes_rd, uses_rs1=uses_rs1, uses_rs2=uses_rs2,
+        is_mem=is_lw | is_sw,
+    )
+
+
+# ---------------------------------------------------------------------------
+# register file
+# ---------------------------------------------------------------------------
+
+class Regfile:
+    """8-entry register file with r0 hardwired to zero, 1 write port."""
+
+    def __init__(self, b: ModuleBuilder, cfg: CoreConfig, name: str = "rf",
+                 extra_bits: int = 0) -> None:
+        self.b = b
+        self.cfg = cfg
+        self.extra_bits = extra_bits
+        width = cfg.xlen + extra_bits
+        self.regs: List[RegValue] = []
+        with b.scope(name):
+            self.zero = b.const(0, width)
+            for i in range(1, 8):
+                self.regs.append(b.reg(f"x{i}", width))
+        self._written = False
+
+    def register_names(self) -> Tuple[str, ...]:
+        return tuple(r.name for r in self.regs)
+
+    def read(self, addr: Value) -> Value:
+        leaves = [self.zero] + list(self.regs)
+        return self._tree(addr, leaves)
+
+    def _tree(self, addr: Value, leaves: List[Value]) -> Value:
+        if len(leaves) == 1:
+            return leaves[0]
+        half = len(leaves) // 2
+        bit = addr[addr.width - 1]
+        rest = addr[addr.width - 2:0] if addr.width > 1 else None
+        low = self._tree(rest, leaves[:half]) if rest is not None else leaves[0]
+        high = self._tree(rest, leaves[half:]) if rest is not None else leaves[1]
+        return self.b.mux(bit, high, low)
+
+    def write(self, addr: Value, data: Value, en: Value) -> None:
+        if self._written:
+            raise RuntimeError("regfile already has a write port")
+        self._written = True
+        for i, reg in enumerate(self.regs, start=1):
+            hit = en & addr.eq(i)
+            reg.drive(data, en=hit)
+
+
+# ---------------------------------------------------------------------------
+# ALU
+# ---------------------------------------------------------------------------
+
+def alu(b: ModuleBuilder, cfg: CoreConfig, funct: Value, a: Value, bb: Value) -> Value:
+    """Combinational ALU implementing the 8 R-type functions."""
+    xlen = cfg.xlen
+    shamt_w = max(1, (xlen - 1).bit_length())
+    shamt_big = bb  # full-width shift amount; cell semantics zero out-of-range
+    results = [
+        (funct.eq(int(AluFn.ADD)), a + bb),
+        (funct.eq(int(AluFn.SUB)), a - bb),
+        (funct.eq(int(AluFn.AND)), a & bb),
+        (funct.eq(int(AluFn.OR)), a | bb),
+        (funct.eq(int(AluFn.XOR)), a ^ bb),
+        (funct.eq(int(AluFn.SLT)), a.ult(bb).zext(xlen)),
+        (funct.eq(int(AluFn.SLL)), a << shamt_big),
+        (funct.eq(int(AluFn.SRL)), a >> shamt_big),
+    ]
+    out = b.const(0, xlen)
+    for cond, value in results:
+        out = b.mux(cond, value, out)
+    return out
+
+
+def combinational_multiply(b: ModuleBuilder, cfg: CoreConfig, a: Value, bb: Value) -> Value:
+    """Single-cycle shift-add multiplier (used by the ISA shadow machine)."""
+    acc = b.const(0, cfg.xlen)
+    for i in range(cfg.xlen):
+        partial = a << i if i else a
+        acc = acc + b.mux(bb[i], partial, b.const(0, cfg.xlen))
+    return acc
+
+
+class MulDiv:
+    """Iterative multiplier: ``xlen`` cycles per MUL, busy/stall interface.
+
+    Matches the paper's MulDiv module: a pipelined unit that secrets
+    should never reach in a sandboxed program, making it an ideal
+    module-granularity blackbox.
+    """
+
+    def __init__(self, b: ModuleBuilder, cfg: CoreConfig, name: str = "muldiv") -> None:
+        self.b = b
+        self.cfg = cfg
+        cnt_w = max(1, cfg.xlen.bit_length())
+        with b.scope(name):
+            self.busy = b.reg("busy", 1)
+            self.count = b.reg("count", cnt_w)
+            self.acc = b.reg("acc", cfg.xlen)
+            self.op_a = b.reg("op_a", cfg.xlen)
+            self.op_b = b.reg("op_b", cfg.xlen)
+
+    def connect(
+        self, start: Value, a: Value, bb: Value, kill: Optional[Value] = None
+    ) -> Tuple[Value, Value, Value]:
+        """Returns (busy_stall, done_pulse, result).
+
+        ``start`` must stay asserted while the requesting instruction is
+        stalled; the unit latches operands on the first cycle.  The unit
+        *early-exits* once the remaining multiplier bits are zero, so
+        its latency depends on the multiplier operand's value — the
+        realistic timing channel ProSpeCT's defense must cover.
+        ``kill`` aborts an in-flight operation (pipeline squash).
+        """
+        b = self.b
+        cfg = self.cfg
+        fire = start & ~self.busy
+        stepping = self.busy
+        # Early exit: after consuming bit 0, finish if no multiplier bits
+        # remain (or the cycle budget is spent).
+        remaining = self.op_b >> 1
+        last = self.busy & (self.count.eq(1) | remaining.eq(0))
+        partial = b.mux(self.op_b[0], self.op_a, b.const(0, cfg.xlen))
+        acc_next = self.acc + partial
+        busy_next = b.mux(fire, b.const(1, 1), b.mux(last, b.const(0, 1), self.busy))
+        if kill is not None:
+            busy_next = b.mux(kill, b.const(0, 1), busy_next)
+        self.busy.drive(busy_next)
+        self.count.drive(
+            b.mux(fire, b.const(cfg.xlen, self.count.width),
+                  b.mux(stepping, self.count - 1, self.count))
+        )
+        self.acc.drive(b.mux(fire, b.const(0, cfg.xlen), b.mux(stepping, acc_next, self.acc)))
+        self.op_a.drive(b.mux(fire, a, b.mux(stepping, self.op_a << 1, self.op_a)))
+        self.op_b.drive(b.mux(fire, bb, b.mux(stepping, self.op_b >> 1, self.op_b)))
+        result = acc_next
+        stall = start & ~last
+        return stall, last, result
+
+
+# ---------------------------------------------------------------------------
+# BTB (branch target buffer)
+# ---------------------------------------------------------------------------
+
+class Btb:
+    """Tiny direct-mapped BTB: predicts taken branches at fetch."""
+
+    def __init__(self, b: ModuleBuilder, cfg: CoreConfig, entries: int = 2,
+                 name: str = "btb") -> None:
+        if entries & (entries - 1):
+            raise ValueError("btb entries must be a power of two")
+        self.b = b
+        self.cfg = cfg
+        self.entries = entries
+        self.index_w = max(1, (entries - 1).bit_length())
+        pw = cfg.pc_width
+        with b.scope(name):
+            self.valid = [b.reg(f"valid{i}", 1) for i in range(entries)]
+            self.tag = [b.reg(f"tag{i}", pw) for i in range(entries)]
+            self.target = [b.reg(f"target{i}", pw) for i in range(entries)]
+
+    def _index(self, pc: Value) -> Value:
+        return pc[self.index_w - 1:0]
+
+    def predict(self, pc: Value) -> Tuple[Value, Value]:
+        """(hit, predicted_target) for the fetch PC."""
+        b = self.b
+        idx = self._index(pc)
+        hit = b.const(0, 1)
+        target = b.const(0, self.cfg.pc_width)
+        for i in range(self.entries):
+            sel = idx.eq(i)
+            entry_hit = sel & self.valid[i] & self.tag[i].eq(pc)
+            hit = hit | entry_hit
+            target = b.mux(entry_hit, self.target[i], target)
+        return hit, target
+
+    def update(self, resolve: Value, pc: Value, taken: Value, target: Value) -> None:
+        """On branch resolution: learn taken targets, forget not-taken."""
+        b = self.b
+        idx = self._index(pc)
+        for i in range(self.entries):
+            sel = resolve & idx.eq(i)
+            write_taken = sel & taken
+            self.valid[i].drive(taken, en=sel)
+            self.tag[i].drive(pc, en=write_taken)
+            self.target[i].drive(target, en=write_taken)

@@ -1,0 +1,386 @@
+"""RV-lite: a compact RISC-V-flavoured ISA.
+
+16-bit fixed-width instructions, 8 general-purpose registers (``r0``
+hardwired to zero), parameterizable XLEN.  The encoding:
+
+====  ==========  =========================================
+bits  field       meaning
+====  ==========  =========================================
+15:12 op          opcode
+11:9  rd          destination (or store-data register, or branch offset hi)
+8:6   rs1         first source
+5:3   rs2         second source
+2:0   funct       ALU function (or branch offset lo)
+5:0   imm6        sign-extended immediate (I-type)
+====  ==========  =========================================
+
+Opcodes: ALU (R-type, funct = add/sub/and/or/xor/slt/sll/srl), ADDI,
+LW, SW, BEQ, BNE, JAL, LUI, MUL, HALT.  Branch offsets are the 6-bit
+concatenation ``{rd, funct}``, PC-relative to the next instruction.
+
+This module provides the binary encoding, a two-pass assembler with
+labels, and the architectural (1-cycle) interpreter that is both the
+reference model for core testing and the semantics the ISA shadow
+machine circuit implements.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+
+class Op(enum.IntEnum):
+    ALU = 0x0
+    ADDI = 0x1
+    LW = 0x2
+    SW = 0x3
+    BEQ = 0x4
+    BNE = 0x5
+    JAL = 0x6
+    LUI = 0x7
+    MUL = 0x8
+    HALT = 0xF
+
+
+class AluFn(enum.IntEnum):
+    ADD = 0
+    SUB = 1
+    AND = 2
+    OR = 3
+    XOR = 4
+    SLT = 5   # unsigned set-less-than
+    SLL = 6
+    SRL = 7
+
+
+NUM_REGS = 8
+#: How far LUI shifts its immediate (fills upper bits on small XLEN).
+LUI_SHIFT = 3
+
+
+@dataclass(frozen=True)
+class Instr:
+    """A decoded instruction."""
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    funct: int = 0
+    imm: int = 0     # sign-extended 6-bit immediate / branch offset
+
+    def __str__(self) -> str:
+        if self.op is Op.ALU:
+            return f"{AluFn(self.funct).name.lower()} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if self.op is Op.ADDI:
+            return f"addi r{self.rd}, r{self.rs1}, {self.imm}"
+        if self.op is Op.LW:
+            return f"lw r{self.rd}, {self.imm}(r{self.rs1})"
+        if self.op is Op.SW:
+            return f"sw r{self.rd}, {self.imm}(r{self.rs1})"
+        if self.op in (Op.BEQ, Op.BNE):
+            return f"{self.op.name.lower()} r{self.rs1}, r{self.rs2}, {self.imm}"
+        if self.op is Op.JAL:
+            return f"jal r{self.rd}, {self.imm}"
+        if self.op is Op.LUI:
+            return f"lui r{self.rd}, {self.imm}"
+        if self.op is Op.MUL:
+            return f"mul r{self.rd}, r{self.rs1}, r{self.rs2}"
+        return "halt"
+
+
+def _sext6(value: int) -> int:
+    value &= 0x3F
+    return value - 0x40 if value & 0x20 else value
+
+
+def encode(instr: Instr) -> int:
+    """Encode to the 16-bit binary form."""
+    op = instr.op
+    word = (int(op) & 0xF) << 12
+    if op is Op.ALU or op is Op.MUL:
+        word |= (instr.rd & 7) << 9 | (instr.rs1 & 7) << 6 | (instr.rs2 & 7) << 3
+        word |= instr.funct & 7
+    elif op in (Op.ADDI, Op.LW, Op.SW):
+        word |= (instr.rd & 7) << 9 | (instr.rs1 & 7) << 6 | (instr.imm & 0x3F)
+    elif op in (Op.BEQ, Op.BNE):
+        off = instr.imm & 0x3F
+        word |= ((off >> 3) & 7) << 9 | (instr.rs1 & 7) << 6 | (instr.rs2 & 7) << 3
+        word |= off & 7
+    elif op in (Op.JAL, Op.LUI):
+        word |= (instr.rd & 7) << 9 | (instr.imm & 0x3F)
+    return word
+
+
+def decode(word: int) -> Instr:
+    """Decode a 16-bit binary instruction."""
+    word &= 0xFFFF
+    op_bits = (word >> 12) & 0xF
+    try:
+        op = Op(op_bits)
+    except ValueError:
+        op = Op.HALT  # unknown encodings behave as HALT
+    rd = (word >> 9) & 7
+    rs1 = (word >> 6) & 7
+    rs2 = (word >> 3) & 7
+    funct = word & 7
+    imm6 = _sext6(word & 0x3F)
+    if op is Op.ALU or op is Op.MUL:
+        return Instr(op, rd=rd, rs1=rs1, rs2=rs2, funct=funct)
+    if op in (Op.ADDI, Op.LW, Op.SW):
+        return Instr(op, rd=rd, rs1=rs1, imm=imm6)
+    if op in (Op.BEQ, Op.BNE):
+        off = _sext6(((rd & 7) << 3) | funct)
+        return Instr(op, rs1=rs1, rs2=rs2, imm=off)
+    if op in (Op.JAL, Op.LUI):
+        return Instr(op, rd=rd, imm=imm6 if op is Op.JAL else (word & 0x3F))
+    return Instr(Op.HALT)
+
+
+# ---------------------------------------------------------------------------
+# Assembler
+# ---------------------------------------------------------------------------
+
+class AsmError(ValueError):
+    pass
+
+
+_ALU_NAMES = {fn.name.lower(): fn for fn in AluFn}
+
+
+def assemble(source: Union[str, Sequence[str]]) -> List[int]:
+    """Two-pass assembler with labels.
+
+    Syntax (one instruction per line, ``;`` or ``#`` comments)::
+
+        loop:
+            lw   r1, 0(r2)
+            addi r2, r2, 1
+            add  r3, r3, r1
+            bne  r2, r4, loop
+            halt
+
+    ``li rX, imm`` expands to ``addi rX, r0, imm`` (imm must fit 6
+    signed bits) and ``nop`` to ``addi r0, r0, 0``.
+    """
+    lines = source.splitlines() if isinstance(source, str) else list(source)
+    cleaned: List[Tuple[Optional[str], Optional[str]]] = []  # (label, stmt)
+    for raw in lines:
+        line = re.split(r"[;#]", raw, 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            cleaned.append((label.strip(), None))
+            line = line.strip()
+        if line:
+            cleaned.append((None, line))
+
+    labels: Dict[str, int] = {}
+    pc = 0
+    for label, stmt in cleaned:
+        if label is not None:
+            if label in labels:
+                raise AsmError(f"duplicate label {label!r}")
+            labels[label] = pc
+        else:
+            pc += 1
+
+    out: List[int] = []
+    pc = 0
+    for label, stmt in cleaned:
+        if stmt is None:
+            continue
+        out.append(encode(_parse_line(stmt, pc, labels)))
+        pc += 1
+    return out
+
+
+def _reg(token: str) -> int:
+    token = token.strip().lower()
+    match = re.fullmatch(r"r([0-7])", token)
+    if not match:
+        raise AsmError(f"bad register {token!r}")
+    return int(match.group(1))
+
+
+def _imm(token: str, labels: Mapping[str, int], pc: int, relative: bool) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token] - (pc + 1) if relative else labels[token]
+    try:
+        value = int(token, 0)
+    except ValueError:
+        raise AsmError(f"bad immediate or unknown label {token!r}") from None
+    return value
+
+
+def _check6(value: int, what: str) -> int:
+    if not (-32 <= value <= 31):
+        raise AsmError(f"{what} {value} does not fit in 6 signed bits")
+    return value
+
+
+def _parse_line(stmt: str, pc: int, labels: Mapping[str, int]) -> Instr:
+    parts = stmt.replace(",", " ").split()
+    mnemonic = parts[0].lower()
+    args = parts[1:]
+
+    if mnemonic == "nop":
+        return Instr(Op.ADDI, rd=0, rs1=0, imm=0)
+    if mnemonic == "li":
+        return Instr(Op.ADDI, rd=_reg(args[0]), rs1=0,
+                     imm=_check6(_imm(args[1], labels, pc, False), "li immediate"))
+    if mnemonic == "halt":
+        return Instr(Op.HALT)
+    if mnemonic in _ALU_NAMES:
+        return Instr(Op.ALU, rd=_reg(args[0]), rs1=_reg(args[1]), rs2=_reg(args[2]),
+                     funct=int(_ALU_NAMES[mnemonic]))
+    if mnemonic == "mul":
+        return Instr(Op.MUL, rd=_reg(args[0]), rs1=_reg(args[1]), rs2=_reg(args[2]))
+    if mnemonic == "addi":
+        return Instr(Op.ADDI, rd=_reg(args[0]), rs1=_reg(args[1]),
+                     imm=_check6(_imm(args[2], labels, pc, False), "immediate"))
+    if mnemonic in ("lw", "sw"):
+        match = re.fullmatch(r"(-?\w+)\((r[0-7])\)", args[1].strip())
+        if not match:
+            raise AsmError(f"bad memory operand {args[1]!r}")
+        imm = _check6(_imm(match.group(1), labels, pc, False), "offset")
+        base = _reg(match.group(2))
+        op = Op.LW if mnemonic == "lw" else Op.SW
+        return Instr(op, rd=_reg(args[0]), rs1=base, imm=imm)
+    if mnemonic in ("beq", "bne"):
+        off = _check6(_imm(args[2], labels, pc, True), "branch offset")
+        op = Op.BEQ if mnemonic == "beq" else Op.BNE
+        return Instr(op, rs1=_reg(args[0]), rs2=_reg(args[1]), imm=off)
+    if mnemonic == "jal":
+        off = _check6(_imm(args[1], labels, pc, True), "jump offset")
+        return Instr(Op.JAL, rd=_reg(args[0]), imm=off)
+    if mnemonic == "j":
+        off = _check6(_imm(args[0], labels, pc, True), "jump offset")
+        return Instr(Op.JAL, rd=0, imm=off)
+    if mnemonic == "lui":
+        value = _imm(args[1], labels, pc, False)
+        if not (0 <= value <= 63):
+            raise AsmError(f"lui immediate {value} out of range 0..63")
+        return Instr(Op.LUI, rd=_reg(args[0]), imm=value)
+    raise AsmError(f"unknown mnemonic {mnemonic!r}")
+
+
+# ---------------------------------------------------------------------------
+# Architectural interpreter (the contract's 1-cycle ISA machine)
+# ---------------------------------------------------------------------------
+
+class IsaInterpreter:
+    """Executes RV-lite programs one instruction per step.
+
+    Memory is word-addressed and wraps at ``dmem_depth``; the PC wraps
+    at ``imem_depth``.  This matches the ISA shadow machine circuit
+    bit for bit.
+    """
+
+    def __init__(
+        self,
+        program: Sequence[int],
+        xlen: int = 8,
+        imem_depth: int = 16,
+        dmem_depth: int = 8,
+        dmem: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        if len(program) > imem_depth:
+            raise ValueError(f"program ({len(program)} words) exceeds imem depth {imem_depth}")
+        self.xlen = xlen
+        self.mask = (1 << xlen) - 1
+        self.imem_depth = imem_depth
+        self.dmem_depth = dmem_depth
+        self.imem = [program[i] if i < len(program) else encode(Instr(Op.HALT))
+                     for i in range(imem_depth)]
+        self.dmem = [0] * dmem_depth
+        for addr, value in (dmem or {}).items():
+            self.dmem[addr % dmem_depth] = value & self.mask
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.instret = 0
+        #: architectural observation trace: writeback value per commit
+        self.obs: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _write(self, rd: int, value: int) -> int:
+        value &= self.mask
+        if rd != 0:
+            self.regs[rd] = value
+        return value
+
+    def step(self) -> Optional[Instr]:
+        """Execute one instruction; returns it (None when halted)."""
+        if self.halted:
+            return None
+        instr = decode(self.imem[self.pc % self.imem_depth])
+        next_pc = (self.pc + 1) % self.imem_depth
+        wb = 0
+        op = instr.op
+        rs1 = self.regs[instr.rs1]
+        rs2 = self.regs[instr.rs2]
+        if op is Op.ALU:
+            wb = self._write(instr.rd, self._alu(instr.funct, rs1, rs2))
+        elif op is Op.MUL:
+            wb = self._write(instr.rd, (rs1 * rs2) & self.mask)
+        elif op is Op.ADDI:
+            wb = self._write(instr.rd, rs1 + instr.imm)
+        elif op is Op.LW:
+            addr = (rs1 + instr.imm) % self.dmem_depth
+            wb = self._write(instr.rd, self.dmem[addr])
+        elif op is Op.SW:
+            addr = (rs1 + instr.imm) % self.dmem_depth
+            self.dmem[addr] = self.regs[instr.rd]
+            wb = self.regs[instr.rd]
+        elif op is Op.BEQ:
+            if rs1 == rs2:
+                next_pc = (self.pc + 1 + instr.imm) % self.imem_depth
+        elif op is Op.BNE:
+            if rs1 != rs2:
+                next_pc = (self.pc + 1 + instr.imm) % self.imem_depth
+        elif op is Op.JAL:
+            wb = self._write(instr.rd, (self.pc + 1) % self.imem_depth)
+            next_pc = (self.pc + 1 + instr.imm) % self.imem_depth
+        elif op is Op.LUI:
+            wb = self._write(instr.rd, instr.imm << LUI_SHIFT)
+        elif op is Op.HALT:
+            self.halted = True
+            return instr
+        self.pc = next_pc
+        self.instret += 1
+        self.obs.append(wb)
+        return instr
+
+    def _alu(self, funct: int, a: int, b: int) -> int:
+        fn = AluFn(funct)
+        if fn is AluFn.ADD:
+            return a + b
+        if fn is AluFn.SUB:
+            return a - b
+        if fn is AluFn.AND:
+            return a & b
+        if fn is AluFn.OR:
+            return a | b
+        if fn is AluFn.XOR:
+            return a ^ b
+        if fn is AluFn.SLT:
+            return int(a < b)
+        if fn is AluFn.SLL:
+            sh = b % self.xlen if b < self.xlen else b
+            return 0 if sh >= self.xlen else a << sh
+        sh = b
+        return 0 if sh >= self.xlen else a >> sh
+
+    def run(self, max_steps: int = 10000) -> int:
+        """Run until HALT; returns the number of retired instructions."""
+        for _ in range(max_steps):
+            if self.halted:
+                break
+            self.step()
+        return self.instret

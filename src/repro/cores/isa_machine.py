@@ -1,0 +1,131 @@
+"""The single-cycle ISA reference machine as shadow logic.
+
+Implements the contract's 1-cycle machine (Appendix B) as a circuit
+living alongside the DUV: it shares the DUV's instruction memory
+(read-only), keeps its own architectural register file, PC and data
+memory, and executes exactly one instruction whenever the DUV commits
+one.  Its observation — the committed writeback value, per the
+sandboxing contract — is what the contract constraint check assumes
+untainted.
+
+The machine executes everything (including MUL) combinationally in the
+commit cycle, which is what "1-cycle ISA machine" means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hdl.builder import Memory, ModuleBuilder, Value
+from repro.cores.common import (
+    CoreConfig,
+    Regfile,
+    alu,
+    combinational_multiply,
+    decode_instruction,
+    resize_signed,
+)
+from repro.cores.isa import LUI_SHIFT
+
+
+@dataclass
+class IsaShadow:
+    """Handles exposed by the ISA shadow machine."""
+
+    scope: str
+    obs: Value            # committed writeback value (0 when not stepping)
+    step_en_name: str     # condition under which the machine stepped
+    dmem: Memory
+    dmem_words: Tuple[str, ...]
+    pc_name: str
+    halted_name: str
+
+
+def build_isa_shadow(
+    b: ModuleBuilder,
+    cfg: CoreConfig,
+    imem: Memory,
+    step_en: Value,
+    scope: str = "isa",
+) -> IsaShadow:
+    """Instantiate the shadow ISA machine inside ``b`` under ``scope``.
+
+    Args:
+        imem: the DUV's instruction memory (shared, read-only).
+        step_en: 1 when the DUV commits an instruction this cycle.
+    """
+    xlen = cfg.xlen
+    with b.scope(scope):
+        pc = b.reg("pc", cfg.pc_width)
+        halted = b.reg("halted", 1)
+        rf = Regfile(b, cfg, name="rf")
+        dmem = b.mem("dmem", cfg.dmem_depth, xlen)
+
+        instr = b.named("instr", imem.read(pc))
+        dec = decode_instruction(b, instr, cfg)
+        rs1_val = b.named("rs1_val", rf.read(dec.rs1))
+        rs2_val = b.named("rs2_val", rf.read(dec.rs2))
+        store_val = b.named("store_val", rf.read(dec.rd))
+
+        step = b.named("step", step_en & ~halted)
+
+        # Memory access (combinational read; write gated by step).
+        addr_full = rs1_val + dec.imm
+        mem_addr = b.named("mem_addr", addr_full[cfg.dmem_addr_width - 1:0])
+        load_data = b.named("load_data", dmem.read(mem_addr))
+        dmem.write(mem_addr, store_val, step & dec.is_sw)
+
+        # Writeback value.
+        alu_out = alu(b, cfg, dec.funct, rs1_val, rs2_val)
+        mul_out = combinational_multiply(b, cfg, rs1_val, rs2_val)
+        seq_pc_early = pc + 1
+        link = b.named("link", seq_pc_early.zext(xlen) if cfg.pc_width < xlen
+                       else seq_pc_early[xlen - 1:0])
+        imm6_raw = instr[5:0]
+        imm6_x = imm6_raw.zext(xlen) if xlen >= 6 else imm6_raw[xlen - 1:0]
+        lui_val = imm6_x << LUI_SHIFT
+        wb = b.priority_mux(
+            b.const(0, xlen),
+            (dec.is_alu, alu_out),
+            (dec.is_mul, mul_out),
+            (dec.is_addi, rs1_val + dec.imm),
+            (dec.is_lw, load_data),
+            (dec.is_sw, store_val),
+            (dec.is_jal, link),
+            (dec.is_lui, lui_val),
+        )
+        wb = b.named("wb", wb)
+        rf.write(dec.rd, wb, step & dec.writes_rd)
+
+        # Next PC.
+        taken = b.named(
+            "taken",
+            (dec.is_beq & rs1_val.eq(rs2_val)) | (dec.is_bne & rs1_val.ne(rs2_val)),
+        )
+        seq_pc = seq_pc_early
+        branch_target = seq_pc + dec.branch_off
+        jal_target = seq_pc + dec.jal_off
+        next_pc = b.priority_mux(
+            seq_pc,
+            (taken, branch_target),
+            (dec.is_jal, jal_target),
+        )
+        pc.drive(next_pc, en=step)
+        halted.drive(b.const(1, 1), en=step_en & dec.is_halt & ~halted)
+
+        # Architectural observation: writeback data of committed instrs.
+        committed = b.named("committed", step & ~dec.is_halt)
+        obs = b.named("obs", b.mux(committed, wb, b.const(0, xlen)))
+
+    prefix = b.current_module
+    full = (prefix + "." if prefix else "") + scope
+    return IsaShadow(
+        scope=full,
+        obs=obs,
+        step_en_name=f"{full}.committed",
+        dmem=dmem,
+        dmem_words=tuple(f"{full}.dmem_{i}" for i in range(cfg.dmem_depth)),
+        pc_name=f"{full}.pc",
+        halted_name=f"{full}.halted",
+    )

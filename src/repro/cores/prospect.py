@@ -1,0 +1,57 @@
+"""ProSpeCT-lite: speculative core with the ProSpeCT defense.
+
+The core is the speculative (BOOM-style) pipeline of
+:mod:`repro.cores.boom` with ProSpeCT's secret-tracking defense enabled:
+memory is statically partitioned, loaded values carry a *secret* bit,
+and transient instructions whose timing-relevant operands are secret
+are blocked from issuing.
+
+The two implementation bugs the paper found (Appendix C) are seeded and
+individually controllable:
+
+- **bug 1** (``bug_rs1_for_rs2``): the issue-gating logic consults the
+  secret status of ``rs1`` where ``rs2``'s is required (the multiplier's
+  early-exit latency depends on rs2), so a transient MUL with a secret
+  multiplier slips past the defense and leaks through timing.
+- **bug 2** (``bug_clear_transient``): when a branch resolves, the
+  transient flag of the instruction waiting in X is cleared even though
+  *another* older branch is still unresolved (the paper's nested-branch
+  scenario, adapted to in-order resolution), so a blocked
+  secret-address load fires while still speculative.
+
+``build_prospect(secure=True)`` (ProSpeCT-S) fixes both bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cores.boom import SpecCoreOptions, build_speculative_core
+from repro.cores.common import CoreConfig, CoreDesign
+
+
+def build_prospect(
+    cfg: Optional[CoreConfig] = None,
+    secure: bool = False,
+    bug1: Optional[bool] = None,
+    bug2: Optional[bool] = None,
+    with_shadow: bool = True,
+) -> CoreDesign:
+    """Build ProSpeCT-lite.
+
+    ``secure=True`` builds ProSpeCT-S (both bugs fixed).  Individual
+    bugs can be toggled with ``bug1``/``bug2`` for targeted experiments.
+    """
+    if bug1 is None:
+        bug1 = not secure
+    if bug2 is None:
+        bug2 = not secure
+    name = "ProSpeCT-S" if (not bug1 and not bug2) else "ProSpeCT"
+    opts = SpecCoreOptions(
+        name=name,
+        secure_loads=False,
+        prospect=True,
+        bug_rs1_for_rs2=bug1,
+        bug_clear_transient=bug2,
+    )
+    return build_speculative_core(cfg or CoreConfig.formal(), opts, with_shadow)

@@ -1,0 +1,270 @@
+"""Rocket-lite: a 5-stage in-order RV-lite core.
+
+Pipeline: **F** (fetch, BTB prediction) | **D** (decode) | **X**
+(operand read with full forwarding, ALU, branch resolution, MulDiv) |
+**M** (data memory) | **C** (commit / writeback).
+
+Branches resolve in X and squash the younger F/D instructions, so no
+wrong-path instruction ever reaches the memory stage — like real
+Rocket, the core is secure under the sandboxing contract but a model
+checker has to work to see it.
+
+Module hierarchy follows the paper's Table 4: ``frontend`` (with
+``frontend.itlb``, ``frontend.icache``, ``frontend.btb``), ``core``
+(with ``core.rf``, ``core.alu``, ``core.csr``, ``core.muldiv``),
+``dcache`` (with ``dcache.dtlb``, ``dcache.pma``) and ``ptw``.
+The TLBs/PMA/PTW are small stub modules: flat translation with a
+config register — secrets never reach them, which is exactly what
+makes them ideal module-granularity blackboxes in the final scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hdl.builder import ModuleBuilder, Value
+from repro.cores.common import (
+    Btb,
+    CoreConfig,
+    CoreDesign,
+    MulDiv,
+    Regfile,
+    alu,
+    decode_instruction,
+)
+from repro.cores.isa import LUI_SHIFT
+from repro.cores.isa_machine import build_isa_shadow
+
+
+def build_rocket(
+    cfg: Optional[CoreConfig] = None, with_shadow: bool = True
+) -> CoreDesign:
+    cfg = cfg or CoreConfig.formal()
+    xlen, pw, aw = cfg.xlen, cfg.pc_width, cfg.dmem_addr_width
+    b = ModuleBuilder("rocket")
+
+    # ------------------------------------------------------------------
+    # memories and stub translation machinery
+    # ------------------------------------------------------------------
+    with b.scope("frontend"):
+        with b.scope("icache"):
+            imem = b.mem("data", cfg.imem_depth, 16)
+        with b.scope("itlb"):
+            itlb_base = b.reg("base", pw)          # flat translation offset (0)
+        btb = Btb(b, cfg, entries=2, name="btb")
+        pc = b.reg("pc", pw)
+        fd_valid = b.reg("fd_valid", 1)
+        fd_instr = b.reg("fd_instr", 16)
+        fd_pc = b.reg("fd_pc", pw)
+        fd_pred_taken = b.reg("fd_pred_taken", 1)
+        fd_pred_target = b.reg("fd_pred_target", pw)
+
+    with b.scope("dcache"):
+        dmem = b.mem("data", cfg.dmem_depth, xlen)
+        with b.scope("dtlb"):
+            dtlb_base = b.reg("base", aw)
+        with b.scope("pma"):
+            pma_enable = b.reg("enable", 1, reset=1)
+
+    with b.scope("ptw"):
+        ptw_state = b.reg("state", 2)              # idle page-table walker stub
+        ptw_state.drive(ptw_state)
+
+    with b.scope("core"):
+        halted = b.reg("halted", 1)
+        rf = Regfile(b, cfg, name="rf")
+        md = MulDiv(b, cfg, name="muldiv")
+        with b.scope("csr"):
+            csr_cycle = b.reg("cycle", xlen)
+            csr_instret = b.reg("instret", xlen)
+
+        dx_valid = b.reg("dx_valid", 1)
+        dx_instr = b.reg("dx_instr", 16)
+        dx_pc = b.reg("dx_pc", pw)
+        dx_pred_taken = b.reg("dx_pred_taken", 1)
+        dx_pred_target = b.reg("dx_pred_target", pw)
+
+        xm_valid = b.reg("xm_valid", 1)
+        xm_instr = b.reg("xm_instr", 16)
+        xm_wb_pre = b.reg("xm_wb_pre", xlen)       # ALU/link/LUI/MUL result
+        xm_addr = b.reg("xm_addr", aw)
+        xm_store_val = b.reg("xm_store_val", xlen)
+
+        mc_valid = b.reg("mc_valid", 1)
+        mc_instr = b.reg("mc_instr", 16)
+        mc_wb = b.reg("mc_wb", xlen)
+
+        # ---- decode at each stage (cheap: re-decode the carried word) --
+        dec_x = decode_instruction(b, dx_instr, cfg)
+        dec_m = decode_instruction(b, xm_instr, cfg)
+        dec_c = decode_instruction(b, mc_instr, cfg)
+
+        m_valid = b.named("m_valid", xm_valid & ~halted)
+        c_valid = b.named("c_valid", mc_valid & ~halted)
+        commit = b.named("commit", c_valid & ~dec_c.is_halt)
+
+        # ---- M stage: data memory (non-speculative in Rocket) ----------
+        with b.at_scope("dcache"):
+            translated_addr = b.named("paddr", Value(b, xm_addr.signal) + dtlb_base)
+            m_load_data = b.named("load_data", dmem.read(translated_addr))
+        m_is_store = m_valid & dec_m.is_sw & ~(mc_valid & dec_c.is_halt)
+        with b.at_scope("dcache"):
+            dmem.write(translated_addr, xm_store_val, m_is_store)
+        dmem_req = b.named(
+            "dmem_req", m_valid & dec_m.is_mem & ~(mc_valid & dec_c.is_halt)
+        )
+        m_wb = b.named("m_wb", b.mux(dec_m.is_lw, m_load_data, xm_wb_pre))
+
+        # ---- X stage: operand read with forwarding ---------------------
+        x_valid_pre = b.named("x_valid_pre", dx_valid & ~halted)
+
+        def forward(idx: Value) -> Value:
+            nonzero = idx.ne(0)
+            from_m = m_valid & dec_m.writes_rd & dec_m.rd.eq(idx) & nonzero
+            from_c = c_valid & dec_c.writes_rd & dec_c.rd.eq(idx) & nonzero
+            base = rf.read(idx)
+            value = b.mux(from_c, mc_wb, base)
+            return b.mux(from_m, m_wb, value)
+
+        rs1_val = b.named("x_rs1", forward(dec_x.rs1))
+        rs2_val = b.named("x_rs2", forward(dec_x.rs2))
+        store_val = b.named("x_store", forward(dec_x.rd))
+
+        md_start = x_valid_pre & dec_x.is_mul
+        md_stall, _md_done, md_result = md.connect(md_start, rs1_val, rs2_val)
+        stall = b.named("stall", md_stall)
+        fire_x = b.named("fire_x", x_valid_pre & ~stall)
+
+        with b.scope("alu"):
+            alu_out = alu(b, cfg, dec_x.funct, rs1_val, rs2_val)
+        seq_pc = dx_pc + 1
+        link = b.named("link", seq_pc.zext(xlen) if pw < xlen else seq_pc[xlen - 1:0])
+        imm6_raw = dx_instr[5:0]
+        imm6_x = imm6_raw.zext(xlen) if xlen >= 6 else imm6_raw[xlen - 1:0]
+        lui_val = imm6_x << LUI_SHIFT
+        x_result = b.named("x_result", b.priority_mux(
+            b.const(0, xlen),
+            (dec_x.is_alu, alu_out),
+            (dec_x.is_mul, md_result),
+            (dec_x.is_addi, rs1_val + dec_x.imm),
+            (dec_x.is_jal, link),
+            (dec_x.is_lui, lui_val),
+            (dec_x.is_sw, store_val),
+        ))
+        mem_addr = b.named("x_addr", (rs1_val + dec_x.imm)[aw - 1:0])
+
+        # ---- branch resolution in X ------------------------------------
+        taken = b.named(
+            "x_taken",
+            (dec_x.is_beq & rs1_val.eq(rs2_val)) | (dec_x.is_bne & rs1_val.ne(rs2_val)),
+        )
+        actual_next = b.named("x_actual_next", b.priority_mux(
+            seq_pc,
+            (taken, seq_pc + dec_x.branch_off),
+            (dec_x.is_jal, seq_pc + dec_x.jal_off),
+        ))
+        predicted_next = b.named(
+            "x_predicted_next", b.mux(dx_pred_taken, dx_pred_target, seq_pc)
+        )
+        mispredict = b.named(
+            "mispredict", fire_x & actual_next.ne(predicted_next)
+        )
+        btb.update(fire_x & dec_x.is_branch, dx_pc, taken, actual_next)
+
+        # ---- commit (C stage) ------------------------------------------
+        rf.write(dec_c.rd, mc_wb, commit & dec_c.writes_rd)
+        halt_now = c_valid & dec_c.is_halt
+        halted_next = b.named("halted_next", halted | halt_now)
+        halted.drive(halted_next)
+        csr_cycle.drive(csr_cycle + 1)
+        csr_instret.drive(csr_instret + 1, en=commit)
+
+        # ---- pipeline register updates ----------------------------------
+        xm_valid.drive(b.mux(halted_next, b.const(0, 1), fire_x))
+        xm_instr.drive(dx_instr, en=~stall)
+        xm_wb_pre.drive(x_result, en=~stall)
+        xm_addr.drive(mem_addr, en=~stall)
+        xm_store_val.drive(store_val, en=~stall)
+
+        mc_valid.drive(b.mux(halted_next, b.const(0, 1), m_valid))
+        mc_instr.drive(xm_instr)
+        mc_wb.drive(m_wb)
+
+        dx_valid.drive(b.mux(
+            halted_next | mispredict, b.const(0, 1),
+            b.mux(stall, dx_valid, fd_valid),
+        ))
+        dx_instr.drive(fd_instr, en=~stall)
+        dx_pc.drive(fd_pc, en=~stall)
+        dx_pred_taken.drive(fd_pred_taken, en=~stall)
+        dx_pred_target.drive(fd_pred_target, en=~stall)
+
+    # ---- F stage ----------------------------------------------------
+    with b.at_scope("frontend"):
+        fetch_pc = b.named("fetch_pc", Value(b, pc.signal) + itlb_base)
+        with b.at_scope("frontend.icache"):
+            fetch_instr = b.named("fetch_instr", imem.read(fetch_pc))
+        pred_hit, pred_target = btb.predict(fetch_pc)
+        pc_plus1 = pc + 1
+        next_fetch = b.named("next_fetch", b.mux(pred_hit, pred_target, pc_plus1))
+        pc.drive(b.mux(
+            halted_next | stall, pc,
+            b.mux(mispredict, actual_next, next_fetch),
+        ))
+        fd_valid.drive(b.mux(
+            halted_next | mispredict, b.const(0, 1),
+            b.mux(stall, fd_valid, b.const(1, 1)),
+        ))
+        fd_instr.drive(fetch_instr, en=~stall)
+        fd_pc.drive(pc, en=~stall)
+        fd_pred_taken.drive(pred_hit, en=~stall)
+        fd_pred_target.drive(pred_target, en=~stall)
+        itlb_base.drive(itlb_base)
+    with b.at_scope("dcache"):
+        dtlb_base.drive(dtlb_base)
+        pma_enable.drive(pma_enable)
+
+    # ---- microarchitectural observation --------------------------------
+    obs_imem_addr = b.output("obs_imem_addr", fetch_pc)
+    obs_dmem_addr = b.output(
+        "obs_dmem_addr", b.mux(dmem_req, translated_addr, b.const(0, aw))
+    )
+    obs_dmem_req = b.output("obs_dmem_req", dmem_req)
+    obs_commit = b.output("obs_commit", commit)
+    sinks = ("obs_imem_addr", "obs_dmem_addr", "obs_dmem_req", "obs_commit")
+
+    # ---- ISA shadow machine ---------------------------------------------
+    isa_dmem_words: tuple = ()
+    isa_obs_pairs: tuple = ()
+    init_assumptions: tuple = ()
+    if with_shadow:
+        shadow = build_isa_shadow(b, cfg, imem, commit, scope="isa")
+        isa_dmem_words = shadow.dmem_words
+        b.output("isa_obs", shadow.obs)
+        isa_obs_pairs = ((shadow.step_en_name, "isa.obs"),)
+        eq_bits = [dmem.word(i).eq(shadow.dmem.word(i)) for i in range(cfg.dmem_depth)]
+        b.output("init_mem_eq", b.all_of(*eq_bits))
+        init_assumptions = ("init_mem_eq",)
+
+    circuit = b.build()
+    blackboxes = tuple(sorted(
+        m for m in circuit.module_paths()
+        if not (m == "isa" or m.startswith("isa.") or m.startswith("_"))
+    ))
+    return CoreDesign(
+        name="Rocket",
+        circuit=circuit,
+        config=cfg,
+        imem_words=tuple(f"frontend.icache.data_{i}" for i in range(cfg.imem_depth)),
+        dmem_words=tuple(f"dcache.data_{i}" for i in range(cfg.dmem_depth)),
+        isa_dmem_words=isa_dmem_words,
+        sinks=sinks,
+        commit_valid="core.commit",
+        halted="core.halted",
+        isa_obs_pairs=isa_obs_pairs,
+        init_assumption_outputs=init_assumptions,
+        blackbox_modules=blackboxes,
+        precise_modules=("isa",) if with_shadow else (),
+        regfile_registers=tuple(f"core.rf.x{i}" for i in range(1, 8)),
+        description="In-order processor; 5-stage pipeline, 2-cycle DCache",
+    )

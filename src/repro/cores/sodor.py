@@ -1,0 +1,163 @@
+"""Sodor-lite: a 2-stage in-order RV-lite core.
+
+Pipeline: **F** (fetch) | **X** (decode + execute + memory + writeback).
+Branches resolve in X and squash the one speculatively fetched
+instruction, so no wrong-path instruction ever reaches memory — the
+core satisfies the sandboxing contract (the paper proves Sodor secure,
+and so does our CEGAR loop, unboundedly).
+
+Module hierarchy (Table 1's "9 modules" scaled down): ``icache``,
+``dcache``, ``frontend``, ``core`` with ``core.rf`` and ``core.muldiv``,
+plus the ``isa`` shadow machine and the observation monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hdl.builder import ModuleBuilder
+from repro.cores.common import (
+    CoreConfig,
+    CoreDesign,
+    MulDiv,
+    Regfile,
+    alu,
+    decode_instruction,
+)
+from repro.cores.isa import LUI_SHIFT
+from repro.cores.isa_machine import build_isa_shadow
+
+
+def build_sodor(
+    cfg: Optional[CoreConfig] = None, with_shadow: bool = True
+) -> CoreDesign:
+    """Build the Sodor-lite core (optionally with the ISA shadow)."""
+    cfg = cfg or CoreConfig.formal()
+    xlen, pw, aw = cfg.xlen, cfg.pc_width, cfg.dmem_addr_width
+    b = ModuleBuilder("sodor")
+
+    with b.scope("icache"):
+        imem = b.mem("data", cfg.imem_depth, 16)
+    with b.scope("dcache"):
+        dmem = b.mem("data", cfg.dmem_depth, xlen)
+
+    with b.scope("frontend"):
+        pc = b.reg("pc", pw)
+        fx_valid = b.reg("fx_valid", 1)
+        fx_instr = b.reg("fx_instr", 16)
+        fx_pc = b.reg("fx_pc", pw)
+
+    with b.scope("core"):
+        halted = b.reg("halted", 1)
+        rf = Regfile(b, cfg, name="rf")
+        md = MulDiv(b, cfg, name="muldiv")
+
+        dec = decode_instruction(b, fx_instr, cfg)
+        rs1_val = b.named("rs1_val", rf.read(dec.rs1))
+        rs2_val = b.named("rs2_val", rf.read(dec.rs2))
+        store_val = b.named("store_val", rf.read(dec.rd))
+
+        valid = b.named("x_valid", fx_valid & ~halted)
+        md_start = valid & dec.is_mul
+        md_stall, _md_done, md_result = md.connect(md_start, rs1_val, rs2_val)
+        stall = b.named("stall", md_stall)
+        fire = b.named("fire", valid & ~stall)
+        commit = b.named("commit", fire & ~dec.is_halt)
+
+        # Memory access (1-cycle DCache: combinational read in X).
+        mem_addr = b.named("mem_addr", (rs1_val + dec.imm)[aw - 1:0])
+        dmem_req = b.named("dmem_req", commit & dec.is_mem)
+        with b.at_scope("dcache"):
+            load_data = b.named("load_data", dmem.read(mem_addr))
+            dmem.write(mem_addr, store_val, commit & dec.is_sw)
+
+        with b.scope("alu"):
+            alu_out = alu(b, cfg, dec.funct, rs1_val, rs2_val)
+
+        seq_pc = fx_pc + 1
+        link = b.named("link", seq_pc.zext(xlen) if pw < xlen else seq_pc[xlen - 1:0])
+        imm6_raw = fx_instr[5:0]
+        imm6_x = imm6_raw.zext(xlen) if xlen >= 6 else imm6_raw[xlen - 1:0]
+        lui_val = imm6_x << LUI_SHIFT
+        wb = b.named("wb", b.priority_mux(
+            b.const(0, xlen),
+            (dec.is_alu, alu_out),
+            (dec.is_mul, md_result),
+            (dec.is_addi, rs1_val + dec.imm),
+            (dec.is_lw, load_data),
+            (dec.is_sw, store_val),
+            (dec.is_jal, link),
+            (dec.is_lui, lui_val),
+        ))
+        rf.write(dec.rd, wb, commit & dec.writes_rd)
+
+        taken = b.named(
+            "taken",
+            commit & ((dec.is_beq & rs1_val.eq(rs2_val))
+                      | (dec.is_bne & rs1_val.ne(rs2_val))),
+        )
+        redirect = b.named("redirect", taken | (commit & dec.is_jal))
+        target = b.named("target", b.mux(
+            taken, seq_pc + dec.branch_off, seq_pc + dec.jal_off
+        ))
+        halt_now = fire & dec.is_halt
+        halted_next = b.named("halted_next", halted | halt_now)
+        halted.drive(halted_next)
+
+    # ---- frontend next-state -------------------------------------------
+    with b.at_scope("frontend"):
+        fetch_instr = b.named("fetch_instr", imem.read(pc))
+        pc_plus1 = pc + 1
+        pc.drive(b.mux(halted_next | stall, pc, b.mux(redirect, target, pc_plus1)))
+        fx_valid.drive(b.mux(
+            halted_next, b.const(0, 1),
+            b.mux(stall, fx_valid, b.mux(redirect, b.const(0, 1), b.const(1, 1))),
+        ))
+        fx_instr.drive(fetch_instr, en=~stall)
+        fx_pc.drive(pc, en=~stall)
+
+    # ---- microarchitectural observation ---------------------------------
+    obs_imem_addr = b.output("obs_imem_addr", pc)
+    obs_dmem_addr = b.output("obs_dmem_addr", b.mux(dmem_req, mem_addr, b.const(0, aw)))
+    obs_dmem_req = b.output("obs_dmem_req", dmem_req)
+    obs_commit = b.output("obs_commit", commit)
+    sinks = ("obs_imem_addr", "obs_dmem_addr", "obs_dmem_req", "obs_commit")
+
+    # ---- ISA shadow machine ---------------------------------------------
+    isa_dmem_words: tuple = ()
+    isa_obs_pairs: tuple = ()
+    init_assumptions: tuple = ()
+    if with_shadow:
+        shadow = build_isa_shadow(b, cfg, imem, commit, scope="isa")
+        isa_dmem_words = shadow.dmem_words
+        b.output("isa_obs", shadow.obs)
+        isa_obs_pairs = ((shadow.step_en_name, "isa.obs"),)
+        eq_bits = [
+            dmem.word(i).eq(shadow.dmem.word(i)) for i in range(cfg.dmem_depth)
+        ]
+        init_eq = b.all_of(*eq_bits)
+        b.output("init_mem_eq", init_eq)
+        init_assumptions = ("init_mem_eq",)
+
+    circuit = b.build()
+    blackboxes = tuple(sorted(
+        m for m in circuit.module_paths()
+        if not (m == "isa" or m.startswith("isa.") or m.startswith("_"))
+    ))
+    return CoreDesign(
+        name="Sodor",
+        circuit=circuit,
+        config=cfg,
+        imem_words=tuple(f"icache.data_{i}" for i in range(cfg.imem_depth)),
+        dmem_words=tuple(f"dcache.data_{i}" for i in range(cfg.dmem_depth)),
+        isa_dmem_words=isa_dmem_words,
+        sinks=sinks,
+        commit_valid="core.commit",
+        halted="core.halted",
+        isa_obs_pairs=isa_obs_pairs,
+        init_assumption_outputs=init_assumptions,
+        blackbox_modules=blackboxes,
+        precise_modules=("isa",) if with_shadow else (),
+        regfile_registers=tuple(f"core.rf.x{i}" for i in range(1, 8)),
+        description="In-order processor; 2-stage pipeline, 1-cycle DCache",
+    )

@@ -1,0 +1,57 @@
+"""Formal verification substrate.
+
+This package substitutes for the commercial model checker (JasperGold)
+used in the paper: a from-scratch CDCL SAT solver, Tseitin encoding of
+gate-level circuits, bounded model checking (the paper's ``Ht`` bounded
+engine) and k-induction (the paper's unbounded engines), plus
+self-composition product construction for the baseline comparison and
+for exact false-taint validation.
+"""
+
+from repro.formal.sat.cnf import CNF
+from repro.formal.sat.solver import Solver, SolveStatus, SolveResult
+from repro.formal.encode import FrameEncoder
+from repro.formal.unroll import Unroller
+from repro.formal.properties import SafetyProperty
+from repro.formal.counterexample import Counterexample
+from repro.formal.bmc import BmcResult, BmcStatus, bounded_model_check
+from repro.formal.induction import InductionResult, k_induction
+from repro.formal.pdr import PdrResult, PdrStatus, pdr_prove
+from repro.formal.product import self_composition, rename_circuit
+from repro.formal.equivalence import (
+    EquivalenceResult,
+    build_miter,
+    check_equivalence,
+)
+from repro.formal.abstraction import (
+    AbstractProofResult,
+    havoc_registers,
+    prove_with_data_abstraction,
+)
+
+__all__ = [
+    "CNF",
+    "Solver",
+    "SolveStatus",
+    "SolveResult",
+    "FrameEncoder",
+    "Unroller",
+    "SafetyProperty",
+    "Counterexample",
+    "BmcResult",
+    "BmcStatus",
+    "bounded_model_check",
+    "InductionResult",
+    "k_induction",
+    "PdrResult",
+    "PdrStatus",
+    "pdr_prove",
+    "self_composition",
+    "rename_circuit",
+    "EquivalenceResult",
+    "build_miter",
+    "check_equivalence",
+    "AbstractProofResult",
+    "havoc_registers",
+    "prove_with_data_abstraction",
+]

@@ -1,0 +1,109 @@
+"""Functionality abstraction: havocking registers (paper Section 7).
+
+The paper lists "functionality abstraction [7, 32, 38]" as the
+orthogonal lever for scaling the model checker on the *original* design
+half of the instrumented circuit.  This module provides the basic
+building block: :func:`havoc_registers` replaces selected registers by
+fresh free inputs.  Every behaviour of the original circuit is a
+behaviour of the abstraction, so a safety proof on the abstraction
+carries over; counterexamples may be spurious.
+
+:func:`prove_with_data_abstraction` applies the taint-specific recipe:
+havoc all *data* registers of an instrumented design (keeping the taint
+registers, module taint bits, and any registers named by the property's
+assumptions) and attempt a PDR proof over the much smaller taint state
+space.  When the abstraction yields a counterexample the result is
+inconclusive and the caller should fall back to the concrete design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set, Union
+
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.circuit import Circuit, Register
+from repro.hdl.signals import Signal, SignalKind
+from repro.formal.pdr import PdrResult, PdrStatus, pdr_prove
+from repro.formal.properties import SafetyProperty
+
+
+def havoc_registers(circuit: Circuit, registers: Iterable[str]) -> Circuit:
+    """Replace the named registers by free inputs (sound abstraction).
+
+    The register's ``q`` signal becomes an INPUT with the same name and
+    width; its next-value logic stays in the circuit (it may feed other
+    logic) but no longer constrains the havocked signal.
+    """
+    to_havoc: Set[str] = set(registers)
+    known = {reg.q.name for reg in circuit.registers}
+    unknown = to_havoc - known
+    if unknown:
+        raise ValueError(f"cannot havoc unknown registers: {sorted(unknown)[:5]}")
+    out = Circuit(f"{circuit.name}.havoc")
+    for sig in circuit.inputs:
+        out.add_signal(sig)
+    for reg in circuit.registers:
+        if reg.q.name in to_havoc:
+            out.add_signal(Signal(reg.q.name, reg.q.width, SignalKind.INPUT,
+                                  module=reg.q.module))
+        else:
+            out.add_register(reg)
+    for cell in circuit.cells:
+        out.add_cell(cell)
+    out.validate()
+    return out
+
+
+@dataclass
+class AbstractProofResult:
+    """Outcome of a proof attempt over the havocked design."""
+
+    proved: bool
+    pdr: PdrResult
+    havocked: int
+    kept: int
+
+    @property
+    def conclusive(self) -> bool:
+        """Only proofs transfer to the concrete design."""
+        return self.proved
+
+
+def data_registers_of(design) -> Set[str]:
+    """Registers of an instrumented design that carry *data*, not taint."""
+    taint_regs: Set[str] = set()
+    taint_names = set(design.taint_name.values())
+    for reg in design.circuit.registers:
+        if reg.q.name in taint_names or reg.q.name.endswith("__t"):
+            taint_regs.add(reg.q.name)
+        elif reg.q.name in design.module_taint.values():
+            taint_regs.add(reg.q.name)
+    return {reg.q.name for reg in design.circuit.registers} - taint_regs
+
+
+def prove_with_data_abstraction(
+    design,
+    prop: SafetyProperty,
+    keep: Iterable[str] = (),
+    max_frames: int = 60,
+    time_limit: Optional[float] = None,
+) -> AbstractProofResult:
+    """Try to prove a taint property with all data registers havocked.
+
+    Args:
+        design: an :class:`~repro.taint.instrument.InstrumentedDesign`.
+        prop: the safety property (over the instrumented circuit).
+        keep: extra register names to keep concrete (e.g. a mode
+            register the property's assumptions depend on).
+    """
+    havoc = data_registers_of(design) - set(keep)
+    abstract = havoc_registers(design.circuit, havoc)
+    result = pdr_prove(abstract, prop, max_frames=max_frames, time_limit=time_limit)
+    kept = len(abstract.registers)
+    return AbstractProofResult(
+        proved=result.status is PdrStatus.PROVED,
+        pdr=result,
+        havocked=len(havoc),
+        kept=kept,
+    )

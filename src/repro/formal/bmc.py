@@ -1,0 +1,158 @@
+"""Bounded model checking (the paper's ``Ht`` bounded engine).
+
+Given a safety property, BMC unrolls the design frame by frame and asks
+the SAT solver for a violation at each depth.  Outcomes mirror the
+paper's Section 4 step 2: a *counterexample*, or a *bounded proof* up to
+the depth reached within the compute budget.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.lowering import LoweredCircuit, lower_to_gates
+from repro.formal.counterexample import Counterexample
+from repro.formal.properties import SafetyProperty
+from repro.formal.sat.solver import Solver, SolveStatus
+from repro.formal.unroll import Unroller
+
+
+class BmcStatus(enum.Enum):
+    COUNTEREXAMPLE = "counterexample"
+    BOUND_REACHED = "bound_reached"   # no violation up to max_bound
+    TIMEOUT = "timeout"               # budget exhausted mid-way
+
+
+@dataclass
+class BmcResult:
+    status: BmcStatus
+    bound: int                        # deepest cycle index proven violation-free
+    counterexample: Optional[Counterexample] = None
+    elapsed: float = 0.0
+    frames_solved: int = 0
+
+    @property
+    def found_cex(self) -> bool:
+        return self.status is BmcStatus.COUNTEREXAMPLE
+
+
+def _as_lowered(circuit: Union[Circuit, LoweredCircuit]) -> LoweredCircuit:
+    """Lower and simplify for SAT encoding.
+
+    The simplification pass preserves inputs, registers and outputs by
+    name — everything BMC needs to extract counterexamples and locate
+    property/assumption signals.
+    """
+    if isinstance(circuit, LoweredCircuit):
+        return circuit
+    from repro.hdl.optimize import simplify
+
+    lowered = lower_to_gates(circuit)
+    return LoweredCircuit(simplify(lowered.circuit), lowered.bits)
+
+
+def _make_unroller(
+    lowered: LoweredCircuit,
+    prop: SafetyProperty,
+    initial_values: Optional[Mapping[str, int]],
+) -> Unroller:
+    return Unroller(
+        lowered,
+        initial_values=initial_values,
+        symbolic_registers=set(prop.symbolic_registers),
+        symbolic_all=prop.symbolic_all_registers,
+    )
+
+
+def _constrain_frame(unroller: Unroller, prop: SafetyProperty, frame: int) -> None:
+    for name in prop.assumptions:
+        unroller.assume_signal(frame, name, 1)
+    if frame == 0:
+        for name in prop.init_assumptions:
+            unroller.assume_signal(0, name, 1)
+
+
+def extract_counterexample(
+    unroller: Unroller, prop: SafetyProperty, model: List[bool], depth: int
+) -> Counterexample:
+    """Read a word-level stimulus (inputs + initial state) from a model."""
+    lowered = unroller.lowered
+    input_names = {sig.name for sig in lowered.circuit.inputs}
+    original_inputs = [
+        name for name, bit_sigs in lowered.bits.items()
+        if bit_sigs and bit_sigs[0].name in input_names
+    ]
+    original_regs: List[str] = []
+    reg_names = {reg.q.name for reg in lowered.circuit.registers}
+    for name, bit_sigs in lowered.bits.items():
+        if bit_sigs and bit_sigs[0].name in reg_names:
+            original_regs.append(name)
+    inputs: List[Dict[str, int]] = []
+    for frame in range(depth + 1):
+        inputs.append({name: unroller.word_value(frame, name, model) for name in original_inputs})
+    initial_state = {name: unroller.word_value(0, name, model) for name in original_regs}
+    return Counterexample(depth + 1, inputs, initial_state, bad_signal=prop.bad)
+
+
+def bounded_model_check(
+    circuit: Union[Circuit, LoweredCircuit],
+    prop: SafetyProperty,
+    max_bound: int,
+    time_limit: Optional[float] = None,
+    initial_values: Optional[Mapping[str, int]] = None,
+    input_constraints: Optional[Sequence[Mapping[str, int]]] = None,
+    start_bound: int = 0,
+) -> BmcResult:
+    """Check ``bad`` at depths ``start_bound..max_bound``.
+
+    Args:
+        initial_values: concrete word values overriding register resets
+            (used when replaying a counterexample's environment).
+        input_constraints: per-frame word values pinning inputs (frames
+            beyond the list are unconstrained).
+    """
+    started = time.monotonic()
+    lowered = _as_lowered(circuit)
+    unroller = _make_unroller(lowered, prop, initial_values)
+    solver = unroller.solver
+    frames_solved = 0
+    proven = start_bound - 1
+
+    for depth in range(0, max_bound + 1):
+        while unroller.depth < depth + 1:
+            new_frame = unroller.depth
+            unroller.add_frame()
+            _constrain_frame(unroller, prop, new_frame)
+            if input_constraints is not None and new_frame < len(input_constraints):
+                for name, value in input_constraints[new_frame].items():
+                    unroller.constrain_word(new_frame, name, value)
+        bad_lit = unroller.lit_of_bit(depth, prop.bad)
+        if depth < start_bound:
+            # Caller already knows shallower depths are clean.
+            solver.add_clause((-bad_lit,))
+            continue
+        remaining = None
+        if time_limit is not None:
+            remaining = time_limit - (time.monotonic() - started)
+            if remaining <= 0:
+                return BmcResult(BmcStatus.TIMEOUT, proven, elapsed=time.monotonic() - started,
+                                 frames_solved=frames_solved)
+        result = solver.solve(assumptions=[bad_lit], time_limit=remaining)
+        frames_solved += 1
+        if result.status is SolveStatus.SAT:
+            cex = extract_counterexample(unroller, prop, result.model, depth)
+            return BmcResult(
+                BmcStatus.COUNTEREXAMPLE, proven, cex,
+                elapsed=time.monotonic() - started, frames_solved=frames_solved,
+            )
+        if result.status is SolveStatus.UNKNOWN:
+            return BmcResult(BmcStatus.TIMEOUT, proven, elapsed=time.monotonic() - started,
+                             frames_solved=frames_solved)
+        proven = depth
+        solver.add_clause((-bad_lit,))
+    return BmcResult(BmcStatus.BOUND_REACHED, proven, elapsed=time.monotonic() - started,
+                     frames_solved=frames_solved)

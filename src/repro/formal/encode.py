@@ -1,0 +1,140 @@
+"""Tseitin encoding of gate-level circuits into solver clauses.
+
+The encoder works frame-at-a-time: :class:`FrameEncoder` maps every
+1-bit gate signal of one time frame to a solver literal.  Wiring ops
+(``BUF``/``NOT``/``CONST``) are handled by *literal aliasing* — they add
+no variables or clauses — and gates with constant inputs are folded, so
+the CNF stays close to the design's real logic size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.circuit import Circuit
+from repro.formal.sat.solver import Solver
+
+
+class EncodingError(RuntimeError):
+    pass
+
+
+class FrameEncoder:
+    """Encodes the combinational logic of a circuit for one time frame."""
+
+    def __init__(self, solver: Solver, true_lit: int) -> None:
+        self.solver = solver
+        self.true_lit = true_lit
+        self.lit_of: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def define(self, name: str, lit: int) -> None:
+        self.lit_of[name] = lit
+
+    def fresh(self, name: str) -> int:
+        lit = self.solver.new_var()
+        self.lit_of[name] = lit
+        return lit
+
+    def lit(self, name: str) -> int:
+        try:
+            return self.lit_of[name]
+        except KeyError:
+            raise EncodingError(f"signal {name!r} not yet encoded in this frame") from None
+
+    def const_lit(self, value: int) -> int:
+        return self.true_lit if value else -self.true_lit
+
+    def _is_const(self, lit: int) -> Optional[int]:
+        if lit == self.true_lit:
+            return 1
+        if lit == -self.true_lit:
+            return 0
+        return None
+
+    # ------------------------------------------------------------------
+    def encode_cell(self, cell: Cell) -> None:
+        op = cell.op
+        out_name = cell.out.name
+        if op is CellOp.CONST:
+            self.define(out_name, self.const_lit(cell.param("value") & 1))
+            return
+        ins = [self.lit(s.name) for s in cell.ins]
+        if op is CellOp.BUF:
+            self.define(out_name, ins[0])
+            return
+        if op is CellOp.NOT:
+            self.define(out_name, -ins[0])
+            return
+        if op is CellOp.AND:
+            self.define(out_name, self._encode_and(ins))
+            return
+        if op is CellOp.OR:
+            # De Morgan via the AND encoder keeps folding logic in one place.
+            self.define(out_name, -self._encode_and([-l for l in ins]))
+            return
+        if op is CellOp.XOR:
+            self.define(out_name, self._encode_xor(ins))
+            return
+        raise EncodingError(f"cell op {op} is not gate-level; lower the circuit first")
+
+    def _encode_and(self, ins: Sequence[int]) -> int:
+        live: List[int] = []
+        seen = set()
+        for lit in ins:
+            const = self._is_const(lit)
+            if const == 0:
+                return -self.true_lit
+            if const == 1:
+                continue
+            if -lit in seen:
+                return -self.true_lit  # a AND ~a
+            if lit not in seen:
+                seen.add(lit)
+                live.append(lit)
+        if not live:
+            return self.true_lit
+        if len(live) == 1:
+            return live[0]
+        out = self.solver.new_var()
+        add = self.solver.add_clause
+        for lit in live:
+            add((-out, lit))
+        add(tuple([out] + [-l for l in live]))
+        return out
+
+    def _encode_xor(self, ins: Sequence[int]) -> int:
+        acc: Optional[int] = None
+        parity = 0
+        for lit in ins:
+            const = self._is_const(lit)
+            if const is not None:
+                parity ^= const
+                continue
+            if acc is None:
+                acc = lit
+            else:
+                acc = self._xor2(acc, lit)
+        if acc is None:
+            return self.const_lit(parity)
+        return -acc if parity else acc
+
+    def _xor2(self, a: int, b: int) -> int:
+        if a == b:
+            return -self.true_lit
+        if a == -b:
+            return self.true_lit
+        out = self.solver.new_var()
+        add = self.solver.add_clause
+        add((-out, a, b))
+        add((-out, -a, -b))
+        add((out, -a, b))
+        add((out, a, -b))
+        return out
+
+    # ------------------------------------------------------------------
+    def encode_combinational(self, circuit: Circuit) -> None:
+        """Encode all cells (inputs/registers must already have literals)."""
+        for cell in circuit.topo_cells():
+            self.encode_cell(cell)

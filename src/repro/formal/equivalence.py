@@ -1,0 +1,148 @@
+"""Formal equivalence checking between two circuits (miter + BMC/PDR).
+
+Used to validate this library's own transformation passes — gate
+lowering and netlist simplification — formally rather than only by
+random simulation, and available to users for checking hand
+optimizations of their designs.
+
+Two circuits are *sequentially equivalent* here when, given identical
+input streams (and identical initial values for same-named symbolic
+registers), their same-named outputs agree at every cycle.  The checker
+builds a miter: both circuits side by side, inputs shared, and a 1-bit
+``miter_bad`` output that is 1 whenever any compared output pair
+disagrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.circuit import Circuit
+from repro.hdl.signals import Signal, SignalKind
+from repro.formal.bmc import BmcStatus, bounded_model_check
+from repro.formal.counterexample import Counterexample
+from repro.formal.pdr import PdrStatus, pdr_prove
+from repro.formal.product import rename_circuit
+from repro.formal.properties import SafetyProperty
+
+
+class EquivalenceError(ValueError):
+    pass
+
+
+@dataclass
+class Miter:
+    circuit: Circuit
+    prop: SafetyProperty
+    compared_outputs: Tuple[str, ...]
+
+
+@dataclass
+class EquivalenceResult:
+    equivalent: Optional[bool]     # None = inconclusive (budget)
+    bound: int                     # depth checked when bounded
+    proved: bool                   # True when unboundedly proven
+    counterexample: Optional[Counterexample] = None
+
+
+def build_miter(
+    left: Circuit,
+    right: Circuit,
+    outputs: Optional[Iterable[str]] = None,
+    symbolic_registers: Iterable[str] = (),
+) -> Miter:
+    """Construct the miter circuit for two same-interface designs."""
+    left_inputs = {s.name: s.width for s in left.inputs}
+    right_inputs = {s.name: s.width for s in right.inputs}
+    if left_inputs != right_inputs:
+        raise EquivalenceError(
+            f"input interfaces differ: {sorted(left_inputs)} vs {sorted(right_inputs)}"
+        )
+    left_outs = {s.name: s.width for s in left.outputs}
+    right_outs = {s.name: s.width for s in right.outputs}
+    compared = tuple(sorted(outputs if outputs is not None
+                            else set(left_outs) & set(right_outs)))
+    if not compared:
+        raise EquivalenceError("no common outputs to compare")
+    for name in compared:
+        if left_outs.get(name) != right_outs.get(name):
+            raise EquivalenceError(f"output {name!r} widths differ or missing")
+
+    shared = set(left_inputs)
+    copy_l = rename_circuit(left, "l", shared)
+    copy_r = rename_circuit(right, "r", shared)
+    miter = Circuit(f"miter.{left.name}.{right.name}")
+    for source in (copy_l, copy_r):
+        for sig in source.signals.values():
+            miter.add_signal(sig)
+        for reg in source.registers:
+            miter.add_register(reg)
+        for cell in source.cells:
+            miter.add_cell(cell)
+
+    diff_bits = []
+    for name in compared:
+        out = Signal(f"_miter.neq.{name}", 1, SignalKind.WIRE, module="_miter")
+        miter.add_cell(Cell(CellOp.NEQ, out,
+                            (miter.signal(f"l.{name}"), miter.signal(f"r.{name}")),
+                            module="_miter"))
+        diff_bits.append(out)
+    bad = Signal("miter_bad", 1, SignalKind.OUTPUT, module="_miter")
+    if len(diff_bits) == 1:
+        miter.add_cell(Cell(CellOp.BUF, bad, (diff_bits[0],), module="_miter"))
+    else:
+        miter.add_cell(Cell(CellOp.OR, bad, tuple(diff_bits), module="_miter"))
+    miter.validate()
+
+    # Symbolic registers: same-named registers start equal-and-free via
+    # an init assumption; others use their reset values.
+    symbolic: Set[str] = set()
+    init_assumptions: Tuple[str, ...] = ()
+    symbolic_registers = list(symbolic_registers)
+    if symbolic_registers:
+        eq_bits = []
+        for name in symbolic_registers:
+            symbolic.add(f"l.{name}")
+            symbolic.add(f"r.{name}")
+            out = Signal(f"_miter.eqinit.{name}", 1, SignalKind.OUTPUT, module="_miter")
+            miter.add_cell(Cell(CellOp.EQ, out,
+                                (miter.signal(f"l.{name}"), miter.signal(f"r.{name}")),
+                                module="_miter"))
+            eq_bits.append(out.name)
+        init_assumptions = tuple(eq_bits)
+    prop = SafetyProperty(
+        name=f"equiv.{left.name}",
+        bad="miter_bad",
+        init_assumptions=init_assumptions,
+        symbolic_registers=frozenset(symbolic),
+    )
+    return Miter(miter, prop, compared)
+
+
+def check_equivalence(
+    left: Circuit,
+    right: Circuit,
+    outputs: Optional[Iterable[str]] = None,
+    symbolic_registers: Iterable[str] = (),
+    max_bound: int = 10,
+    time_limit: Optional[float] = None,
+    prove: bool = False,
+) -> EquivalenceResult:
+    """Check (bounded, or with ``prove=True`` unbounded) equivalence."""
+    miter = build_miter(left, right, outputs, symbolic_registers)
+    if prove:
+        pdr = pdr_prove(miter.circuit, miter.prop, time_limit=time_limit)
+        if pdr.status is PdrStatus.PROVED:
+            return EquivalenceResult(True, -1, True)
+        if pdr.status is PdrStatus.COUNTEREXAMPLE:
+            return EquivalenceResult(False, pdr.frames, False, pdr.counterexample)
+        return EquivalenceResult(None, pdr.frames, False)
+    bmc = bounded_model_check(miter.circuit, miter.prop, max_bound=max_bound,
+                              time_limit=time_limit)
+    if bmc.status is BmcStatus.COUNTEREXAMPLE:
+        return EquivalenceResult(False, bmc.bound, False, bmc.counterexample)
+    if bmc.status is BmcStatus.BOUND_REACHED:
+        return EquivalenceResult(True, bmc.bound, False)
+    return EquivalenceResult(None, bmc.bound, False)

@@ -1,0 +1,114 @@
+"""k-induction: unbounded proofs (the paper's Mp/AM/I engines).
+
+The base case is ordinary BMC; the inductive step checks that ``k``
+consecutive good cycles from an *arbitrary* state cannot be followed by
+a bad one.  With ``unique_states=True`` simple-path constraints are
+added, making the method complete (it will eventually prove any true
+invariant, at the cost of quadratic state-difference clauses).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.lowering import LoweredCircuit, lower_to_gates
+from repro.formal.bmc import BmcStatus, bounded_model_check, extract_counterexample
+from repro.formal.counterexample import Counterexample
+from repro.formal.properties import SafetyProperty
+from repro.formal.sat.solver import SolveStatus
+from repro.formal.unroll import Unroller
+
+
+class InductionStatus(enum.Enum):
+    PROVED = "proved"
+    COUNTEREXAMPLE = "counterexample"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class InductionResult:
+    status: InductionStatus
+    k: int                                   # induction depth reached/used
+    bound: int                               # base-case depth proven clean
+    counterexample: Optional[Counterexample] = None
+    elapsed: float = 0.0
+
+    @property
+    def proved(self) -> bool:
+        return self.status is InductionStatus.PROVED
+
+
+def k_induction(
+    circuit: Union[Circuit, LoweredCircuit],
+    prop: SafetyProperty,
+    max_k: int = 20,
+    time_limit: Optional[float] = None,
+    unique_states: bool = True,
+) -> InductionResult:
+    """Attempt an unbounded proof of ``prop`` by k-induction."""
+    started = time.monotonic()
+
+    def remaining() -> Optional[float]:
+        if time_limit is None:
+            return None
+        return time_limit - (time.monotonic() - started)
+
+    lowered = _as_lowered(circuit)
+
+    # Step-case unroller: arbitrary start state, no init assumptions.
+    step = Unroller(lowered, symbolic_all=True)
+    step.add_frame()
+    for name in prop.assumptions:
+        step.assume_signal(0, name, 1)
+
+    base_proven = -1
+    for k in range(1, max_k + 1):
+        budget = remaining()
+        if budget is not None and budget <= 0:
+            return InductionResult(InductionStatus.UNKNOWN, k - 1, base_proven,
+                                   elapsed=time.monotonic() - started)
+        # Base case: no violation within the first k cycles (depths 0..k-1).
+        base = bounded_model_check(
+            lowered, prop, max_bound=k - 1, time_limit=remaining(), start_bound=base_proven + 1,
+        )
+        if base.status is BmcStatus.COUNTEREXAMPLE:
+            return InductionResult(
+                InductionStatus.COUNTEREXAMPLE, k, base.bound, base.counterexample,
+                elapsed=time.monotonic() - started,
+            )
+        if base.status is BmcStatus.TIMEOUT:
+            return InductionResult(InductionStatus.UNKNOWN, k, base.bound,
+                                   elapsed=time.monotonic() - started)
+        base_proven = max(base_proven, base.bound)
+
+        # Inductive step: frames 0..k, good at 0..k-1, bad at k.
+        step.ensure_depth(k + 1)
+        frame = k
+        for name in prop.assumptions:
+            step.assume_signal(frame, name, 1)
+        prev_bad = step.lit_of_bit(k - 1, prop.bad)
+        step.solver.add_clause((-prev_bad,))
+        if unique_states:
+            for earlier in range(k):
+                step.add_state_uniqueness(earlier, k)
+        bad_lit = step.lit_of_bit(k, prop.bad)
+        result = step.solver.solve(assumptions=[bad_lit], time_limit=remaining())
+        if result.status is SolveStatus.UNSAT:
+            return InductionResult(InductionStatus.PROVED, k, base_proven,
+                                   elapsed=time.monotonic() - started)
+        if result.status is SolveStatus.UNKNOWN:
+            return InductionResult(InductionStatus.UNKNOWN, k, base_proven,
+                                   elapsed=time.monotonic() - started)
+        # SAT: the step fails at this k; deepen.
+    return InductionResult(InductionStatus.UNKNOWN, max_k, base_proven,
+                           elapsed=time.monotonic() - started)
+
+
+def _as_lowered(circuit: Union[Circuit, LoweredCircuit]) -> LoweredCircuit:
+    from repro.formal.bmc import _as_lowered as shared
+
+    return shared(circuit)

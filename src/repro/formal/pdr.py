@@ -1,0 +1,494 @@
+"""Property-directed reachability (IC3/PDR): unbounded proofs.
+
+This is the engine class the paper's commercial tool uses for its
+unbounded results (the ``Mp``/``AM``/``I`` engines are IC3-family).
+k-induction alone rarely proves taint properties — from an arbitrary
+(unreachable) state, taint spreads to the sink within a few cycles —
+whereas PDR discovers the inductive strengthening automatically.
+
+Implementation notes:
+
+- State variables are the gate-level register bits.  The transition
+  relation is encoded once per frame solver: current-state variables,
+  free inputs, combinational logic, and the bad/assumption signals.
+- Frames ``F_0 .. F_N`` are clause sets over state variables; ``F_0``
+  is the initial-state predicate.  Clauses are pushed forward during
+  propagation; convergence is detected when two adjacent frames become
+  equal.
+- Blocked cubes are generalized by literal dropping (relative
+  induction), which is where PDR earns its keep.
+- Per-cycle assumption signals are conjoined into every frame query, so
+  "bad" means "assumption-respecting violation" exactly as in BMC.
+
+The module exposes :func:`pdr_prove` with the same property interface
+as :func:`~repro.formal.bmc.bounded_model_check`.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.lowering import LoweredCircuit
+from repro.formal.bmc import _as_lowered
+from repro.formal.counterexample import Counterexample
+from repro.formal.encode import FrameEncoder
+from repro.formal.properties import SafetyProperty
+from repro.formal.sat.solver import Solver, SolveStatus
+
+
+class PdrStatus(enum.Enum):
+    PROVED = "proved"
+    COUNTEREXAMPLE = "counterexample"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class PdrResult:
+    status: PdrStatus
+    frames: int = 0
+    counterexample: Optional[Counterexample] = None
+    elapsed: float = 0.0
+    invariant_clauses: int = 0
+
+    @property
+    def proved(self) -> bool:
+        return self.status is PdrStatus.PROVED
+
+
+class _TransitionSolver:
+    """A solver holding one copy of the transition relation.
+
+    Layout: state vars (register bits), input vars, combinational
+    logic; exposes literals for bad, assumptions, and next-state bits.
+    Frame clauses and blocked cubes are added over the *state* vars
+    using activation literals per frame.
+    """
+
+    def __init__(self, lowered: LoweredCircuit, prop: SafetyProperty) -> None:
+        self.lowered = lowered
+        circuit = lowered.circuit
+        self.solver = Solver()
+        true_lit = self.solver.new_var()
+        self.solver.add_clause((true_lit,))
+        self.frame = FrameEncoder(self.solver, true_lit)
+        self.state_names: List[str] = [reg.q.name for reg in circuit.registers]
+        for name in self.state_names:
+            self.frame.fresh(name)
+        for sig in circuit.inputs:
+            self.frame.fresh(sig.name)
+        self.frame.encode_combinational(circuit)
+        self.state_lit: Dict[str, int] = {
+            name: self.frame.lit(name) for name in self.state_names
+        }
+        self.next_lit: Dict[str, int] = {
+            reg.q.name: self.frame.lit(reg.d.name) for reg in circuit.registers
+        }
+        self.bad_lit = self._signal_lit(prop.bad)
+        self.assumption_lits = [self._signal_lit(n) for n in prop.assumptions]
+        for lit in self.assumption_lits:
+            self.solver.add_clause((lit,))
+        self._activation: List[int] = []  # one per frame; act => frame clauses
+
+    def _signal_lit(self, original_name: str) -> int:
+        gate_sig = self.lowered.bits[original_name][0]
+        return self.frame.lit(gate_sig.name)
+
+    # -- frames --------------------------------------------------------
+    def ensure_frames(self, count: int) -> None:
+        while len(self._activation) < count:
+            self._activation.append(self.solver.new_var())
+
+    def activation(self, level: int) -> int:
+        return self._activation[level]
+
+    def add_frame_clause(self, level: int, clause: Sequence[int]) -> None:
+        """Add a clause over state literals, guarded by frame ``level``'s
+        activation literal (it also holds in all stronger frames, which
+        we encode by adding it at every level <= the given one lazily —
+        here we rely on queries assuming activations of all levels >= i)."""
+        self.solver.add_clause(tuple(clause) + (-self._activation[level],))
+
+    # -- queries --------------------------------------------------------
+    def solve(self, assumptions: Sequence[int], time_limit: Optional[float] = None):
+        return self.solver.solve(assumptions=assumptions, time_limit=time_limit)
+
+    def state_cube_from_model(self, model) -> Tuple[int, ...]:
+        """Extract the current-state cube (as signed state literals)."""
+        cube = []
+        for name in self.state_names:
+            lit = self.state_lit[name]
+            if lit == self.frame.true_lit:
+                continue
+            if lit == -self.frame.true_lit:
+                continue
+            value = model[abs(lit)] ^ (lit < 0)
+            cube.append(lit if value else -lit)
+        return tuple(cube)
+
+    def input_values(self, model) -> Dict[str, int]:
+        values: Dict[str, int] = {}
+        for name, bit_sigs in self.lowered.bits.items():
+            if not bit_sigs or bit_sigs[0].name not in {
+                s.name for s in self.lowered.circuit.inputs
+            }:
+                continue
+            word = 0
+            for i, sig in enumerate(bit_sigs):
+                lit = self.frame.lit(sig.name)
+                bit = 1 if (model[abs(lit)] ^ (lit < 0)) else 0
+                word |= bit << i
+            values[name] = word
+        return values
+
+
+class _Pdr:
+    def __init__(
+        self,
+        lowered: LoweredCircuit,
+        prop: SafetyProperty,
+        initial_values: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.lowered = lowered
+        self.prop = prop
+        self.ts = _TransitionSolver(lowered, prop)
+        self.frames: List[Set[Tuple[int, ...]]] = [set()]  # clauses per level
+        self.ts.ensure_frames(1)
+        self._init_cube = self._initial_cube(initial_values or {})
+        self._init_lits = set(self._init_cube)
+        # F_0 = init: encode each init literal as a frame-0 unit clause.
+        for lit in self._init_cube:
+            self._add_clause(0, (lit,))
+        self._trace_parent: Dict[Tuple[int, ...], Tuple] = {}
+
+    # ------------------------------------------------------------------
+    def _initial_cube(self, initial_values: Dict[str, int]) -> Tuple[int, ...]:
+        cube = []
+        symbolic = self.prop.symbolic_registers
+        sym_all = self.prop.symbolic_all_registers
+        orig_of = {}
+        for orig, bits in self.lowered.bits.items():
+            for i, sig in enumerate(bits):
+                orig_of[sig.name] = (orig, i)
+        for reg in self.lowered.circuit.registers:
+            orig, bit_index = orig_of.get(reg.q.name, (reg.q.name, 0))
+            if sym_all or orig in symbolic or reg.q.name in symbolic:
+                continue
+            if orig in initial_values:
+                bit = (initial_values[orig] >> bit_index) & 1
+            else:
+                bit = reg.reset_value & 1
+            lit = self.ts.state_lit[reg.q.name]
+            if abs(lit) == abs(self.ts.frame.true_lit):
+                continue
+            cube.append(lit if bit else -lit)
+        return tuple(cube)
+
+    def _add_clause(self, level: int, clause: Sequence[int]) -> None:
+        self.ts.ensure_frames(level + 1)
+        while len(self.frames) <= level:
+            self.frames.append(set())
+        key = tuple(sorted(clause))
+        if any(key in self.frames[l] for l in range(level, len(self.frames))):
+            return
+        self.frames[level].add(key)
+        self.ts.add_frame_clause(level, clause)
+
+    def _frame_assumptions(self, level: int) -> List[int]:
+        """Activations realising F_level.
+
+        A clause is *stored* at the highest level it is known to hold
+        for; since frames weaken with the level (F_0 ⊆ F_1 ⊆ …), a
+        clause stored at level k also holds for every F_i with i <= k.
+        A query against F_level therefore assumes the activation
+        literals of levels ``level .. N``.
+        """
+        self.ts.ensure_frames(level + 1)
+        return [self.ts.activation(i) for i in range(level, len(self.ts._activation))]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_frames: int = 100,
+        time_limit: Optional[float] = None,
+    ) -> PdrResult:
+        started = time.monotonic()
+
+        def remaining() -> Optional[float]:
+            if time_limit is None:
+                return None
+            return time_limit - (time.monotonic() - started)
+
+        def out_of_time() -> bool:
+            rem = remaining()
+            return rem is not None and rem <= 0
+
+        # Level 0 check: can the initial state itself be bad?
+        res = self.ts.solve(self._frame_assumptions(0) + [self.ts.bad_lit],
+                            time_limit=remaining())
+        if res.status is SolveStatus.SAT:
+            return PdrResult(PdrStatus.COUNTEREXAMPLE, 0,
+                             self._counterexample_from_trace([(None, res.model)]),
+                             elapsed=time.monotonic() - started)
+        if res.status is SolveStatus.UNKNOWN:
+            return PdrResult(PdrStatus.UNKNOWN, 0, elapsed=time.monotonic() - started)
+
+        level = 0
+        while level < max_frames:
+            if out_of_time():
+                return PdrResult(PdrStatus.UNKNOWN, level,
+                                 elapsed=time.monotonic() - started)
+            level += 1
+            self.ts.ensure_frames(level + 1)
+            while len(self.frames) <= level:
+                self.frames.append(set())
+            # Block all bad states reachable at this level.
+            while True:
+                if out_of_time():
+                    return PdrResult(PdrStatus.UNKNOWN, level,
+                                     elapsed=time.monotonic() - started)
+                res = self.ts.solve(
+                    self._frame_assumptions(level) + [self.ts.bad_lit],
+                    time_limit=remaining(),
+                )
+                if res.status is SolveStatus.UNKNOWN:
+                    return PdrResult(PdrStatus.UNKNOWN, level,
+                                     elapsed=time.monotonic() - started)
+                if res.status is SolveStatus.UNSAT:
+                    break
+                cube = self.ts.state_cube_from_model(res.model)
+                trace_tail = (cube, self.ts.input_values(res.model), None)
+                blocked = self._block(cube, level, trace_tail, remaining())
+                if blocked is None:
+                    return PdrResult(PdrStatus.UNKNOWN, level,
+                                     elapsed=time.monotonic() - started)
+                if blocked is False:
+                    return PdrResult(
+                        PdrStatus.COUNTEREXAMPLE, level,
+                        self._build_counterexample(),
+                        elapsed=time.monotonic() - started,
+                    )
+            # Propagation: push clauses forward; detect fixpoint.
+            if self._propagate(level, remaining()):
+                invariant = sum(len(f) for f in self.frames)
+                return PdrResult(PdrStatus.PROVED, level,
+                                 elapsed=time.monotonic() - started,
+                                 invariant_clauses=invariant)
+        return PdrResult(PdrStatus.UNKNOWN, level, elapsed=time.monotonic() - started)
+
+    # ------------------------------------------------------------------
+    def _block(self, cube, level, trace_tail, budget) -> Optional[bool]:
+        """Recursively block ``cube`` at ``level``.
+
+        Returns True when blocked, False when a real counterexample was
+        traced back to the initial states, None on budget exhaustion.
+        """
+        started = time.monotonic()
+
+        def remaining():
+            if budget is None:
+                return None
+            return budget - (time.monotonic() - started)
+
+        obligations: List[Tuple[Tuple[int, ...], int, Tuple]] = [(cube, level, trace_tail)]
+        self._cex_chain: List[Tuple] = []
+        while obligations:
+            if remaining() is not None and remaining() <= 0:
+                return None
+            current, lvl, tail = obligations.pop()
+            if lvl == 0:
+                # Reached the initial frame: check the cube intersects init.
+                if self._intersects_init(current):
+                    self._cex_chain = self._collect_chain(tail)
+                    return False
+                # Cannot be an initial state: blocked at level 0 by init.
+                continue
+            # Is the cube already excluded at lvl?
+            res = self.ts.solve(
+                self._frame_assumptions(lvl) + list(current),
+                time_limit=remaining(),
+            )
+            if res.status is SolveStatus.UNKNOWN:
+                return None
+            if res.status is SolveStatus.UNSAT:
+                continue
+            # Relative consecution: F_{lvl-1} ∧ ¬cube ∧ T ∧ cube' SAT?
+            res = self._consecution_query(current, lvl - 1, remaining())
+            if res is None:
+                return None
+            if res.status is SolveStatus.SAT:
+                pred = self.ts.state_cube_from_model(res.model)
+                pred_tail = (pred, self.ts.input_values(res.model), tail)
+                obligations.append((current, lvl, tail))
+                obligations.append((pred, lvl - 1, pred_tail))
+                continue
+            # No predecessor: generalize and add the blocking clause.
+            generalized = self._generalize(current, lvl, remaining())
+            if generalized is None:
+                return None
+            clause = tuple(-lit for lit in generalized)
+            self._add_clause(lvl, clause)
+        return True
+
+    def _consecution_query(self, cube, from_level, budget):
+        """SAT query: F_from ∧ ¬cube ∧ T ∧ cube'.  Returns None on budget."""
+        act = self.ts.solver.new_var()
+        self.ts.solver.add_clause((-act,) + tuple(-lit for lit in cube))
+        next_lits = [self._to_next(lit) for lit in cube]
+        res = self.ts.solve(
+            self._frame_assumptions(from_level) + [act] + next_lits,
+            time_limit=budget,
+        )
+        # Permanently disable the temporary ¬cube clause.
+        self.ts.solver.add_clause((-act,))
+        if res.status is SolveStatus.UNKNOWN:
+            return None
+        return res
+
+    def _to_next(self, state_lit: int) -> int:
+        """Map a signed current-state literal to the next-state literal."""
+        table = getattr(self, "_next_of_var", None)
+        if table is None:
+            table = {}
+            for name, lit in self.ts.state_lit.items():
+                table[abs(lit)] = (lit, self.ts.next_lit[name])
+            self._next_of_var = table
+        base, nxt = table[abs(state_lit)]
+        return nxt if (state_lit > 0) == (base > 0) else -nxt
+
+    def _intersects_init(self, cube) -> bool:
+        return not any(-lit in self._init_lits for lit in cube)
+
+    def _generalize(self, cube, level, budget) -> Optional[Tuple[int, ...]]:
+        """Drop literals while the cube stays inductively blocked relative
+        to F_{level-1} and disjoint from the initial states."""
+        started = time.monotonic()
+        current = list(cube)
+        for lit in list(cube):
+            if budget is not None and time.monotonic() - started > budget:
+                return tuple(current)
+            if len(current) <= 1 or lit not in current:
+                continue
+            trial = [l for l in current if l != lit]
+            if self._intersects_init(trial):
+                continue
+            res = self._consecution_query(tuple(trial), level - 1, budget)
+            if res is not None and res.status is SolveStatus.UNSAT:
+                current = trial
+        return tuple(current)
+
+    def _propagate(self, top_level: int, budget) -> bool:
+        """Push clauses to higher frames; True when a frame empties out
+        (fixpoint: F_lvl == F_{lvl+1}, an inductive invariant)."""
+        started = time.monotonic()
+        for lvl in range(1, top_level):
+            for clause in sorted(self.frames[lvl]):
+                if budget is not None and time.monotonic() - started > budget:
+                    return False
+                # clause holds at lvl; push when F_lvl ∧ T ∧ ¬clause' UNSAT.
+                cube = tuple(-lit for lit in clause)
+                res = self._consecution_query(cube, lvl, budget)
+                if res is not None and res.status is SolveStatus.UNSAT:
+                    self.frames[lvl].discard(tuple(sorted(clause)))
+                    self._add_clause(lvl + 1, clause)
+            if not self.frames[lvl]:
+                return True
+        return False
+
+    # -- counterexample reconstruction ----------------------------------
+    def _collect_chain(self, tail) -> List[Tuple]:
+        chain = []
+        node = tail
+        while node is not None:
+            cube, inputs, parent = node
+            chain.append((cube, inputs))
+            node = parent
+        return chain  # innermost (initial) state first
+
+    def _build_counterexample(self) -> Counterexample:
+        chain = self._cex_chain
+        if not chain:
+            raise RuntimeError("no counterexample chain recorded")
+        initial_cube, _ = chain[0]
+        initial_state = self._cube_to_state(initial_cube)
+        inputs = [frame_inputs for _, frame_inputs in chain]
+        return Counterexample(
+            length=len(inputs),
+            inputs=inputs,
+            initial_state=initial_state,
+            bad_signal=self.prop.bad,
+        )
+
+    def _counterexample_from_trace(self, pairs) -> Counterexample:
+        _, model = pairs[0]
+        cube = self.ts.state_cube_from_model(model)
+        return Counterexample(
+            length=1,
+            inputs=[self.ts.input_values(model)],
+            initial_state=self._cube_to_state(cube),
+            bad_signal=self.prop.bad,
+        )
+
+    def _cube_to_state(self, cube) -> Dict[str, int]:
+        lit_to_name = {abs(lit): name for name, lit in self.ts.state_lit.items()}
+        bit_values: Dict[str, int] = {}
+        for lit in cube:
+            name = lit_to_name.get(abs(lit))
+            if name is None:
+                continue
+            base_lit = self.ts.state_lit[name]
+            value = 1 if (lit > 0) == (base_lit > 0) else 0
+            bit_values[name] = value
+        # Re-pack bit registers into word-level original names.
+        state: Dict[str, int] = {}
+        for orig, bit_sigs in self.lowered.bits.items():
+            if not bit_sigs or bit_sigs[0].name not in bit_values and all(
+                s.name not in bit_values for s in bit_sigs
+            ):
+                continue
+            word = 0
+            known = False
+            for i, sig in enumerate(bit_sigs):
+                if sig.name in bit_values:
+                    known = True
+                    word |= bit_values[sig.name] << i
+            if known:
+                state[orig] = word
+        return state
+
+
+def pdr_prove(
+    circuit: Union[Circuit, LoweredCircuit],
+    prop: SafetyProperty,
+    max_frames: int = 100,
+    time_limit: Optional[float] = None,
+    initial_values: Optional[Dict[str, int]] = None,
+) -> PdrResult:
+    """Attempt an unbounded proof of ``prop`` with IC3/PDR.
+
+    Notes:
+
+    - counterexamples reported by PDR may be longer than minimal
+      (unlike BMC's shortest-first search); replay them for the trace;
+    - ``init_assumptions`` are treated as an over-approximation (PDR
+      allows any initial state the reset/symbolic spec permits): proofs
+      remain sound, and counterexamples are re-validated by replay —
+      one that violates an init assumption is downgraded to UNKNOWN
+      (use BMC to search for a genuine one).
+    """
+    lowered = _as_lowered(circuit)
+    engine = _Pdr(lowered, prop, initial_values)
+    result = engine.run(max_frames=max_frames, time_limit=time_limit)
+    if (
+        result.status is PdrStatus.COUNTEREXAMPLE
+        and prop.init_assumptions
+        and isinstance(circuit, Circuit)
+    ):
+        waveform = result.counterexample.replay(circuit)
+        if any(waveform.value(name, 0) == 0 for name in prop.init_assumptions):
+            return PdrResult(PdrStatus.UNKNOWN, result.frames,
+                             elapsed=result.elapsed)
+    return result

@@ -1,0 +1,157 @@
+"""Self-composition: two-copy product machines (Section 2.1).
+
+Self-composition verifies non-interference directly: duplicate the
+design, share the public inputs, leave the secrets free in each copy,
+and check that the sinks agree.  The paper uses it (a) as the baseline
+verification style of Contract Shadow Logic and (b), in a bounded,
+mostly-concrete form, as the *exact* falsely-tainted-signal test of
+Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.circuit import Circuit, Register
+from repro.hdl.signals import Signal, SignalKind
+
+
+def _rename_signal(sig: Signal, prefix: str, shared: Set[str]) -> Signal:
+    if sig.name in shared:
+        return sig
+    module = f"{prefix}.{sig.module}" if sig.module else prefix
+    return Signal(f"{prefix}.{sig.name}", sig.width, sig.kind, module=module)
+
+
+def rename_circuit(
+    circuit: Circuit, prefix: str, shared_inputs: Optional[Set[str]] = None
+) -> Circuit:
+    """A structural copy of ``circuit`` with every name prefixed.
+
+    Inputs listed in ``shared_inputs`` keep their original names so two
+    renamed copies can be merged into one product circuit that feeds
+    both from the same input.
+    """
+    shared = set(shared_inputs or ())
+    out = Circuit(f"{prefix}.{circuit.name}")
+    for sig in circuit.signals.values():
+        out.add_signal(_rename_signal(sig, prefix, shared))
+    for reg in circuit.registers:
+        out.add_register(
+            Register(
+                _rename_signal(reg.q, prefix, shared),
+                _rename_signal(reg.d, prefix, shared),
+                reg.reset_value,
+            )
+        )
+    for cell in circuit.cells:
+        out.add_cell(
+            Cell(
+                cell.op,
+                _rename_signal(cell.out, prefix, shared),
+                tuple(_rename_signal(s, prefix, shared) for s in cell.ins),
+                cell.params,
+                module=f"{prefix}.{cell.module}" if cell.module else prefix,
+            )
+        )
+    return out
+
+
+@dataclass
+class ProductCircuit:
+    """Two renamed copies of a design merged into one circuit."""
+
+    circuit: Circuit
+    prefix1: str
+    prefix2: str
+    shared_inputs: Set[str]
+
+    def c1(self, name: str) -> str:
+        return name if name in self.shared_inputs else f"{self.prefix1}.{name}"
+
+    def c2(self, name: str) -> str:
+        return name if name in self.shared_inputs else f"{self.prefix2}.{name}"
+
+    # ------------------------------------------------------------------
+    def _monitor(self, op: CellOp, out_name: str, in_names: Tuple[str, ...]) -> str:
+        # Monitors are OUTPUT signals so that netlist optimisation
+        # passes (dead-code elimination) always preserve them.
+        ins = tuple(self.circuit.signal(n) for n in in_names)
+        out = Signal(out_name, 1, SignalKind.OUTPUT, module="_monitor")
+        self.circuit.add_cell(Cell(op, out, ins, module="_monitor"))
+        return out_name
+
+    def equal(self, name: str) -> str:
+        """1-bit signal that is 1 when the copies agree on ``name``."""
+        out_name = f"_monitor.eq.{name}"
+        if out_name in self.circuit.signals:
+            return out_name
+        return self._monitor(CellOp.EQ, out_name, (self.c1(name), self.c2(name)))
+
+    def differs(self, name: str) -> str:
+        out_name = f"_monitor.neq.{name}"
+        if out_name in self.circuit.signals:
+            return out_name
+        return self._monitor(CellOp.NEQ, out_name, (self.c1(name), self.c2(name)))
+
+    def any_differs(self, names: Sequence[str], label: str = "sinks") -> str:
+        """1-bit signal: 1 when the copies disagree on any listed signal."""
+        diff_names = [self.differs(n) for n in names]
+        if len(diff_names) == 1:
+            return diff_names[0]
+        out_name = f"_monitor.any_neq.{label}"
+        ins = tuple(self.circuit.signal(n) for n in diff_names)
+        out = Signal(out_name, 1, SignalKind.OUTPUT, module="_monitor")
+        self.circuit.add_cell(Cell(CellOp.OR, out, ins, module="_monitor"))
+        return out_name
+
+    def all_equal(self, names: Sequence[str], label: str = "obs") -> str:
+        eq_names = [self.equal(n) for n in names]
+        if len(eq_names) == 1:
+            return eq_names[0]
+        out_name = f"_monitor.all_eq.{label}"
+        ins = tuple(self.circuit.signal(n) for n in eq_names)
+        out = Signal(out_name, 1, SignalKind.OUTPUT, module="_monitor")
+        self.circuit.add_cell(Cell(CellOp.AND, out, ins, module="_monitor"))
+        return out_name
+
+    def equal_registers_initially(self, register_names: Iterable[str], label: str = "init") -> str:
+        """1-bit signal asserting the two copies' registers agree.
+
+        Meant to be used as an *init assumption*: both copies start with
+        the same (symbolic) values for the listed registers.
+        """
+        return self.all_equal(list(register_names), label=label)
+
+
+def self_composition(
+    circuit: Circuit,
+    shared_inputs: Optional[Set[str]] = None,
+    prefix1: str = "c1",
+    prefix2: str = "c2",
+) -> ProductCircuit:
+    """Merge two renamed copies of ``circuit`` into one product circuit.
+
+    Inputs in ``shared_inputs`` appear once and feed both copies (the
+    "public inputs are equal" part of the self-composition recipe);
+    every other input is duplicated (the free secrets).
+    """
+    shared = set(shared_inputs or ())
+    unknown = shared - {s.name for s in circuit.inputs}
+    if unknown:
+        raise ValueError(f"shared inputs not found in circuit: {sorted(unknown)}")
+    copy1 = rename_circuit(circuit, prefix1, shared)
+    copy2 = rename_circuit(circuit, prefix2, shared)
+    merged = Circuit(f"selfcomp.{circuit.name}")
+    for source in (copy1, copy2):
+        for sig in source.signals.values():
+            merged.add_signal(sig)
+        for reg in source.registers:
+            if reg.q.name not in {r.q.name for r in merged.registers}:
+                merged.add_register(reg)
+        for cell in source.cells:
+            if merged.producer(cell.out) is None:
+                merged.add_cell(cell)
+    return ProductCircuit(merged, prefix1, prefix2, shared)

@@ -1,0 +1,45 @@
+"""Safety property descriptions consumed by the model checker.
+
+A :class:`SafetyProperty` is stated over 1-bit signals of a (cell-level)
+circuit:
+
+- ``bad`` — the property is violated in a cycle where this signal is 1
+  (e.g. "the sink's taint bit", or "the two self-composition copies
+  disagree at the sink");
+- ``assumptions`` — environment constraints that must hold (be 1) at
+  *every* cycle (e.g. the contract constraint check: the ISA machine's
+  observation taint is 0);
+- ``init_assumptions`` — constraints on the initial state only (e.g.
+  "both copies start with equal public memory");
+- ``symbolic_registers`` — registers whose initial value is left free
+  (universally quantified) instead of taking their reset value.  This is
+  how "arbitrary program in instruction memory" and "arbitrary secret"
+  are modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class SafetyProperty:
+    """An invariant ("bad never becomes 1") with environment assumptions."""
+
+    name: str
+    bad: str
+    assumptions: Tuple[str, ...] = ()
+    init_assumptions: Tuple[str, ...] = ()
+    symbolic_registers: FrozenSet[str] = frozenset()
+    symbolic_all_registers: bool = False
+
+    def with_extra_assumptions(self, *extra: str) -> "SafetyProperty":
+        return SafetyProperty(
+            name=self.name,
+            bad=self.bad,
+            assumptions=self.assumptions + tuple(extra),
+            init_assumptions=self.init_assumptions,
+            symbolic_registers=self.symbolic_registers,
+            symbolic_all_registers=self.symbolic_all_registers,
+        )

@@ -1,0 +1,6 @@
+"""A from-scratch CDCL SAT solver."""
+
+from repro.formal.sat.cnf import CNF
+from repro.formal.sat.solver import Solver, SolveStatus, SolveResult
+
+__all__ = ["CNF", "Solver", "SolveStatus", "SolveResult"]

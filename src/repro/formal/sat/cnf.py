@@ -1,0 +1,74 @@
+"""CNF formula container and DIMACS I/O.
+
+Literals use the DIMACS convention: variable ``v`` is a positive
+integer, literal ``-v`` is its negation.  Variable 0 does not exist.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TextIO, Tuple
+
+
+class CNF:
+    """A growable CNF formula."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        first = self.num_vars + 1
+        self.num_vars += count
+        return list(range(first, self.num_vars + 1))
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        clause = tuple(lits)
+        for lit in clause:
+            var = abs(lit)
+            if var == 0:
+                raise ValueError("literal 0 is not allowed")
+            if var > self.num_vars:
+                self.num_vars = var
+        self.clauses.append(clause)
+
+    def extend(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    # ------------------------------------------------------------------
+    def write_dimacs(self, stream: TextIO, comments: Sequence[str] = ()) -> None:
+        for comment in comments:
+            stream.write(f"c {comment}\n")
+        stream.write(f"p cnf {self.num_vars} {len(self.clauses)}\n")
+        for clause in self.clauses:
+            stream.write(" ".join(str(l) for l in clause) + " 0\n")
+
+    @classmethod
+    def read_dimacs(cls, stream: TextIO) -> "CNF":
+        cnf = cls()
+        declared_vars = None
+        for line in stream:
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad problem line: {line!r}")
+                declared_vars = int(parts[2])
+                continue
+            lits = [int(tok) for tok in line.split()]
+            if lits and lits[-1] == 0:
+                lits = lits[:-1]
+            if lits:
+                cnf.add_clause(lits)
+        if declared_vars is not None:
+            cnf.num_vars = max(cnf.num_vars, declared_vars)
+        return cnf

@@ -1,0 +1,510 @@
+"""CDCL SAT solver (MiniSat-style), written from scratch.
+
+Features: two-watched-literal propagation, 1UIP conflict analysis with
+clause learning, VSIDS variable activities with phase saving, Luby
+restarts, activity-based learned-clause deletion, assumption literals,
+and conflict/time budgets (returning UNKNOWN instead of blowing the
+model-checking time limit — this is how the paper's timeouts are
+realised).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+class SolveStatus(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolveResult:
+    status: SolveStatus
+    model: Optional[List[bool]] = None  # model[v] for v in 1..n; model[0] unused
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def value(self, var: int) -> bool:
+        if self.model is None:
+            raise ValueError("no model available")
+        return self.model[var]
+
+    def lit_true(self, lit: int) -> bool:
+        v = self.value(abs(lit))
+        return v if lit > 0 else not v
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,…"""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+class Solver:
+    """CDCL solver over internal literal encoding ``2*v`` / ``2*v+1``.
+
+    The public API uses DIMACS-signed literals.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._watches: List[List[_Clause]] = [[], []]  # indexed by internal lit
+        self._assign: List[int] = [-1]  # -1 unassigned, 0 false, 1 true ; index by var
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[int] = [0]
+        self._trail: List[int] = []  # internal lits in assignment order
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._order_heap: List[tuple] = []  # lazy max-heap via (-activity, var)
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    # ------------------------------------------------------------------
+    # variable / clause management
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._assign.append(-1)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        return self.num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        while self.num_vars < n:
+            self.new_var()
+
+    @staticmethod
+    def _internal(lit: int) -> int:
+        return (abs(lit) << 1) | (lit < 0)
+
+    @staticmethod
+    def _external(ilit: int) -> int:
+        var = ilit >> 1
+        return -var if ilit & 1 else var
+
+    def _lit_value(self, ilit: int) -> int:
+        """-1 unassigned, 1 true, 0 false."""
+        v = self._assign[ilit >> 1]
+        if v < 0:
+            return -1
+        return v ^ (ilit & 1)
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a problem clause; returns False if the formula became UNSAT."""
+        if not self._ok:
+            return False
+        for lit in lits:
+            self.ensure_vars(abs(lit))
+        # Normalise: dedupe, drop tautologies, drop false lits at level 0.
+        seen: Dict[int, int] = {}
+        norm: List[int] = []
+        for lit in lits:
+            ilit = self._internal(lit)
+            if seen.get(ilit ^ 1):
+                return True  # tautology
+            if seen.get(ilit):
+                continue
+            value = self._lit_value(ilit)
+            if value == 1 and self._level[ilit >> 1] == 0:
+                return True  # already satisfied
+            if value == 0 and self._level[ilit >> 1] == 0:
+                continue  # already false forever
+            seen[ilit] = 1
+            norm.append(ilit)
+        if not norm:
+            self._ok = False
+            return False
+        if len(norm) == 1:
+            if not self._enqueue(norm[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(norm, learnt=False)
+        self._clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def add_cnf(self, cnf) -> bool:
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    def _watch(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0]].append(clause)
+        self._watches[clause.lits[1]].append(clause)
+
+    # ------------------------------------------------------------------
+    # assignment / propagation
+    # ------------------------------------------------------------------
+    @property
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, ilit: int, reason: Optional[_Clause]) -> bool:
+        value = self._lit_value(ilit)
+        if value >= 0:
+            return value == 1
+        var = ilit >> 1
+        self._assign[var] = 1 - (ilit & 1)
+        self._level[var] = self._decision_level
+        self._reason[var] = reason
+        self._phase[var] = 1 - (ilit & 1)
+        self._trail.append(ilit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self._qhead < len(self._trail):
+            ilit = self._trail[self._qhead]
+            self._qhead += 1
+            false_lit = ilit ^ 1  # this literal just became false
+            watch_list = self._watches[false_lit]
+            self._watches[false_lit] = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                self.propagations += 1
+                lits = clause.lits
+                # Ensure the false literal is at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == 1:
+                    self._watches[false_lit].append(clause)
+                    continue
+                # Look for a new watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[lits[1]].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Unit or conflicting.
+                self._watches[false_lit].append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: restore remaining watches and report.
+                    while i < n:
+                        self._watches[false_lit].append(watch_list[i])
+                        i += 1
+                    self._qhead = len(self._trail)
+                    return clause
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause) -> tuple:
+        """Return (learnt clause internal lits, backtrack level)."""
+        seen = [False] * (self.num_vars + 1)
+        learnt: List[int] = [0]  # placeholder for asserting literal
+        path_count = 0
+        ilit = -1
+        index = len(self._trail) - 1
+        reason: Optional[_Clause] = conflict
+        current_level = self._decision_level
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            for lit in reason.lits:
+                var = lit >> 1
+                if lit == ilit:
+                    continue  # the literal this reason implied
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        path_count += 1
+                    else:
+                        learnt.append(lit)
+            # Select next literal to expand from trail.
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            ilit = self._trail[index]
+            index -= 1
+            var = ilit >> 1
+            seen[var] = False
+            path_count -= 1
+            if path_count == 0:
+                break
+            reason = self._reason[var]
+        learnt[0] = ilit ^ 1
+
+        # Conflict-clause minimisation (recursive, simple self-subsumption).
+        abstract_levels = 0
+        for lit in learnt[1:]:
+            abstract_levels |= 1 << (self._level[lit >> 1] & 31)
+        kept = [learnt[0]]
+        for lit in learnt[1:]:
+            if self._reason[lit >> 1] is None or not self._redundant(lit, seen, abstract_levels):
+                kept.append(lit)
+        learnt = kept
+
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            # Find the literal with the second-highest level; move to pos 1.
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[learnt[i] >> 1] > self._level[learnt[max_i] >> 1]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            back_level = self._level[learnt[1] >> 1]
+        return learnt, back_level
+
+    def _redundant(self, lit: int, seen: List[bool], abstract_levels: int) -> bool:
+        """Is ``lit`` implied by the rest of the learnt clause? (bounded DFS)"""
+        stack = [lit]
+        cleared: List[int] = []
+        while stack:
+            current = stack.pop()
+            reason = self._reason[current >> 1]
+            if reason is None:
+                for var in cleared:
+                    seen[var] = False
+                return False
+            for other in reason.lits:
+                if other == current or other == (current ^ 1):
+                    continue
+                var = other >> 1
+                if seen[var] or self._level[var] == 0:
+                    continue
+                if self._reason[var] is None or not ((1 << (self._level[var] & 31)) & abstract_levels):
+                    for v in cleared:
+                        seen[v] = False
+                    return False
+                seen[var] = True
+                cleared.append(var)
+                stack.append(other)
+        return True
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level <= level:
+            return
+        limit = self._trail_lim[level]
+        for ilit in reversed(self._trail[limit:]):
+            var = ilit >> 1
+            self._assign[var] = -1
+            self._reason[var] = None
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> int:
+        while self._order_heap:
+            neg_act, var = heapq.heappop(self._order_heap)
+            if self._assign[var] < 0 and -neg_act == self._activity[var]:
+                return var
+            if self._assign[var] < 0:
+                heapq.heappush(self._order_heap, (-self._activity[var], var))
+                neg_act2, var2 = heapq.heappop(self._order_heap)
+                if self._assign[var2] < 0 and -neg_act2 == self._activity[var2]:
+                    return var2
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] < 0:
+                return var
+        return 0
+
+    def _rebuild_heap(self) -> None:
+        self._order_heap = [
+            (-self._activity[v], v) for v in range(1, self.num_vars + 1) if self._assign[v] < 0
+        ]
+        heapq.heapify(self._order_heap)
+
+    # ------------------------------------------------------------------
+    # learned clause DB reduction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        removed = []
+        kept = []
+        locked = {id(self._reason[lit >> 1]) for lit in self._trail if self._reason[lit >> 1] is not None}
+        for i, clause in enumerate(self._learnts):
+            if i < keep_from and len(clause.lits) > 2 and id(clause) not in locked:
+                removed.append(clause)
+            else:
+                kept.append(clause)
+        if not removed:
+            return
+        removed_ids = {id(c) for c in removed}
+        self._learnts = kept
+        for lit in range(2, 2 * self.num_vars + 2):
+            wl = self._watches[lit]
+            if wl:
+                self._watches[lit] = [c for c in wl if id(c) not in removed_ids]
+
+    # ------------------------------------------------------------------
+    # main search
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> SolveResult:
+        """Solve under assumptions with optional budgets."""
+        if not self._ok:
+            return SolveResult(SolveStatus.UNSAT)
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SolveResult(SolveStatus.UNSAT)
+        self._rebuild_heap()
+
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        iassumptions = [self._internal(l) for l in assumptions]
+        deadline = time.monotonic() + time_limit if time_limit is not None else None
+        conflict_budget = max_conflicts
+        restart_idx = 1
+        restart_limit = 64 * _luby(restart_idx)
+        conflicts_since_restart = 0
+        max_learnts = max(1000, len(self._clauses) // 2)
+        local_conflicts = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                local_conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level == 0:
+                    self._ok = False
+                    return SolveResult(SolveStatus.UNSAT, conflicts=local_conflicts)
+                # A conflict below the assumption levels means the
+                # assumptions themselves are inconsistent.
+                learnt, back_level = self._analyze(conflict)
+                if self._decision_level <= len(iassumptions):
+                    self._backtrack(0)
+                    return SolveResult(SolveStatus.UNSAT, conflicts=local_conflicts)
+                back_level = max(back_level, 0)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._ok = False
+                        return SolveResult(SolveStatus.UNSAT, conflicts=local_conflicts)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._learnts.append(clause)
+                    self._watch(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learnt[0], clause)
+                self._var_inc /= 0.95
+                self._cla_inc /= 0.999
+                if conflict_budget is not None and local_conflicts >= conflict_budget:
+                    self._backtrack(0)
+                    return SolveResult(SolveStatus.UNKNOWN, conflicts=local_conflicts)
+                if deadline is not None and local_conflicts % 256 == 0 and time.monotonic() > deadline:
+                    self._backtrack(0)
+                    return SolveResult(SolveStatus.UNKNOWN, conflicts=local_conflicts)
+                if conflicts_since_restart >= restart_limit:
+                    restart_idx += 1
+                    restart_limit = 64 * _luby(restart_idx)
+                    conflicts_since_restart = 0
+                    # Assumption levels are re-created as decisions after
+                    # the restart, so a full backtrack is safe.
+                    self._backtrack(0)
+                if len(self._learnts) > max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+                continue
+
+            # No conflict: extend assignment.
+            if self._decision_level < len(iassumptions):
+                ilit = iassumptions[self._decision_level]
+                value = self._lit_value(ilit)
+                if value == 1:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == 0:
+                    self._backtrack(0)
+                    return SolveResult(SolveStatus.UNSAT, conflicts=local_conflicts)
+                self.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(ilit, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var == 0:
+                model = [False] * (self.num_vars + 1)
+                for v in range(1, self.num_vars + 1):
+                    model[v] = self._assign[v] == 1
+                result = SolveResult(
+                    SolveStatus.SAT,
+                    model=model,
+                    conflicts=local_conflicts,
+                    decisions=self.decisions,
+                    propagations=self.propagations,
+                )
+                self._backtrack(0)
+                return result
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            ilit = (var << 1) | (1 - self._phase[var])
+            self._enqueue(ilit, None)

@@ -1,0 +1,138 @@
+"""Time-frame expansion of sequential circuits for SAT-based checking.
+
+An :class:`Unroller` owns a solver and incrementally appends time
+frames.  Register values flow between frames by literal aliasing (frame
+``t+1``'s ``q`` literal *is* frame ``t``'s ``d`` literal), so the CNF
+contains only real logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.lowering import LoweredCircuit
+from repro.formal.encode import FrameEncoder
+from repro.formal.sat.solver import Solver
+
+
+class Unroller:
+    """Incremental unroller over a gate-level circuit.
+
+    Args:
+        lowered: the gate-level circuit with bit provenance.
+        solver: the CDCL solver collecting clauses.
+        initial_values: original-signal-name -> word value for the
+            initial state of registers not listed as symbolic
+            (defaults to each register's reset value).
+        symbolic_registers: original register names whose initial
+            values are free (universally quantified by the check).
+        symbolic_all: make every register's initial value free.
+    """
+
+    def __init__(
+        self,
+        lowered: LoweredCircuit,
+        solver: Optional[Solver] = None,
+        initial_values: Optional[Mapping[str, int]] = None,
+        symbolic_registers: Optional[Set[str]] = None,
+        symbolic_all: bool = False,
+    ) -> None:
+        self.lowered = lowered
+        self.circuit = lowered.circuit
+        self.solver = solver or Solver()
+        self.true_lit = self.solver.new_var()
+        self.solver.add_clause((self.true_lit,))
+        self.frames: List[FrameEncoder] = []
+        self._initial_values = dict(initial_values or {})
+        self._symbolic = set(symbolic_registers or ())
+        self._symbolic_all = symbolic_all
+        # Map gate-level register bit name -> (original name, bit index).
+        self._orig_of_gate_reg: Dict[str, tuple] = {}
+        for orig_name, bit_sigs in lowered.bits.items():
+            for i, bit_sig in enumerate(bit_sigs):
+                self._orig_of_gate_reg[bit_sig.name] = (orig_name, i)
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of frames encoded so far."""
+        return len(self.frames)
+
+    def add_frame(self) -> FrameEncoder:
+        """Encode one more time frame and return its encoder."""
+        frame = FrameEncoder(self.solver, self.true_lit)
+        previous = self.frames[-1] if self.frames else None
+        for sig in self.circuit.inputs:
+            frame.fresh(sig.name)
+        for reg in self.circuit.registers:
+            if previous is None:
+                frame.define(reg.q.name, self._initial_lit(frame, reg))
+            else:
+                frame.define(reg.q.name, previous.lit(reg.d.name))
+        frame.encode_combinational(self.circuit)
+        self.frames.append(frame)
+        return frame
+
+    def ensure_depth(self, depth: int) -> None:
+        while self.depth < depth:
+            self.add_frame()
+
+    def _initial_lit(self, frame: FrameEncoder, reg) -> int:
+        orig_name, bit_index = self._orig_of_gate_reg.get(reg.q.name, (reg.q.name, 0))
+        if self._symbolic_all or orig_name in self._symbolic or reg.q.name in self._symbolic:
+            return self.solver.new_var()
+        if orig_name in self._initial_values:
+            value = self._initial_values[orig_name]
+            return frame.const_lit((value >> bit_index) & 1)
+        return frame.const_lit(reg.reset_value & 1)
+
+    # ------------------------------------------------------------------
+    # convenience lookups on original (word-level) names
+    # ------------------------------------------------------------------
+    def lit_of_bit(self, frame_index: int, original_name: str, bit: int = 0) -> int:
+        gate_sig = self.lowered.bits[original_name][bit]
+        return self.frames[frame_index].lit(gate_sig.name)
+
+    def word_value(self, frame_index: int, original_name: str, model) -> int:
+        """Read a word-level value of a signal from a SAT model."""
+        frame = self.frames[frame_index]
+        value = 0
+        for i, gate_sig in enumerate(self.lowered.bits[original_name]):
+            lit = frame.lit(gate_sig.name)
+            if lit == self.true_lit:
+                bit = 1
+            elif lit == -self.true_lit:
+                bit = 0
+            else:
+                bit = 1 if (model[abs(lit)] ^ (lit < 0)) else 0
+            value |= bit << i
+        return value
+
+    def assume_signal(self, frame_index: int, original_name: str, value: int = 1) -> None:
+        """Permanently constrain a 1-bit original signal in a frame."""
+        lit = self.lit_of_bit(frame_index, original_name)
+        self.solver.add_clause((lit if value else -lit,))
+
+    def constrain_word(self, frame_index: int, original_name: str, value: int) -> None:
+        """Permanently pin a word-level signal to a concrete value."""
+        for i, _ in enumerate(self.lowered.bits[original_name]):
+            lit = self.lit_of_bit(frame_index, original_name, i)
+            bit = (value >> i) & 1
+            self.solver.add_clause((lit if bit else -lit,))
+
+    def add_state_uniqueness(self, frame_a: int, frame_b: int) -> None:
+        """Require the register states of two frames to differ.
+
+        Used for simple-path constraints that make k-induction complete.
+        """
+        diff_lits: List[int] = []
+        encoder = FrameEncoder(self.solver, self.true_lit)
+        for reg in self.circuit.registers:
+            la = self.frames[frame_a].lit(reg.q.name)
+            lb = self.frames[frame_b].lit(reg.q.name)
+            diff_lits.append(encoder._xor2(la, lb))
+        live = [l for l in diff_lits if l != -self.true_lit]
+        if any(l == self.true_lit for l in live):
+            return
+        self.solver.add_clause(tuple(live) if live else (-self.true_lit,))

@@ -1,0 +1,464 @@
+"""Chisel-like builder eDSL for constructing circuits.
+
+The builder produces a flattened :class:`~repro.hdl.circuit.Circuit`
+directly, while recording the module hierarchy through nested
+:meth:`ModuleBuilder.scope` contexts.  Every signal and cell created
+inside a scope carries that scope's hierarchical path, which is what the
+module-level taint granularity of the paper groups on.
+
+Example::
+
+    b = ModuleBuilder("mux_chain")
+    sel = b.input("sel", 1)
+    a = b.input("a", 8)
+    bb = b.input("b", 8)
+    with b.scope("stage0"):
+        r = b.reg("r", 8)
+        r.drive(b.mux(sel, a, bb))
+    b.output("o", r)
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.circuit import Circuit, CircuitError, Register
+from repro.hdl.signals import Signal, SignalKind
+
+ValueLike = Union["Value", int]
+
+
+class Value:
+    """A signal handle with operator overloading.
+
+    Arithmetic and bitwise operators build cells; comparisons are
+    provided as methods (``eq``/``ne``/``ult``/``ule``) so that Python
+    ``==`` keeps its identity semantics for container use.
+    """
+
+    __slots__ = ("builder", "signal")
+
+    def __init__(self, builder: "ModuleBuilder", signal: Signal) -> None:
+        self.builder = builder
+        self.signal = signal
+
+    # -- introspection --------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.signal.width
+
+    @property
+    def name(self) -> str:
+        return self.signal.name
+
+    def __repr__(self) -> str:
+        return f"Value({self.signal})"
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "hardware Value cannot be used as a Python boolean; "
+            "use .eq()/.ne() and mux() to build hardware conditions"
+        )
+
+    # -- coercion -------------------------------------------------------
+    def _coerce(self, other: ValueLike, width: Optional[int] = None) -> "Value":
+        if isinstance(other, Value):
+            return other
+        return self.builder.const(other, width if width is not None else self.width)
+
+    # -- bitwise --------------------------------------------------------
+    def __invert__(self) -> "Value":
+        return self.builder._emit(CellOp.NOT, self.width, (self,))
+
+    def __and__(self, other: ValueLike) -> "Value":
+        return self.builder._emit(CellOp.AND, self.width, (self, self._coerce(other)))
+
+    def __rand__(self, other: ValueLike) -> "Value":
+        return self.__and__(other)
+
+    def __or__(self, other: ValueLike) -> "Value":
+        return self.builder._emit(CellOp.OR, self.width, (self, self._coerce(other)))
+
+    def __ror__(self, other: ValueLike) -> "Value":
+        return self.__or__(other)
+
+    def __xor__(self, other: ValueLike) -> "Value":
+        return self.builder._emit(CellOp.XOR, self.width, (self, self._coerce(other)))
+
+    def __rxor__(self, other: ValueLike) -> "Value":
+        return self.__xor__(other)
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: ValueLike) -> "Value":
+        return self.builder._emit(CellOp.ADD, self.width, (self, self._coerce(other)))
+
+    def __sub__(self, other: ValueLike) -> "Value":
+        return self.builder._emit(CellOp.SUB, self.width, (self, self._coerce(other)))
+
+    def __lshift__(self, shamt: ValueLike) -> "Value":
+        sh = self._coerce(shamt, width=max(1, (self.width - 1).bit_length()))
+        return self.builder._emit(CellOp.SHL, self.width, (self, sh))
+
+    def __rshift__(self, shamt: ValueLike) -> "Value":
+        sh = self._coerce(shamt, width=max(1, (self.width - 1).bit_length()))
+        return self.builder._emit(CellOp.SHR, self.width, (self, sh))
+
+    # -- comparisons (methods, 1-bit results) ---------------------------
+    def eq(self, other: ValueLike) -> "Value":
+        return self.builder._emit(CellOp.EQ, 1, (self, self._coerce(other)))
+
+    def ne(self, other: ValueLike) -> "Value":
+        return self.builder._emit(CellOp.NEQ, 1, (self, self._coerce(other)))
+
+    def ult(self, other: ValueLike) -> "Value":
+        return self.builder._emit(CellOp.ULT, 1, (self, self._coerce(other)))
+
+    def ule(self, other: ValueLike) -> "Value":
+        return self.builder._emit(CellOp.ULE, 1, (self, self._coerce(other)))
+
+    def uge(self, other: ValueLike) -> "Value":
+        return ~self.ult(other)
+
+    def ugt(self, other: ValueLike) -> "Value":
+        return ~self.ule(other)
+
+    # -- bit selection / resizing ---------------------------------------
+    def __getitem__(self, index: Union[int, slice]) -> "Value":
+        if isinstance(index, int):
+            lo = hi = index if index >= 0 else self.width + index
+        else:
+            if index.step is not None:
+                raise ValueError("bit slices do not support a step")
+            # verilog-style v[hi:lo], both inclusive
+            hi = index.start if index.start is not None else self.width - 1
+            lo = index.stop if index.stop is not None else 0
+        if lo > hi:
+            raise ValueError(f"slice [{hi}:{lo}] has hi < lo")
+        return self.builder._emit(
+            CellOp.SLICE, hi - lo + 1, (self,), params=(("lo", lo), ("hi", hi))
+        )
+
+    def zext(self, width: int) -> "Value":
+        if width == self.width:
+            return self
+        return self.builder._emit(CellOp.ZEXT, width, (self,))
+
+    def sext(self, width: int) -> "Value":
+        if width == self.width:
+            return self
+        return self.builder._emit(CellOp.SEXT, width, (self,))
+
+    def trunc(self, width: int) -> "Value":
+        if width == self.width:
+            return self
+        return self[width - 1:0]
+
+    # -- reductions -----------------------------------------------------
+    def redor(self) -> "Value":
+        if self.width == 1:
+            return self
+        return self.builder._emit(CellOp.REDOR, 1, (self,))
+
+    def redand(self) -> "Value":
+        if self.width == 1:
+            return self
+        return self.builder._emit(CellOp.REDAND, 1, (self,))
+
+    def redxor(self) -> "Value":
+        if self.width == 1:
+            return self
+        return self.builder._emit(CellOp.REDXOR, 1, (self,))
+
+
+class RegValue(Value):
+    """A register's current-value handle; drive its next value once."""
+
+    __slots__ = ("_driven",)
+
+    def __init__(self, builder: "ModuleBuilder", signal: Signal) -> None:
+        super().__init__(builder, signal)
+        self._driven = False
+
+    def drive(self, next_value: ValueLike, en: Optional[ValueLike] = None) -> None:
+        """Set the next value; with ``en`` the register holds when disabled."""
+        if self._driven:
+            raise CircuitError(f"register {self.name!r} driven twice")
+        nxt = self._coerce(next_value)
+        if nxt.width != self.width:
+            raise CircuitError(
+                f"register {self.name!r}: next width {nxt.width} != reg width {self.width}"
+            )
+        if en is not None:
+            en_v = en if isinstance(en, Value) else self.builder.const(en, 1)
+            nxt = self.builder.mux(en_v, nxt, self)
+        self.builder._drive_register(self, nxt)
+        self._driven = True
+
+
+class Memory:
+    """A register-array memory with one write port and mux-tree reads.
+
+    This is how the paper's scaled-down caches (register arrays) are
+    modelled: each word is an ordinary register, reads are mux trees and
+    the write port is a per-word enable decoder — so taint
+    instrumentation and CNF encoding need no special memory support.
+    """
+
+    def __init__(
+        self,
+        builder: "ModuleBuilder",
+        name: str,
+        depth: int,
+        width: int,
+        init: Optional[Sequence[int]] = None,
+    ) -> None:
+        if depth < 1:
+            raise CircuitError(f"memory {name!r} must have depth >= 1")
+        self.builder = builder
+        self.name = name
+        self.depth = depth
+        self.width = width
+        self.addr_width = max(1, (depth - 1).bit_length())
+        init = list(init) if init is not None else [0] * depth
+        if len(init) != depth:
+            raise CircuitError(f"memory {name!r}: init length {len(init)} != depth {depth}")
+        self.words: List[RegValue] = [
+            builder.reg(f"{name}_{i}", width, reset=init[i] & ((1 << width) - 1))
+            for i in range(depth)
+        ]
+        self._write_done = False
+
+    def word(self, index: int) -> RegValue:
+        return self.words[index]
+
+    def read(self, addr: Value) -> Value:
+        """Combinational read via a mux tree (out-of-range wraps)."""
+        if addr.width < self.addr_width:
+            addr = addr.zext(self.addr_width)
+        return self._mux_tree(addr, [self.words[i % self.depth] for i in range(1 << addr.width)])
+
+    def _mux_tree(self, addr: Value, leaves: List[Value]) -> Value:
+        if len(leaves) == 1:
+            return leaves[0]
+        half = len(leaves) // 2
+        bit = addr[addr.width - 1]
+        rest = addr[addr.width - 2:0] if addr.width > 1 else None
+        low = self._mux_tree(rest, leaves[:half]) if rest is not None else leaves[0]
+        high = self._mux_tree(rest, leaves[half:]) if rest is not None else leaves[1]
+        return self.builder.mux(bit, high, low)
+
+    def write(self, addr: Value, data: ValueLike, en: ValueLike) -> None:
+        """Single write port: ``mem[addr] <= data`` when ``en``."""
+        if self._write_done:
+            raise CircuitError(f"memory {self.name!r} already has a write port")
+        self._write_done = True
+        b = self.builder
+        data_v = data if isinstance(data, Value) else b.const(data, self.width)
+        en_v = en if isinstance(en, Value) else b.const(en, 1)
+        if addr.width < self.addr_width:
+            addr = addr.zext(self.addr_width)
+        for i, word in enumerate(self.words):
+            hit = en_v & addr.eq(b.const(i, addr.width))
+            word.drive(data_v, en=hit)
+
+    def finalize(self) -> None:
+        """Hold every word that never got a write port."""
+        for word in self.words:
+            if not word._driven:
+                word.drive(word)
+
+
+class ModuleBuilder:
+    """Builds a flattened :class:`Circuit` with hierarchy bookkeeping."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.circuit = Circuit(name)
+        self._scope_stack: List[str] = []
+        self._tmp_counter = 0
+        self._pending_regs: List[Tuple[RegValue, int]] = []
+        self._memories: List[Memory] = []
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # naming & hierarchy
+    # ------------------------------------------------------------------
+    @property
+    def current_module(self) -> str:
+        return ".".join(self._scope_stack)
+
+    def _qualify(self, name: str) -> str:
+        prefix = self.current_module
+        return f"{prefix}.{name}" if prefix else name
+
+    def _fresh(self, prefix: str = "t") -> str:
+        self._tmp_counter += 1
+        return self._qualify(f"_{prefix}{self._tmp_counter}")
+
+    @contextlib.contextmanager
+    def scope(self, name: str):
+        """Enter a submodule scope; names and cells get the nested path."""
+        self._scope_stack.append(name)
+        try:
+            yield self
+        finally:
+            self._scope_stack.pop()
+
+    @contextlib.contextmanager
+    def at_scope(self, path: str):
+        """Temporarily switch to an absolute module path.
+
+        Useful when logic conceptually belonging to one module (e.g. a
+        cache's read mux tree) is wired up from another module's code.
+        """
+        saved = self._scope_stack
+        self._scope_stack = path.split(".") if path else []
+        try:
+            yield self
+        finally:
+            self._scope_stack = saved
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        op: CellOp,
+        out_width: int,
+        ins: Sequence[Value],
+        params: Tuple[Tuple[str, int], ...] = (),
+        name: Optional[str] = None,
+    ) -> Value:
+        out_name = self._qualify(name) if name else self._fresh(op.value)
+        out_sig = Signal(out_name, out_width, SignalKind.WIRE, module=self.current_module)
+        cell = Cell(op, out_sig, tuple(v.signal for v in ins), params, module=self.current_module)
+        self.circuit.add_cell(cell)
+        return Value(self, out_sig)
+
+    def input(self, name: str, width: int) -> Value:
+        sig = Signal(self._qualify(name), width, SignalKind.INPUT, module=self.current_module)
+        self.circuit.add_signal(sig)
+        return Value(self, sig)
+
+    def output(self, name: str, value: ValueLike, width: Optional[int] = None) -> Value:
+        if not isinstance(value, Value):
+            if width is None:
+                raise CircuitError(f"output {name!r}: constant output needs explicit width")
+            value = self.const(value, width)
+        sig = Signal(self._qualify(name), value.width, SignalKind.OUTPUT, module=self.current_module)
+        cell = Cell(CellOp.BUF, sig, (value.signal,), module=self.current_module)
+        self.circuit.add_cell(cell)
+        return Value(self, sig)
+
+    def const(self, value: int, width: int) -> Value:
+        mask = (1 << width) - 1
+        if value < 0:
+            value &= mask
+        if value > mask:
+            raise CircuitError(f"constant {value} does not fit in {width} bits")
+        return self._emit(CellOp.CONST, width, (), params=(("value", value),))
+
+    def named(self, name: str, value: Value) -> Value:
+        """Give an intermediate value a stable, readable name (BUF alias)."""
+        return self._emit(CellOp.BUF, value.width, (value,), name=name)
+
+    def reg(self, name: str, width: int, reset: int = 0) -> RegValue:
+        sig = Signal(self._qualify(name), width, SignalKind.REG, module=self.current_module)
+        self.circuit.add_signal(sig)
+        reg_value = RegValue(self, sig)
+        self._pending_regs.append((reg_value, reset & ((1 << width) - 1)))
+        return reg_value
+
+    def _drive_register(self, reg_value: RegValue, nxt: Value) -> None:
+        for idx, (pending, reset) in enumerate(self._pending_regs):
+            if pending is reg_value:
+                self.circuit.add_register(Register(reg_value.signal, nxt.signal, reset))
+                del self._pending_regs[idx]
+                return
+        raise CircuitError(f"register {reg_value.name!r} not pending (already built?)")
+
+    # ------------------------------------------------------------------
+    # combinational helpers
+    # ------------------------------------------------------------------
+    def mux(self, sel: Value, if_true: ValueLike, if_false: ValueLike) -> Value:
+        if sel.width != 1:
+            raise CircuitError(f"mux selector must be 1 bit, got {sel.width}")
+        if not isinstance(if_true, Value) and not isinstance(if_false, Value):
+            raise CircuitError("mux needs at least one hardware Value operand")
+        ref = if_true if isinstance(if_true, Value) else if_false
+        a = if_true if isinstance(if_true, Value) else self.const(if_true, ref.width)
+        b = if_false if isinstance(if_false, Value) else self.const(if_false, ref.width)
+        if a.width != b.width:
+            raise CircuitError(f"mux arm widths differ: {a.width} vs {b.width}")
+        return self._emit(CellOp.MUX, a.width, (sel, a, b))
+
+    def cat(self, *parts: Value) -> Value:
+        """Concatenate; ``parts[0]`` becomes the most significant bits."""
+        if not parts:
+            raise CircuitError("cat needs at least one operand")
+        if len(parts) == 1:
+            return parts[0]
+        width = sum(p.width for p in parts)
+        return self._emit(CellOp.CONCAT, width, parts)
+
+    def any_of(self, *values: Value) -> Value:
+        """OR-reduce a list of 1-bit values."""
+        acc = None
+        for v in values:
+            v1 = v.redor() if v.width > 1 else v
+            acc = v1 if acc is None else (acc | v1)
+        if acc is None:
+            return self.const(0, 1)
+        return acc
+
+    def all_of(self, *values: Value) -> Value:
+        acc = None
+        for v in values:
+            v1 = v.redand() if v.width > 1 else v
+            acc = v1 if acc is None else (acc & v1)
+        if acc is None:
+            return self.const(1, 1)
+        return acc
+
+    def priority_mux(self, default: ValueLike, *cases: Tuple[Value, ValueLike]) -> Value:
+        """``cases`` are (condition, value) pairs; the first match wins."""
+        ref = None
+        for _, val in cases:
+            if isinstance(val, Value):
+                ref = val
+                break
+        if ref is None and isinstance(default, Value):
+            ref = default
+        if ref is None:
+            raise CircuitError("priority_mux needs at least one hardware Value")
+        result = default if isinstance(default, Value) else self.const(default, ref.width)
+        for cond, val in reversed(cases):
+            val_v = val if isinstance(val, Value) else self.const(val, ref.width)
+            result = self.mux(cond, val_v, result)
+        return result
+
+    def mem(
+        self, name: str, depth: int, width: int, init: Optional[Sequence[int]] = None
+    ) -> Memory:
+        memory = Memory(self, name, depth, width, init)
+        self._memories.append(memory)
+        return memory
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Circuit:
+        if self._built:
+            raise CircuitError(f"builder {self.name!r} already built")
+        for memory in self._memories:
+            memory.finalize()
+        # Undriven registers hold their value.
+        for reg_value, reset in list(self._pending_regs):
+            self.circuit.add_register(Register(reg_value.signal, reg_value.signal, reset))
+        self._pending_regs.clear()
+        self.circuit.validate()
+        self._built = True
+        return self.circuit

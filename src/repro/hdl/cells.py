@@ -1,0 +1,220 @@
+"""Cells: the combinational operators of the IR.
+
+A *cell* is a pre-defined combinational operator in the sense of the
+paper's Section 3.1 ("macrocell") — the unit level at which CellIFT-style
+taint schemes operate.  After :func:`repro.hdl.lowering.lower_to_gates`
+the same :class:`Cell` type is reused with the restricted 1-bit gate
+vocabulary (``NOT``/``AND``/``OR``/``XOR``/``BUF``/``CONST``), which is
+the paper's *gate* unit level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.hdl.signals import Signal
+
+
+class CellOp(enum.Enum):
+    """Operator vocabulary of the IR."""
+
+    CONST = "const"      # params: value
+    BUF = "buf"          # identity
+    NOT = "not"
+    AND = "and"          # n-ary bitwise, all widths equal
+    OR = "or"            # n-ary bitwise
+    XOR = "xor"          # n-ary bitwise
+    MUX = "mux"          # ins = (sel, a, b): sel ? a : b
+    ADD = "add"          # modular
+    SUB = "sub"          # modular
+    EQ = "eq"            # 1-bit out
+    NEQ = "neq"          # 1-bit out
+    ULT = "ult"          # unsigned <, 1-bit out
+    ULE = "ule"          # unsigned <=, 1-bit out
+    SHL = "shl"          # ins = (a, shamt); out width == a width
+    SHR = "shr"          # logical right shift
+    CONCAT = "concat"    # n-ary; ins[0] is the most significant part
+    SLICE = "slice"      # params: lo, hi (inclusive)
+    ZEXT = "zext"        # zero extend to out width
+    SEXT = "sext"        # sign extend to out width
+    REDOR = "redor"      # 1-bit reduction
+    REDAND = "redand"
+    REDXOR = "redxor"
+
+
+#: Ops that are pure wiring: they move bits without computing on them.
+WIRING_OPS = frozenset({CellOp.BUF, CellOp.CONCAT, CellOp.SLICE, CellOp.ZEXT, CellOp.SEXT})
+
+#: 1-bit gate vocabulary produced by lowering.
+GATE_OPS = frozenset({CellOp.CONST, CellOp.BUF, CellOp.NOT, CellOp.AND, CellOp.OR, CellOp.XOR})
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A combinational operator instance.
+
+    Attributes:
+        op: The operator.
+        out: Output signal (exactly one per cell).
+        ins: Input signals, in operator order.
+        params: Operator parameters (``value`` for CONST, ``lo``/``hi``
+            for SLICE).
+        module: Hierarchical module path owning this cell instance.
+    """
+
+    op: CellOp
+    out: Signal
+    ins: Tuple[Signal, ...]
+    params: Tuple[Tuple[str, int], ...] = ()
+    module: str = field(default="", compare=False)
+
+    @property
+    def param_dict(self) -> Dict[str, int]:
+        return dict(self.params)
+
+    def param(self, key: str) -> int:
+        for name, value in self.params:
+            if name == key:
+                return value
+        raise KeyError(f"cell {self.out.name} has no param {key!r}")
+
+    def __str__(self) -> str:
+        ins = ", ".join(s.name for s in self.ins)
+        return f"{self.out} = {self.op.value}({ins})"
+
+
+class CellValidationError(ValueError):
+    """Raised when a cell's widths or arity are inconsistent."""
+
+
+def _require(cond: bool, cell_desc: str, msg: str) -> None:
+    if not cond:
+        raise CellValidationError(f"{cell_desc}: {msg}")
+
+
+def validate_cell(cell: Cell) -> None:
+    """Check arity and width consistency of a cell; raise on violation."""
+    op, out, ins = cell.op, cell.out, cell.ins
+    desc = f"{op.value} -> {out.name}"
+    if op is CellOp.CONST:
+        _require(len(ins) == 0, desc, "CONST takes no inputs")
+        value = cell.param("value")
+        _require(0 <= value <= out.mask, desc, f"value {value} out of range for width {out.width}")
+    elif op in (CellOp.BUF, CellOp.NOT):
+        _require(len(ins) == 1, desc, "takes exactly 1 input")
+        _require(ins[0].width == out.width, desc, "input/output widths must match")
+    elif op in (CellOp.AND, CellOp.OR, CellOp.XOR):
+        _require(len(ins) >= 2, desc, "takes >= 2 inputs")
+        _require(all(s.width == out.width for s in ins), desc, "all widths must match output")
+    elif op is CellOp.MUX:
+        _require(len(ins) == 3, desc, "takes (sel, a, b)")
+        sel, a, b = ins
+        _require(sel.width == 1, desc, "selector must be 1 bit")
+        _require(a.width == b.width == out.width, desc, "data widths must match output")
+    elif op in (CellOp.ADD, CellOp.SUB):
+        _require(len(ins) == 2, desc, "takes 2 inputs")
+        _require(ins[0].width == ins[1].width == out.width, desc, "widths must match")
+    elif op in (CellOp.EQ, CellOp.NEQ, CellOp.ULT, CellOp.ULE):
+        _require(len(ins) == 2, desc, "takes 2 inputs")
+        _require(ins[0].width == ins[1].width, desc, "input widths must match")
+        _require(out.width == 1, desc, "output must be 1 bit")
+    elif op in (CellOp.SHL, CellOp.SHR):
+        _require(len(ins) == 2, desc, "takes (a, shamt)")
+        _require(ins[0].width == out.width, desc, "data width must match output")
+    elif op is CellOp.CONCAT:
+        _require(len(ins) >= 1, desc, "takes >= 1 input")
+        _require(sum(s.width for s in ins) == out.width, desc, "output width must equal sum of inputs")
+    elif op is CellOp.SLICE:
+        _require(len(ins) == 1, desc, "takes 1 input")
+        lo, hi = cell.param("lo"), cell.param("hi")
+        _require(0 <= lo <= hi < ins[0].width, desc, f"bad slice [{hi}:{lo}] of width {ins[0].width}")
+        _require(out.width == hi - lo + 1, desc, "output width must equal slice width")
+    elif op in (CellOp.ZEXT, CellOp.SEXT):
+        _require(len(ins) == 1, desc, "takes 1 input")
+        _require(out.width >= ins[0].width, desc, "extension must not shrink")
+    elif op in (CellOp.REDOR, CellOp.REDAND, CellOp.REDXOR):
+        _require(len(ins) == 1, desc, "takes 1 input")
+        _require(out.width == 1, desc, "output must be 1 bit")
+    else:  # pragma: no cover - exhaustive
+        raise CellValidationError(f"{desc}: unknown op")
+
+
+def evaluate_cell(cell: Cell, in_values: Sequence[int]) -> int:
+    """Evaluate a cell on concrete unsigned input values.
+
+    This is the single source of truth for cell semantics; the simulator,
+    the gate-lowering pass (for checking), and the observability analysis
+    all use it.
+    """
+    op, out = cell.op, cell.out
+    if op is CellOp.CONST:
+        return cell.param("value")
+    if op is CellOp.BUF:
+        return in_values[0]
+    if op is CellOp.NOT:
+        return (~in_values[0]) & out.mask
+    if op is CellOp.AND:
+        acc = out.mask
+        for v in in_values:
+            acc &= v
+        return acc
+    if op is CellOp.OR:
+        acc = 0
+        for v in in_values:
+            acc |= v
+        return acc
+    if op is CellOp.XOR:
+        acc = 0
+        for v in in_values:
+            acc ^= v
+        return acc
+    if op is CellOp.MUX:
+        sel, a, b = in_values
+        return a if sel else b
+    if op is CellOp.ADD:
+        return (in_values[0] + in_values[1]) & out.mask
+    if op is CellOp.SUB:
+        return (in_values[0] - in_values[1]) & out.mask
+    if op is CellOp.EQ:
+        return int(in_values[0] == in_values[1])
+    if op is CellOp.NEQ:
+        return int(in_values[0] != in_values[1])
+    if op is CellOp.ULT:
+        return int(in_values[0] < in_values[1])
+    if op is CellOp.ULE:
+        return int(in_values[0] <= in_values[1])
+    if op is CellOp.SHL:
+        a, sh = in_values
+        if sh >= out.width:
+            return 0
+        return (a << sh) & out.mask
+    if op is CellOp.SHR:
+        a, sh = in_values
+        if sh >= out.width:
+            return 0
+        return a >> sh
+    if op is CellOp.CONCAT:
+        acc = 0
+        for sig, v in zip(cell.ins, in_values):
+            acc = (acc << sig.width) | (v & sig.mask)
+        return acc
+    if op is CellOp.SLICE:
+        lo, hi = cell.param("lo"), cell.param("hi")
+        return (in_values[0] >> lo) & ((1 << (hi - lo + 1)) - 1)
+    if op is CellOp.ZEXT:
+        return in_values[0]
+    if op is CellOp.SEXT:
+        in_w = cell.ins[0].width
+        v = in_values[0]
+        if v >> (in_w - 1):
+            v |= out.mask & ~((1 << in_w) - 1)
+        return v
+    if op is CellOp.REDOR:
+        return int(in_values[0] != 0)
+    if op is CellOp.REDAND:
+        return int(in_values[0] == cell.ins[0].mask)
+    if op is CellOp.REDXOR:
+        return bin(in_values[0]).count("1") & 1
+    raise CellValidationError(f"cannot evaluate op {op}")  # pragma: no cover

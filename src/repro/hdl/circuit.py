@@ -1,0 +1,245 @@
+"""Flattened circuit container: signals, cells, registers.
+
+A :class:`Circuit` is the unit everything downstream consumes: the
+simulator evaluates its cells in topological order, the taint
+instrumentation pass rewrites it, the gate-lowering pass bit-blasts it,
+and the CNF encoder unrolls it over time frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.hdl.cells import Cell, CellOp, validate_cell
+from repro.hdl.signals import Signal, SignalKind
+
+
+class CircuitError(ValueError):
+    """Raised for structural problems in a circuit."""
+
+
+class CombinationalLoopError(CircuitError):
+    """Raised when the cells of a circuit contain a combinational cycle."""
+
+
+@dataclass(frozen=True)
+class Register:
+    """A clocked state element.
+
+    ``q`` is the current-value signal (kind REG, no producing cell) and
+    ``d`` the combinationally-computed next value.  Enables and holds are
+    folded into ``d`` by the builder; the register itself updates every
+    cycle.
+    """
+
+    q: Signal
+    d: Signal
+    reset_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.q.width != self.d.width:
+            raise CircuitError(f"register {self.q.name}: d width {self.d.width} != q width {self.q.width}")
+        if not (0 <= self.reset_value <= self.q.mask):
+            raise CircuitError(f"register {self.q.name}: reset value out of range")
+
+
+class Circuit:
+    """A flattened netlist.
+
+    Invariants (enforced by :meth:`validate`):
+
+    - every signal has a unique name;
+    - every WIRE/OUTPUT signal is produced by exactly one cell;
+    - INPUT and REG signals are produced by no cell;
+    - cell inputs reference signals in the circuit;
+    - the cell graph is acyclic (registers break cycles).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.signals: Dict[str, Signal] = {}
+        self.inputs: List[Signal] = []
+        self.outputs: List[Signal] = []
+        self.cells: List[Cell] = []
+        self.registers: List[Register] = []
+        self._producer: Dict[str, Cell] = {}
+        self._register_of: Dict[str, Register] = {}
+        self._topo_cache: Optional[List[Cell]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_signal(self, signal: Signal) -> Signal:
+        existing = self.signals.get(signal.name)
+        if existing is not None:
+            if existing != signal:
+                raise CircuitError(f"conflicting redefinition of signal {signal.name!r}")
+            return existing
+        self.signals[signal.name] = signal
+        if signal.kind is SignalKind.INPUT:
+            self.inputs.append(signal)
+        elif signal.kind is SignalKind.OUTPUT:
+            self.outputs.append(signal)
+        self._topo_cache = None
+        return signal
+
+    def add_cell(self, cell: Cell) -> Cell:
+        validate_cell(cell)
+        if cell.out.name in self._producer:
+            raise CircuitError(f"signal {cell.out.name!r} already driven")
+        if cell.out.kind in (SignalKind.INPUT, SignalKind.REG):
+            raise CircuitError(f"cannot drive {cell.out.kind.value} signal {cell.out.name!r} with a cell")
+        self.add_signal(cell.out)
+        for sig in cell.ins:
+            if sig.name not in self.signals:
+                raise CircuitError(f"cell {cell.out.name!r} references unknown signal {sig.name!r}")
+        self.cells.append(cell)
+        self._producer[cell.out.name] = cell
+        self._topo_cache = None
+        return cell
+
+    def add_register(self, register: Register) -> Register:
+        if register.q.kind is not SignalKind.REG:
+            raise CircuitError(f"register q signal {register.q.name!r} must have kind REG")
+        if register.q.name in self._register_of:
+            raise CircuitError(f"register {register.q.name!r} already defined")
+        self.add_signal(register.q)
+        self.registers.append(register)
+        self._register_of[register.q.name] = register
+        self._topo_cache = None
+        return register
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def signal(self, name: str) -> Signal:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise CircuitError(f"no signal named {name!r} in circuit {self.name!r}") from None
+
+    def producer(self, signal: Signal) -> Optional[Cell]:
+        """The cell driving ``signal``, or ``None`` for inputs/regs/consts."""
+        return self._producer.get(signal.name)
+
+    def register_of(self, signal: Signal) -> Optional[Register]:
+        return self._register_of.get(signal.name)
+
+    def is_state(self, signal: Signal) -> bool:
+        return signal.name in self._register_of
+
+    def combinational_fanins(self, signal: Signal) -> Tuple[Signal, ...]:
+        """Fan-in signals through the producing cell (empty for sources)."""
+        cell = self._producer.get(signal.name)
+        return cell.ins if cell is not None else ()
+
+    def fanouts(self, signal: Signal) -> List[Cell]:
+        """All cells consuming ``signal`` (linear scan; cached callers should
+        build their own index via :meth:`fanout_index`)."""
+        return [c for c in self.cells if any(s.name == signal.name for s in c.ins)]
+
+    def fanout_index(self) -> Dict[str, List[Cell]]:
+        index: Dict[str, List[Cell]] = {name: [] for name in self.signals}
+        for cell in self.cells:
+            for sig in cell.ins:
+                index[sig.name].append(cell)
+        return index
+
+    def module_paths(self) -> Set[str]:
+        """All module paths appearing on signals or cells (excluding root)."""
+        paths: Set[str] = set()
+        for sig in self.signals.values():
+            if sig.module:
+                paths.add(sig.module)
+        for cell in self.cells:
+            if cell.module:
+                paths.add(cell.module)
+        return paths
+
+    def registers_in_module(self, module_path: str) -> List[Register]:
+        """Registers whose module path equals or is nested under ``module_path``."""
+        prefix = module_path + "."
+        return [
+            r for r in self.registers
+            if r.q.module == module_path or r.q.module.startswith(prefix)
+        ]
+
+    # ------------------------------------------------------------------
+    # topological ordering & validation
+    # ------------------------------------------------------------------
+    def topo_cells(self) -> List[Cell]:
+        """Cells in dependency order (inputs/registers/consts are sources).
+
+        Raises :class:`CombinationalLoopError` on a combinational cycle.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        # Kahn's algorithm over cells.
+        consumers: Dict[str, List[int]] = {}
+        indegree = [0] * len(self.cells)
+        for idx, cell in enumerate(self.cells):
+            for sig in cell.ins:
+                if sig.name in self._producer:
+                    consumers.setdefault(sig.name, []).append(idx)
+                    indegree[idx] += 1
+        ready = [i for i, d in enumerate(indegree) if d == 0]
+        order: List[Cell] = []
+        while ready:
+            idx = ready.pop()
+            cell = self.cells[idx]
+            order.append(cell)
+            for consumer in consumers.get(cell.out.name, ()):
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.cells):
+            stuck = [self.cells[i].out.name for i, d in enumerate(indegree) if d > 0]
+            raise CombinationalLoopError(
+                f"combinational loop in circuit {self.name!r} involving: {stuck[:10]}"
+            )
+        self._topo_cache = order
+        return order
+
+    def validate(self) -> None:
+        """Check all structural invariants; raise :class:`CircuitError`."""
+        for cell in self.cells:
+            validate_cell(cell)
+        for sig in self.signals.values():
+            produced = sig.name in self._producer
+            is_reg = sig.name in self._register_of
+            if sig.kind is SignalKind.INPUT and produced:
+                raise CircuitError(f"input {sig.name!r} is driven by a cell")
+            if sig.kind is SignalKind.REG and produced:
+                raise CircuitError(f"register {sig.name!r} is driven by a cell")
+            if sig.kind in (SignalKind.WIRE, SignalKind.OUTPUT) and not produced:
+                raise CircuitError(f"{sig.kind.value} {sig.name!r} has no driver")
+            if sig.kind is SignalKind.REG and not is_reg:
+                raise CircuitError(f"REG signal {sig.name!r} has no Register entry")
+        for reg in self.registers:
+            if reg.d.name not in self.signals:
+                raise CircuitError(f"register {reg.q.name!r} next-value {reg.d.name!r} unknown")
+        self.topo_cells()
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def clone(self, name: Optional[str] = None) -> "Circuit":
+        """Shallow structural copy (signals/cells are immutable, safe to share)."""
+        out = Circuit(name or self.name)
+        for sig in self.signals.values():
+            out.add_signal(sig)
+        for reg in self.registers:
+            out.add_register(reg)
+        for cell in self.cells:
+            out.add_cell(cell)
+        return out
+
+    def state_bits(self) -> int:
+        return sum(r.q.width for r in self.registers)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}: {len(self.inputs)} in, {len(self.outputs)} out, "
+            f"{len(self.cells)} cells, {len(self.registers)} regs)"
+        )

@@ -1,0 +1,256 @@
+"""Cell → gate lowering (bit blasting).
+
+Lowers a cell-level circuit into a 1-bit gate-level circuit using only
+``CONST``/``BUF``/``NOT``/``AND``(2)/``OR``(2)/``XOR``(2) cells.  This is
+the paper's *gate* unit level: a MUX becomes two AND gates, an OR gate
+and a NOT gate (the exact decomposition discussed in Section 3.2),
+adders become ripple-carry chains, and shifts become barrel stages.
+
+The lowering serves two consumers:
+
+- gate-level taint instrumentation (unit level = GATE), and
+- the CNF encoder of :mod:`repro.formal` (which only understands gates).
+
+Multi-bit signal ``x`` of width *n* becomes gate signals ``x[0]`` …
+``x[n-1]``; width-1 signals keep their original name so that waveforms
+and counterexamples remain readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.circuit import Circuit, Register
+from repro.hdl.signals import Signal, SignalKind
+
+
+@dataclass
+class LoweredCircuit:
+    """A gate-level circuit plus the bit-provenance map.
+
+    Attributes:
+        circuit: The 1-bit gate netlist.
+        bits: ``original signal name -> [gate signal per bit]`` (LSB first).
+    """
+
+    circuit: Circuit
+    bits: Dict[str, List[Signal]]
+
+    def bit(self, name: str, index: int) -> Signal:
+        return self.bits[name][index]
+
+    def pack(self, name: str, bit_values: Dict[str, int]) -> int:
+        """Reassemble an original signal's value from per-bit values."""
+        value = 0
+        for i, sig in enumerate(self.bits[name]):
+            value |= (bit_values[sig.name] & 1) << i
+        return value
+
+    def unpack(self, name: str, value: int) -> Dict[str, int]:
+        """Split an original signal's value into per-bit assignments."""
+        return {sig.name: (value >> i) & 1 for i, sig in enumerate(self.bits[name])}
+
+
+class _Lowerer:
+    def __init__(self, source: Circuit) -> None:
+        self.source = source
+        self.out = Circuit(source.name + ".gates")
+        self.bits: Dict[str, List[Signal]] = {}
+        self._tmp = 0
+
+    # -- helpers ---------------------------------------------------------
+    def _fresh(self, module: str) -> Signal:
+        self._tmp += 1
+        name = f"_g{self._tmp}"
+        if module:
+            name = f"{module}.{name}"
+        return Signal(name, 1, SignalKind.WIRE, module=module)
+
+    def _gate(self, op: CellOp, ins: Sequence[Signal], module: str) -> Signal:
+        out = self._fresh(module)
+        self.out.add_cell(Cell(op, out, tuple(ins), module=module))
+        return out
+
+    def _const(self, value: int, module: str) -> Signal:
+        out = self._fresh(module)
+        self.out.add_cell(Cell(CellOp.CONST, out, (), (("value", value & 1),), module=module))
+        return out
+
+    def g_not(self, a: Signal, module: str) -> Signal:
+        return self._gate(CellOp.NOT, (a,), module)
+
+    def g_and(self, a: Signal, b: Signal, module: str) -> Signal:
+        return self._gate(CellOp.AND, (a, b), module)
+
+    def g_or(self, a: Signal, b: Signal, module: str) -> Signal:
+        return self._gate(CellOp.OR, (a, b), module)
+
+    def g_xor(self, a: Signal, b: Signal, module: str) -> Signal:
+        return self._gate(CellOp.XOR, (a, b), module)
+
+    def g_mux(self, s: Signal, a: Signal, b: Signal, module: str) -> Signal:
+        """s ? a : b as (s&a) | (~s&b) — the paper's MUX gate decomposition."""
+        return self.g_or(self.g_and(s, a, module), self.g_and(self.g_not(s, module), b, module), module)
+
+    def _reduce(self, op_fn, items: Sequence[Signal], module: str) -> Signal:
+        acc = items[0]
+        for item in items[1:]:
+            acc = op_fn(acc, item, module)
+        return acc
+
+    # -- signal splitting --------------------------------------------------
+    def _declare(self, sig: Signal) -> List[Signal]:
+        if sig.name in self.bits:
+            return self.bits[sig.name]
+        kind = sig.kind
+        if kind is SignalKind.CONST:
+            kind = SignalKind.WIRE
+        if sig.width == 1:
+            bit_sigs = [Signal(sig.name, 1, kind, module=sig.module)]
+        else:
+            bit_sigs = [
+                Signal(f"{sig.name}[{i}]", 1, kind, module=sig.module)
+                for i in range(sig.width)
+            ]
+        if kind is not SignalKind.REG:
+            # REG bit signals are added by the register pass so that the
+            # Register entries exist before validation.
+            for bs in bit_sigs:
+                if bs.kind is SignalKind.INPUT:
+                    self.out.add_signal(bs)
+        self.bits[sig.name] = bit_sigs
+        return bit_sigs
+
+    def _assign(self, targets: List[Signal], sources: List[Signal], module: str) -> None:
+        """Drive declared (named) bit signals from computed temporaries."""
+        for target, source in zip(targets, sources):
+            self.out.add_cell(Cell(CellOp.BUF, target, (source,), module=module))
+
+    # -- main ---------------------------------------------------------------
+    def run(self) -> LoweredCircuit:
+        src = self.source
+        for sig in src.signals.values():
+            self._declare(sig)
+        # Registers: one per bit; next-value bits come from the d signal's bits.
+        for reg in src.registers:
+            q_bits = self.bits[reg.q.name]
+            d_bits = self.bits[reg.d.name]
+            for i, (qb, db) in enumerate(zip(q_bits, d_bits)):
+                self.out.add_register(Register(qb, db, (reg.reset_value >> i) & 1))
+        for cell in src.topo_cells():
+            self._lower_cell(cell)
+        self.out.validate()
+        return LoweredCircuit(self.out, self.bits)
+
+    def _lower_cell(self, cell: Cell) -> None:
+        m = cell.module
+        out_bits = self.bits[cell.out.name]
+        in_bits = [self.bits[s.name] for s in cell.ins]
+        op = cell.op
+        if op is CellOp.CONST:
+            value = cell.param("value")
+            computed = [self._const((value >> i) & 1, m) for i in range(len(out_bits))]
+        elif op is CellOp.BUF:
+            computed = in_bits[0]
+        elif op is CellOp.NOT:
+            computed = [self.g_not(b, m) for b in in_bits[0]]
+        elif op in (CellOp.AND, CellOp.OR, CellOp.XOR):
+            fn = {CellOp.AND: self.g_and, CellOp.OR: self.g_or, CellOp.XOR: self.g_xor}[op]
+            computed = [
+                self._reduce(fn, [operand[i] for operand in in_bits], m)
+                for i in range(len(out_bits))
+            ]
+        elif op is CellOp.MUX:
+            sel = in_bits[0][0]
+            computed = [self.g_mux(sel, a, b, m) for a, b in zip(in_bits[1], in_bits[2])]
+        elif op in (CellOp.ADD, CellOp.SUB):
+            computed = self._lower_addsub(in_bits[0], in_bits[1], op is CellOp.SUB, m)
+        elif op in (CellOp.EQ, CellOp.NEQ):
+            diffs = [self.g_xor(a, b, m) for a, b in zip(in_bits[0], in_bits[1])]
+            any_diff = self._reduce(self.g_or, diffs, m)
+            computed = [any_diff if op is CellOp.NEQ else self.g_not(any_diff, m)]
+        elif op in (CellOp.ULT, CellOp.ULE):
+            if op is CellOp.ULE:  # a <= b  ==  not (b < a)
+                lt = self._lower_ult(in_bits[1], in_bits[0], m)
+                computed = [self.g_not(lt, m)]
+            else:
+                computed = [self._lower_ult(in_bits[0], in_bits[1], m)]
+        elif op in (CellOp.SHL, CellOp.SHR):
+            computed = self._lower_shift(in_bits[0], in_bits[1], op is CellOp.SHL, m)
+        elif op is CellOp.CONCAT:
+            computed = []
+            for operand in reversed(in_bits):  # ins[0] is MSB -> place last
+                computed.extend(operand)
+        elif op is CellOp.SLICE:
+            lo, hi = cell.param("lo"), cell.param("hi")
+            computed = in_bits[0][lo:hi + 1]
+        elif op is CellOp.ZEXT:
+            pad = len(out_bits) - len(in_bits[0])
+            computed = list(in_bits[0]) + [self._const(0, m) for _ in range(pad)]
+        elif op is CellOp.SEXT:
+            pad = len(out_bits) - len(in_bits[0])
+            sign = in_bits[0][-1]
+            computed = list(in_bits[0]) + [sign] * pad
+        elif op is CellOp.REDOR:
+            computed = [self._reduce(self.g_or, in_bits[0], m)]
+        elif op is CellOp.REDAND:
+            computed = [self._reduce(self.g_and, in_bits[0], m)]
+        elif op is CellOp.REDXOR:
+            computed = [self._reduce(self.g_xor, in_bits[0], m)]
+        else:  # pragma: no cover
+            raise ValueError(f"cannot lower op {op}")
+        self._assign(out_bits, computed, m)
+
+    def _lower_addsub(
+        self, a: List[Signal], b: List[Signal], subtract: bool, m: str
+    ) -> List[Signal]:
+        carry = self._const(1 if subtract else 0, m)
+        result = []
+        for ai, bi in zip(a, b):
+            bi_eff = self.g_not(bi, m) if subtract else bi
+            axb = self.g_xor(ai, bi_eff, m)
+            result.append(self.g_xor(axb, carry, m))
+            carry = self.g_or(self.g_and(ai, bi_eff, m), self.g_and(carry, axb, m), m)
+        return result
+
+    def _lower_ult(self, a: List[Signal], b: List[Signal], m: str) -> Signal:
+        """Unsigned a < b via the final borrow of a - b."""
+        borrow = self._const(0, m)
+        for ai, bi in zip(a, b):
+            na = self.g_not(ai, m)
+            t1 = self.g_and(na, bi, m)
+            t2 = self.g_and(na, borrow, m)
+            t3 = self.g_and(bi, borrow, m)
+            borrow = self._reduce(self.g_or, [t1, t2, t3], m)
+        return borrow
+
+    def _lower_shift(
+        self, a: List[Signal], sh: List[Signal], left: bool, m: str
+    ) -> List[Signal]:
+        width = len(a)
+        zero = self._const(0, m)
+        cur = list(a)
+        overflow_bits = []
+        for j, sel in enumerate(sh):
+            amount = 1 << j
+            if amount >= width:
+                overflow_bits.append(sel)
+                continue
+            nxt = []
+            for i in range(width):
+                src = i - amount if left else i + amount
+                shifted = cur[src] if 0 <= src < width else zero
+                nxt.append(self.g_mux(sel, shifted, cur[i], m))
+            cur = nxt
+        if overflow_bits:
+            any_overflow = self._reduce(self.g_or, overflow_bits, m)
+            keep = self.g_not(any_overflow, m)
+            cur = [self.g_and(keep, bit, m) for bit in cur]
+        return cur
+
+
+def lower_to_gates(circuit: Circuit) -> LoweredCircuit:
+    """Lower a cell-level circuit to the 1-bit gate vocabulary."""
+    return _Lowerer(circuit).run()

@@ -1,0 +1,268 @@
+"""Netlist simplification: constant propagation, identities, CSE, DCE.
+
+Applied to (usually gate-level) circuits before CNF encoding, this pass
+typically shrinks instrumented designs by a large factor: taint logic
+instantiates many constant-taint sources, blackbox OR-trees of zeros,
+and mux trees with shared subtrees.
+
+The pass preserves, by name: all INPUT signals, all registers (``q``
+and reset value), and all OUTPUT signals.  Everything else may be
+renamed, merged or removed.  Semantics are preserved exactly (the test
+suite cross-simulates against the original).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.hdl.cells import Cell, CellOp, evaluate_cell
+from repro.hdl.circuit import Circuit, Register
+from repro.hdl.signals import Signal, SignalKind
+
+
+class _Simplifier:
+    def __init__(self, source: Circuit) -> None:
+        self.src = source
+        self.out = Circuit(source.name + ".opt")
+        #: canonical representation per source signal: ("const", value) or
+        #: ("sig", canonical_source_name)
+        self.repr: Dict[str, Tuple[str, int]] = {}
+        self.cse: Dict[Tuple, str] = {}
+        self._const_cells: Dict[Tuple[int, int], str] = {}
+        self._tmp = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> Circuit:
+        for sig in self.src.inputs:
+            self.out.add_signal(sig)
+            self.repr[sig.name] = ("sig", sig.name)
+        for reg in self.src.registers:
+            self.out.add_signal(reg.q)
+            self.repr[reg.q.name] = ("sig", reg.q.name)
+        for cell in self.src.topo_cells():
+            self._simplify_cell(cell)
+        # Registers: next values through the canonical map.
+        for reg in self.src.registers:
+            d_name = self._materialize(reg.d)
+            d_sig = self.out.signal(d_name)
+            self.out.add_register(Register(reg.q, d_sig, reg.reset_value))
+        # Outputs: keep names, driven from canonical sources.
+        for sig in self.src.outputs:
+            source = self._materialize(sig)
+            if source == sig.name:
+                continue
+            self.out.add_cell(Cell(CellOp.BUF, sig, (self.out.signal(source),), module=sig.module))
+        return _eliminate_dead(self.out)
+
+    # ------------------------------------------------------------------
+    def _canon(self, sig: Signal) -> Tuple[str, int]:
+        entry = self.repr.get(sig.name)
+        if entry is None:
+            raise KeyError(f"signal {sig.name!r} has no canonical form yet")
+        return entry
+
+    def _materialize(self, sig: Signal) -> str:
+        """Name (in the output circuit) holding this signal's value."""
+        kind, value = self._canon(sig)
+        if kind == "sig":
+            return value  # type: ignore[return-value]
+        return self._const_cell(value, sig.width)
+
+    def _const_cell(self, value: int, width: int) -> str:
+        key = (value, width)
+        existing = self._const_cells.get(key)
+        if existing is not None:
+            return existing
+        self._tmp += 1
+        name = f"_opt_const{self._tmp}"
+        out = Signal(name, width, SignalKind.WIRE)
+        self.out.add_cell(Cell(CellOp.CONST, out, (), (("value", value),)))
+        self._const_cells[key] = name
+        return name
+
+    def _emit(self, cell: Cell, in_names: List[str]) -> None:
+        """Emit a (possibly CSE-deduped) cell and record its output."""
+        key = (cell.op, tuple(in_names), cell.params, cell.out.width)
+        existing = self.cse.get(key)
+        if existing is not None:
+            self.repr[cell.out.name] = ("sig", existing)
+            return
+        ins = tuple(self.out.signal(n) for n in in_names)
+        out = Signal(cell.out.name, cell.out.width, SignalKind.WIRE, module=cell.module)
+        self.out.add_cell(Cell(cell.op, out, ins, cell.params, module=cell.module))
+        self.cse[key] = out.name
+        self.repr[cell.out.name] = ("sig", out.name)
+
+    def _set_const(self, cell: Cell, value: int) -> None:
+        self.repr[cell.out.name] = ("const", value & cell.out.mask)
+
+    def _set_alias(self, cell: Cell, source_entry: Tuple[str, int]) -> None:
+        self.repr[cell.out.name] = source_entry
+
+    # ------------------------------------------------------------------
+    def _simplify_cell(self, cell: Cell) -> None:
+        op = cell.op
+        entries = [self._canon(s) for s in cell.ins]
+        consts = [e[1] if e[0] == "const" else None for e in entries]
+
+        if op is CellOp.CONST:
+            self._set_const(cell, cell.param("value"))
+            return
+        if all(c is not None for c in consts):
+            self._set_const(cell, evaluate_cell(cell, [c for c in consts]))  # type: ignore[list-item]
+            return
+        if op is CellOp.BUF:
+            self._set_alias(cell, entries[0])
+            return
+
+        if op in (CellOp.AND, CellOp.OR, CellOp.XOR):
+            self._simplify_bitwise(cell, entries, consts)
+            return
+        if op is CellOp.MUX:
+            self._simplify_mux(cell, entries, consts)
+            return
+        if op in (CellOp.ADD, CellOp.SUB):
+            if consts[1] == 0:
+                self._set_alias(cell, entries[0])
+                return
+            if op is CellOp.ADD and consts[0] == 0:
+                self._set_alias(cell, entries[1])
+                return
+        if op in (CellOp.SHL, CellOp.SHR):
+            if consts[1] == 0:
+                self._set_alias(cell, entries[0])
+                return
+            if consts[1] is not None and consts[1] >= cell.out.width:
+                self._set_const(cell, 0)
+                return
+            if consts[0] == 0:
+                self._set_const(cell, 0)
+                return
+        if op is CellOp.SLICE:
+            if cell.param("lo") == 0 and cell.param("hi") == cell.ins[0].width - 1:
+                self._set_alias(cell, entries[0])
+                return
+        if op in (CellOp.ZEXT, CellOp.SEXT):
+            if cell.out.width == cell.ins[0].width:
+                self._set_alias(cell, entries[0])
+                return
+        if op in (CellOp.REDOR, CellOp.REDAND, CellOp.REDXOR):
+            if cell.ins[0].width == 1:
+                self._set_alias(cell, entries[0])
+                return
+        if op in (CellOp.EQ, CellOp.ULE) and entries[0] == entries[1]:
+            self._set_const(cell, 1)
+            return
+        if op in (CellOp.NEQ, CellOp.ULT) and entries[0] == entries[1]:
+            self._set_const(cell, 0)
+            return
+        self._emit_generic(cell, entries)
+
+    def _emit_generic(self, cell: Cell, entries) -> None:
+        in_names = []
+        for sig, entry in zip(cell.ins, entries):
+            if entry[0] == "const":
+                in_names.append(self._const_cell(entry[1], sig.width))
+            else:
+                in_names.append(entry[1])
+        self._emit(cell, in_names)
+
+    def _simplify_bitwise(self, cell: Cell, entries, consts) -> None:
+        op = cell.op
+        mask = cell.out.mask
+        live: List[Tuple[str, int]] = []
+        const_acc: Optional[int] = None
+        for entry, const in zip(entries, consts):
+            if const is not None:
+                const_acc = const if const_acc is None else (
+                    const_acc & const if op is CellOp.AND
+                    else const_acc | const if op is CellOp.OR
+                    else const_acc ^ const
+                )
+            else:
+                live.append(entry)
+        # Absorbing / identity constants.
+        if const_acc is not None:
+            if op is CellOp.AND and const_acc == 0:
+                self._set_const(cell, 0)
+                return
+            if op is CellOp.OR and const_acc == mask:
+                self._set_const(cell, mask)
+                return
+            identity = mask if op is CellOp.AND else 0
+            if const_acc == identity:
+                const_acc = None
+        # Duplicate operands.
+        if op in (CellOp.AND, CellOp.OR):
+            seen: Set[Tuple[str, int]] = set()
+            deduped = []
+            for entry in live:
+                if entry not in seen:
+                    seen.add(entry)
+                    deduped.append(entry)
+            live = deduped
+        else:  # XOR: pairs cancel
+            counts: Dict[Tuple[str, int], int] = {}
+            for entry in live:
+                counts[entry] = counts.get(entry, 0) + 1
+            live = [entry for entry, n in counts.items() if n % 2 == 1]
+        if not live:
+            self._set_const(cell, const_acc if const_acc is not None else
+                            (mask if op is CellOp.AND else 0))
+            return
+        if len(live) == 1 and const_acc is None:
+            self._set_alias(cell, live[0])
+            return
+        in_names = [self._entry_name(entry, cell.out.width) for entry in live]
+        if const_acc is not None:
+            in_names.append(self._const_cell(const_acc, cell.out.width))
+        in_names.sort()  # commutative: canonical order helps CSE
+        self._emit(cell, in_names)
+
+    def _entry_name(self, entry: Tuple[str, int], width: int) -> str:
+        if entry[0] == "const":
+            return self._const_cell(entry[1], width)
+        return entry[1]  # type: ignore[return-value]
+
+    def _simplify_mux(self, cell: Cell, entries, consts) -> None:
+        sel_entry, a_entry, b_entry = entries
+        if consts[0] is not None:
+            self._set_alias(cell, a_entry if consts[0] else b_entry)
+            return
+        if a_entry == b_entry:
+            self._set_alias(cell, a_entry)
+            return
+        if cell.out.width == 1 and consts[1] == 1 and consts[2] == 0:
+            self._set_alias(cell, sel_entry)
+            return
+        self._emit_generic(cell, entries)
+
+
+def _eliminate_dead(circuit: Circuit) -> Circuit:
+    """Drop cells not in the cone of any output or register next-value."""
+    live: Set[str] = set()
+    stack = [sig.name for sig in circuit.outputs]
+    stack.extend(reg.d.name for reg in circuit.registers)
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        producer = circuit.producer(circuit.signal(name))
+        if producer is not None:
+            stack.extend(s.name for s in producer.ins)
+    out = Circuit(circuit.name)
+    for sig in circuit.inputs:
+        out.add_signal(sig)
+    for reg in circuit.registers:
+        out.add_register(reg)
+    for cell in circuit.cells:
+        if cell.out.name in live:
+            out.add_cell(cell)
+    out.validate()
+    return out
+
+
+def simplify(circuit: Circuit) -> Circuit:
+    """Run the full simplification pipeline on a circuit."""
+    return _Simplifier(circuit).run()

@@ -1,0 +1,82 @@
+"""Signals: named, fixed-width values in a circuit.
+
+A :class:`Signal` is the atomic named entity of the IR.  Signals carry a
+*hierarchical module path* (``module``) so that passes running after
+flattening — most importantly module-granularity taint grouping — can
+still reason about the original design hierarchy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SignalKind(enum.Enum):
+    """Role of a signal within its circuit."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    WIRE = "wire"
+    REG = "reg"
+    CONST = "const"
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A named, fixed-width value.
+
+    Attributes:
+        name: Full hierarchical name, e.g. ``"core.dcache.s1_valid"``.
+        width: Bit width (>= 1).
+        kind: Role of the signal (see :class:`SignalKind`).
+        module: Hierarchical path of the owning module (``""`` for the
+            top level).  ``name`` always starts with ``module + "."``
+            when ``module`` is non-empty.
+    """
+
+    name: str
+    width: int
+    kind: SignalKind = SignalKind.WIRE
+    module: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"signal {self.name!r} must have width >= 1, got {self.width}")
+        if not self.name:
+            raise ValueError("signal name must be non-empty")
+
+    @property
+    def mask(self) -> int:
+        """All-ones mask for this signal's width."""
+        return (1 << self.width) - 1
+
+    def truncate(self, value: int) -> int:
+        """Wrap ``value`` into this signal's unsigned domain."""
+        return value & self.mask
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.width}]"
+
+
+def local_name(signal: Signal) -> str:
+    """Return the signal's name relative to its owning module."""
+    if signal.module and signal.name.startswith(signal.module + "."):
+        return signal.name[len(signal.module) + 1:]
+    return signal.name
+
+
+def module_and_ancestors(path: str) -> list:
+    """Return ``path`` and every ancestor module path, excluding the root.
+
+    >>> module_and_ancestors("a.b.c")
+    ['a.b.c', 'a.b', 'a']
+    >>> module_and_ancestors("")
+    []
+    """
+    out = []
+    while path:
+        out.append(path)
+        dot = path.rfind(".")
+        path = path[:dot] if dot >= 0 else ""
+    return out

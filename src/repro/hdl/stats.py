@@ -1,0 +1,87 @@
+"""Circuit size statistics (gate counts, register bits).
+
+These are the quantities Figure 5 of the paper reports: the number of
+logic gates and register bits in an instrumented processor, normalized
+to the original, uninstrumented design.  "Gates" means 1-bit gates after
+:func:`~repro.hdl.lowering.lower_to_gates`; ``BUF`` and ``CONST`` cells
+are wiring, not logic, and are excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hdl.cells import CellOp, GATE_OPS, WIRING_OPS
+from repro.hdl.circuit import Circuit
+from repro.hdl.lowering import lower_to_gates
+
+_NON_LOGIC = {CellOp.BUF, CellOp.CONST}
+
+
+def _is_gate_level(circuit: Circuit) -> bool:
+    return all(cell.op in GATE_OPS for cell in circuit.cells)
+
+
+def gate_count(circuit: Circuit) -> int:
+    """Number of 1-bit logic gates after lowering (BUF/CONST excluded)."""
+    gates = circuit if _is_gate_level(circuit) else lower_to_gates(circuit).circuit
+    return sum(1 for cell in gates.cells if cell.op not in _NON_LOGIC)
+
+
+def register_bits(circuit: Circuit) -> int:
+    """Total number of state bits."""
+    return sum(reg.q.width for reg in circuit.registers)
+
+
+def cell_count(circuit: Circuit, include_wiring: bool = False) -> int:
+    """Number of cell instances (macrocells) in the circuit."""
+    if include_wiring:
+        return len(circuit.cells)
+    return sum(1 for cell in circuit.cells if cell.op not in WIRING_OPS and cell.op is not CellOp.CONST)
+
+
+@dataclass
+class CircuitStats:
+    """Size summary of one circuit."""
+
+    name: str
+    cells: int
+    gates: int
+    reg_bits: int
+    per_module_reg_bits: Dict[str, int] = field(default_factory=dict)
+    per_module_cells: Dict[str, int] = field(default_factory=dict)
+
+    def overhead_vs(self, base: "CircuitStats") -> Dict[str, float]:
+        """Fractional overhead of this circuit relative to ``base``.
+
+        Returns gate and register-bit overheads, e.g. ``{"gates": 2.93,
+        "reg_bits": 1.0}`` meaning +293 % gates and +100 % register bits.
+        """
+        def frac(ours: int, theirs: int) -> float:
+            return (ours - theirs) / theirs if theirs else 0.0
+
+        return {
+            "gates": frac(self.gates, base.gates),
+            "reg_bits": frac(self.reg_bits, base.reg_bits),
+        }
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute full statistics including per-module breakdowns."""
+    per_module_reg_bits: Dict[str, int] = {}
+    for reg in circuit.registers:
+        per_module_reg_bits[reg.q.module] = per_module_reg_bits.get(reg.q.module, 0) + reg.q.width
+    per_module_cells: Dict[str, int] = {}
+    for cell in circuit.cells:
+        if cell.op in WIRING_OPS or cell.op is CellOp.CONST:
+            continue
+        per_module_cells[cell.module] = per_module_cells.get(cell.module, 0) + 1
+    return CircuitStats(
+        name=circuit.name,
+        cells=cell_count(circuit),
+        gates=gate_count(circuit),
+        reg_bits=register_bits(circuit),
+        per_module_reg_bits=per_module_reg_bits,
+        per_module_cells=per_module_cells,
+    )

@@ -1,0 +1,12 @@
+"""Cycle-accurate two-value simulation of circuits.
+
+Plays the role Verilator plays in the paper: deterministic simulation of
+(instrumented) designs, with waveform capture for counterexample replay
+and VCD export for debugging.
+"""
+
+from repro.sim.simulator import Simulator, CompiledSimulator, make_simulator
+from repro.sim.waveform import Waveform
+from repro.sim.vcd import write_vcd
+
+__all__ = ["Simulator", "CompiledSimulator", "make_simulator", "Waveform", "write_vcd"]

@@ -1,0 +1,101 @@
+"""Human-readable rendering of waveforms and counterexample traces.
+
+Turns a counterexample into the kind of table an RTL engineer actually
+reads: one row per signal, one column per cycle, with decoded
+instructions for program counters / instruction words when a core is
+involved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.waveform import Waveform
+
+
+def format_waveform(
+    waveform: Waveform,
+    signals: Sequence[str],
+    start: int = 0,
+    end: Optional[int] = None,
+    radix: str = "dec",
+) -> str:
+    """Render selected signals over a cycle range as an aligned table."""
+    end = waveform.length if end is None else min(end, waveform.length)
+    cycles = list(range(start, end))
+
+    def fmt(value: int) -> str:
+        if radix == "hex":
+            return f"{value:x}"
+        if radix == "bin":
+            return f"{value:b}"
+        return str(value)
+
+    name_width = max((len(s) for s in signals), default=5)
+    rows = []
+    cell_widths = []
+    for cycle in cycles:
+        width = max(
+            [len(fmt(waveform.value(sig, cycle))) for sig in signals]
+            + [len(str(cycle))]
+        )
+        cell_widths.append(width)
+    header = " " * (name_width + 2) + "  ".join(
+        f"{cycle:>{w}}" for cycle, w in zip(cycles, cell_widths)
+    )
+    rows.append(header)
+    rows.append("-" * len(header))
+    for sig in signals:
+        cells = "  ".join(
+            f"{fmt(waveform.value(sig, cycle)):>{w}}"
+            for cycle, w in zip(cycles, cell_widths)
+        )
+        rows.append(f"{sig:<{name_width}}  {cells}")
+    return "\n".join(rows)
+
+
+def format_counterexample(
+    cex,
+    circuit,
+    signals: Optional[Sequence[str]] = None,
+    radix: str = "dec",
+) -> str:
+    """Replay a counterexample and render the interesting signals.
+
+    Defaults to the circuit outputs plus any non-zero initial-state
+    registers (usually the secret and the program).
+    """
+    names = list(signals) if signals is not None else [
+        sig.name for sig in circuit.outputs
+    ]
+    waveform = cex.replay(circuit, record=names)
+    lines = [f"counterexample: {cex.length} cycles"]
+    interesting_init = {
+        name: value for name, value in sorted(cex.initial_state.items())
+        if value != 0
+    }
+    if interesting_init:
+        lines.append("non-zero initial state:")
+        for name, value in list(interesting_init.items())[:12]:
+            lines.append(f"  {name} = {value}")
+        if len(interesting_init) > 12:
+            lines.append(f"  ... and {len(interesting_init) - 12} more")
+    lines.append(format_waveform(waveform, names, radix=radix))
+    return "\n".join(lines)
+
+
+def decode_program_of(cex, core) -> List[str]:
+    """Disassemble the instruction memory a counterexample chose.
+
+    Only meaningful for core counterexamples where the program was
+    universally quantified: shows the program the solver synthesized.
+    """
+    from repro.cores.isa import decode
+
+    out = []
+    for index, word_name in enumerate(core.imem_words):
+        word = cex.initial_state.get(word_name)
+        if word is None:
+            continue
+        out.append(f"{index:3d}: {str(decode(word)):<24} ; 0x{word:04x}")
+    return out

@@ -1,0 +1,63 @@
+"""Minimal VCD (Value Change Dump) writer for waveforms.
+
+Lets users inspect counterexample traces and simulation runs in any
+standard waveform viewer (GTKWave etc.).
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, Iterable, Optional, TextIO
+
+from repro.hdl.circuit import Circuit
+from repro.sim.waveform import Waveform
+
+_ID_ALPHABET = string.ascii_letters + string.digits + "!#$%&'()*+,-./:;<=>?@[]^_`{|}~"
+
+
+def _identifier(index: int) -> str:
+    """Short printable VCD identifier for the index-th signal."""
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_ALPHABET))
+        chars.append(_ID_ALPHABET[rem])
+    return "".join(chars)
+
+
+def write_vcd(
+    waveform: Waveform,
+    circuit: Circuit,
+    stream: TextIO,
+    signals: Optional[Iterable[str]] = None,
+    timescale: str = "1ns",
+) -> None:
+    """Write ``waveform`` as VCD text to ``stream``.
+
+    Signals are grouped into scopes following their hierarchical names.
+    """
+    names = [n for n in (signals or waveform.signal_names) if waveform.has_signal(n)]
+    widths = {n: circuit.signal(n).width for n in names if n in circuit.signals}
+    names = [n for n in names if n in widths]
+    ids = {name: _identifier(i) for i, name in enumerate(names)}
+
+    stream.write(f"$timescale {timescale} $end\n")
+    stream.write(f"$scope module {circuit.name.replace(' ', '_')} $end\n")
+    for name in names:
+        safe = name.replace(" ", "_")
+        stream.write(f"$var wire {widths[name]} {ids[name]} {safe} $end\n")
+    stream.write("$upscope $end\n$enddefinitions $end\n")
+
+    previous: Dict[str, Optional[int]] = {name: None for name in names}
+    for cycle in range(waveform.length):
+        stream.write(f"#{cycle}\n")
+        for name in names:
+            value = waveform.value(name, cycle)
+            if value == previous[name]:
+                continue
+            previous[name] = value
+            if widths[name] == 1:
+                stream.write(f"{value}{ids[name]}\n")
+            else:
+                stream.write(f"b{value:b} {ids[name]}\n")
+    stream.write(f"#{waveform.length}\n")

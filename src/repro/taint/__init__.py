@@ -1,0 +1,42 @@
+"""The three-dimensional taint space and instrumentation pass.
+
+Implements the paper's Section 3 taxonomy (unit level × taint-bit
+granularity × logic complexity), the sound per-cell propagation
+policies for every point of that space, the instrumentation compiler
+pass (the paper's FIRRTL pass), preset schemes for prior work
+(GLIFT, RTLIFT, CellIFT, …; Table 5), and overhead metrics (Figure 5).
+"""
+
+from repro.taint.space import (
+    UnitLevel,
+    Granularity,
+    Complexity,
+    TaintOption,
+    TaintScheme,
+    refinement_ladder,
+    PRESETS,
+    cellift_scheme,
+    glift_scheme,
+    blackbox_scheme,
+)
+from repro.taint.instrument import InstrumentedDesign, instrument, TaintSources
+from repro.taint.metrics import instrumentation_overhead, OverheadReport, scheme_summary
+
+__all__ = [
+    "UnitLevel",
+    "Granularity",
+    "Complexity",
+    "TaintOption",
+    "TaintScheme",
+    "refinement_ladder",
+    "PRESETS",
+    "cellift_scheme",
+    "glift_scheme",
+    "blackbox_scheme",
+    "InstrumentedDesign",
+    "instrument",
+    "TaintSources",
+    "instrumentation_overhead",
+    "OverheadReport",
+    "scheme_summary",
+]

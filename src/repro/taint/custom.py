@@ -1,0 +1,87 @@
+"""Custom module-level taint logic (paper Sections 3.1, 3.2, 5.4).
+
+Module-level taint schemes "require domain knowledge and … can only be
+done manually" — they are the escape hatch when Compass raises a
+:class:`~repro.cegar.refine.CorrelationImprecisionAlert`: the user
+writes taint logic for the whole module that exploits semantic facts
+the per-cell composition cannot see (e.g. that ``(x ^ k) ^ k == x``, so
+the output does not actually depend on ``k``).
+
+A handler is attached to a :class:`~repro.taint.space.TaintScheme` via
+``scheme.custom_modules[module_path] = handler``; the instrumentation
+pass then delegates all taint computation for signals produced inside
+that module to the handler.
+
+Two ready-made handlers:
+
+- :class:`PassthroughTaint` — declares that each module output is
+  semantically equal to (or only depends on) a given set of module
+  inputs; output taint is the OR of those inputs' taints.  This is the
+  classic fix for correlation-based imprecision such as masking
+  (``(s & a) | (~s & a) == a``) or double-XOR.
+- :class:`ConstantCleanTaint` — declares module outputs to be always
+  untainted (for modules proven, by other means, to never carry
+  secrets; HybriDIFT-style customization for address-decode logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+from repro.hdl.signals import Signal
+from repro.taint.emitter import Emitter
+
+
+class CustomTaintHandler:
+    """Interface for user-supplied module-level taint logic.
+
+    ``output_taint`` is called lazily for each signal produced inside
+    the module that the rest of the design (or a monitor) consumes.
+    ``taint_of(name)`` returns the taint signal of any signal produced
+    *outside* the module (typically the module's inputs).
+    """
+
+    def output_taint(
+        self,
+        signal: Signal,
+        taint_of: Callable[[str], Signal],
+        em: Emitter,
+        module: str,
+    ) -> Signal:
+        raise NotImplementedError
+
+    def state_reset_taint(self) -> int:
+        """Initial taint of the module's (abstracted) state; 0 = clean."""
+        return 0
+
+
+@dataclass
+class PassthroughTaint(CustomTaintHandler):
+    """Output taint = OR of the declared source inputs' taints.
+
+    ``dependencies`` maps each module output signal name to the input
+    signal names its value *semantically* depends on.  Soundness is the
+    user's obligation (this is manual, module-level taint logic); the
+    test suite shows how to validate a handler against ground truth.
+    """
+
+    dependencies: Mapping[str, Sequence[str]]
+
+    def output_taint(self, signal, taint_of, em, module):
+        sources = self.dependencies.get(signal.name)
+        if sources is None:
+            raise KeyError(
+                f"custom taint for module {module!r} has no dependency entry "
+                f"for output {signal.name!r}"
+            )
+        taints = [em.adapt(taint_of(name), 1, module) for name in sources]
+        return em.or_tree(taints, module)
+
+
+@dataclass
+class ConstantCleanTaint(CustomTaintHandler):
+    """Module outputs are always untainted (use with care)."""
+
+    def output_taint(self, signal, taint_of, em, module):
+        return em.zeros(1, module)

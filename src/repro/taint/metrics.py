@@ -1,0 +1,151 @@
+"""Instrumentation overhead metrics (Figure 5) and scheme summaries (Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hdl.cells import CellOp, WIRING_OPS
+from repro.hdl.circuit import Circuit
+from repro.hdl.stats import circuit_stats, gate_count, register_bits
+from repro.taint.instrument import InstrumentedDesign
+from repro.taint.space import Complexity, Granularity
+
+
+@dataclass
+class OverheadReport:
+    """Size of an instrumented design relative to the uninstrumented DUV."""
+
+    design: str
+    scheme: str
+    base_gates: int
+    base_reg_bits: int
+    inst_gates: int
+    inst_reg_bits: int
+
+    @property
+    def gate_overhead(self) -> float:
+        """Fractional extra gates, e.g. 2.93 for the paper's 293 %."""
+        return (self.inst_gates - self.base_gates) / self.base_gates if self.base_gates else 0.0
+
+    @property
+    def reg_bit_overhead(self) -> float:
+        return (
+            (self.inst_reg_bits - self.base_reg_bits) / self.base_reg_bits
+            if self.base_reg_bits else 0.0
+        )
+
+    def row(self) -> str:
+        return (
+            f"{self.design:<12} {self.scheme:<12} "
+            f"gates +{self.gate_overhead * 100:6.1f}%   "
+            f"reg bits +{self.reg_bit_overhead * 100:6.1f}%"
+        )
+
+
+def instrumentation_overhead(design: InstrumentedDesign) -> OverheadReport:
+    return OverheadReport(
+        design=design.original.name,
+        scheme=design.scheme.name,
+        base_gates=gate_count(design.original),
+        base_reg_bits=register_bits(design.original),
+        inst_gates=gate_count(design.circuit),
+        inst_reg_bits=register_bits(design.circuit),
+    )
+
+
+@dataclass
+class ModuleSchemeRow:
+    """One row of a Table-4-style final-scheme summary."""
+
+    module: str
+    granularity: str       # "module", "word", "bit" or "mixed"
+    taint_bits: int
+    orig_bits: int
+    refined_cells: int
+    orig_cells: int
+
+    def format(self) -> str:
+        return (
+            f"{self.module:<28} {self.granularity:<8} "
+            f"({self.taint_bits}/{self.orig_bits})"
+            f"{'':4}{self.refined_cells}/{self.orig_cells}"
+        )
+
+
+def scheme_summary(design: InstrumentedDesign, depth: int = 2) -> List[ModuleSchemeRow]:
+    """Summarise the applied taint scheme per module (Table 4 format).
+
+    ``depth`` limits how deep the module hierarchy is expanded; deeper
+    modules aggregate into their ancestor at that depth.
+    """
+    def truncate(path: str) -> str:
+        parts = path.split(".") if path else []
+        return ".".join(parts[:depth]) if parts else "(top)"
+
+    orig = design.original
+    rows: Dict[str, Dict[str, int]] = {}
+
+    def bucket(path: str) -> Dict[str, int]:
+        key = truncate(path)
+        if key not in rows:
+            rows[key] = {
+                "taint_bits": 0, "orig_bits": 0, "refined": 0, "cells": 0,
+                "word_regs": 0, "bit_regs": 0, "module_regs": 0,
+            }
+        return rows[key]
+
+    taint_reg_names = set()
+    for reg in design.circuit.registers:
+        taint_reg_names.add(reg.q.name)
+
+    for reg in orig.registers:
+        entry = bucket(reg.q.module)
+        entry["orig_bits"] += reg.q.width
+        region = design.scheme.effective_blackbox(reg.q.module)
+        if region is not None:
+            entry["module_regs"] += 1
+            continue
+        gran = design.scheme.granularity_for_register(reg.q.name, reg.q.module)
+        if gran is Granularity.BIT:
+            entry["taint_bits"] += reg.q.width
+            entry["bit_regs"] += 1
+        else:
+            entry["taint_bits"] += 1
+            entry["word_regs"] += 1
+
+    # Each blackbox region contributes exactly one taint bit.
+    for region in design.module_taint:
+        bucket(region)["taint_bits"] += 1
+
+    for cell in orig.cells:
+        if cell.op in WIRING_OPS or cell.op is CellOp.CONST:
+            continue
+        entry = bucket(cell.module)
+        entry["cells"] += 1
+        option = design.applied_options.get(cell.out.name)
+        if option is not None and option.complexity is not Complexity.NAIVE:
+            entry["refined"] += 1
+
+    out: List[ModuleSchemeRow] = []
+    for module in sorted(rows):
+        entry = rows[module]
+        kinds = [
+            name for name, count in (
+                ("module", entry["module_regs"]),
+                ("word", entry["word_regs"]),
+                ("bit", entry["bit_regs"]),
+            ) if count
+        ]
+        granularity = kinds[0] if len(kinds) == 1 else ("mixed" if kinds else "word")
+        out.append(
+            ModuleSchemeRow(
+                module=module,
+                granularity=granularity,
+                taint_bits=entry["taint_bits"],
+                orig_bits=entry["orig_bits"],
+                refined_cells=entry["refined"],
+                orig_cells=entry["cells"],
+            )
+        )
+    return out

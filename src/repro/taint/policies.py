@@ -1,0 +1,273 @@
+"""Sound taint-propagation policies for every cell operator.
+
+For each cell op and each (granularity, complexity) point this module
+emits propagation logic that *over-approximates* information flow
+(soundness: no false negatives), exactly as required by Section 2.2 of
+the paper.  Higher complexities consume dynamic input values to sharpen
+the result, e.g. for a 1-bit AND gate:
+
+- naive:    ``Ot = At | Bt``
+- partial:  ``Ot = At | (A & Bt)``
+- full:     ``Ot = (B & At) | (A & Bt) | (At & Bt)``
+
+and the cell-level MUX uses the paper's Formula 1.
+
+Notes on two operator families:
+
+- Adders: the refined option uses a *carry smear* — a tainted bit can
+  only influence equal-or-higher sum bits.  (A naive min/max interval
+  XOR is unsound: with ``S_min=1, S_max=3`` bit 0 still varies across
+  the interval even though ``S_min ^ S_max = 0b10``.)
+- Comparators: the refined option derives stability from the interval
+  ``[X & ~Xt, X | Xt]`` each operand is confined to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.signals import Signal
+from repro.taint.emitter import Emitter
+from repro.taint.space import Complexity, Granularity, TaintOption
+
+_N, _P, _F = Complexity.NAIVE, Complexity.PARTIAL, Complexity.FULL
+
+#: Complexities with *distinct* propagation logic per (op, granularity).
+#: Ops not listed only have the naive option at that granularity.
+_DISTINCT_BIT: Dict[CellOp, Tuple[Complexity, ...]] = {
+    CellOp.AND: (_N, _P, _F),
+    CellOp.OR: (_N, _P, _F),
+    CellOp.MUX: (_N, _P, _F),
+    CellOp.ADD: (_N, _P),
+    CellOp.SUB: (_N, _P),
+    CellOp.EQ: (_N, _F),
+    CellOp.NEQ: (_N, _F),
+    CellOp.ULT: (_N, _F),
+    CellOp.ULE: (_N, _F),
+    CellOp.SHL: (_N, _F),
+    CellOp.SHR: (_N, _F),
+    CellOp.REDOR: (_N, _F),
+    CellOp.REDAND: (_N, _F),
+}
+
+_DISTINCT_WORD: Dict[CellOp, Tuple[Complexity, ...]] = {
+    CellOp.AND: (_N, _P, _F),
+    CellOp.OR: (_N, _P, _F),
+    CellOp.MUX: (_N, _P, _F),
+}
+
+
+def distinct_complexities(op: CellOp, granularity: Granularity) -> Tuple[Complexity, ...]:
+    """Complexities that produce distinct logic for this op/granularity."""
+    table = _DISTINCT_BIT if granularity is Granularity.BIT else _DISTINCT_WORD
+    return table.get(op, (_N,))
+
+
+def effective_complexity(op: CellOp, option: TaintOption) -> Complexity:
+    """Clamp a requested complexity to the highest distinct one <= it."""
+    available = distinct_complexities(op, option.granularity)
+    best = _N
+    for comp in available:
+        if comp.order <= option.complexity.order:
+            best = comp
+    return best
+
+
+def propagate(
+    cell: Cell,
+    option: TaintOption,
+    in_taints: Sequence[Signal],
+    em: Emitter,
+) -> Signal:
+    """Emit taint logic for ``cell`` and return its output-taint signal.
+
+    ``in_taints[i]`` is the (unadapted) taint signal of ``cell.ins[i]``;
+    the returned signal has width ``cell.out.width`` for BIT granularity
+    and width 1 for WORD granularity.
+    """
+    if option.granularity is Granularity.BIT:
+        return _propagate_bit(cell, option.complexity, list(in_taints), em)
+    return _propagate_word(cell, option.complexity, list(in_taints), em)
+
+
+# ---------------------------------------------------------------------------
+# WORD granularity: every taint is 1 bit
+# ---------------------------------------------------------------------------
+
+def _propagate_word(
+    cell: Cell, complexity: Complexity, in_taints: List[Signal], em: Emitter
+) -> Signal:
+    m = cell.module
+    taints = [em.adapt(t, 1, m) for t in in_taints]
+    op = cell.op
+    if op is CellOp.CONST:
+        return em.zeros(1, m)
+    if op in (CellOp.BUF, CellOp.NOT, CellOp.SLICE, CellOp.ZEXT, CellOp.SEXT,
+              CellOp.REDOR, CellOp.REDAND, CellOp.REDXOR):
+        return taints[0]
+    naive = em.or_tree(taints, m)
+    if complexity is _N:
+        return naive
+    if op is CellOp.MUX:
+        sel, a, b = cell.ins
+        st, at, bt = taints
+        selected = em.mux(sel, at, bt, m)
+        if complexity is _P:
+            return em.or_(st, selected, module=m)
+        differs = em.or_(em.neq(a, b, m), at, bt, module=m)
+        return em.or_(em.and_(st, differs, module=m), selected, module=m)
+    if op in (CellOp.AND, CellOp.OR):
+        if len(cell.ins) != 2:
+            return naive
+        a, b = cell.ins
+        at, bt = taints
+        if op is CellOp.AND:
+            # X "passes" information only if it can be non-zero.
+            a_live = em.redor(a, m)
+            b_live = em.redor(b, m)
+        else:
+            # For OR, an all-ones operand saturates the output.
+            a_live = em.not_(em.redand(a, m), m)
+            b_live = em.not_(em.redand(b, m), m)
+        if complexity is _P:
+            return em.or_(at, em.and_(a_live, bt, module=m), module=m)
+        pass_a = em.and_(em.or_(b_live, bt, module=m), at, module=m)
+        pass_b = em.and_(em.or_(a_live, at, module=m), bt, module=m)
+        return em.or_(pass_a, pass_b, module=m)
+    return naive
+
+
+# ---------------------------------------------------------------------------
+# BIT granularity: taints mirror data widths
+# ---------------------------------------------------------------------------
+
+def _propagate_bit(
+    cell: Cell, complexity: Complexity, in_taints: List[Signal], em: Emitter
+) -> Signal:
+    m = cell.module
+    op = cell.op
+    out_w = cell.out.width
+    taints = [em.adapt(t, sig.width, m) for t, sig in zip(in_taints, cell.ins)]
+
+    if op is CellOp.CONST:
+        return em.zeros(out_w, m)
+    if op in (CellOp.BUF, CellOp.NOT):
+        return taints[0]
+    if op is CellOp.XOR:
+        return em.or_tree(taints, m, width=out_w)
+    if op is CellOp.CONCAT:
+        return em.concat(taints, m)
+    if op is CellOp.SLICE:
+        return em.slice_(taints[0], cell.param("lo"), cell.param("hi"), m)
+    if op is CellOp.ZEXT:
+        return em.zext(taints[0], out_w, m)
+    if op is CellOp.SEXT:
+        return em.sext(taints[0], out_w, m)
+    if op is CellOp.REDXOR:
+        return em.redor(taints[0], m)
+
+    if op in (CellOp.AND, CellOp.OR):
+        if len(cell.ins) != 2:
+            return _splat_naive(cell, taints, em)
+        a, b = cell.ins
+        at, bt = taints
+        if complexity is _N:
+            return em.or_(at, bt, module=m)
+        if op is CellOp.AND:
+            a_pass, b_pass = a, b
+        else:
+            a_pass, b_pass = em.not_(a, m), em.not_(b, m)
+        if complexity is _P:
+            return em.or_(at, em.and_(a_pass, bt, module=m), module=m)
+        return em.or_(
+            em.and_(b_pass, at, module=m),
+            em.and_(a_pass, bt, module=m),
+            em.and_(at, bt, module=m),
+            module=m,
+        )
+
+    if op is CellOp.MUX:
+        sel, a, b = cell.ins
+        st1, at, bt = in_taints[0], taints[1], taints[2]
+        st = em.adapt(st1, 1, m)
+        if complexity is _N:
+            return em.or_(em.sext(st, out_w, m), at, bt, module=m)
+        selected = em.mux(sel, at, bt, m)
+        if complexity is _P:
+            return em.or_(em.sext(st, out_w, m), selected, module=m)
+        # Formula 1, per bit: St & ((A_i != B_i) | At_i | Bt_i) | (S ? At_i : Bt_i)
+        differs = em.or_(em.xor(a, b, m), at, bt, module=m)
+        gated = em.and_(em.sext(st, out_w, m), differs, module=m)
+        return em.or_(gated, selected, module=m)
+
+    if op in (CellOp.ADD, CellOp.SUB):
+        any_t = em.or_(taints[0], taints[1], module=m)
+        if complexity is _N:
+            return _splat(em.redor(any_t, m), out_w, em, m)
+        return em.smear_up(any_t, m)
+
+    if op in (CellOp.EQ, CellOp.NEQ):
+        a, b = cell.ins
+        at, bt = taints
+        any_t = em.redor(em.or_(at, bt, module=m), m)
+        if complexity is _N:
+            return any_t
+        stable_bits = em.or_(em.not_(em.xor(a, b, m), m), at, bt, module=m)
+        could_be_equal = em.redand(stable_bits, m)
+        return em.and_(could_be_equal, any_t, module=m)
+
+    if op in (CellOp.ULT, CellOp.ULE):
+        a, b = cell.ins
+        at, bt = taints
+        any_t = em.redor(em.or_(at, bt, module=m), m)
+        if complexity is _N:
+            return any_t
+        a_min = em.and_(a, em.not_(at, m), module=m)
+        a_max = em.or_(a, at, module=m)
+        b_min = em.and_(b, em.not_(bt, m), module=m)
+        b_max = em.or_(b, bt, module=m)
+        if op is CellOp.ULT:
+            always_1 = em.ult(a_max, b_min, m)
+            always_0 = em.ule(b_max, a_min, m)
+        else:
+            always_1 = em.ule(a_max, b_min, m)
+            always_0 = em.ult(b_max, a_min, m)
+        stable = em.or_(always_1, always_0, module=m)
+        return em.and_(em.not_(stable, m), any_t, module=m)
+
+    if op in (CellOp.SHL, CellOp.SHR):
+        a, sh = cell.ins
+        at, sht = taints
+        sh_tainted = em.redor(sht, m)
+        if complexity is _N:
+            any_t = em.or_(em.redor(at, m), sh_tainted, module=m)
+            return _splat(any_t, out_w, em, m)
+        shifted = em.shl(at, sh, m) if op is CellOp.SHL else em.shr(at, sh, m)
+        return em.mux(sh_tainted, em.ones(out_w, m), shifted, m)
+
+    if op in (CellOp.REDOR, CellOp.REDAND):
+        a = cell.ins[0]
+        at = taints[0]
+        any_t = em.redor(at, m)
+        if complexity is _N:
+            return any_t
+        untainted = em.not_(at, m)
+        if op is CellOp.REDOR:
+            # A stable 1 in an untainted position pins the output to 1.
+            stable = em.redor(em.and_(a, untainted, module=m), m)
+        else:
+            stable = em.redor(em.and_(em.not_(a, m), untainted, module=m), m)
+        return em.and_(em.not_(stable, m), any_t, module=m)
+
+    return _splat_naive(cell, taints, em)
+
+
+def _splat(bit: Signal, width: int, em: Emitter, module: str) -> Signal:
+    return em.sext(bit, width, module)
+
+
+def _splat_naive(cell: Cell, taints: List[Signal], em: Emitter) -> Signal:
+    m = cell.module
+    reduced = [em.redor(t, m) for t in taints]
+    return _splat(em.or_tree(reduced, m), cell.out.width, em, m)

@@ -1,0 +1,90 @@
+"""Taint scheme serialization: persist and reload refined schemes.
+
+A CEGAR run's product is the refined :class:`TaintScheme`; saving it
+lets users re-instrument later (new simulations, deeper verification
+runs, scheme diffing) without re-running refinement.  Custom module
+handlers are code, not data — they are recorded by name only and must
+be re-attached on load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TextIO
+
+from repro.taint.space import (
+    Complexity,
+    Granularity,
+    TaintOption,
+    TaintScheme,
+    UnitLevel,
+)
+
+FORMAT_VERSION = 1
+
+
+def scheme_to_dict(scheme: TaintScheme) -> Dict[str, Any]:
+    def option(opt: TaintOption):
+        return [opt.granularity.value, opt.complexity.value]
+
+    return {
+        "format": "repro-taint-scheme",
+        "version": FORMAT_VERSION,
+        "name": scheme.name,
+        "unit_level": scheme.unit_level.value,
+        "default": option(scheme.default),
+        "blackboxes": sorted(scheme.blackboxes),
+        "cell_options": {name: option(opt) for name, opt in scheme.cell_options.items()},
+        "register_granularity": {
+            name: gran.value for name, gran in scheme.register_granularity.items()
+        },
+        "module_defaults": {
+            path: option(opt) for path, opt in scheme.module_defaults.items()
+        },
+        "custom_modules": sorted(scheme.custom_modules),  # names only
+    }
+
+
+def scheme_from_dict(data: Dict[str, Any]) -> TaintScheme:
+    if data.get("format") != "repro-taint-scheme":
+        raise ValueError("not a repro-taint-scheme document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported scheme version {data.get('version')!r}")
+
+    def option(pair) -> TaintOption:
+        return TaintOption(Granularity(pair[0]), Complexity(pair[1]))
+
+    scheme = TaintScheme(
+        name=data["name"],
+        unit_level=UnitLevel(data["unit_level"]),
+        default=option(data["default"]),
+        blackboxes=set(data.get("blackboxes", ())),
+        cell_options={k: option(v) for k, v in data.get("cell_options", {}).items()},
+        register_granularity={
+            k: Granularity(v)
+            for k, v in data.get("register_granularity", {}).items()
+        },
+        module_defaults={
+            k: option(v) for k, v in data.get("module_defaults", {}).items()
+        },
+    )
+    if data.get("custom_modules"):
+        raise ValueError(
+            "scheme uses custom module handlers "
+            f"({', '.join(data['custom_modules'])}); re-attach them to "
+            "scheme.custom_modules after loading with load_scheme(..., "
+            "allow_custom=True)"
+        )
+    return scheme
+
+
+def save_scheme(scheme: TaintScheme, stream: TextIO) -> None:
+    json.dump(scheme_to_dict(scheme), stream, indent=1)
+
+
+def load_scheme(stream: TextIO, allow_custom: bool = False) -> TaintScheme:
+    data = json.load(stream)
+    if allow_custom:
+        data = dict(data)
+        data["custom_modules"] = []
+    return scheme_from_dict(data)

@@ -1,0 +1,294 @@
+"""The three-dimensional taint space (paper Section 3).
+
+Dimensions:
+
+- **Unit level** — at which abstraction the propagation logic is
+  designed: netlist *gates*, HDL *cells* (macrocells), or whole
+  *modules*.
+- **Taint-bit granularity** — one taint bit per data *bit*, per *word*
+  (one bit tracks a whole multi-bit signal), or per *register group*
+  (one bit for all the registers of a module; realised here as
+  per-module blackboxing, matching the paper's footnote-2 restriction
+  of never grouping wires).
+- **Logic complexity** — how much dynamic (run-time value) information
+  the propagation logic consumes: *naive* (none), *partially dynamic*
+  (a subset of inputs), *fully dynamic* (all inputs).
+
+A :class:`TaintScheme` assigns a :class:`TaintOption` to every cell (by
+default, per-scheme) plus a set of blackboxed modules; it is the object
+the CEGAR loop mutates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+
+class UnitLevel(enum.Enum):
+    GATE = "gate"
+    CELL = "cell"
+    MODULE = "module"
+
+
+class Granularity(enum.Enum):
+    BIT = "bit"
+    WORD = "word"
+    MODULE = "module"  # one bit per register group (a module's registers)
+
+    @property
+    def order(self) -> int:
+        return {"module": 0, "word": 1, "bit": 2}[self.value]
+
+
+class Complexity(enum.Enum):
+    NAIVE = "naive"
+    PARTIAL = "partial"
+    FULL = "full"
+
+    @property
+    def order(self) -> int:
+        return {"naive": 0, "partial": 1, "full": 2}[self.value]
+
+
+@dataclass(frozen=True, order=False)
+class TaintOption:
+    """A point in the (granularity, complexity) plane for one location."""
+
+    granularity: Granularity
+    complexity: Complexity
+
+    def __str__(self) -> str:
+        return f"{self.granularity.value}/{self.complexity.value}"
+
+    @property
+    def cost(self) -> Tuple[int, int]:
+        """Lexicographic overhead order used by the refinement ladder."""
+        return (self.granularity.order, self.complexity.order)
+
+
+#: The paper's Figure 4 ordering: starting from the blackbox scheme,
+#: first increase logic complexity, then refine bit granularity (with
+#: full dynamic logic), and only then fall back to module-level
+#: customization (which is manual and handled outside this ladder).
+REFINEMENT_LADDER: Tuple[TaintOption, ...] = (
+    TaintOption(Granularity.WORD, Complexity.NAIVE),
+    TaintOption(Granularity.WORD, Complexity.PARTIAL),
+    TaintOption(Granularity.WORD, Complexity.FULL),
+    TaintOption(Granularity.BIT, Complexity.NAIVE),
+    TaintOption(Granularity.BIT, Complexity.PARTIAL),
+    TaintOption(Granularity.BIT, Complexity.FULL),
+)
+
+
+def refinement_ladder(current: Optional[TaintOption] = None) -> List[TaintOption]:
+    """Options strictly more precise than ``current``, cheapest first."""
+    if current is None:
+        return list(REFINEMENT_LADDER)
+    try:
+        index = REFINEMENT_LADDER.index(current)
+    except ValueError:
+        return [opt for opt in REFINEMENT_LADDER if opt.cost > current.cost]
+    return list(REFINEMENT_LADDER[index + 1:])
+
+
+@dataclass
+class TaintScheme:
+    """A full taint-scheme assignment for one design.
+
+    Attributes:
+        name: Human-readable scheme name.
+        unit_level: The level the scheme's logic is generated at; GATE
+            means the design is lowered to gates before instrumenting.
+        default: Option used for every cell without an override.
+        blackboxes: Module paths tracked by a single taint register bit
+            (the paper's Step 1 "blackboxing" initial scheme).
+        cell_options: Per-cell overrides, keyed by the cell's output
+            signal name (unique per cell).
+        register_granularity: Per-register granularity overrides.
+        module_defaults: Per-module-subtree default options (longest
+            prefix wins).  Used e.g. to pin the ISA shadow machine at
+            CellIFT precision while the DUV is refined.
+    """
+
+    name: str
+    unit_level: UnitLevel = UnitLevel.CELL
+    default: TaintOption = TaintOption(Granularity.WORD, Complexity.NAIVE)
+    blackboxes: Set[str] = field(default_factory=set)
+    cell_options: Dict[str, TaintOption] = field(default_factory=dict)
+    register_granularity: Dict[str, Granularity] = field(default_factory=dict)
+    module_defaults: Dict[str, TaintOption] = field(default_factory=dict)
+    #: Manual module-level taint logic (see :mod:`repro.taint.custom`).
+    custom_modules: Dict[str, object] = field(default_factory=dict)
+
+    def copy(self, name: Optional[str] = None) -> "TaintScheme":
+        return TaintScheme(
+            name=name or self.name,
+            unit_level=self.unit_level,
+            default=self.default,
+            blackboxes=set(self.blackboxes),
+            cell_options=dict(self.cell_options),
+            register_granularity=dict(self.register_granularity),
+            module_defaults=dict(self.module_defaults),
+            custom_modules=dict(self.custom_modules),
+        )
+
+    # -- queries ---------------------------------------------------------
+    def _module_default(self, module_path: str) -> Optional[TaintOption]:
+        if not self.module_defaults:
+            return None
+        path = module_path
+        while path:
+            option = self.module_defaults.get(path)
+            if option is not None:
+                return option
+            dot = path.rfind(".")
+            path = path[:dot] if dot >= 0 else ""
+        return None
+
+    def option_for_cell(self, cell_out_name: str, module: str = "") -> TaintOption:
+        override = self.cell_options.get(cell_out_name)
+        if override is not None:
+            return override
+        module_default = self._module_default(module)
+        if module_default is not None:
+            return module_default
+        return self.default
+
+    def granularity_for_register(self, register_name: str, module: str = "") -> Granularity:
+        gran = self.register_granularity.get(register_name)
+        if gran is not None:
+            return gran
+        module_default = self._module_default(module)
+        if module_default is not None and module_default.granularity is not Granularity.MODULE:
+            return module_default.granularity
+        if self.default.granularity is Granularity.MODULE:
+            return Granularity.WORD
+        return self.default.granularity
+
+    def effective_blackbox(self, module_path: str) -> Optional[str]:
+        """The outermost blackboxed ancestor of ``module_path``, if any."""
+        best: Optional[str] = None
+        path = module_path
+        while path:
+            if path in self.blackboxes:
+                best = path
+            dot = path.rfind(".")
+            path = path[:dot] if dot >= 0 else ""
+        return best
+
+    def effective_region(self, module_path: str) -> Optional[Tuple[str, str]]:
+        """The outermost special region containing ``module_path``.
+
+        Returns ``(region path, kind)`` with kind ``"custom"`` or
+        ``"blackbox"``; custom logic wins over blackboxing for the same
+        path (attaching a handler refines the blackbox).
+        """
+        best: Optional[Tuple[str, str]] = None
+        path = module_path
+        while path:
+            if path in self.custom_modules:
+                best = (path, "custom")
+            elif path in self.blackboxes:
+                best = (path, "blackbox")
+            dot = path.rfind(".")
+            path = path[:dot] if dot >= 0 else ""
+        return best
+
+    # -- mutations used by the CEGAR loop ---------------------------------
+    def open_blackbox(self, module_path: str) -> None:
+        """Refine a blackboxed module to per-word, naive-logic tracking."""
+        self.blackboxes.discard(module_path)
+
+    def refine_cell(self, cell_out_name: str, option: TaintOption) -> None:
+        self.cell_options[cell_out_name] = option
+
+    def refine_register(self, register_name: str, granularity: Granularity) -> None:
+        self.register_granularity[register_name] = granularity
+
+    def refined_cell_count(self) -> int:
+        """Cells whose logic uses dynamic values (partial or full)."""
+        return sum(
+            1 for opt in self.cell_options.values()
+            if opt.complexity is not Complexity.NAIVE
+        )
+
+
+# ---------------------------------------------------------------------------
+# Presets for the existing schemes of Table 5
+# ---------------------------------------------------------------------------
+
+def cellift_scheme() -> TaintScheme:
+    """CellIFT [39]: cell level, per-bit granularity, fully dynamic."""
+    return TaintScheme(
+        "CellIFT",
+        unit_level=UnitLevel.CELL,
+        default=TaintOption(Granularity.BIT, Complexity.FULL),
+    )
+
+
+def glift_scheme() -> TaintScheme:
+    """GLIFT [46]: gate level, per-bit granularity, fully dynamic."""
+    return TaintScheme(
+        "GLIFT",
+        unit_level=UnitLevel.GATE,
+        default=TaintOption(Granularity.BIT, Complexity.FULL),
+    )
+
+
+def rtlift_scheme(dynamic: bool = True) -> TaintScheme:
+    """RTLIFT [1]: cell level, per-bit, fully dynamic or naive."""
+    complexity = Complexity.FULL if dynamic else Complexity.NAIVE
+    return TaintScheme(
+        f"RTLIFT-{complexity.value}",
+        unit_level=UnitLevel.CELL,
+        default=TaintOption(Granularity.BIT, complexity),
+    )
+
+
+def imprecise_scheme(complexity: Complexity) -> TaintScheme:
+    """Imprecise Security [23] / Arbitrary Precision [6]: gate level,
+    per-bit, user-selected dynamic level."""
+    return TaintScheme(
+        f"Imprecise-{complexity.value}",
+        unit_level=UnitLevel.GATE,
+        default=TaintOption(Granularity.BIT, complexity),
+    )
+
+
+def blackbox_scheme(modules: Iterable[str], name: str = "blackbox") -> TaintScheme:
+    """The paper's Step-1 initial scheme: every listed module is tracked
+    by a single naive taint bit; glue logic defaults to word/naive."""
+    return TaintScheme(
+        name,
+        unit_level=UnitLevel.MODULE,
+        default=TaintOption(Granularity.WORD, Complexity.NAIVE),
+        blackboxes=set(modules),
+    )
+
+
+#: Table 5 rows: how existing schemes sit in the three-dimensional space.
+PRESETS: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "GLIFT [46]": {
+        "unit": ("gate",), "granularity": ("bit",), "complexity": ("full dyn",),
+    },
+    "[23], [6]": {
+        "unit": ("gate",), "granularity": ("bit",),
+        "complexity": ("full dyn", "partial dyn", "naive"),
+    },
+    "RTLIFT [1]": {
+        "unit": ("cell",), "granularity": ("bit",), "complexity": ("full dyn", "naive"),
+    },
+    "CellIFT [39]": {
+        "unit": ("cell",), "granularity": ("bit",), "complexity": ("full dyn", "naive"),
+    },
+    "HybriDIFT [40]": {
+        "unit": ("module",), "granularity": ("customized",), "complexity": ("customized",),
+    },
+    "Compass": {
+        "unit": ("gate", "cell", "module"),
+        "granularity": ("bit", "word", "reg group"),
+        "complexity": ("full dyn", "partial dyn", "naive"),
+    },
+}

@@ -1,0 +1,72 @@
+"""Refinement-by-testing on Rocket-lite: the Table 4 story.
+
+Runs the cheap simulation-only refinement mode on the full Rocket-lite
+core and checks the qualitative properties the paper reports for the
+final scheme: secrets-never-reach-it modules stay at module
+granularity, the DCache data path gets refined logic, and pruning
+removes some of the early unnecessary refinements.
+"""
+
+import pytest
+
+from repro.cores import CoreConfig, build_rocket
+from repro.contracts import make_contract_task
+from repro.cegar import CegarConfig, prune_refinements, run_compass
+from repro.cegar.loop import instrument_task
+from repro.taint import cellift_scheme, instrumentation_overhead, scheme_summary
+
+
+@pytest.fixture(scope="module")
+def rocket_result():
+    core = build_rocket(CoreConfig.formal())
+    task = make_contract_task(core)
+    result = run_compass(task, CegarConfig(
+        mc_enabled=False, sim_trials=96, sim_depth=16,
+        exact_validation=False, max_refinements=400,
+        max_counterexamples=200, seed=0,
+    ))
+    return core, task, result
+
+
+class TestRocketScheme:
+    def test_converges_without_model_checker(self, rocket_result):
+        _core, _task, result = rocket_result
+        assert result.secure
+        assert result.stats.refinements > 5
+        assert result.stats.counterexamples_eliminated > 3
+
+    def test_untouched_modules_stay_blackboxed(self, rocket_result):
+        """Paper Table 4: I/D-TLB, PTW, MulDiv keep a single taint bit."""
+        _core, _task, result = rocket_result
+        for module in ("ptw", "core.muldiv", "frontend.itlb", "dcache.dtlb"):
+            assert module in result.scheme.blackboxes, module
+
+    def test_dcache_gets_refined_logic(self, rocket_result):
+        """Paper Table 4: the DCache data path carries refined taint."""
+        core, task, result = rocket_result
+        design, _ = instrument_task(task, result.scheme)
+        rows = {r.module: r for r in scheme_summary(design, depth=1)}
+        assert rows["dcache"].refined_cells > 0
+
+    def test_lighter_than_cellift(self, rocket_result):
+        _core, task, result = rocket_result
+        compass_design, _ = instrument_task(task, result.scheme)
+        cellift = cellift_scheme()
+        cellift.module_defaults = dict(result.scheme.module_defaults)
+        cellift_design, _ = instrument_task(task, cellift)
+        compass = instrumentation_overhead(compass_design)
+        full = instrumentation_overhead(cellift_design)
+        assert compass.gate_overhead < full.gate_overhead
+        assert compass.reg_bit_overhead < 0.6       # paper: 15 % average
+        assert full.reg_bit_overhead == pytest.approx(1.0, abs=0.01)
+
+    def test_pruning_never_increases_refinements(self, rocket_result):
+        _core, task, result = rocket_result
+        pruned, report = prune_refinements(task, result.scheme,
+                                           result.stats.eliminated)
+        assert len(pruned.cell_options) <= len(result.scheme.cell_options)
+        assert report.attempted >= report.removed
+        # the pruned scheme still blocks every recorded counterexample
+        from repro.cegar.prune import _blocks_all
+
+        assert _blocks_all(task, pruned, result.stats.eliminated)

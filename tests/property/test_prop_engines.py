@@ -1,0 +1,86 @@
+"""Differential testing of the formal engines.
+
+BMC, k-induction and PDR implement the same question three ways; on
+random small sequential circuits their verdicts must agree:
+
+- PDR PROVED  -> BMC finds no counterexample at any depth it reaches;
+- BMC counterexample -> PDR must also report a counterexample;
+- both counterexamples must replay to an actual violation.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.hdl import ModuleBuilder
+from repro.formal import (
+    BmcStatus,
+    SafetyProperty,
+    bounded_model_check,
+    k_induction,
+)
+from repro.formal.induction import InductionStatus
+from repro.formal.pdr import PdrStatus, pdr_prove
+
+
+def _random_machine(seed: int, width: int = 3):
+    import random
+
+    rng = random.Random(seed)
+    b = ModuleBuilder(f"m{seed}")
+    inp = b.input("x", width)
+    regs = []
+    for i in range(rng.randint(1, 3)):
+        regs.append(b.reg(f"r{i}", width, reset=rng.randrange(1 << width)))
+    values = [inp] + regs
+    for _ in range(rng.randint(2, 6)):
+        op = rng.choice("add sub and or xor mux".split())
+        a, c = rng.choice(values), rng.choice(values)
+        if op == "add":
+            v = a + c
+        elif op == "sub":
+            v = a - c
+        elif op == "and":
+            v = a & c
+        elif op == "or":
+            v = a | c
+        elif op == "xor":
+            v = a ^ c
+        else:
+            v = b.mux(a.redor(), a, c)
+        values.append(v)
+    for reg in regs:
+        reg.drive(rng.choice(values))
+    target = rng.randrange(1 << width)
+    b.output("bad", rng.choice(values[1:]).eq(target))
+    return b.build()
+
+
+@given(seed=st.integers(min_value=0, max_value=120))
+@settings(max_examples=25, deadline=None)
+def test_pdr_and_bmc_agree(seed):
+    circ = _random_machine(seed)
+    prop = SafetyProperty("p", "bad")
+    bmc = bounded_model_check(circ, prop, max_bound=8, time_limit=20)
+    pdr = pdr_prove(circ, prop, max_frames=30, time_limit=20)
+    if pdr.status is PdrStatus.PROVED:
+        assert bmc.status is BmcStatus.BOUND_REACHED, (seed, bmc.status)
+    if bmc.status is BmcStatus.COUNTEREXAMPLE:
+        assert pdr.status is PdrStatus.COUNTEREXAMPLE, (seed, pdr.status)
+        # both witnesses must replay to genuine violations
+        for cex in (bmc.counterexample, pdr.counterexample):
+            wf = cex.replay(circ)
+            assert any(wf.value("bad", t) for t in range(wf.length)), seed
+
+
+@given(seed=st.integers(min_value=0, max_value=60))
+@settings(max_examples=15, deadline=None)
+def test_induction_proofs_confirmed_by_pdr(seed):
+    circ = _random_machine(seed)
+    prop = SafetyProperty("p", "bad")
+    ind = k_induction(circ, prop, max_k=4, time_limit=15, unique_states=True)
+    if ind.status is InductionStatus.PROVED:
+        pdr = pdr_prove(circ, prop, max_frames=30, time_limit=20)
+        assert pdr.status is PdrStatus.PROVED, seed
+    if ind.status is InductionStatus.COUNTEREXAMPLE:
+        bmc = bounded_model_check(circ, prop, max_bound=ind.counterexample.length)
+        assert bmc.status is BmcStatus.COUNTEREXAMPLE, seed

@@ -1,0 +1,68 @@
+"""Property-based SAT solver tests against brute force."""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.formal.sat.solver import Solver, SolveStatus
+
+
+def brute_force(num_vars, clauses, assumptions=()):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def true(lit):
+            v = bits[abs(lit) - 1]
+            return v if lit > 0 else not v
+
+        if all(true(a) for a in assumptions) and all(
+            any(true(l) for l in cl) for cl in clauses
+        ):
+            return True
+    return False
+
+
+literals = st.integers(min_value=1, max_value=7).flatmap(
+    lambda v: st.sampled_from([v, -v])
+)
+clause = st.lists(literals, min_size=1, max_size=4)
+formula = st.lists(clause, min_size=1, max_size=20)
+
+
+@given(clauses=formula)
+@settings(max_examples=150, deadline=None)
+def test_solver_matches_brute_force(clauses):
+    solver = Solver()
+    consistent = all(solver.add_clause(cl) for cl in clauses)
+    result = solver.solve() if consistent else None
+    got = consistent and result.status is SolveStatus.SAT
+    assert got == brute_force(7, clauses)
+    if got:
+        for cl in clauses:
+            assert any(result.lit_true(l) for l in cl)
+
+
+@given(clauses=formula, assumption_var=st.integers(min_value=1, max_value=7),
+       assumption_sign=st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_solve_under_assumption_then_without(clauses, assumption_var, assumption_sign):
+    """Assumptions must not pollute later solves (incremental reuse)."""
+    lit = assumption_var if assumption_sign else -assumption_var
+    solver = Solver()
+    consistent = all(solver.add_clause(cl) for cl in clauses)
+    if not consistent:
+        return
+    first = solver.solve(assumptions=[lit]).status is SolveStatus.SAT
+    assert first == brute_force(7, clauses, [lit])
+    second = solver.solve().status is SolveStatus.SAT
+    assert second == brute_force(7, clauses)
+
+
+@given(clauses=formula)
+@settings(max_examples=60, deadline=None)
+def test_model_is_total(clauses):
+    solver = Solver()
+    if not all(solver.add_clause(cl) for cl in clauses):
+        return
+    result = solver.solve()
+    if result.status is SolveStatus.SAT:
+        assert len(result.model) == solver.num_vars + 1

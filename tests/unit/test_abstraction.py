@@ -1,0 +1,122 @@
+"""Functionality abstraction (register havocking) tests."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.hdl.signals import SignalKind
+from repro.formal import SafetyProperty
+from repro.formal.abstraction import (
+    data_registers_of,
+    havoc_registers,
+    prove_with_data_abstraction,
+)
+from repro.formal.bmc import BmcStatus, bounded_model_check
+from repro.formal.pdr import PdrStatus
+from repro.taint import TaintScheme, TaintSources, instrument
+from repro.taint.space import Complexity, Granularity, TaintOption
+
+
+def _counter_with_flag():
+    b = ModuleBuilder("t")
+    c = b.reg("cnt", 4)
+    c.drive(c + 1)
+    flag = b.reg("flag", 1)
+    flag.drive(flag)
+    b.output("bad", c.eq(9) & flag)
+    return b.build()
+
+
+class TestHavoc:
+    def test_havocked_register_becomes_input(self):
+        circ = havoc_registers(_counter_with_flag(), ["cnt"])
+        assert circ.signal("cnt").kind is SignalKind.INPUT
+        assert [r.q.name for r in circ.registers] == ["flag"]
+
+    def test_havoc_is_an_overapproximation(self):
+        """The concrete circuit cannot reach bad (flag resets to 0); the
+        abstraction with flag havocked can."""
+        circ = _counter_with_flag()
+        prop = SafetyProperty("p", "bad")
+        assert bounded_model_check(circ, prop, 12).status is BmcStatus.BOUND_REACHED
+        abstract = havoc_registers(circ, ["flag"])
+        res = bounded_model_check(abstract, prop, 12)
+        assert res.status is BmcStatus.COUNTEREXAMPLE
+
+    def test_proof_on_abstraction_transfers(self):
+        """bad == 0 structurally when flag==0 is irrelevant: use a bad
+        that is unreachable regardless of the havocked register."""
+        b = ModuleBuilder("t")
+        data = b.reg("data", 4)
+        data.drive(data + 3)
+        guard = b.reg("guard", 1)  # stays 0
+        guard.drive(guard)
+        b.output("bad", guard & data.eq(2))
+        circ = b.build()
+        abstract = havoc_registers(circ, ["data"])
+        from repro.formal.pdr import pdr_prove
+
+        res = pdr_prove(abstract, SafetyProperty("p", "bad"), time_limit=30)
+        assert res.status is PdrStatus.PROVED
+        # and indeed the concrete design satisfies it too
+        assert bounded_model_check(circ, SafetyProperty("p", "bad"), 10).status \
+            is BmcStatus.BOUND_REACHED
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(ValueError):
+            havoc_registers(_counter_with_flag(), ["nope"])
+
+
+class TestDataAbstractionForTaint:
+    def _refined_design(self):
+        b = ModuleBuilder("fig2")
+        sel1 = b.input("sel1", 1)
+        sel23 = b.const(0, 1)
+        sec = b.reg("secret", 8)
+        sec.drive(sec)
+        pub = b.reg("pub", 8)
+        pub.drive(pub)
+        stage = b.reg("stage", 8)
+        o1 = b.named("o1", b.mux(sel1, sec, pub))
+        o2 = b.named("o2", b.mux(sel23, o1, pub))
+        stage.drive(o2)
+        b.output("sink", stage)
+        circ = b.build()
+        scheme = TaintScheme("refined")
+        mux2 = circ.producer(circ.signal("o2")).ins[0].name
+        scheme.refine_cell(mux2, TaintOption(Granularity.WORD, Complexity.PARTIAL))
+        return circ, instrument(circ, scheme, TaintSources(registers={"secret": -1}))
+
+    def test_data_registers_identified(self):
+        _circ, design = self._refined_design()
+        data = data_registers_of(design)
+        assert data == {"secret", "pub", "stage"}
+
+    def test_taint_proof_with_data_havocked(self):
+        _circ, design = self._refined_design()
+        bad = design.add_taint_monitor(["sink"])
+        prop = SafetyProperty("p", bad,
+                              symbolic_registers=frozenset({"secret", "pub"}))
+        result = prove_with_data_abstraction(design, prop, time_limit=60)
+        assert result.proved
+        assert result.conclusive
+        assert result.havocked == 3
+
+    def test_unrefined_scheme_is_inconclusive(self):
+        """With naive taint the sink is falsely tainted; the abstraction
+        reports a counterexample, which is inconclusive by design."""
+        b = ModuleBuilder("t")
+        sel = b.input("sel", 1)
+        sec = b.reg("secret", 4)
+        sec.drive(sec)
+        pub = b.reg("pub", 4)
+        pub.drive(pub)
+        b.output("sink", b.mux(b.const(0, 1), sec, pub))
+        circ = b.build()
+        design = instrument(circ, TaintScheme("naive"),
+                            TaintSources(registers={"secret": -1}))
+        bad = design.add_taint_monitor(["sink"])
+        prop = SafetyProperty("p", bad,
+                              symbolic_registers=frozenset({"secret", "pub"}))
+        result = prove_with_data_abstraction(design, prop, time_limit=30)
+        assert not result.proved
+        assert not result.conclusive

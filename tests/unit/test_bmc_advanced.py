@@ -1,0 +1,81 @@
+"""Additional BMC/unroller behaviours: start_bound, counterexample
+minimality, frame accounting."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.formal import BmcStatus, SafetyProperty, bounded_model_check
+
+
+def counter(bad_at=5, width=4):
+    b = ModuleBuilder("counter")
+    en = b.input("en", 1)
+    c = b.reg("cnt", width)
+    c.drive(c + 1, en=en)
+    b.output("bad", c.eq(bad_at))
+    return b.build()
+
+
+class TestStartBound:
+    def test_start_bound_skips_shallow_queries(self):
+        circ = counter(5)
+        full = bounded_model_check(circ, SafetyProperty("p", "bad"), 10)
+        skipped = bounded_model_check(circ, SafetyProperty("p", "bad"), 10,
+                                      start_bound=3)
+        assert skipped.status is BmcStatus.COUNTEREXAMPLE
+        assert skipped.counterexample.length == full.counterexample.length
+        assert skipped.frames_solved < full.frames_solved
+
+    def test_start_bound_beyond_cex_is_callers_responsibility(self):
+        """start_bound asserts shallower depths are clean — callers must
+        only pass bounds they have already proven."""
+        circ = counter(2)
+        res = bounded_model_check(circ, SafetyProperty("p", "bad"), 8,
+                                  start_bound=1)
+        assert res.status is BmcStatus.COUNTEREXAMPLE
+        assert res.counterexample.length == 3
+
+
+class TestCexProperties:
+    def test_counterexample_is_minimal(self):
+        circ = counter(4)
+        res = bounded_model_check(circ, SafetyProperty("p", "bad"), 10)
+        assert res.counterexample.length == 5
+        # all-enabled inputs are required to reach 4 in 4 steps
+        assert all(frame["en"] == 1 for frame in res.counterexample.inputs[:4])
+
+    def test_inputs_cover_every_frame(self):
+        circ = counter(3)
+        res = bounded_model_check(circ, SafetyProperty("p", "bad"), 10)
+        assert len(res.counterexample.inputs) == res.counterexample.length
+        assert all("en" in frame for frame in res.counterexample.inputs)
+
+    def test_initial_state_covers_registers(self):
+        circ = counter(3)
+        res = bounded_model_check(circ, SafetyProperty("p", "bad"), 10)
+        assert "cnt" in res.counterexample.initial_state
+        assert res.counterexample.initial_state["cnt"] == 0
+
+    def test_replay_on_foreign_circuit_ignores_unknown_state(self):
+        circ = counter(3)
+        res = bounded_model_check(circ, SafetyProperty("p", "bad"), 10)
+        other = counter(3, width=4)
+        wf = res.counterexample.replay(other)
+        assert wf.value("bad", wf.length - 1) == 1
+
+    def test_bad_signal_recorded(self):
+        circ = counter(3)
+        res = bounded_model_check(circ, SafetyProperty("p", "bad"), 10)
+        assert res.counterexample.bad_signal == "bad"
+
+
+class TestAccounting:
+    def test_frames_solved_counts_queries(self):
+        circ = counter(9, width=5)
+        res = bounded_model_check(circ, SafetyProperty("p", "bad"), 4)
+        assert res.status is BmcStatus.BOUND_REACHED
+        assert res.frames_solved == 5  # depths 0..4
+
+    def test_elapsed_recorded(self):
+        res = bounded_model_check(counter(3), SafetyProperty("p", "bad"), 5)
+        assert res.elapsed > 0

@@ -1,0 +1,168 @@
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.hdl.circuit import CircuitError
+from repro.sim import Simulator
+
+
+class TestValueOperators:
+    def _eval(self, build, inputs):
+        b = ModuleBuilder("t")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        b.output("o", build(b, a, c))
+        sim = Simulator(b.build())
+        return sim.step(inputs)["o"]
+
+    def test_arith(self):
+        assert self._eval(lambda b, a, c: a + c, {"a": 250, "c": 10}) == 4
+        assert self._eval(lambda b, a, c: a - c, {"a": 3, "c": 5}) == 254
+
+    def test_bitwise(self):
+        assert self._eval(lambda b, a, c: a & c, {"a": 0xF0, "c": 0x3C}) == 0x30
+        assert self._eval(lambda b, a, c: a | c, {"a": 0xF0, "c": 0x0C}) == 0xFC
+        assert self._eval(lambda b, a, c: a ^ c, {"a": 0xFF, "c": 0x0F}) == 0xF0
+        assert self._eval(lambda b, a, c: (~a), {"a": 0xF0, "c": 0}) == 0x0F
+
+    def test_int_coercion(self):
+        assert self._eval(lambda b, a, c: a + 1, {"a": 41, "c": 0}) == 42
+        assert self._eval(lambda b, a, c: (a & 0x0F), {"a": 0xAB, "c": 0}) == 0x0B
+
+    def test_comparison_methods(self):
+        assert self._eval(lambda b, a, c: a.eq(c).zext(8), {"a": 5, "c": 5}) == 1
+        assert self._eval(lambda b, a, c: a.ult(c).zext(8), {"a": 5, "c": 6}) == 1
+        assert self._eval(lambda b, a, c: a.uge(c).zext(8), {"a": 5, "c": 6}) == 0
+        assert self._eval(lambda b, a, c: a.ugt(c).zext(8), {"a": 7, "c": 6}) == 1
+
+    def test_slicing(self):
+        assert self._eval(lambda b, a, c: a[3:0].zext(8), {"a": 0xAB, "c": 0}) == 0x0B
+        assert self._eval(lambda b, a, c: a[7].zext(8), {"a": 0x80, "c": 0}) == 1
+        assert self._eval(lambda b, a, c: a[-1].zext(8), {"a": 0x80, "c": 0}) == 1
+
+    def test_shift_by_value(self):
+        assert self._eval(lambda b, a, c: a << c[2:0], {"a": 1, "c": 3}) == 8
+        assert self._eval(lambda b, a, c: a >> c[2:0], {"a": 8, "c": 3}) == 1
+
+    def test_cat(self):
+        assert self._eval(
+            lambda b, a, c: b.cat(a[3:0], c[3:0]), {"a": 0xA, "c": 0xB}
+        ) == 0xAB
+
+    def test_bool_conversion_raises(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 1)
+        with pytest.raises(TypeError):
+            bool(a)
+        with pytest.raises(TypeError):
+            if a:  # pragma: no cover
+                pass
+
+
+class TestRegistersAndMemory:
+    def test_register_hold_by_default(self):
+        b = ModuleBuilder("t")
+        r = b.reg("r", 4, reset=7)
+        b.output("o", r)
+        sim = Simulator(b.build())
+        assert sim.step({})["o"] == 7
+        assert sim.step({})["o"] == 7
+
+    def test_register_enable(self):
+        b = ModuleBuilder("t")
+        en = b.input("en", 1)
+        r = b.reg("r", 4)
+        r.drive(r + 1, en=en)
+        b.output("o", r)
+        sim = Simulator(b.build())
+        sim.step({"en": 1})
+        sim.step({"en": 0})
+        assert sim.step({"en": 0})["o"] == 1
+
+    def test_double_drive_rejected(self):
+        b = ModuleBuilder("t")
+        r = b.reg("r", 1)
+        r.drive(r)
+        with pytest.raises(CircuitError):
+            r.drive(r)
+
+    def test_memory_read_write(self):
+        b = ModuleBuilder("t")
+        addr = b.input("addr", 2)
+        data = b.input("data", 8)
+        wen = b.input("wen", 1)
+        mem = b.mem("m", 4, 8, init=[10, 20, 30, 40])
+        b.output("rd", mem.read(addr))
+        mem.write(addr, data, wen)
+        sim = Simulator(b.build())
+        assert sim.step({"addr": 2, "data": 0, "wen": 0})["rd"] == 30
+        sim.step({"addr": 1, "data": 99, "wen": 1})
+        assert sim.step({"addr": 1, "data": 0, "wen": 0})["rd"] == 99
+        assert sim.step({"addr": 3, "data": 0, "wen": 0})["rd"] == 40
+
+    def test_memory_single_write_port(self):
+        b = ModuleBuilder("t")
+        addr = b.input("addr", 2)
+        mem = b.mem("m", 4, 8)
+        mem.write(addr, 1, 1)
+        with pytest.raises(CircuitError):
+            mem.write(addr, 2, 1)
+
+
+class TestScopesAndHelpers:
+    def test_scope_prefixes_names_and_modules(self):
+        b = ModuleBuilder("t")
+        with b.scope("core"):
+            with b.scope("alu"):
+                r = b.reg("acc", 4)
+                r.drive(r)
+        circ = b.build()
+        assert "core.alu.acc" in circ.signals
+        assert circ.signal("core.alu.acc").module == "core.alu"
+
+    def test_at_scope_switches_absolute(self):
+        b = ModuleBuilder("t")
+        with b.scope("a"):
+            with b.at_scope("x.y"):
+                r = b.reg("r", 1)
+                r.drive(r)
+        circ = b.build()
+        assert "x.y.r" in circ.signals
+
+    def test_priority_mux_first_match_wins(self):
+        b = ModuleBuilder("t")
+        s0 = b.input("s0", 1)
+        s1 = b.input("s1", 1)
+        out = b.priority_mux(b.const(0, 4), (s0, 5), (s1, 9))
+        b.output("o", out)
+        sim = Simulator(b.build())
+        assert sim.step({"s0": 1, "s1": 1})["o"] == 5
+        assert sim.step({"s0": 0, "s1": 1})["o"] == 9
+        assert sim.step({"s0": 0, "s1": 0})["o"] == 0
+
+    def test_any_all_of(self):
+        b = ModuleBuilder("t")
+        x = b.input("x", 4)
+        b.output("any", b.any_of(x[0], x[1]))
+        b.output("all", b.all_of(x[0], x[1]))
+        sim = Simulator(b.build())
+        out = sim.step({"x": 0b0001})
+        assert out["any"] == 1 and out["all"] == 0
+        out = sim.step({"x": 0b0011})
+        assert out["any"] == 1 and out["all"] == 1
+
+    def test_named_creates_stable_alias(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        v = b.named("sum", a + 1)
+        b.output("o", v)
+        assert v.name == "sum"
+        sim = Simulator(b.build())
+        sim.step({"a": 3})
+        assert sim.peek("sum") == 4
+
+    def test_build_twice_rejected(self):
+        b = ModuleBuilder("t")
+        b.output("o", b.const(1, 1))
+        b.build()
+        with pytest.raises(CircuitError):
+            b.build()

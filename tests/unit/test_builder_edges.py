@@ -1,0 +1,133 @@
+"""Builder edge cases: odd memory depths, width checking, scope nesting."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.hdl.circuit import CircuitError
+from repro.sim import Simulator
+
+
+class TestMemoryEdges:
+    def test_non_power_of_two_depth_wraps(self):
+        b = ModuleBuilder("t")
+        addr = b.input("addr", 2)
+        mem = b.mem("m", 3, 8, init=[10, 20, 30])
+        b.output("rd", mem.read(addr))
+        sim = Simulator(b.build())
+        assert sim.step({"addr": 0})["rd"] == 10
+        assert sim.step({"addr": 2})["rd"] == 30
+        assert sim.step({"addr": 3})["rd"] == 10  # wraps to index 0
+
+    def test_narrow_address_zero_extended(self):
+        b = ModuleBuilder("t")
+        addr = b.input("addr", 1)
+        mem = b.mem("m", 4, 4, init=[1, 2, 3, 4])
+        b.output("rd", mem.read(addr))
+        sim = Simulator(b.build())
+        assert sim.step({"addr": 1})["rd"] == 2
+
+    def test_init_length_checked(self):
+        b = ModuleBuilder("t")
+        with pytest.raises(CircuitError):
+            b.mem("m", 4, 8, init=[1, 2])
+
+    def test_depth_one_memory(self):
+        b = ModuleBuilder("t")
+        addr = b.input("addr", 1)
+        data = b.input("data", 8)
+        wen = b.input("wen", 1)
+        mem = b.mem("m", 1, 8, init=[42])
+        b.output("rd", mem.read(addr))
+        mem.write(addr, data, wen)
+        sim = Simulator(b.build())
+        assert sim.step({"addr": 0, "data": 0, "wen": 0})["rd"] == 42
+        sim.step({"addr": 0, "data": 7, "wen": 1})
+        assert sim.step({"addr": 1, "data": 0, "wen": 0})["rd"] == 7
+
+    def test_word_access_is_register(self):
+        b = ModuleBuilder("t")
+        mem = b.mem("m", 2, 4, init=[9, 5])
+        b.output("w0", mem.word(0))
+        sim = Simulator(b.build())
+        assert sim.step({})["w0"] == 9
+
+
+class TestWidthChecking:
+    def test_mux_arm_width_mismatch(self):
+        b = ModuleBuilder("t")
+        s = b.input("s", 1)
+        a = b.input("a", 4)
+        c = b.input("c", 5)
+        with pytest.raises(CircuitError):
+            b.mux(s, a, c)
+
+    def test_mux_wide_selector_rejected(self):
+        b = ModuleBuilder("t")
+        s = b.input("s", 2)
+        a = b.input("a", 4)
+        with pytest.raises(CircuitError):
+            b.mux(s, a, a)
+
+    def test_mux_two_int_arms_rejected(self):
+        b = ModuleBuilder("t")
+        s = b.input("s", 1)
+        with pytest.raises(CircuitError):
+            b.mux(s, 1, 2)
+
+    def test_register_next_width_mismatch(self):
+        b = ModuleBuilder("t")
+        r = b.reg("r", 4)
+        v = b.input("v", 5)
+        with pytest.raises(CircuitError):
+            r.drive(v)
+
+    def test_constant_too_wide(self):
+        b = ModuleBuilder("t")
+        with pytest.raises(CircuitError):
+            b.const(16, 4)
+
+    def test_negative_constant_wraps(self):
+        b = ModuleBuilder("t")
+        b.output("o", b.const(-1, 4))
+        assert Simulator(b.build()).step({})["o"] == 0xF
+
+    def test_slice_reversed_bounds(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 8)
+        with pytest.raises(ValueError):
+            a[2:5]
+
+
+class TestScopeNesting:
+    def test_deeply_nested_paths(self):
+        b = ModuleBuilder("t")
+        with b.scope("a"):
+            with b.scope("b"):
+                with b.scope("c"):
+                    r = b.reg("r", 1)
+                    r.drive(r)
+        circ = b.build()
+        assert "a.b.c.r" in circ.signals
+        assert circ.signal("a.b.c.r").module == "a.b.c"
+        assert {"a", "a.b", "a.b.c"} <= circ.module_paths() | {"a", "a.b"}
+
+    def test_scope_restored_after_exception(self):
+        b = ModuleBuilder("t")
+        with pytest.raises(RuntimeError):
+            with b.scope("m"):
+                raise RuntimeError("boom")
+        assert b.current_module == ""
+
+    def test_at_scope_restores(self):
+        b = ModuleBuilder("t")
+        with b.scope("outer"):
+            with b.at_scope("elsewhere"):
+                assert b.current_module == "elsewhere"
+            assert b.current_module == "outer"
+
+    def test_output_constant_needs_width(self):
+        b = ModuleBuilder("t")
+        with pytest.raises(CircuitError):
+            b.output("o", 3)
+        b.output("ok", 3, width=4)
+        assert Simulator(b.build()).step({})["ok"] == 3

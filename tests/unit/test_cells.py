@@ -1,0 +1,108 @@
+import pytest
+
+from repro.hdl.cells import (
+    Cell,
+    CellOp,
+    CellValidationError,
+    evaluate_cell,
+    validate_cell,
+)
+from repro.hdl.signals import Signal, SignalKind
+
+
+def _sig(name, width):
+    return Signal(name, width, SignalKind.WIRE)
+
+
+def _cell(op, out_w, in_widths, params=()):
+    out = _sig("o", out_w)
+    ins = tuple(_sig(f"i{k}", w) for k, w in enumerate(in_widths))
+    return Cell(op, out, ins, params)
+
+
+class TestEvaluate:
+    def test_const(self):
+        cell = _cell(CellOp.CONST, 4, [], params=(("value", 9),))
+        assert evaluate_cell(cell, []) == 9
+
+    def test_not_masks(self):
+        assert evaluate_cell(_cell(CellOp.NOT, 4, [4]), [0b0101]) == 0b1010
+
+    def test_and_or_xor_nary(self):
+        assert evaluate_cell(_cell(CellOp.AND, 4, [4, 4, 4]), [0xF, 0xC, 0x6]) == 0x4
+        assert evaluate_cell(_cell(CellOp.OR, 4, [4, 4, 4]), [1, 2, 8]) == 11
+        assert evaluate_cell(_cell(CellOp.XOR, 4, [4, 4, 4]), [0xF, 0x3, 0x1]) == 0xD
+
+    def test_mux_selects(self):
+        cell = _cell(CellOp.MUX, 8, [1, 8, 8])
+        assert evaluate_cell(cell, [1, 0xAA, 0x55]) == 0xAA
+        assert evaluate_cell(cell, [0, 0xAA, 0x55]) == 0x55
+
+    def test_add_sub_wrap(self):
+        assert evaluate_cell(_cell(CellOp.ADD, 4, [4, 4]), [0xF, 0x2]) == 0x1
+        assert evaluate_cell(_cell(CellOp.SUB, 4, [4, 4]), [0x0, 0x1]) == 0xF
+
+    def test_comparisons(self):
+        assert evaluate_cell(_cell(CellOp.EQ, 1, [4, 4]), [5, 5]) == 1
+        assert evaluate_cell(_cell(CellOp.NEQ, 1, [4, 4]), [5, 5]) == 0
+        assert evaluate_cell(_cell(CellOp.ULT, 1, [4, 4]), [3, 5]) == 1
+        assert evaluate_cell(_cell(CellOp.ULT, 1, [4, 4]), [5, 5]) == 0
+        assert evaluate_cell(_cell(CellOp.ULE, 1, [4, 4]), [5, 5]) == 1
+
+    def test_shifts_zero_when_out_of_range(self):
+        assert evaluate_cell(_cell(CellOp.SHL, 4, [4, 4]), [0b0011, 2]) == 0b1100
+        assert evaluate_cell(_cell(CellOp.SHL, 4, [4, 4]), [0b0011, 4]) == 0
+        assert evaluate_cell(_cell(CellOp.SHR, 4, [4, 4]), [0b1100, 2]) == 0b0011
+        assert evaluate_cell(_cell(CellOp.SHR, 4, [4, 4]), [0b1100, 9]) == 0
+
+    def test_concat_msb_first(self):
+        cell = _cell(CellOp.CONCAT, 6, [2, 4])
+        assert evaluate_cell(cell, [0b10, 0b0110]) == 0b100110
+
+    def test_slice(self):
+        cell = _cell(CellOp.SLICE, 3, [8], params=(("lo", 2), ("hi", 4)))
+        assert evaluate_cell(cell, [0b10110100]) == 0b101
+
+    def test_zext_sext(self):
+        assert evaluate_cell(_cell(CellOp.ZEXT, 8, [4]), [0b1010]) == 0b00001010
+        assert evaluate_cell(_cell(CellOp.SEXT, 8, [4]), [0b1010]) == 0b11111010
+        assert evaluate_cell(_cell(CellOp.SEXT, 8, [4]), [0b0010]) == 0b00000010
+
+    def test_reductions(self):
+        assert evaluate_cell(_cell(CellOp.REDOR, 1, [4]), [0]) == 0
+        assert evaluate_cell(_cell(CellOp.REDOR, 1, [4]), [4]) == 1
+        assert evaluate_cell(_cell(CellOp.REDAND, 1, [4]), [0xF]) == 1
+        assert evaluate_cell(_cell(CellOp.REDAND, 1, [4]), [0xE]) == 0
+        assert evaluate_cell(_cell(CellOp.REDXOR, 1, [4]), [0b1011]) == 1
+        assert evaluate_cell(_cell(CellOp.REDXOR, 1, [4]), [0b1001]) == 0
+
+
+class TestValidation:
+    def test_const_range_checked(self):
+        with pytest.raises(CellValidationError):
+            validate_cell(_cell(CellOp.CONST, 2, [], params=(("value", 7),)))
+
+    def test_and_width_mismatch(self):
+        with pytest.raises(CellValidationError):
+            validate_cell(_cell(CellOp.AND, 4, [4, 5]))
+
+    def test_mux_selector_must_be_1bit(self):
+        with pytest.raises(CellValidationError):
+            validate_cell(_cell(CellOp.MUX, 4, [2, 4, 4]))
+
+    def test_slice_bounds(self):
+        with pytest.raises(CellValidationError):
+            validate_cell(_cell(CellOp.SLICE, 3, [4], params=(("lo", 2), ("hi", 4))))
+
+    def test_zext_cannot_shrink(self):
+        with pytest.raises(CellValidationError):
+            validate_cell(_cell(CellOp.ZEXT, 2, [4]))
+
+    def test_eq_output_must_be_1bit(self):
+        with pytest.raises(CellValidationError):
+            validate_cell(_cell(CellOp.EQ, 2, [4, 4]))
+
+    def test_valid_cells_pass(self):
+        validate_cell(_cell(CellOp.ADD, 8, [8, 8]))
+        validate_cell(_cell(CellOp.CONCAT, 6, [2, 4]))
+        validate_cell(_cell(CellOp.MUX, 4, [1, 4, 4]))

@@ -1,0 +1,125 @@
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.circuit import Circuit, CircuitError, CombinationalLoopError, Register
+from repro.hdl.signals import Signal, SignalKind
+
+
+def _wire(name, width=1, module=""):
+    return Signal(name, width, SignalKind.WIRE, module=module)
+
+
+class TestCircuitConstruction:
+    def test_double_drive_rejected(self):
+        c = Circuit("t")
+        a = Signal("a", 1, SignalKind.INPUT)
+        c.add_signal(a)
+        c.add_cell(Cell(CellOp.BUF, _wire("x"), (a,)))
+        with pytest.raises(CircuitError):
+            c.add_cell(Cell(CellOp.NOT, _wire("x"), (a,)))
+
+    def test_cannot_drive_input(self):
+        c = Circuit("t")
+        a = Signal("a", 1, SignalKind.INPUT)
+        c.add_signal(a)
+        with pytest.raises(CircuitError):
+            c.add_cell(Cell(CellOp.NOT, a, (a,)))
+
+    def test_unknown_fanin_rejected(self):
+        c = Circuit("t")
+        ghost = _wire("ghost")
+        with pytest.raises(CircuitError):
+            c.add_cell(Cell(CellOp.BUF, _wire("x"), (ghost,)))
+
+    def test_conflicting_redefinition(self):
+        c = Circuit("t")
+        c.add_signal(_wire("a", 4))
+        with pytest.raises(CircuitError):
+            c.add_signal(_wire("a", 5))
+
+    def test_register_width_mismatch(self):
+        q = Signal("q", 4, SignalKind.REG)
+        d = _wire("d", 5)
+        with pytest.raises(CircuitError):
+            Register(q, d)
+
+    def test_register_reset_range(self):
+        q = Signal("q", 2, SignalKind.REG)
+        with pytest.raises(CircuitError):
+            Register(q, _wire("d", 2), reset_value=7)
+
+
+class TestTopologicalOrder:
+    def test_topo_respects_dependencies(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        x = a + 1
+        y = x ^ a
+        b.output("o", y)
+        circ = b.build()
+        order = [c.out.name for c in circ.topo_cells()]
+        assert order.index(x.name) < order.index(y.name)
+
+    def test_combinational_loop_detected(self):
+        c = Circuit("loop")
+        x = _wire("x")
+        y = _wire("y")
+        c.add_signal(x)
+        c.add_signal(y)
+        c.add_cell(Cell(CellOp.BUF, y, (x,)))
+        c.add_cell(Cell(CellOp.BUF, x, (y,)))
+        with pytest.raises(CombinationalLoopError):
+            c.topo_cells()
+
+    def test_register_breaks_cycle(self):
+        b = ModuleBuilder("t")
+        r = b.reg("r", 4)
+        r.drive(r + 1)
+        circ = b.build()
+        circ.topo_cells()  # must not raise
+
+
+class TestQueries:
+    def test_module_paths_and_registers_in_module(self):
+        b = ModuleBuilder("t")
+        with b.scope("a"):
+            with b.scope("b"):
+                r = b.reg("r", 2)
+                r.drive(r)
+        circ = b.build()
+        assert "a.b" in circ.module_paths()
+        assert [reg.q.name for reg in circ.registers_in_module("a")] == ["a.b.r"]
+        assert [reg.q.name for reg in circ.registers_in_module("a.b")] == ["a.b.r"]
+        assert circ.registers_in_module("c") == []
+
+    def test_state_bits(self):
+        b = ModuleBuilder("t")
+        r1 = b.reg("r1", 3)
+        r1.drive(r1)
+        r2 = b.reg("r2", 5)
+        r2.drive(r2)
+        assert b.build().state_bits() == 8
+
+    def test_clone_is_equivalent(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        r = b.reg("r", 4, reset=3)
+        r.drive(a)
+        b.output("o", r + a)
+        circ = b.build()
+        clone = circ.clone("copy")
+        assert clone.name == "copy"
+        assert len(clone.cells) == len(circ.cells)
+        assert len(clone.registers) == len(circ.registers)
+        clone.validate()
+
+    def test_fanout_index(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        x = a + 1
+        y = a ^ 3
+        b.output("o", x & y)
+        circ = b.build()
+        index = circ.fanout_index()
+        assert len(index[a.name]) == 2

@@ -1,0 +1,67 @@
+"""CLI smoke tests (fast subcommands only; heavy flows are covered by
+the integration suite and examples)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("verify", "leak-check", "overhead", "simulate",
+                        "export", "tables"):
+            assert command in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_core(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--core", "Pentium"])
+
+
+class TestTables:
+    def test_tables_prints_both(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "CellIFT" in out
+        assert "Compass" in out
+
+
+class TestSimulate:
+    def test_runs_workload_self_checked(self, capsys):
+        assert main(["simulate", "--core", "Sodor", "--workload", "median"]) == 0
+        out = capsys.readouterr().out
+        assert "median on Sodor" in out
+        assert "self-checked" in out
+
+
+class TestExport:
+    def test_verilog_export(self, tmp_path):
+        out_file = tmp_path / "core.v"
+        code = main(["export", "--core", "Sodor", "--xlen", "4", "--imem", "4",
+                     "--dmem", "4", "--secret-words", "1",
+                     "--format", "verilog", "-o", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert text.startswith("module")
+        assert "endmodule" in text
+
+    def test_json_export_reloads(self, tmp_path):
+        from repro.hdl.serialize import load
+
+        out_file = tmp_path / "core.json"
+        code = main(["export", "--core", "Sodor", "--xlen", "4", "--imem", "4",
+                     "--dmem", "4", "--secret-words", "1",
+                     "--format", "json", "-o", str(out_file), "--no-shadow"])
+        assert code == 0
+        with open(out_file) as handle:
+            circuit = load(handle)
+        assert circuit.registers
+        json.loads(out_file.read_text())  # valid JSON document

@@ -1,0 +1,82 @@
+"""Contract construction tests (sandboxing contract + self-composition)."""
+
+import pytest
+
+from repro.cores import CoreConfig, build_sodor
+from repro.contracts import make_contract_task, make_prospect_task, make_selfcomp_property
+from repro.formal import BmcStatus, bounded_model_check
+from repro.sim import Simulator
+
+CFG = CoreConfig(xlen=4, imem_depth=4, dmem_depth=4, secret_words=1)
+
+
+@pytest.fixture(scope="module")
+def core():
+    return build_sodor(CFG)
+
+
+class TestContractTask:
+    def test_requires_shadow(self):
+        bare = build_sodor(CFG, with_shadow=False)
+        with pytest.raises(ValueError):
+            make_contract_task(bare)
+
+    def test_sources_cover_both_memories(self, core):
+        task = make_contract_task(core)
+        for addr in CFG.secret_addresses:
+            assert task.sources.registers[core.dmem_words[addr]] == -1
+            assert task.sources.registers[core.isa_dmem_words[addr]] == -1
+
+    def test_symbolic_state_is_program_and_memories(self, core):
+        task = make_contract_task(core)
+        for word in core.imem_words:
+            assert word in task.symbolic_registers
+        for word in core.dmem_words + core.isa_dmem_words:
+            assert word in task.symbolic_registers
+        # architectural registers start from reset, not symbolic
+        assert "core.rf.x1" not in task.symbolic_registers
+
+    def test_initial_scheme_blackboxes_duv_not_shadow(self, core):
+        task = make_contract_task(core)
+        scheme = task.initial_scheme()
+        assert "dcache" in scheme.blackboxes
+        assert not any(m.startswith("isa") for m in scheme.blackboxes)
+        assert "isa" in scheme.module_defaults  # pinned precise
+
+    def test_sampler_respects_init_assumption(self, core):
+        import random
+
+        task = make_contract_task(core)
+        init, frames = task.stimulus_sampler(random.Random(0), 4)
+        sim = Simulator(core.circuit, initial_state=init)
+        sim.step({})
+        assert sim.peek("init_mem_eq") == 1
+
+    def test_prospect_task_same_shape(self):
+        from repro.cores import build_prospect
+
+        core = build_prospect(CFG, secure=True)
+        task = make_prospect_task(core)
+        assert task.sinks == core.sinks
+        assert task.gated_clean_assumptions == core.isa_obs_pairs
+
+
+class TestSelfComposition:
+    def test_property_construction(self, core):
+        task = make_selfcomp_property(core)
+        task.circuit.validate()
+        assert task.prop.bad.startswith("_monitor")
+        assert task.prop.assumptions  # ISA observations equal
+        assert task.prop.init_assumptions
+
+    def test_symbolic_registers_duplicated(self, core):
+        task = make_selfcomp_property(core)
+        sym = task.prop.symbolic_registers
+        assert any(name.startswith("c1.") for name in sym)
+        assert any(name.startswith("c2.") for name in sym)
+
+    def test_bounded_check_runs_clean_at_small_depth(self, core):
+        task = make_selfcomp_property(core)
+        res = bounded_model_check(task.circuit, task.prop, max_bound=1,
+                                  time_limit=120)
+        assert res.status is BmcStatus.BOUND_REACHED

@@ -1,0 +1,217 @@
+"""Unit tests for the shared core building blocks."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.sim import Simulator
+from repro.cores.common import (
+    Btb,
+    CoreConfig,
+    MulDiv,
+    Regfile,
+    alu,
+    decode_instruction,
+    resize_signed,
+)
+from repro.cores.isa import AluFn, Instr, Op, encode
+
+
+class TestCoreConfig:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            CoreConfig(imem_depth=6)
+        with pytest.raises(ValueError):
+            CoreConfig(dmem_depth=12)
+
+    def test_secret_words_bounds(self):
+        with pytest.raises(ValueError):
+            CoreConfig(dmem_depth=8, secret_words=8)
+        with pytest.raises(ValueError):
+            CoreConfig(secret_words=0)
+
+    def test_derived_widths(self):
+        cfg = CoreConfig(imem_depth=16, dmem_depth=8)
+        assert cfg.pc_width == 4
+        assert cfg.dmem_addr_width == 3
+        assert cfg.secret_addresses == (6, 7)
+
+    def test_presets(self):
+        assert CoreConfig.formal().xlen == 8
+        sim = CoreConfig.simulation()
+        assert sim.xlen == 16 and sim.dmem_depth == 32
+
+
+class TestRegfile:
+    def _build(self):
+        cfg = CoreConfig()
+        b = ModuleBuilder("t")
+        raddr = b.input("raddr", 3)
+        waddr = b.input("waddr", 3)
+        wdata = b.input("wdata", 8)
+        wen = b.input("wen", 1)
+        rf = Regfile(b, cfg)
+        b.output("rdata", rf.read(raddr))
+        rf.write(waddr, wdata, wen)
+        return Simulator(b.build())
+
+    def test_read_after_write(self):
+        sim = self._build()
+        sim.step({"raddr": 0, "waddr": 3, "wdata": 99, "wen": 1})
+        out = sim.step({"raddr": 3, "waddr": 0, "wdata": 0, "wen": 0})
+        assert out["rdata"] == 99
+
+    def test_r0_reads_zero_even_after_write(self):
+        sim = self._build()
+        sim.step({"raddr": 0, "waddr": 0, "wdata": 55, "wen": 1})
+        out = sim.step({"raddr": 0, "waddr": 0, "wdata": 0, "wen": 0})
+        assert out["rdata"] == 0
+
+    def test_write_disabled_holds(self):
+        sim = self._build()
+        sim.step({"raddr": 0, "waddr": 2, "wdata": 7, "wen": 1})
+        sim.step({"raddr": 0, "waddr": 2, "wdata": 9, "wen": 0})
+        out = sim.step({"raddr": 2, "waddr": 0, "wdata": 0, "wen": 0})
+        assert out["rdata"] == 7
+
+
+class TestAlu:
+    def _run(self, fn, a, b_val, xlen=8):
+        cfg = CoreConfig(xlen=xlen)
+        b = ModuleBuilder("t")
+        ai = b.input("a", xlen)
+        bi = b.input("b", xlen)
+        f = b.input("f", 3)
+        b.output("o", alu(b, cfg, f, ai, bi))
+        sim = Simulator(b.build())
+        return sim.step({"a": a, "b": b_val, "f": int(fn)})["o"]
+
+    @pytest.mark.parametrize("fn,a,b,expected", [
+        (AluFn.ADD, 200, 100, 44),
+        (AluFn.SUB, 5, 9, 252),
+        (AluFn.AND, 0xF0, 0x3C, 0x30),
+        (AluFn.OR, 0xF0, 0x0C, 0xFC),
+        (AluFn.XOR, 0xFF, 0x0F, 0xF0),
+        (AluFn.SLT, 3, 9, 1),
+        (AluFn.SLT, 9, 3, 0),
+        (AluFn.SLL, 1, 3, 8),
+        (AluFn.SRL, 0x80, 4, 8),
+        (AluFn.SLL, 1, 200, 0),   # shift >= xlen
+    ])
+    def test_functions(self, fn, a, b, expected):
+        assert self._run(fn, a, b) == expected
+
+
+class TestMulDiv:
+    def _build(self):
+        cfg = CoreConfig()
+        b = ModuleBuilder("t")
+        start = b.input("start", 1)
+        a = b.input("a", 8)
+        bb = b.input("b", 8)
+        md = MulDiv(b, cfg)
+        stall, done, result = md.connect(start, a, bb)
+        b.output("stall", stall)
+        b.output("done", done)
+        b.output("result", result)
+        return Simulator(b.build())
+
+    def _multiply(self, a, b_val, max_cycles=20):
+        sim = self._build()
+        for cycle in range(max_cycles):
+            out = sim.step({"start": 1, "a": a, "b": b_val})
+            if out["done"]:
+                return out["result"], cycle
+        raise AssertionError("multiplier never finished")
+
+    @pytest.mark.parametrize("a,b", [(3, 5), (0, 9), (9, 0), (255, 255), (7, 1)])
+    def test_products(self, a, b):
+        result, _ = self._multiply(a, b)
+        assert result == (a * b) & 0xFF
+
+    def test_early_exit_latency_depends_on_b(self):
+        _, fast = self._multiply(7, 1)
+        _, slow = self._multiply(7, 0x80)
+        assert slow > fast
+
+
+class TestDecode:
+    def _decode(self, instr):
+        cfg = CoreConfig(imem_depth=16)
+        b = ModuleBuilder("t")
+        word = b.input("w", 16)
+        dec = decode_instruction(b, word, cfg)
+        for name in ("is_lw", "is_sw", "is_branch", "is_mul", "writes_rd"):
+            b.output(name, getattr(dec, name))
+        b.output("imm", dec.imm)
+        b.output("branch_off", dec.branch_off)
+        sim = Simulator(b.build())
+        return sim.step({"w": encode(instr)})
+
+    def test_load_classified(self):
+        out = self._decode(Instr(Op.LW, rd=1, rs1=2, imm=-3))
+        assert out["is_lw"] == 1 and out["is_sw"] == 0
+        assert out["writes_rd"] == 1
+        assert out["imm"] == (-3) & 0xFF
+
+    def test_branch_offset_sign_extended(self):
+        out = self._decode(Instr(Op.BNE, rs1=1, rs2=2, imm=-2))
+        assert out["is_branch"] == 1
+        assert out["branch_off"] == (-2) & 0xF  # pc_width == 4
+
+    def test_store_does_not_write_rd(self):
+        out = self._decode(Instr(Op.SW, rd=1, rs1=2, imm=0))
+        assert out["writes_rd"] == 0
+
+    def test_mul_flag(self):
+        assert self._decode(Instr(Op.MUL, rd=1, rs1=2, rs2=3))["is_mul"] == 1
+
+
+class TestBtb:
+    def _build(self):
+        cfg = CoreConfig(imem_depth=16)
+        b = ModuleBuilder("t")
+        pc = b.input("pc", 4)
+        resolve = b.input("resolve", 1)
+        rpc = b.input("rpc", 4)
+        taken = b.input("taken", 1)
+        target = b.input("target", 4)
+        btb = Btb(b, cfg)
+        hit, pred = btb.predict(pc)
+        btb.update(resolve, rpc, taken, target)
+        b.output("hit", hit)
+        b.output("pred", pred)
+        return Simulator(b.build())
+
+    def test_learns_taken_branch(self):
+        sim = self._build()
+        idle = {"pc": 5, "resolve": 0, "rpc": 0, "taken": 0, "target": 0}
+        assert sim.step(idle)["hit"] == 0
+        sim.step({"pc": 5, "resolve": 1, "rpc": 5, "taken": 1, "target": 9})
+        out = sim.step(idle)
+        assert out["hit"] == 1 and out["pred"] == 9
+
+    def test_not_taken_invalidates(self):
+        sim = self._build()
+        sim.step({"pc": 5, "resolve": 1, "rpc": 5, "taken": 1, "target": 9})
+        sim.step({"pc": 5, "resolve": 1, "rpc": 5, "taken": 0, "target": 0})
+        out = sim.step({"pc": 5, "resolve": 0, "rpc": 0, "taken": 0, "target": 0})
+        assert out["hit"] == 0
+
+    def test_tag_mismatch_misses(self):
+        sim = self._build()
+        sim.step({"pc": 0, "resolve": 1, "rpc": 5, "taken": 1, "target": 9})
+        # pc=7 maps to the same entry (index pc&1) but tag differs
+        out = sim.step({"pc": 7, "resolve": 0, "rpc": 0, "taken": 0, "target": 0})
+        assert out["hit"] == 0
+
+
+class TestResizeSigned:
+    def test_extend_and_truncate(self):
+        b = ModuleBuilder("t")
+        v = b.input("v", 6)
+        b.output("wide", resize_signed(b, v, 8))
+        b.output("narrow", resize_signed(b, v, 3))
+        sim = Simulator(b.build())
+        out = sim.step({"v": 0b111110})  # -2 in 6 bits
+        assert out["wide"] == 0b11111110
+        assert out["narrow"] == 0b110

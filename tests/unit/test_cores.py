@@ -1,0 +1,163 @@
+"""Core functional tests: every core must be architecturally equivalent
+to the ISA interpreter, with the shadow ISA machine in lockstep."""
+
+import random
+
+import pytest
+
+from repro.cores import (
+    CoreConfig,
+    IsaInterpreter,
+    assemble,
+    build_boom,
+    build_prospect,
+    build_rocket,
+    build_sodor,
+    core_registry,
+)
+from repro.cores.configs import CORE_CONFIG_TABLE, format_table1
+from repro.cores.isa import Instr, Op, encode
+from repro.sim import Simulator
+
+CFG = CoreConfig(xlen=8, imem_depth=16, dmem_depth=8, secret_words=2)
+
+
+def _random_program(seed, length=10):
+    rng = random.Random(seed)
+    instrs = []
+    for _ in range(length):
+        op = rng.choice([Op.ALU, Op.ADDI, Op.LW, Op.SW, Op.BEQ, Op.BNE,
+                         Op.JAL, Op.LUI, Op.MUL])
+        rd, rs1, rs2 = rng.randrange(8), rng.randrange(8), rng.randrange(8)
+        if op is Op.ALU:
+            instrs.append(Instr(op, rd=rd, rs1=rs1, rs2=rs2, funct=rng.randrange(8)))
+        elif op is Op.MUL:
+            instrs.append(Instr(op, rd=rd, rs1=rs1, rs2=rs2))
+        elif op in (Op.ADDI, Op.LW, Op.SW):
+            instrs.append(Instr(op, rd=rd, rs1=rs1, imm=rng.randrange(-4, 8)))
+        elif op in (Op.BEQ, Op.BNE):
+            instrs.append(Instr(op, rs1=rs1, rs2=rs2, imm=rng.choice([1, 2, 3])))
+        elif op is Op.JAL:
+            instrs.append(Instr(op, rd=rd, imm=rng.choice([1, 2])))
+        else:
+            instrs.append(Instr(op, rd=rd, imm=rng.randrange(64)))
+    instrs.append(Instr(Op.HALT))
+    return [encode(i) for i in instrs]
+
+
+def _check_against_interpreter(core, program, data, max_cycles=600):
+    ref = IsaInterpreter(program, xlen=CFG.xlen, imem_depth=CFG.imem_depth,
+                         dmem_depth=CFG.dmem_depth, dmem=data)
+    ref.run(300)
+    assert ref.halted, "reference interpreter did not halt"
+    sim = Simulator(core.circuit, initial_state=core.initial_state_for(program, data))
+    for _ in range(max_cycles):
+        sim.step({})
+        if sim.peek("core.halted"):
+            break
+    assert sim.peek("core.halted") == 1, f"{core.name} did not halt"
+    for i in range(1, 8):
+        assert sim.peek(f"core.rf.x{i}") == ref.regs[i], f"{core.name} r{i}"
+    for a in range(CFG.dmem_depth):
+        assert sim.peek(core.dmem_words[a]) == ref.dmem[a], f"{core.name} mem[{a}]"
+    if core.isa_dmem_words:
+        assert sim.peek("isa.pc") == ref.pc
+        for a in range(CFG.dmem_depth):
+            assert sim.peek(core.isa_dmem_words[a]) == ref.dmem[a]
+    return sim
+
+
+BUILDERS = {
+    "Sodor": lambda: build_sodor(CFG),
+    "Rocket": lambda: build_rocket(CFG),
+    "BOOM": lambda: build_boom(CFG, secure=False),
+    "BOOM-S": lambda: build_boom(CFG, secure=True),
+    "ProSpeCT": lambda: build_prospect(CFG, secure=False),
+    "ProSpeCT-S": lambda: build_prospect(CFG, secure=True),
+}
+
+_CORES = {name: builder() for name, builder in BUILDERS.items()}
+
+
+@pytest.mark.parametrize("name", list(BUILDERS))
+class TestFunctionalEquivalence:
+    def test_random_programs(self, name):
+        core = _CORES[name]
+        for seed in range(8):
+            program = _random_program(seed)
+            data = {i: random.Random(seed + 77).randrange(256)
+                    for i in range(CFG.dmem_depth)}
+            _check_against_interpreter(core, program, data)
+
+    def test_directed_hazards(self, name):
+        """Back-to-back RAW dependencies, load-use, store-load."""
+        core = _CORES[name]
+        program = assemble("""
+            li  r1, 3
+            add r2, r1, r1      ; RAW on r1
+            add r3, r2, r1      ; RAW on r2 (forward from previous)
+            sw  r3, 0(r0)
+            lw  r4, 0(r0)       ; load after store, same address
+            add r5, r4, r4      ; load-use
+            mul r6, r5, r2      ; multi-cycle with dependencies
+            halt
+        """)
+        sim = _check_against_interpreter(core, program, {})
+        assert sim.peek("core.rf.x3") == 9
+        assert sim.peek("core.rf.x4") == 9
+        assert sim.peek("core.rf.x6") == 18 * 6
+
+    def test_branch_storm(self, name):
+        core = _CORES[name]
+        program = assemble("""
+            li  r1, 4
+            li  r2, 0
+        loop:
+            addi r2, r2, 2
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            beq  r2, r0, never
+            addi r3, r2, 1
+        never:
+            halt
+        """)
+        sim = _check_against_interpreter(core, program, {})
+        assert sim.peek("core.rf.x2") == 8
+        assert sim.peek("core.rf.x3") == 9
+
+
+class TestCoreMetadata:
+    def test_registry_builds_all(self):
+        registry = core_registry()
+        assert set(registry) == {
+            "Sodor", "Rocket", "BOOM", "BOOM-S", "ProSpeCT", "ProSpeCT-S",
+        }
+
+    def test_table1_formatting(self):
+        text = format_table1()
+        for row in CORE_CONFIG_TABLE:
+            assert row["core"] in text
+
+    def test_core_design_bundles(self):
+        core = _CORES["Rocket"]
+        assert len(core.imem_words) == CFG.imem_depth
+        assert len(core.dmem_words) == CFG.dmem_depth
+        masks = core.secret_register_masks()
+        for addr in CFG.secret_addresses:
+            assert core.dmem_words[addr] in masks
+        assert "isa" in core.precise_modules
+        assert all(not m.startswith("isa") for m in core.blackbox_modules)
+
+    def test_initial_state_pads_with_halt(self):
+        core = _CORES["Sodor"]
+        state = core.initial_state_for([0x1234], {0: 9})
+        halt = encode(Instr(Op.HALT))
+        assert state[core.imem_words[0]] == 0x1234
+        assert state[core.imem_words[5]] == halt
+        assert state[core.dmem_words[0]] == 9
+        assert state[core.isa_dmem_words[0]] == 9
+
+    def test_program_too_long_rejected(self):
+        core = _CORES["Sodor"]
+        with pytest.raises(ValueError):
+            core.initial_state_for([0] * (CFG.imem_depth + 1))

@@ -1,0 +1,176 @@
+"""Custom module-level taint handlers + refinement pruning tests."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.sim import Simulator
+from repro.taint import TaintScheme, TaintSources, instrument, blackbox_scheme
+from repro.taint.custom import ConstantCleanTaint, PassthroughTaint
+from repro.taint.space import Complexity, Granularity, TaintOption
+
+
+def _masking_circuit():
+    """sink = (s & a) | (~s & a) == a — correlation-based imprecision."""
+    b = ModuleBuilder("corr")
+    sec = b.reg("secret", 1)
+    sec.drive(sec)
+    a = b.reg("a", 1)
+    a.drive(a)
+    with b.scope("masker"):
+        left = b.named("left", sec & a)
+        right = b.named("right", (~sec) & a)
+        out = b.named("out", left | right)
+    b.output("sink", out)
+    return b.build()
+
+
+class TestPassthroughHandler:
+    def test_resolves_correlation_imprecision(self):
+        circ = _masking_circuit()
+        sources = TaintSources(registers={"secret": -1})
+        # Per-cell CellIFT-precision taint falsely taints the sink...
+        precise = TaintScheme("bit-full",
+                              default=TaintOption(Granularity.BIT, Complexity.FULL))
+        design = instrument(circ, precise, sources)
+        sim = Simulator(design.circuit, initial_state={"secret": 1, "a": 1})
+        sim.step({})
+        assert sim.peek(design.taint_name["sink"]) == 1  # false positive
+        # ...while the custom handler, knowing out == a, does not.
+        custom = TaintScheme("custom")
+        custom.custom_modules["masker"] = PassthroughTaint(
+            {"masker.out": ["a"]}
+        )
+        design2 = instrument(circ, custom, sources)
+        sim2 = Simulator(design2.circuit, initial_state={"secret": 1, "a": 1})
+        sim2.step({})
+        assert sim2.peek(design2.taint_name["sink"]) == 0
+
+    def test_passthrough_propagates_real_taint(self):
+        circ = _masking_circuit()
+        sources = TaintSources(registers={"a": -1})  # now `a` is the secret
+        custom = TaintScheme("custom")
+        custom.custom_modules["masker"] = PassthroughTaint({"masker.out": ["a"]})
+        design = instrument(circ, custom, sources)
+        sim = Simulator(design.circuit, initial_state={"secret": 0, "a": 1})
+        sim.step({})
+        assert sim.peek(design.taint_name["sink"]) == 1
+
+    def test_missing_dependency_entry_raises(self):
+        circ = _masking_circuit()
+        custom = TaintScheme("custom")
+        custom.custom_modules["masker"] = PassthroughTaint({})
+        with pytest.raises(KeyError):
+            instrument(circ, custom, TaintSources(registers={"secret": -1}))
+
+    def test_constant_clean_handler(self):
+        circ = _masking_circuit()
+        custom = TaintScheme("custom")
+        custom.custom_modules["masker"] = ConstantCleanTaint()
+        design = instrument(circ, custom, TaintSources(registers={"secret": -1}))
+        sim = Simulator(design.circuit, initial_state={"secret": 1, "a": 0})
+        sim.step({})
+        assert sim.peek(design.taint_name["sink"]) == 0
+
+    def test_custom_wins_over_blackbox(self):
+        circ = _masking_circuit()
+        scheme = blackbox_scheme({"masker"})
+        scheme.custom_modules["masker"] = PassthroughTaint({"masker.out": ["a"]})
+        design = instrument(circ, scheme, TaintSources(registers={"secret": -1}))
+        assert "masker" not in design.module_taint  # no sticky bit
+        sim = Simulator(design.circuit, initial_state={"secret": 1, "a": 1})
+        sim.step({})
+        assert sim.peek(design.taint_name["sink"]) == 0
+
+    def test_scheme_copy_carries_handlers(self):
+        scheme = TaintScheme("s")
+        scheme.custom_modules["m"] = ConstantCleanTaint()
+        clone = scheme.copy()
+        assert "m" in clone.custom_modules
+
+
+class TestPrune:
+    def _fig2_task(self):
+        from repro.cegar import TaintVerificationTask
+
+        b = ModuleBuilder("fig2")
+        sel1 = b.input("sel1", 1)
+        sel23 = b.const(0, 1)
+        with b.scope("m"):
+            sec = b.reg("secret", 4)
+            sec.drive(sec)
+            pubs = []
+            for i in range(1, 4):
+                r = b.reg(f"pub{i}", 4)
+                r.drive(r)
+                pubs.append(r)
+            o1 = b.named("o1", b.mux(sel1, sec, pubs[0]))
+            o2 = b.named("o2", b.mux(sel23, o1, pubs[1]))
+            o3 = b.named("o3", b.mux(sel23, o2, pubs[2]))
+        b.output("sink", o3)
+        circ = b.build()
+        return TaintVerificationTask(
+            name="fig2", circuit=circ,
+            sources=TaintSources(registers={"m.secret": -1}),
+            sinks=("sink",),
+            symbolic_registers=frozenset({"m.secret", "m.pub1", "m.pub2", "m.pub3"}),
+        )
+
+    def test_prune_removes_redundant_refinement(self):
+        """Refining BOTH mux2 and mux3 is redundant: either cut alone
+        blocks the flow; pruning must drop one."""
+        from repro.cegar import prune_refinements
+        from repro.formal import Counterexample
+
+        task = self._fig2_task()
+        circ = task.circuit
+        scheme = TaintScheme("over-refined")
+        for alias in ("m.o2", "m.o3"):
+            mux_out = circ.producer(circ.signal(alias)).ins[0].name
+            scheme.refine_cell(mux_out,
+                               TaintOption(Granularity.WORD, Complexity.PARTIAL))
+        cex = Counterexample(1, [{"sel1": 1}],
+                             {"m.secret": 9, "m.pub1": 0, "m.pub2": 0, "m.pub3": 0})
+        pruned, report = prune_refinements(task, scheme, [cex])
+        assert report.removed == 1
+        assert len(pruned.cell_options) == 1
+
+    def test_prune_keeps_necessary_refinements(self):
+        from repro.cegar import prune_refinements
+        from repro.formal import Counterexample
+
+        task = self._fig2_task()
+        circ = task.circuit
+        scheme = TaintScheme("minimal")
+        mux_out = circ.producer(circ.signal("m.o3")).ins[0].name
+        scheme.refine_cell(mux_out, TaintOption(Granularity.WORD, Complexity.PARTIAL))
+        cex = Counterexample(1, [{"sel1": 1}],
+                             {"m.secret": 9, "m.pub1": 0, "m.pub2": 0, "m.pub3": 0})
+        pruned, report = prune_refinements(task, scheme, [cex])
+        assert report.removed == 0
+        assert pruned.cell_options == scheme.cell_options
+
+    def test_prune_no_counterexamples_is_noop(self):
+        from repro.cegar import prune_refinements
+
+        task = self._fig2_task()
+        scheme = TaintScheme("s")
+        scheme.refine_cell("anything",
+                           TaintOption(Granularity.WORD, Complexity.FULL))
+        pruned, report = prune_refinements(task, scheme, [])
+        assert report.attempted == 0
+        assert pruned.cell_options == scheme.cell_options
+
+    def test_prune_after_cegar_loop(self):
+        from repro.cegar import CegarConfig, CegarStatus, prune_refinements, run_compass
+        from repro.cegar.loop import instrument_task
+        from repro.formal import pdr_prove, SafetyProperty
+        from repro.formal.pdr import PdrStatus
+
+        task = self._fig2_task()
+        result = run_compass(task, CegarConfig(max_bound=6, induction_max_k=6, seed=0))
+        assert result.status is CegarStatus.PROVED
+        pruned, report = prune_refinements(task, result.scheme, result.stats.eliminated)
+        # The pruned scheme must still verify.
+        design, prop = instrument_task(task, pruned)
+        proof = pdr_prove(design.circuit, prop, time_limit=60)
+        assert proof.status is PdrStatus.PROVED

@@ -1,0 +1,132 @@
+"""Tests for the taint emitter helpers and the metrics module."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.hdl.cells import CellOp
+from repro.hdl.circuit import Circuit
+from repro.hdl.signals import Signal, SignalKind
+from repro.sim import Simulator
+from repro.taint import TaintSources, blackbox_scheme, instrument, scheme_summary
+from repro.taint.emitter import Emitter
+from repro.taint.space import Granularity, TaintScheme
+
+
+def _eval_emitter(build):
+    """Build a circuit through a raw Emitter and evaluate it once."""
+    circuit = Circuit("em")
+    a = Signal("a", 4, SignalKind.INPUT)
+    b = Signal("b", 4, SignalKind.INPUT)
+    t = Signal("t", 1, SignalKind.INPUT)
+    for sig in (a, b, t):
+        circuit.add_signal(sig)
+    em = Emitter(circuit)
+    out_sig = build(em, a, b, t)
+    out = Signal("out", out_sig.width, SignalKind.OUTPUT)
+    from repro.hdl.cells import Cell
+
+    circuit.add_cell(Cell(CellOp.BUF, out, (out_sig,)))
+    circuit.validate()
+    sim = Simulator(circuit)
+
+    def run(av, bv, tv):
+        sim._evaluate_comb({"a": av, "b": bv, "t": tv})
+        return sim.peek("out")
+
+    return run
+
+
+class TestEmitter:
+    def test_adapt_splat(self):
+        run = _eval_emitter(lambda em, a, b, t: em.adapt(t, 4, ""))
+        assert run(0, 0, 1) == 0xF
+        assert run(0, 0, 0) == 0x0
+
+    def test_adapt_reduce(self):
+        run = _eval_emitter(lambda em, a, b, t: em.adapt(a, 1, ""))
+        assert run(0b0100, 0, 0) == 1
+        assert run(0, 0, 0) == 0
+
+    def test_adapt_identity(self):
+        circuit = Circuit("em")
+        a = Signal("a", 4, SignalKind.INPUT)
+        circuit.add_signal(a)
+        em = Emitter(circuit)
+        assert em.adapt(a, 4, "") is a
+
+    def test_smear_up(self):
+        run = _eval_emitter(lambda em, a, b, t: em.smear_up(a, ""))
+        assert run(0b0010, 0, 0) == 0b1110
+        assert run(0b0001, 0, 0) == 0b1111
+        assert run(0b1000, 0, 0) == 0b1000
+        assert run(0, 0, 0) == 0
+
+    def test_or_tree_empty_is_zero(self):
+        run = _eval_emitter(lambda em, a, b, t: em.or_tree([], "", width=4))
+        assert run(0, 0, 0) == 0
+
+    def test_or_tree_combines(self):
+        run = _eval_emitter(lambda em, a, b, t: em.or_tree([a, b], ""))
+        assert run(0b0011, 0b1000, 0) == 0b1011
+
+    def test_const_cache_reuses_cells(self):
+        circuit = Circuit("em")
+        em = Emitter(circuit)
+        c1 = em.const(5, 4, "m")
+        c2 = em.const(5, 4, "m")
+        assert c1 is c2
+        assert em.const(5, 4, "other") is not c1
+
+    def test_fresh_names_unique_across_emitters(self):
+        circuit = Circuit("em")
+        em1 = Emitter(circuit)
+        em2 = Emitter(circuit)
+        s1 = em1.const(0, 1, "")
+        s2 = em2.const(0, 1, "")
+        assert s1.name != s2.name
+
+
+class TestSchemeSummary:
+    def _design(self):
+        b = ModuleBuilder("t")
+        x = b.input("x", 4)
+        with b.scope("top"):
+            with b.scope("inner"):
+                r = b.reg("r", 4)
+                r.drive(x)
+                deep = b.named("deep", r + 1)
+        with b.scope("other"):
+            r2 = b.reg("r2", 8)
+            r2.drive(r2)
+            val = b.named("val", r2 ^ 1)
+        b.output("o", deep.zext(8) | val)
+        circ = b.build()
+        return instrument(circ, blackbox_scheme({"other"}),
+                          TaintSources(inputs={"x": -1}))
+
+    def test_depth_controls_aggregation(self):
+        design = self._design()
+        deep_rows = {r.module for r in scheme_summary(design, depth=2)}
+        shallow_rows = {r.module for r in scheme_summary(design, depth=1)}
+        assert "top.inner" in deep_rows
+        assert "top.inner" not in shallow_rows
+        assert "top" in shallow_rows
+
+    def test_blackbox_counts_one_bit(self):
+        design = self._design()
+        rows = {r.module: r for r in scheme_summary(design, depth=1)}
+        assert rows["other"].taint_bits == 1
+        assert rows["other"].orig_bits == 8
+        assert rows["other"].granularity == "module"
+
+    def test_word_granularity_counts(self):
+        design = self._design()
+        rows = {r.module: r for r in scheme_summary(design, depth=2)}
+        assert rows["top.inner"].taint_bits == 1   # one word-tainted 4-bit reg
+        assert rows["top.inner"].orig_bits == 4
+
+    def test_row_format_is_stable(self):
+        design = self._design()
+        row = scheme_summary(design, depth=1)[0]
+        text = row.format()
+        assert f"({row.taint_bits}/{row.orig_bits})" in text

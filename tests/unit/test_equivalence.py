@@ -1,0 +1,98 @@
+"""Formal equivalence checking — including self-validation of the
+library's own lowering and simplification passes."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.hdl.optimize import simplify
+from repro.formal.equivalence import (
+    EquivalenceError,
+    build_miter,
+    check_equivalence,
+)
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from conftest import random_cell_circuit  # noqa: E402
+
+
+def _adder(width=4, broken=False):
+    b = ModuleBuilder("adder")
+    x = b.input("x", width)
+    y = b.input("y", width)
+    r = b.reg("acc", width)
+    r.drive(r + x)
+    result = (r ^ y) if broken else (r + y)
+    b.output("o", result)
+    return b.build()
+
+
+class TestMiter:
+    def test_interface_mismatch_rejected(self):
+        b = ModuleBuilder("other")
+        b.input("z", 4)
+        b.output("o", b.const(0, 4))
+        with pytest.raises(EquivalenceError):
+            build_miter(_adder(), b.build())
+
+    def test_no_common_outputs_rejected(self):
+        b1 = ModuleBuilder("a")
+        x = b1.input("x", 4)
+        y = b1.input("y", 4)
+        b1.output("p", x)
+        b2 = ModuleBuilder("b")
+        x2 = b2.input("x", 4)
+        y2 = b2.input("y", 4)
+        b2.output("q", x2)
+        with pytest.raises(EquivalenceError):
+            build_miter(b1.build(), b2.build())
+
+
+class TestEquivalence:
+    def test_identical_circuits_equivalent(self):
+        res = check_equivalence(_adder(), _adder(), max_bound=5)
+        assert res.equivalent is True
+
+    def test_broken_copy_detected(self):
+        res = check_equivalence(_adder(), _adder(broken=True), max_bound=5)
+        assert res.equivalent is False
+        assert res.counterexample is not None
+        # the witness genuinely separates the two designs
+        left = _adder()
+        right = _adder(broken=True)
+        wl = res.counterexample.replay(build_miter(left, right).circuit)
+        assert any(wl.value("miter_bad", t) for t in range(wl.length))
+
+    def test_unbounded_proof_with_pdr(self):
+        res = check_equivalence(_adder(width=3), _adder(width=3),
+                                prove=True, time_limit=60)
+        assert res.proved and res.equivalent is True
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_simplify_formally_equivalent(self, seed):
+        """The optimizer is validated by *proof*, not just simulation."""
+        circ = random_cell_circuit(seed, width=3, depth=8)
+        res = check_equivalence(circ, simplify(circ), max_bound=5,
+                                symbolic_registers=[r.q.name for r in circ.registers])
+        assert res.equivalent is True
+
+    def test_symbolic_registers_equal_start(self):
+        """With symbolic-but-equal register starts, hold-registers match."""
+        b1 = ModuleBuilder("h1")
+        x = b1.input("x", 1)
+        r1 = b1.reg("state", 4, reset=0)
+        r1.drive(r1)
+        b1.output("o", r1)
+        b2 = ModuleBuilder("h2")
+        x2 = b2.input("x", 1)
+        r2 = b2.reg("state", 4, reset=9)  # different reset: only equal
+        r2.drive(r2)                       # under the symbolic-equal regime
+        b2.output("o", r2)
+        c1, c2 = b1.build(), b2.build()
+        res_free = check_equivalence(c1, c2, max_bound=3,
+                                     symbolic_registers=["state"])
+        assert res_free.equivalent is True
+        res_reset = check_equivalence(c1, c2, max_bound=3)
+        assert res_reset.equivalent is False

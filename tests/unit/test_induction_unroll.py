@@ -1,0 +1,89 @@
+"""k-induction internals and unroller incrementality."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder, lower_to_gates
+from repro.formal import SafetyProperty, Unroller, k_induction
+from repro.formal.induction import InductionStatus
+from repro.formal.sat.solver import SolveStatus
+
+
+def _two_phase():
+    """Registers alternate 01 -> 10 -> 01; 11 unreachable from reset."""
+    b = ModuleBuilder("t")
+    p = b.reg("p", 1, reset=0)
+    q = b.reg("q", 1, reset=1)
+    p.drive(q)
+    q.drive(p)
+    b.output("bad", p & q)
+    return b.build()
+
+
+class TestKInduction:
+    def test_two_phase_needs_unique_states(self):
+        circ = _two_phase()
+        prop = SafetyProperty("p", "bad")
+        with_unique = k_induction(circ, prop, max_k=6, unique_states=True)
+        assert with_unique.status is InductionStatus.PROVED
+
+    def test_base_case_depth_accounted(self):
+        circ = _two_phase()
+        res = k_induction(circ, SafetyProperty("p", "bad"), max_k=4)
+        assert res.bound >= res.k - 1
+
+    def test_counterexample_from_base_case(self):
+        b = ModuleBuilder("t")
+        c = b.reg("c", 3)
+        c.drive(c + 1)
+        b.output("bad", c.eq(2))
+        res = k_induction(b.build(), SafetyProperty("p", "bad"), max_k=6)
+        assert res.status is InductionStatus.COUNTEREXAMPLE
+        assert res.counterexample.length == 3
+
+    def test_time_limit_gives_unknown(self):
+        res = k_induction(_two_phase(), SafetyProperty("p", "bad"),
+                          max_k=6, time_limit=0.0)
+        assert res.status is InductionStatus.UNKNOWN
+
+
+class TestUnrollerIncremental:
+    def test_depth_grows_monotonically(self):
+        lowered = lower_to_gates(_two_phase())
+        unroller = Unroller(lowered)
+        assert unroller.depth == 0
+        unroller.add_frame()
+        unroller.add_frame()
+        assert unroller.depth == 2
+        unroller.ensure_depth(5)
+        assert unroller.depth == 5
+        unroller.ensure_depth(3)  # never shrinks
+        assert unroller.depth == 5
+
+    def test_two_phase_invariant_by_query(self):
+        lowered = lower_to_gates(_two_phase())
+        unroller = Unroller(lowered)
+        unroller.ensure_depth(4)
+        for frame in range(4):
+            bad = unroller.lit_of_bit(frame, "bad")
+            assert unroller.solver.solve(assumptions=[bad]).status \
+                is SolveStatus.UNSAT
+
+    def test_constrain_word_pins_values(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        b.output("o", a + 1)
+        lowered = lower_to_gates(b.build())
+        unroller = Unroller(lowered)
+        unroller.ensure_depth(1)
+        unroller.constrain_word(0, "a", 7)
+        res = unroller.solver.solve()
+        assert unroller.word_value(0, "o", res.model) == 8
+
+    def test_word_value_reads_constants(self):
+        b = ModuleBuilder("t")
+        b.output("o", b.const(11, 4))
+        lowered = lower_to_gates(b.build())
+        unroller = Unroller(lowered)
+        unroller.ensure_depth(1)
+        res = unroller.solver.solve()
+        assert unroller.word_value(0, "o", res.model) == 11

@@ -1,0 +1,213 @@
+import random
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.sim import Simulator
+from repro.taint import (
+    Complexity,
+    Granularity,
+    TaintOption,
+    TaintScheme,
+    TaintSources,
+    blackbox_scheme,
+    cellift_scheme,
+    glift_scheme,
+    instrument,
+    instrumentation_overhead,
+    scheme_summary,
+)
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from conftest import random_cell_circuit, random_stimulus  # noqa: E402
+
+
+def _soundness(circ, design, seed, cycles=6, width=4):
+    rng = random.Random(seed * 31 + 5)
+    s1, s2 = rng.randrange(1 << width), rng.randrange(1 << width)
+    stim = random_stimulus(seed + 11, cycles, width)
+    wf_a = Simulator(circ, initial_state={"secret": s1}).run(stim)
+    wf_b = Simulator(circ, initial_state={"secret": s2}).run(stim)
+    wf_t = Simulator(design.circuit, initial_state={"secret": s1}).run(stim)
+    for name in circ.signals:
+        if not design.has_taint(name):
+            continue
+        taint_name = design.taint_name[name]
+        for t in range(cycles):
+            if wf_a.value(name, t) != wf_b.value(name, t):
+                assert wf_t.value(taint_name, t) != 0, (name, t, design.scheme.name)
+
+
+SCHEMES = [
+    cellift_scheme(),
+    glift_scheme(),
+    TaintScheme("word-naive"),
+    TaintScheme("word-partial", default=TaintOption(Granularity.WORD, Complexity.PARTIAL)),
+    TaintScheme("word-full", default=TaintOption(Granularity.WORD, Complexity.FULL)),
+    TaintScheme("bit-naive", default=TaintOption(Granularity.BIT, Complexity.NAIVE)),
+    TaintScheme("bit-partial", default=TaintOption(Granularity.BIT, Complexity.PARTIAL)),
+]
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_schemes_sound_on_random_circuits(self, scheme, seed):
+        circ = random_cell_circuit(seed)
+        design = instrument(circ, scheme.copy(), TaintSources(registers={"secret": -1}))
+        if scheme.unit_level.value == "gate":
+            # gate-level instrumentation runs on the lowered design; its
+            # soundness is covered by the dedicated test below
+            return
+        _soundness(circ, design, seed)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_blackbox_scheme_sound(self, seed):
+        circ = random_cell_circuit(seed)
+        design = instrument(
+            circ, blackbox_scheme({"m1"}), TaintSources(registers={"secret": -1})
+        )
+        _soundness(circ, design, seed)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_gate_level_instrumentation_sound(self, seed):
+        """GLIFT (gate unit level) is fuzzed for soundness per bit."""
+        from repro.bench.fuzz import fuzz_soundness
+        from repro.taint.space import Complexity, imprecise_scheme
+
+        circ = random_cell_circuit(seed)
+        for scheme in (glift_scheme(), imprecise_scheme(Complexity.PARTIAL),
+                       imprecise_scheme(Complexity.NAIVE)):
+            design = instrument(circ, scheme,
+                                TaintSources(registers={"secret": -1}))
+            assert design.gate_level_original is not None
+            assert design.uninstrumented is design.gate_level_original
+            report = fuzz_soundness(design, trials=6, cycles=4, seed=seed)
+            assert report.sound, (scheme.name, report.violations[:3])
+
+
+class TestBlackboxes:
+    def test_module_bit_is_sticky(self):
+        b = ModuleBuilder("t")
+        taint_in = b.input("x", 4)
+        with b.scope("box"):
+            r = b.reg("r", 4)
+            r.drive(taint_in)
+            out = b.named("out", r + 1)
+        b.output("o", out)
+        circ = b.build()
+        design = instrument(circ, blackbox_scheme({"box"}),
+                            TaintSources(inputs={"x": 0}))
+        # no taint in: module bit stays 0
+        sim = Simulator(design.circuit)
+        for _ in range(4):
+            sim.step({"x": 3})
+            assert sim.peek("box.__bb_taint") == 0
+
+    def test_module_bit_sets_and_stays(self):
+        b = ModuleBuilder("t")
+        taint_in = b.input("x", 4)
+        with b.scope("box"):
+            r = b.reg("r", 4)
+            r.drive(taint_in)
+            out = b.named("out", r + 1)
+        b.output("o", out)
+        circ = b.build()
+        design = instrument(circ, blackbox_scheme({"box"}),
+                            TaintSources(inputs={"x": -1}))
+        sim = Simulator(design.circuit)
+        sim.step({"x": 3})
+        assert sim.peek("box.__bb_taint") == 1  # sticky from cycle 1 on
+        sim.step({"x": 3})
+        assert sim.peek("box.__bb_taint") == 1
+
+    def test_blackbox_output_combinationally_tainted(self):
+        b = ModuleBuilder("t")
+        x = b.input("x", 4)
+        with b.scope("box"):
+            out = b.named("out", x + 1)
+        b.output("o", out)
+        circ = b.build()
+        design = instrument(circ, blackbox_scheme({"box"}),
+                            TaintSources(inputs={"x": -1}))
+        sim = Simulator(design.circuit)
+        sim.step({"x": 0})
+        # taint flows through the box combinationally (cone analysis)
+        assert sim.peek(design.taint_name["o"]) != 0
+
+    def test_nested_blackbox_collapses_to_outer(self):
+        b = ModuleBuilder("t")
+        with b.scope("outer"):
+            with b.scope("inner"):
+                r = b.reg("r", 2)
+                r.drive(r)
+            out = b.named("o1", r + 1)
+        b.output("o", out)
+        circ = b.build()
+        design = instrument(circ, blackbox_scheme({"outer", "outer.inner"}),
+                            TaintSources())
+        assert "outer" in design.module_taint
+        assert "outer.inner" not in design.module_taint
+
+    def test_secret_inside_blackbox_taints_reset(self):
+        b = ModuleBuilder("t")
+        with b.scope("box"):
+            sec = b.reg("sec", 4)
+            sec.drive(sec)
+            out = b.named("out", sec)
+        b.output("o", out)
+        circ = b.build()
+        design = instrument(circ, blackbox_scheme({"box"}),
+                            TaintSources(registers={"box.sec": -1}))
+        sim = Simulator(design.circuit)
+        sim.step({})
+        assert sim.peek("box.__bb_taint") == 1
+
+
+class TestMetricsAndMonitors:
+    def test_overhead_ordering(self):
+        circ = random_cell_circuit(5)
+        src = TaintSources(registers={"secret": -1})
+        rep_full = instrumentation_overhead(instrument(circ, cellift_scheme(), src))
+        rep_bb = instrumentation_overhead(instrument(circ, blackbox_scheme({"m1"}), src))
+        assert rep_full.gate_overhead > rep_bb.gate_overhead
+        assert rep_full.reg_bit_overhead > rep_bb.reg_bit_overhead
+        assert rep_full.reg_bit_overhead == pytest.approx(1.0)  # CellIFT: 100 %
+
+    def test_taint_monitor_outputs(self):
+        circ = random_cell_circuit(6)
+        design = instrument(circ, TaintScheme("wn"),
+                            TaintSources(registers={"secret": -1}))
+        bad = design.add_taint_monitor(["out"])
+        clean = design.add_zero_taint_monitor(["out"])
+        design.circuit.validate()
+        sim = Simulator(design.circuit)
+        sim.step({f"in{i}": 0 for i in range(3)})
+        assert sim.peek(bad) ^ sim.peek(clean) == 1  # complementary
+
+    def test_gated_clean_monitor_uses_condition_value(self):
+        b = ModuleBuilder("t")
+        cond = b.input("cond", 1)
+        sec = b.reg("sec", 4)
+        sec.drive(sec)
+        b.output("v", sec)
+        circ = b.build()
+        design = instrument(circ, cellift_scheme(), TaintSources(registers={"sec": -1}))
+        mon = design.add_gated_clean_monitor([("cond", "v")])
+        sim = Simulator(design.circuit)
+        sim.step({"cond": 0})
+        assert sim.peek(mon) == 1   # tainted value but condition low
+        sim.step({"cond": 1})
+        assert sim.peek(mon) == 0   # fires when condition high
+
+    def test_scheme_summary_rows(self):
+        circ = random_cell_circuit(7)
+        design = instrument(circ, blackbox_scheme({"m1"}),
+                            TaintSources(registers={"secret": -1}))
+        rows = {row.module: row for row in scheme_summary(design, depth=1)}
+        assert rows["m1"].granularity == "module"
+        assert rows["m1"].taint_bits == 1
+        assert rows["(top)"].granularity in ("word", "mixed")

@@ -1,0 +1,209 @@
+import pytest
+
+from repro.cores.isa import (
+    AluFn,
+    AsmError,
+    Instr,
+    IsaInterpreter,
+    Op,
+    assemble,
+    decode,
+    encode,
+)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("instr", [
+        Instr(Op.ALU, rd=1, rs1=2, rs2=3, funct=int(AluFn.ADD)),
+        Instr(Op.ALU, rd=7, rs1=7, rs2=7, funct=int(AluFn.SRL)),
+        Instr(Op.MUL, rd=4, rs1=5, rs2=6),
+        Instr(Op.ADDI, rd=3, rs1=1, imm=-17),
+        Instr(Op.ADDI, rd=3, rs1=1, imm=31),
+        Instr(Op.LW, rd=2, rs1=4, imm=5),
+        Instr(Op.SW, rd=2, rs1=4, imm=-6),
+        Instr(Op.BEQ, rs1=1, rs2=2, imm=-3),
+        Instr(Op.BNE, rs1=6, rs2=0, imm=7),
+        Instr(Op.JAL, rd=1, imm=-8),
+        Instr(Op.LUI, rd=5, imm=63),
+        Instr(Op.HALT),
+    ])
+    def test_roundtrip(self, instr):
+        assert decode(encode(instr)) == instr
+
+    def test_all_encodings_decode_to_something(self):
+        for word in range(0, 0x10000, 97):
+            decode(word)  # must not raise
+
+    def test_str_forms(self):
+        assert "add r1" in str(Instr(Op.ALU, rd=1, rs1=2, rs2=3, funct=0))
+        assert "lw" in str(Instr(Op.LW, rd=1, rs1=2, imm=3))
+        assert str(Instr(Op.HALT)) == "halt"
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        words = assemble("""
+            li   r1, 5
+            addi r1, r1, -1
+            halt
+        """)
+        assert len(words) == 3
+        assert decode(words[0]) == Instr(Op.ADDI, rd=1, rs1=0, imm=5)
+
+    def test_labels_and_branches(self):
+        words = assemble("""
+        loop:
+            addi r1, r1, 1
+            bne  r1, r2, loop
+            halt
+        """)
+        branch = decode(words[1])
+        assert branch.op is Op.BNE
+        assert branch.imm == -2
+
+    def test_forward_label(self):
+        words = assemble("""
+            beq r0, r0, end
+            nop
+        end:
+            halt
+        """)
+        assert decode(words[0]).imm == 1
+
+    def test_memory_operands(self):
+        words = assemble("lw r1, -2(r3)\nsw r4, 7(r5)\nhalt")
+        lw, sw = decode(words[0]), decode(words[1])
+        assert (lw.rd, lw.rs1, lw.imm) == (1, 3, -2)
+        assert (sw.rd, sw.rs1, sw.imm) == (4, 5, 7)
+
+    def test_comments_and_blank_lines(self):
+        words = assemble("""
+            ; full line comment
+            nop   # trailing comment
+            halt
+        """)
+        assert len(words) == 2
+
+    def test_j_pseudo(self):
+        words = assemble("j skip\nnop\nskip: halt")
+        jal = decode(words[0])
+        assert jal.op is Op.JAL and jal.rd == 0 and jal.imm == 1
+
+    def test_errors(self):
+        with pytest.raises(AsmError):
+            assemble("bogus r1, r2")
+        with pytest.raises(AsmError):
+            assemble("addi r1, r9, 0\nhalt")
+        with pytest.raises(AsmError):
+            assemble("li r1, 99\nhalt")   # immediate too wide
+        with pytest.raises(AsmError):
+            assemble("x: nop\nx: halt")   # duplicate label
+        with pytest.raises(AsmError):
+            assemble("beq r1, r2, nowhere\nhalt")
+
+
+class TestInterpreter:
+    def _run(self, text, dmem=None, **kw):
+        interp = IsaInterpreter(assemble(text), dmem=dmem, **kw)
+        interp.run()
+        return interp
+
+    def test_arith_chain(self):
+        interp = self._run("""
+            li  r1, 10
+            li  r2, 3
+            sub r3, r1, r2
+            mul r4, r3, r2
+            halt
+        """)
+        assert interp.regs[3] == 7
+        assert interp.regs[4] == 21
+
+    def test_r0_stays_zero(self):
+        interp = self._run("li r0, 5\naddi r0, r0, 3\nhalt")
+        assert interp.regs[0] == 0
+
+    def test_memory_roundtrip(self):
+        interp = self._run("""
+            li r1, 4
+            li r2, 7
+            sw r2, 1(r1)      ; mem[5] = 7
+            lw r3, 1(r1)
+            halt
+        """)
+        assert interp.dmem[5] == 7
+        assert interp.regs[3] == 7
+
+    def test_loop_sums(self):
+        interp = self._run("""
+            li r1, 0      ; sum
+            li r2, 5      ; i
+        loop:
+            add r1, r1, r2
+            addi r2, r2, -1
+            bne r2, r0, loop
+            halt
+        """)
+        assert interp.regs[1] == 15
+
+    def test_jal_links(self):
+        interp = self._run("""
+            jal r7, target
+            halt
+        target:
+            halt
+        """)
+        assert interp.regs[7] == 1
+        assert interp.pc == 2
+
+    def test_lui_shift(self):
+        interp = self._run("lui r1, 7\nhalt")
+        assert interp.regs[1] == (7 << 3) & 0xFF
+
+    def test_wraparound_arith(self):
+        interp = self._run("li r1, -1\naddi r1, r1, 2\nhalt", xlen=8)
+        assert interp.regs[1] == 1
+
+    def test_memory_address_wraps(self):
+        interp = self._run("li r1, 10\nlw r2, 0(r1)\nhalt",
+                           dmem={2: 42}, dmem_depth=8)
+        assert interp.regs[2] == 42  # address 10 % 8 == 2
+
+    def test_obs_trace_records_writebacks(self):
+        interp = self._run("li r1, 3\nli r2, 4\nadd r3, r1, r2\nhalt")
+        assert interp.obs == [3, 4, 7]
+
+    def test_halted_stops(self):
+        interp = self._run("halt")
+        assert interp.halted
+        assert interp.instret == 0
+        assert interp.step() is None
+
+    def test_shift_semantics(self):
+        interp = self._run("""
+            li r1, 1
+            li r2, 3
+            sll r3, r1, r2
+            li r4, 9
+            srl r5, r4, r1
+            sll r6, r1, r4   ; shift >= xlen -> 0
+            halt
+        """, xlen=8)
+        assert interp.regs[3] == 8
+        assert interp.regs[5] == 4
+        assert interp.regs[6] == 0
+
+    def test_slt_unsigned(self):
+        interp = self._run("""
+            li  r1, 2
+            li  r2, -1      ; 0xFF unsigned
+            slt r3, r1, r2
+            slt r4, r2, r1
+            halt
+        """)
+        assert interp.regs[3] == 1
+        assert interp.regs[4] == 0
+
+    def test_program_too_big_rejected(self):
+        with pytest.raises(ValueError):
+            IsaInterpreter([0] * 99, imem_depth=16)

@@ -1,0 +1,114 @@
+"""Observable fan-ins: closed forms vs the exhaustive Appendix A oracle."""
+
+import itertools
+
+import pytest
+
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.signals import Signal, SignalKind
+from repro.cegar.observability import observable_fanins, observable_fanins_exact
+
+
+def _cell(op, out_w, in_widths, params=()):
+    out = Signal("o", out_w, SignalKind.WIRE)
+    ins = tuple(Signal(f"i{k}", w, SignalKind.WIRE) for k, w in enumerate(in_widths))
+    return Cell(op, out, ins, params)
+
+
+EXACT_OPS = [
+    (CellOp.AND, 2, (2, 2), ()),
+    (CellOp.OR, 2, (2, 2), ()),
+    (CellOp.XOR, 2, (2, 2), ()),
+    (CellOp.MUX, 2, (1, 2, 2), ()),
+    (CellOp.ADD, 2, (2, 2), ()),
+    (CellOp.SUB, 2, (2, 2), ()),
+    (CellOp.EQ, 1, (2, 2), ()),
+    (CellOp.NEQ, 1, (2, 2), ()),
+    (CellOp.ULT, 1, (2, 2), ()),
+    (CellOp.ULE, 1, (2, 2), ()),
+    (CellOp.CONCAT, 4, (2, 2), ()),
+    (CellOp.SHL, 3, (3, 2), ()),
+    (CellOp.SHR, 3, (3, 2), ()),
+]
+
+
+@pytest.mark.parametrize("op,out_w,in_widths,params", EXACT_OPS,
+                         ids=lambda v: getattr(v, "value", str(v)))
+def test_closed_form_covers_exact(op, out_w, in_widths, params):
+    """Closed forms must be a superset of the exact observable fan-ins
+    (supersets only cost extra tracing; subsets would break Algorithm 1)."""
+    cell = _cell(op, out_w, in_widths, params)
+    for values in itertools.product(*[range(1 << w) for w in in_widths]):
+        exact = observable_fanins_exact(cell, values)
+        closed = observable_fanins(cell, values)
+        assert exact <= closed, (op.value, values, exact, closed)
+
+
+@pytest.mark.parametrize("op,out_w,in_widths,params", [
+    (CellOp.AND, 2, (2, 2), ()),
+    (CellOp.OR, 2, (2, 2), ()),
+    (CellOp.MUX, 2, (1, 2, 2), ()),
+    (CellOp.ULT, 1, (2, 2), ()),
+    (CellOp.ULE, 1, (2, 2), ()),
+    (CellOp.SHL, 3, (3, 2), ()),
+], ids=lambda v: getattr(v, "value", str(v)))
+def test_closed_form_is_exact_for_binary_ops(op, out_w, in_widths, params):
+    cell = _cell(op, out_w, in_widths, params)
+    for values in itertools.product(*[range(1 << w) for w in in_widths]):
+        assert observable_fanins(cell, values) == observable_fanins_exact(cell, values), \
+            (op.value, values)
+
+
+class TestSpecificCases:
+    def test_mux_unselected_unobservable_when_arms_differ(self):
+        cell = _cell(CellOp.MUX, 4, (1, 4, 4))
+        # sel=1 selects A; A != B: B is unobservable (the paper's example)
+        assert observable_fanins(cell, [1, 5, 9]) == frozenset({0, 1})
+        assert observable_fanins(cell, [0, 5, 9]) == frozenset({0, 2})
+
+    def test_mux_equal_arms_all_observable(self):
+        cell = _cell(CellOp.MUX, 4, (1, 7, 7))
+        assert observable_fanins(cell, [1, 7, 7]) == frozenset({0, 1, 2})
+
+    def test_and_with_zero_side(self):
+        cell = _cell(CellOp.AND, 4, (4, 4))
+        # B == 0: A alone cannot flip the output
+        assert observable_fanins(cell, [5, 0]) == frozenset({1})
+        assert observable_fanins(cell, [0, 0]) == frozenset({0, 1})
+        assert observable_fanins(cell, [3, 5]) == frozenset({0, 1})
+
+    def test_or_with_saturated_side(self):
+        cell = _cell(CellOp.OR, 4, (4, 4))
+        assert observable_fanins(cell, [5, 0xF]) == frozenset({1})
+        assert observable_fanins(cell, [0xF, 0xF]) == frozenset({0, 1})
+
+    def test_const_has_no_fanins(self):
+        cell = _cell(CellOp.CONST, 4, (), params=(("value", 3),))
+        assert observable_fanins(cell, []) == frozenset()
+
+    def test_single_input_ops(self):
+        for op, out_w, widths, params in [
+            (CellOp.NOT, 4, (4,), ()),
+            (CellOp.REDOR, 1, (4,), ()),
+            (CellOp.SLICE, 2, (4,), (("lo", 1), ("hi", 2))),
+        ]:
+            cell = _cell(op, out_w, widths, params)
+            assert observable_fanins(cell, [5]) == frozenset({0})
+
+    def test_xor_add_always_fully_observable(self):
+        for op in (CellOp.XOR, CellOp.ADD, CellOp.SUB):
+            cell = _cell(op, 4, (4, 4))
+            assert observable_fanins(cell, [0, 0]) == frozenset({0, 1})
+
+    def test_shift_with_out_of_range_amount(self):
+        cell = _cell(CellOp.SHL, 4, (4, 4))
+        # shamt >= width: data alone unobservable; a != 0 so shamt is
+        assert observable_fanins(cell, [5, 9]) == frozenset({1})
+        # a == 0 and shamt >= width: only jointly observable
+        assert observable_fanins(cell, [0, 9]) == frozenset({0, 1})
+
+    def test_ult_boundary_conditions(self):
+        cell = _cell(CellOp.ULT, 1, (4, 4))
+        assert observable_fanins(cell, [3, 0]) == frozenset({1})     # b=0: a stuck
+        assert observable_fanins(cell, [15, 0]) == frozenset({0, 1})  # joint only
+        assert observable_fanins(cell, [15, 3]) == frozenset({0})    # a=max: b stuck

@@ -1,0 +1,122 @@
+import pytest
+
+from repro.hdl import ModuleBuilder, lower_to_gates
+from repro.hdl.optimize import simplify
+from repro.sim import Simulator
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from conftest import random_cell_circuit, random_stimulus  # noqa: E402
+
+
+def _same_outputs(circ, opt, stimulus):
+    s1, s2 = Simulator(circ), Simulator(opt)
+    for frame in stimulus:
+        o1, o2 = s1.step(frame), s2.step(frame)
+        assert o1 == o2
+
+
+class TestSimplify:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_semantics_preserved(self, seed):
+        circ = random_cell_circuit(seed)
+        _same_outputs(circ, simplify(circ), random_stimulus(seed, 8))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_gate_level_semantics_preserved(self, seed):
+        low = lower_to_gates(random_cell_circuit(seed)).circuit
+        opt = simplify(low)
+        stim_names = [s.name for s in low.inputs]
+        import random as _r
+
+        rng = _r.Random(seed)
+        stim = [{n: rng.randrange(2) for n in stim_names} for _ in range(8)]
+        _same_outputs(low, opt, stim)
+
+    def test_constant_folding(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        zero = b.const(0, 4)
+        b.output("o", (a & zero) | (a ^ a))  # always 0
+        opt = simplify(b.build())
+        # Everything folds to a constant: at most a const cell + output BUF.
+        assert len(opt.cells) <= 2
+        assert Simulator(opt).step({"a": 9})["o"] == 0
+
+    def test_identity_elimination(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        ones = b.const(0xF, 4)
+        b.output("o", (a & ones) | b.const(0, 4))
+        opt = simplify(b.build())
+        assert Simulator(opt).step({"a": 9})["o"] == 9
+        assert len(opt.cells) <= 2
+
+    def test_mux_constant_selector(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        c = b.input("c", 4)
+        b.output("o", b.mux(b.const(1, 1), a, c))
+        opt = simplify(b.build())
+        assert Simulator(opt).step({"a": 3, "c": 9})["o"] == 3
+
+    def test_mux_equal_arms(self):
+        b = ModuleBuilder("t")
+        s = b.input("s", 1)
+        a = b.input("a", 4)
+        b.output("o", b.mux(s, a, a))
+        opt = simplify(b.build())
+        out = Simulator(opt).step({"s": 0, "a": 7})
+        assert out["o"] == 7
+
+    def test_cse_merges_duplicates(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        c = b.input("c", 4)
+        x = a + c
+        y = a + c  # structurally identical
+        b.output("o", x ^ y)  # == 0
+        opt = simplify(b.build())
+        assert Simulator(opt).step({"a": 5, "c": 9})["o"] == 0
+
+    def test_dead_code_removed(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 8)
+        _dead = (a + 1) * 1 if False else (a + 1)  # unused value
+        for _ in range(5):
+            _dead = _dead ^ a
+        b.output("o", a)
+        opt = simplify(b.build())
+        assert len(opt.cells) <= 1  # only the output BUF can remain
+
+    def test_interface_preserved(self):
+        circ = random_cell_circuit(3)
+        opt = simplify(circ)
+        assert {s.name for s in opt.inputs} == {s.name for s in circ.inputs}
+        assert {s.name for s in opt.outputs} == {s.name for s in circ.outputs}
+        assert {r.q.name for r in opt.registers} == {r.q.name for r in circ.registers}
+
+    def test_registers_keep_resets(self):
+        b = ModuleBuilder("t")
+        r = b.reg("r", 4, reset=9)
+        r.drive(r)
+        opt = simplify(b.build())
+        assert opt.registers[0].reset_value == 9
+
+    def test_xor_self_cancels(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 4)
+        b.output("o", a ^ a)
+        opt = simplify(b.build())
+        assert Simulator(opt).step({"a": 11})["o"] == 0
+
+    def test_shrinks_instrumented_designs(self):
+        from repro.taint import TaintSources, cellift_scheme, instrument
+
+        circ = random_cell_circuit(4)
+        design = instrument(circ, cellift_scheme(), TaintSources(registers={"secret": -1}))
+        low = lower_to_gates(design.circuit).circuit
+        opt = simplify(low)
+        assert len(opt.cells) < len(low.cells)

@@ -1,0 +1,147 @@
+"""IC3/PDR engine tests."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.formal import SafetyProperty
+from repro.formal.pdr import PdrStatus, pdr_prove
+
+
+def wrap_counter(limit=3, width=4, bad_at=9):
+    b = ModuleBuilder("wrap")
+    en = b.input("en", 1)
+    c = b.reg("cnt", width)
+    c.drive(b.mux(c.eq(limit), b.const(0, width), c + 1), en=en)
+    b.output("bad", c.eq(bad_at))
+    return b.build()
+
+
+def plain_counter(bad_at=5, width=4):
+    b = ModuleBuilder("counter")
+    en = b.input("en", 1)
+    c = b.reg("cnt", width)
+    c.drive(c + 1, en=en)
+    b.output("bad", c.eq(bad_at))
+    return b.build()
+
+
+class TestProofs:
+    def test_proves_wrap_invariant(self):
+        res = pdr_prove(wrap_counter(), SafetyProperty("p", "bad"), time_limit=30)
+        assert res.status is PdrStatus.PROVED
+        assert res.invariant_clauses > 0
+
+    def test_proves_where_k_induction_struggles(self):
+        """A property that is not 1-inductive: two lockstep counters stay
+        equal only from the reset states."""
+        b = ModuleBuilder("pair")
+        a = b.reg("a", 3)
+        c = b.reg("c", 3)
+        a.drive(a + 1)
+        c.drive(c + 1)
+        b.output("bad", a.ne(c))
+        res = pdr_prove(b.build(), SafetyProperty("p", "bad"), time_limit=30)
+        assert res.status is PdrStatus.PROVED
+
+    def test_assumptions_respected(self):
+        b = ModuleBuilder("asm")
+        en = b.input("en", 1)
+        r = b.reg("r", 1)
+        r.drive(r | en)
+        b.output("bad", r)
+        b.output("en_low", ~en)
+        res = pdr_prove(b.build(), SafetyProperty("p", "bad", assumptions=("en_low",)),
+                        time_limit=30)
+        assert res.status is PdrStatus.PROVED
+
+    def test_taint_property_on_fig2(self):
+        """The refined Figure 2 scheme is provable unboundedly by PDR."""
+        from repro.taint import (Complexity, Granularity, TaintOption,
+                                 TaintScheme, TaintSources, instrument)
+
+        b = ModuleBuilder("fig2")
+        sel1 = b.input("sel1", 1)
+        sel23 = b.const(0, 1)
+        sec = b.reg("secret", 4)
+        sec.drive(sec)
+        pub = b.reg("pub", 4)
+        pub.drive(pub)
+        o1 = b.named("o1", b.mux(sel1, sec, pub))
+        o2 = b.named("o2", b.mux(sel23, o1, pub))
+        b.output("sink", o2)
+        circ = b.build()
+        scheme = TaintScheme("refined")
+        # "o2" is a BUF alias; refine the mux cell feeding it.
+        mux_out = circ.producer(circ.signal("o2")).ins[0].name
+        scheme.refine_cell(mux_out, TaintOption(Granularity.WORD, Complexity.PARTIAL))
+        design = instrument(circ, scheme, TaintSources(registers={"secret": -1}))
+        bad = design.add_taint_monitor(["sink"])
+        prop = SafetyProperty("p", bad, symbolic_registers=frozenset({"secret", "pub"}))
+        res = pdr_prove(design.circuit, prop, time_limit=60)
+        assert res.status is PdrStatus.PROVED
+
+
+class TestCounterexamples:
+    def test_finds_reachable_violation(self):
+        circ = plain_counter(5)
+        res = pdr_prove(circ, SafetyProperty("p", "bad"), time_limit=30)
+        assert res.status is PdrStatus.COUNTEREXAMPLE
+        wf = res.counterexample.replay(circ)
+        assert any(v == 1 for v in wf.trace("bad"))
+
+    def test_bad_at_initial_state(self):
+        b = ModuleBuilder("t")
+        r = b.reg("r", 4, reset=7)
+        r.drive(r)
+        b.output("bad", r.eq(7))
+        res = pdr_prove(b.build(), SafetyProperty("p", "bad"), time_limit=30)
+        assert res.status is PdrStatus.COUNTEREXAMPLE
+        assert res.counterexample.length == 1
+
+    def test_symbolic_initial_state(self):
+        b = ModuleBuilder("t")
+        r = b.reg("r", 4)
+        r.drive(r)
+        b.output("bad", r.eq(11))
+        prop = SafetyProperty("p", "bad", symbolic_registers=frozenset({"r"}))
+        res = pdr_prove(b.build(), prop, time_limit=30)
+        assert res.status is PdrStatus.COUNTEREXAMPLE
+
+    def test_agrees_with_bmc_on_random_circuits(self):
+        import sys, os
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        from conftest import random_cell_circuit
+        from repro.formal import BmcStatus, bounded_model_check
+
+        for seed in range(6):
+            circ = random_cell_circuit(seed, width=3, depth=6)
+            # bad: some output bit pattern
+            prop = SafetyProperty(
+                "p",
+                circ.outputs[0].name if circ.outputs[0].width == 1 else None,
+            ) if circ.outputs[0].width == 1 else None
+            # use a derived 1-bit bad instead
+            from repro.hdl.cells import Cell, CellOp
+            from repro.hdl.signals import Signal, SignalKind
+
+            bad = Signal("is_bad", 1, SignalKind.OUTPUT)
+            circ.add_cell(Cell(CellOp.EQ, bad,
+                               (circ.outputs[0], circ.outputs[0]), ()))
+            # trivially true bad -> counterexample at depth 0 for both
+            prop = SafetyProperty("p", "is_bad")
+            bmc = bounded_model_check(circ, prop, max_bound=3)
+            pdr = pdr_prove(circ, prop, time_limit=30)
+            assert (bmc.status is BmcStatus.COUNTEREXAMPLE) == \
+                (pdr.status is PdrStatus.COUNTEREXAMPLE), seed
+
+
+class TestBudget:
+    def test_time_limit_returns_unknown(self):
+        res = pdr_prove(wrap_counter(limit=14, width=5, bad_at=31),
+                        SafetyProperty("p", "bad"), time_limit=0.0)
+        assert res.status is PdrStatus.UNKNOWN
+
+    def test_max_frames_bounds_work(self):
+        res = pdr_prove(plain_counter(bad_at=15), SafetyProperty("p", "bad"),
+                        max_frames=2, time_limit=30)
+        assert res.status in (PdrStatus.UNKNOWN, PdrStatus.COUNTEREXAMPLE)

@@ -1,0 +1,215 @@
+"""Per-cell taint policy tests: soundness and expected precision.
+
+Soundness is checked pointwise against the ground truth: a policy's
+output taint must cover every output bit that can change when tainted
+input bits change.
+"""
+
+import itertools
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.hdl.cells import Cell, CellOp, evaluate_cell
+from repro.hdl.circuit import Circuit
+from repro.hdl.signals import Signal, SignalKind
+from repro.sim import Simulator
+from repro.taint.emitter import Emitter
+from repro.taint.policies import distinct_complexities, effective_complexity, propagate
+from repro.taint.space import Complexity, Granularity, TaintOption
+
+_N, _P, _F = Complexity.NAIVE, Complexity.PARTIAL, Complexity.FULL
+
+
+def _policy_fn(op, widths, out_width, option, params=()):
+    """Build a small circuit evaluating a single cell's taint policy.
+
+    Returns fn(values, taints) -> (cell output, taint output).
+    """
+    circuit = Circuit("policy")
+    in_sigs = tuple(
+        Signal(f"i{k}", w, SignalKind.INPUT) for k, w in enumerate(widths)
+    )
+    taint_width = lambda w: w if option.granularity is Granularity.BIT else 1
+    taint_sigs = tuple(
+        Signal(f"t{k}", taint_width(w), SignalKind.INPUT) for k, w in enumerate(widths)
+    )
+    for sig in in_sigs + taint_sigs:
+        circuit.add_signal(sig)
+    out = Signal("o", out_width, SignalKind.WIRE)
+    cell = Cell(op, out, in_sigs, params)
+    circuit.add_cell(cell)
+    em = Emitter(circuit)
+    taint_out = propagate(cell, option, list(taint_sigs), em)
+    out_buf = Signal("o_t", taint_out.width, SignalKind.OUTPUT)
+    circuit.add_cell(Cell(CellOp.BUF, out_buf, (taint_out,)))
+    circuit.validate()
+    sim = Simulator(circuit)
+
+    def run(values, taints):
+        frame = {f"i{k}": v for k, v in enumerate(values)}
+        frame.update({f"t{k}": t for k, t in enumerate(taints)})
+        sim._evaluate_comb(frame)
+        return sim.peek("o"), sim.peek("o_t")
+
+    return run, cell
+
+
+def _ground_truth_taint(cell, values, taint_masks):
+    """Bits of the output that can change by flipping tainted input bits."""
+    domains = []
+    for sig, value, mask in zip(cell.ins, values, taint_masks):
+        free_positions = [i for i in range(sig.width) if (mask >> i) & 1]
+        domains.append((value, free_positions))
+    baseline = evaluate_cell(cell, list(values))
+    changed = 0
+    combos = [
+        [(v, fp) for v, fp in [d]] for d in domains
+    ]
+
+    def assignments(idx, current):
+        if idx == len(domains):
+            yield list(current)
+            return
+        base, free = domains[idx]
+        for bits in itertools.product([0, 1], repeat=len(free)):
+            v = base
+            for pos, bit in zip(free, bits):
+                v = (v & ~(1 << pos)) | (bit << pos)
+            current.append(v)
+            yield from assignments(idx + 1, current)
+            current.pop()
+
+    for assignment in assignments(0, []):
+        changed |= baseline ^ evaluate_cell(cell, assignment)
+    return changed
+
+
+def _word_taints(masks):
+    return [1 if m else 0 for m in masks]
+
+
+@pytest.mark.parametrize("gran", [Granularity.BIT, Granularity.WORD])
+@pytest.mark.parametrize("comp", [_N, _P, _F])
+@pytest.mark.parametrize("op,widths,out_w,params", [
+    (CellOp.AND, (3, 3), 3, ()),
+    (CellOp.OR, (3, 3), 3, ()),
+    (CellOp.XOR, (3, 3), 3, ()),
+    (CellOp.NOT, (3,), 3, ()),
+    (CellOp.MUX, (1, 3, 3), 3, ()),
+    (CellOp.ADD, (3, 3), 3, ()),
+    (CellOp.SUB, (3, 3), 3, ()),
+    (CellOp.EQ, (3, 3), 1, ()),
+    (CellOp.NEQ, (3, 3), 1, ()),
+    (CellOp.ULT, (3, 3), 1, ()),
+    (CellOp.ULE, (3, 3), 1, ()),
+    (CellOp.SHL, (3, 2), 3, ()),
+    (CellOp.SHR, (3, 2), 3, ()),
+    (CellOp.REDOR, (3,), 1, ()),
+    (CellOp.REDAND, (3,), 1, ()),
+    (CellOp.REDXOR, (3,), 1, ()),
+    (CellOp.CONCAT, (2, 2), 4, ()),
+    (CellOp.SLICE, (4,), 2, (("lo", 1), ("hi", 2))),
+    (CellOp.ZEXT, (2,), 4, ()),
+    (CellOp.SEXT, (2,), 4, ()),
+])
+def test_policy_soundness_exhaustive(op, widths, out_w, params, gran, comp):
+    """Every policy over-approximates the ground-truth flow, pointwise."""
+    option = TaintOption(gran, comp)
+    run, cell = _policy_fn(op, widths, out_w, option, params)
+    value_space = itertools.product(*[range(1 << w) for w in widths])
+    mask_choices = [0, 1, (1 << widths[0]) - 1]
+    for values in value_space:
+        for masks in itertools.product(
+            *[[0, (1 << w) - 1, 1 & ((1 << w) - 1)] for w in widths]
+        ):
+            truth = _ground_truth_taint(cell, values, masks)
+            if gran is Granularity.BIT:
+                taints = list(masks)
+                _, got = run(values, taints)
+                assert got & truth == truth, (
+                    f"{op.value} {option}: values={values} masks={masks} "
+                    f"truth={truth:b} got={got:b}"
+                )
+            else:
+                taints = _word_taints(masks)
+                _, got = run(values, taints)
+                assert (got == 1) or truth == 0, (
+                    f"{op.value} {option}: values={values} masks={masks}"
+                )
+
+
+class TestPrecisionRelations:
+    def test_full_and_gate_matches_paper_formula(self):
+        run, _ = _policy_fn(CellOp.AND, (1, 1), 1, TaintOption(Granularity.BIT, _F))
+        # Ot = (B & At) | (A & Bt) | (At & Bt)
+        for a, b_, at, bt in itertools.product([0, 1], repeat=4):
+            _, got = run((a, b_), (at, bt))
+            assert got == ((b_ & at) | (a & bt) | (at & bt))
+
+    def test_partial_and_gate_matches_paper_formula(self):
+        run, _ = _policy_fn(CellOp.AND, (1, 1), 1, TaintOption(Granularity.BIT, _P))
+        for a, b_, at, bt in itertools.product([0, 1], repeat=4):
+            _, got = run((a, b_), (at, bt))
+            assert got == (at | (a & bt))
+
+    def test_naive_and_gate(self):
+        run, _ = _policy_fn(CellOp.AND, (1, 1), 1, TaintOption(Granularity.BIT, _N))
+        for a, b_, at, bt in itertools.product([0, 1], repeat=4):
+            _, got = run((a, b_), (at, bt))
+            assert got == (at | bt)
+
+    def test_mux_formula1_blocks_unselected(self):
+        run, _ = _policy_fn(CellOp.MUX, (1, 4, 4), 4, TaintOption(Granularity.BIT, _F))
+        # selector public 1, A public, B tainted: no taint out
+        _, got = run((1, 5, 9), (0, 0, 0xF))
+        assert got == 0
+
+    def test_mux_formula1_selector_taint_needs_difference(self):
+        run, _ = _policy_fn(CellOp.MUX, (1, 4, 4), 4, TaintOption(Granularity.BIT, _F))
+        # A == B and data untainted: tainted selector cannot matter
+        _, got = run((1, 5, 5), (1, 0, 0))
+        assert got == 0
+        _, got = run((1, 5, 6), (1, 0, 0))
+        assert got != 0
+
+    def test_higher_complexity_never_less_precise(self):
+        for op, widths, out_w in [
+            (CellOp.AND, (2, 2), 2), (CellOp.OR, (2, 2), 2), (CellOp.MUX, (1, 2, 2), 2),
+        ]:
+            runs = {
+                comp: _policy_fn(op, widths, out_w, TaintOption(Granularity.BIT, comp))[0]
+                for comp in (_N, _P, _F)
+            }
+            for values in itertools.product(*[range(1 << w) for w in widths]):
+                for masks in itertools.product(*[range(1 << w) for w in widths]):
+                    _, naive = runs[_N](values, masks)
+                    _, partial = runs[_P](values, masks)
+                    _, full = runs[_F](values, masks)
+                    assert full & partial == full   # full subset of partial
+                    assert partial & naive == partial
+
+
+class TestDistinctComplexities:
+    def test_and_or_mux_have_three_levels_at_bit(self):
+        for op in (CellOp.AND, CellOp.OR, CellOp.MUX):
+            assert distinct_complexities(op, Granularity.BIT) == (_N, _P, _F)
+
+    def test_xor_only_naive(self):
+        assert distinct_complexities(CellOp.XOR, Granularity.BIT) == (_N,)
+        assert distinct_complexities(CellOp.XOR, Granularity.WORD) == (_N,)
+
+    def test_adders_have_partial_at_bit_only(self):
+        assert distinct_complexities(CellOp.ADD, Granularity.BIT) == (_N, _P)
+        assert distinct_complexities(CellOp.ADD, Granularity.WORD) == (_N,)
+
+    def test_effective_complexity_clamps(self):
+        assert effective_complexity(
+            CellOp.XOR, TaintOption(Granularity.BIT, _F)
+        ) is _N
+        assert effective_complexity(
+            CellOp.ADD, TaintOption(Granularity.BIT, _F)
+        ) is _P
+        assert effective_complexity(
+            CellOp.AND, TaintOption(Granularity.BIT, _F)
+        ) is _F

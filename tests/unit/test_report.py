@@ -1,0 +1,71 @@
+"""CEGAR report rendering tests."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.taint import TaintSources
+from repro.cegar import CegarConfig, CegarStatus, TaintVerificationTask, run_compass
+from repro.cegar.report import render_report
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    b = ModuleBuilder("fig2")
+    sel1 = b.input("sel1", 1)
+    sel23 = b.const(0, 1)
+    with b.scope("m"):
+        secret = b.reg("secret", 4)
+        secret.drive(secret)
+        pub = b.reg("pub", 4)
+        pub.drive(pub)
+        o1 = b.named("o1", b.mux(sel1, secret, pub))
+        o2 = b.named("o2", b.mux(sel23, o1, pub))
+    b.output("sink", o2)
+    task = TaintVerificationTask(
+        name="fig2-report", circuit=b.build(),
+        sources=TaintSources(registers={"m.secret": -1}),
+        sinks=("sink",),
+        symbolic_registers=frozenset({"m.secret", "m.pub"}),
+    )
+    result = run_compass(task, CegarConfig(max_bound=5, induction_max_k=5, seed=0))
+    return task, result
+
+
+class TestReport:
+    def test_proved_report_structure(self, fig2_result):
+        task, result = fig2_result
+        assert result.status is CegarStatus.PROVED
+        text = render_report(result, task)
+        assert text.startswith("# Compass verification report: fig2-report")
+        assert "**PROVED**" in text
+        assert "Table 3 format" in text
+        assert "| CellIFT |" in text and "| Compass |" in text
+        assert "`m`" in text  # module rows present
+
+    def test_report_lists_refinements(self, fig2_result):
+        task, result = fig2_result
+        text = render_report(result, task)
+        for entry in result.stats.refinement_log:
+            assert entry in text
+
+    def test_report_excludes_monitors(self, fig2_result):
+        task, result = fig2_result
+        text = render_report(result, task)
+        assert "`_monitor`" not in text
+
+    def test_leak_report(self):
+        b = ModuleBuilder("leaky")
+        sel = b.input("sel", 1)
+        sec = b.reg("secret", 4)
+        sec.drive(sec)
+        b.output("sink", b.mux(sel, sec, b.const(0, 4)))
+        task = TaintVerificationTask(
+            name="leaky", circuit=b.build(),
+            sources=TaintSources(registers={"secret": -1}),
+            sinks=("sink",),
+            symbolic_registers=frozenset({"secret"}),
+        )
+        result = run_compass(task, CegarConfig(max_bound=4, induction_max_k=4, seed=0))
+        assert result.status is CegarStatus.REAL_LEAK
+        text = render_report(result, task)
+        assert "REAL LEAK" in text

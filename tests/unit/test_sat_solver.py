@@ -1,0 +1,232 @@
+import itertools
+import random
+
+import pytest
+
+from repro.formal.sat.cnf import CNF
+from repro.formal.sat.solver import Solver, SolveStatus, _luby
+
+
+def brute_force(num_vars, clauses, assumptions=()):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def true(lit):
+            v = bits[abs(lit) - 1]
+            return v if lit > 0 else not v
+
+        if all(true(a) for a in assumptions) and all(
+            any(true(l) for l in cl) for cl in clauses
+        ):
+            return True
+    return False
+
+
+def php(pigeons, holes):
+    """Pigeonhole principle CNF: UNSAT iff pigeons > holes."""
+    s = Solver()
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    for p in range(pigeons):
+        s.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-var(p1, h), -var(p2, h)])
+    return s
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        s = Solver()
+        s.add_clause([1])
+        r = s.solve()
+        assert r.status is SolveStatus.SAT
+        assert r.lit_true(1)
+
+    def test_trivial_unsat(self):
+        s = Solver()
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        assert s.solve().status is SolveStatus.UNSAT
+
+    def test_unit_propagation_chain(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        r = s.solve()
+        assert r.status is SolveStatus.SAT
+        assert r.lit_true(3)
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        s.add_clause([1, -1])
+        assert s.solve().status is SolveStatus.SAT
+
+    def test_duplicate_literals_collapsed(self):
+        s = Solver()
+        s.add_clause([2, 2, 2])
+        r = s.solve()
+        assert r.lit_true(2)
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        assert not s.add_clause([])
+        assert s.solve().status is SolveStatus.UNSAT
+
+
+class TestAssumptions:
+    def test_conflicting_assumptions(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 3])
+        assert s.solve(assumptions=[1, -3]).status is SolveStatus.UNSAT
+
+    def test_assumptions_respected_in_model(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        r = s.solve(assumptions=[-1])
+        assert r.status is SolveStatus.SAT
+        assert not r.lit_true(1)
+        assert r.lit_true(2)
+
+    def test_solver_reusable_after_assumption_unsat(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 3])
+        assert s.solve(assumptions=[1, -3]).status is SolveStatus.UNSAT
+        assert s.solve().status is SolveStatus.SAT
+
+    def test_assumption_on_fresh_variable(self):
+        s = Solver()
+        s.add_clause([1])
+        r = s.solve(assumptions=[5])
+        assert r.status is SolveStatus.SAT
+        assert r.lit_true(5)
+
+
+class TestStructured:
+    def test_pigeonhole_unsat(self):
+        assert php(6, 5).solve().status is SolveStatus.UNSAT
+
+    def test_pigeonhole_sat(self):
+        assert php(5, 5).solve().status is SolveStatus.SAT
+
+    def test_conflict_budget_returns_unknown(self):
+        r = php(9, 8).solve(max_conflicts=50)
+        assert r.status is SolveStatus.UNKNOWN
+
+    def test_incremental_clause_addition(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve().status is SolveStatus.SAT
+        s.add_clause([-1])
+        s.add_clause([-2])
+        assert s.solve().status is SolveStatus.UNSAT
+
+    def test_xor_chain_parity(self):
+        # x1 xor x2 xor ... xor x6 = 1 encoded clause-wise is satisfiable
+        s = Solver()
+        n = 6
+        aux = n
+        prev = 1
+        for i in range(2, n + 1):
+            aux += 1
+            a, b, o = prev, i, aux
+            s.add_clause([-o, a, b])
+            s.add_clause([-o, -a, -b])
+            s.add_clause([o, -a, b])
+            s.add_clause([o, a, -b])
+            prev = aux
+        s.add_clause([prev])
+        r = s.solve()
+        assert r.status is SolveStatus.SAT
+        parity = sum(r.value(i) for i in range(1, n + 1)) % 2
+        assert parity == 1
+
+
+class TestFuzzing:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_3sat_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(2, 8)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, num_vars)
+             for _ in range(rng.randint(1, 3))]
+            for _ in range(rng.randint(1, 25))
+        ]
+        s = Solver()
+        consistent = all(s.add_clause(cl) for cl in clauses)
+        result = s.solve() if consistent else None
+        got = consistent and result.status is SolveStatus.SAT
+        assert got == brute_force(num_vars, clauses)
+        if got:
+            for cl in clauses:
+                assert any(result.lit_true(l) for l in cl)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_with_assumptions(self, seed):
+        rng = random.Random(seed + 1000)
+        num_vars = rng.randint(2, 7)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, num_vars)
+             for _ in range(rng.randint(1, 3))]
+            for _ in range(rng.randint(1, 18))
+        ]
+        assumptions = sorted({rng.choice([1, -1]) * rng.randint(1, num_vars)
+                              for _ in range(rng.randint(0, 3))})
+        if any(-a in assumptions for a in assumptions):
+            return
+        s = Solver()
+        consistent = all(s.add_clause(cl) for cl in clauses)
+        got = False
+        if consistent:
+            got = s.solve(assumptions=assumptions).status is SolveStatus.SAT
+        assert got == brute_force(num_vars, clauses, assumptions)
+
+
+class TestLuby:
+    def test_luby_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestCnfContainer:
+    def test_dimacs_roundtrip(self):
+        cnf = CNF()
+        cnf.add_clause([1, -2, 3])
+        cnf.add_clause([-1])
+        import io
+
+        buf = io.StringIO()
+        cnf.write_dimacs(buf, comments=["test"])
+        buf.seek(0)
+        back = CNF.read_dimacs(buf)
+        assert back.clauses == cnf.clauses
+        assert back.num_vars == cnf.num_vars
+
+    def test_new_vars(self):
+        cnf = CNF()
+        assert cnf.new_vars(3) == [1, 2, 3]
+        assert cnf.new_var() == 4
+
+    def test_add_clause_grows_vars(self):
+        cnf = CNF()
+        cnf.add_clause([7])
+        assert cnf.num_vars == 7
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_solver_accepts_cnf(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        s = Solver()
+        assert s.add_cnf(cnf)
+        r = s.solve()
+        assert r.status is SolveStatus.SAT and r.lit_true(2)

@@ -1,0 +1,89 @@
+"""Taint scheme serialization tests."""
+
+import io
+
+import pytest
+
+from repro.taint import TaintScheme, blackbox_scheme, cellift_scheme
+from repro.taint.custom import ConstantCleanTaint
+from repro.taint.scheme_io import (
+    load_scheme,
+    save_scheme,
+    scheme_from_dict,
+    scheme_to_dict,
+)
+from repro.taint.space import Complexity, Granularity, TaintOption
+
+
+def _rich_scheme():
+    scheme = blackbox_scheme({"dcache", "core.muldiv"}, name="refined")
+    scheme.refine_cell("core._mux1", TaintOption(Granularity.WORD, Complexity.PARTIAL))
+    scheme.refine_cell("dcache._mux2", TaintOption(Granularity.BIT, Complexity.FULL))
+    scheme.refine_register("core.rf.x1", Granularity.BIT)
+    scheme.module_defaults["isa"] = TaintOption(Granularity.BIT, Complexity.FULL)
+    return scheme
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        scheme = _rich_scheme()
+        buf = io.StringIO()
+        save_scheme(scheme, buf)
+        buf.seek(0)
+        back = load_scheme(buf)
+        assert back.name == scheme.name
+        assert back.unit_level == scheme.unit_level
+        assert back.default == scheme.default
+        assert back.blackboxes == scheme.blackboxes
+        assert back.cell_options == scheme.cell_options
+        assert back.register_granularity == scheme.register_granularity
+        assert back.module_defaults == scheme.module_defaults
+
+    def test_cellift_preset_roundtrips(self):
+        back = scheme_from_dict(scheme_to_dict(cellift_scheme()))
+        assert back.default == TaintOption(Granularity.BIT, Complexity.FULL)
+
+    def test_reloaded_scheme_instruments_identically(self):
+        import sys, os
+
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        from conftest import random_cell_circuit
+
+        from repro.hdl.stats import gate_count
+        from repro.taint import TaintSources, instrument
+
+        circ = random_cell_circuit(3)
+        scheme = blackbox_scheme({"m1"})
+        back = scheme_from_dict(scheme_to_dict(scheme))
+        src = TaintSources(registers={"secret": -1})
+        assert gate_count(instrument(circ, scheme, src).circuit) == \
+            gate_count(instrument(circ, back, src).circuit)
+
+
+class TestValidation:
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            scheme_from_dict({"format": "nope"})
+
+    def test_rejects_future_version(self):
+        doc = scheme_to_dict(_rich_scheme())
+        doc["version"] = 42
+        with pytest.raises(ValueError):
+            scheme_from_dict(doc)
+
+    def test_custom_handlers_flagged(self):
+        scheme = TaintScheme("s")
+        scheme.custom_modules["m"] = ConstantCleanTaint()
+        doc = scheme_to_dict(scheme)
+        assert doc["custom_modules"] == ["m"]
+        with pytest.raises(ValueError):
+            scheme_from_dict(doc)
+
+    def test_allow_custom_loads_without_handlers(self):
+        scheme = TaintScheme("s")
+        scheme.custom_modules["m"] = ConstantCleanTaint()
+        buf = io.StringIO()
+        save_scheme(scheme, buf)
+        buf.seek(0)
+        back = load_scheme(buf, allow_custom=True)
+        assert back.custom_modules == {}

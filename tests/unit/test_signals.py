@@ -1,0 +1,49 @@
+import pytest
+
+from repro.hdl.signals import Signal, SignalKind, local_name, module_and_ancestors
+
+
+class TestSignal:
+    def test_mask_matches_width(self):
+        assert Signal("a", 1).mask == 1
+        assert Signal("a", 8).mask == 255
+        assert Signal("a", 16).mask == 0xFFFF
+
+    def test_truncate_wraps(self):
+        sig = Signal("a", 4)
+        assert sig.truncate(0x1F) == 0xF
+        assert sig.truncate(-1) == 0xF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Signal("a", 0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Signal("", 1)
+
+    def test_str_includes_width(self):
+        assert str(Signal("core.pc", 5)) == "core.pc[5]"
+
+    def test_equality_ignores_module(self):
+        a = Signal("x", 4, SignalKind.WIRE, module="m1")
+        b = Signal("x", 4, SignalKind.WIRE, module="m2")
+        assert a == b
+
+    def test_kind_distinguishes(self):
+        assert Signal("x", 4, SignalKind.REG) != Signal("x", 4, SignalKind.WIRE)
+
+
+class TestHelpers:
+    def test_local_name_strips_module(self):
+        sig = Signal("core.rf.x1", 8, module="core.rf")
+        assert local_name(sig) == "x1"
+
+    def test_local_name_top_level(self):
+        sig = Signal("pc", 8, module="")
+        assert local_name(sig) == "pc"
+
+    def test_module_ancestors(self):
+        assert module_and_ancestors("a.b.c") == ["a.b.c", "a.b", "a"]
+        assert module_and_ancestors("") == []
+        assert module_and_ancestors("top") == ["top"]

@@ -1,0 +1,59 @@
+import pytest
+
+from repro.hdl import ModuleBuilder, circuit_stats, gate_count, lower_to_gates, register_bits
+from repro.hdl.stats import cell_count
+
+
+def _small():
+    b = ModuleBuilder("t")
+    a = b.input("a", 4)
+    c = b.input("c", 4)
+    with b.scope("m"):
+        r = b.reg("r", 4, reset=1)
+        r.drive(a + c)
+    b.output("o", r ^ a)
+    return b.build()
+
+
+class TestCounting:
+    def test_register_bits(self):
+        assert register_bits(_small()) == 4
+
+    def test_gate_count_matches_lowered(self):
+        circ = _small()
+        lowered = lower_to_gates(circ).circuit
+        assert gate_count(circ) == gate_count(lowered)
+        # and the count excludes BUF/CONST wiring
+        from repro.hdl.cells import CellOp
+
+        raw = sum(1 for cell in lowered.cells
+                  if cell.op not in (CellOp.BUF, CellOp.CONST))
+        assert gate_count(circ) == raw
+
+    def test_cell_count_excludes_wiring(self):
+        circ = _small()
+        assert cell_count(circ) < len(circ.cells)
+        assert cell_count(circ, include_wiring=True) == len(circ.cells)
+
+    def test_stats_per_module(self):
+        stats = circuit_stats(_small())
+        assert stats.per_module_reg_bits == {"m": 4}
+        assert "m" in stats.per_module_cells
+        assert stats.reg_bits == 4
+        assert stats.gates > 0
+
+    def test_overhead_vs(self):
+        base = circuit_stats(_small())
+        bigger = circuit_stats(_small())
+        bigger.gates = base.gates * 3
+        bigger.reg_bits = base.reg_bits * 2
+        overhead = bigger.overhead_vs(base)
+        assert overhead["gates"] == pytest.approx(2.0)
+        assert overhead["reg_bits"] == pytest.approx(1.0)
+
+    def test_zero_base_overhead_is_zero(self):
+        stats = circuit_stats(_small())
+        empty = circuit_stats(_small())
+        empty.gates = 0
+        empty.reg_bits = 0
+        assert stats.overhead_vs(empty) == {"gates": 0.0, "reg_bits": 0.0}

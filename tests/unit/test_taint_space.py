@@ -1,0 +1,108 @@
+import pytest
+
+from repro.taint import (
+    Complexity,
+    Granularity,
+    PRESETS,
+    TaintOption,
+    TaintScheme,
+    UnitLevel,
+    blackbox_scheme,
+    cellift_scheme,
+    glift_scheme,
+    refinement_ladder,
+)
+from repro.taint.space import REFINEMENT_LADDER, imprecise_scheme, rtlift_scheme
+
+
+class TestLadder:
+    def test_full_ladder_from_none(self):
+        assert refinement_ladder() == list(REFINEMENT_LADDER)
+
+    def test_ladder_orders_complexity_before_granularity(self):
+        ladder = refinement_ladder(TaintOption(Granularity.WORD, Complexity.NAIVE))
+        assert ladder[0] == TaintOption(Granularity.WORD, Complexity.PARTIAL)
+        assert ladder[1] == TaintOption(Granularity.WORD, Complexity.FULL)
+        assert ladder[2].granularity is Granularity.BIT
+
+    def test_ladder_from_last_is_empty(self):
+        assert refinement_ladder(TaintOption(Granularity.BIT, Complexity.FULL)) == []
+
+    def test_cost_ordering(self):
+        costs = [opt.cost for opt in REFINEMENT_LADDER]
+        assert costs == sorted(costs)
+
+
+class TestScheme:
+    def test_option_lookup_priority(self):
+        scheme = TaintScheme("s")
+        scheme.module_defaults["isa"] = TaintOption(Granularity.BIT, Complexity.FULL)
+        scheme.refine_cell("isa.x", TaintOption(Granularity.WORD, Complexity.PARTIAL))
+        # cell override > module default > global default
+        assert scheme.option_for_cell("isa.x", "isa").complexity is Complexity.PARTIAL
+        assert scheme.option_for_cell("isa.y", "isa").granularity is Granularity.BIT
+        assert scheme.option_for_cell("z", "").granularity is Granularity.WORD
+
+    def test_module_default_longest_prefix(self):
+        scheme = TaintScheme("s")
+        scheme.module_defaults["a"] = TaintOption(Granularity.BIT, Complexity.NAIVE)
+        scheme.module_defaults["a.b"] = TaintOption(Granularity.BIT, Complexity.FULL)
+        assert scheme.option_for_cell("x", "a.b.c").complexity is Complexity.FULL
+        assert scheme.option_for_cell("x", "a.z").complexity is Complexity.NAIVE
+
+    def test_effective_blackbox_outermost_wins(self):
+        scheme = blackbox_scheme({"core", "core.rf"})
+        assert scheme.effective_blackbox("core.rf") == "core"
+        scheme.open_blackbox("core")
+        assert scheme.effective_blackbox("core.rf") == "core.rf"
+        assert scheme.effective_blackbox("core.alu") is None
+
+    def test_register_granularity(self):
+        scheme = TaintScheme("s")
+        assert scheme.granularity_for_register("r") is Granularity.WORD
+        scheme.refine_register("r", Granularity.BIT)
+        assert scheme.granularity_for_register("r") is Granularity.BIT
+
+    def test_copy_is_deep_enough(self):
+        scheme = blackbox_scheme({"m"})
+        clone = scheme.copy("clone")
+        clone.open_blackbox("m")
+        clone.refine_cell("x", TaintOption(Granularity.BIT, Complexity.FULL))
+        assert "m" in scheme.blackboxes
+        assert "x" not in scheme.cell_options
+
+    def test_refined_cell_count(self):
+        scheme = TaintScheme("s")
+        scheme.refine_cell("a", TaintOption(Granularity.WORD, Complexity.PARTIAL))
+        scheme.refine_cell("b", TaintOption(Granularity.BIT, Complexity.NAIVE))
+        assert scheme.refined_cell_count() == 1  # naive does not count
+
+
+class TestPresets:
+    def test_cellift_is_bit_full_cell_level(self):
+        s = cellift_scheme()
+        assert s.unit_level is UnitLevel.CELL
+        assert s.default == TaintOption(Granularity.BIT, Complexity.FULL)
+
+    def test_glift_is_gate_level(self):
+        assert glift_scheme().unit_level is UnitLevel.GATE
+
+    def test_rtlift_variants(self):
+        assert rtlift_scheme(True).default.complexity is Complexity.FULL
+        assert rtlift_scheme(False).default.complexity is Complexity.NAIVE
+
+    def test_imprecise_scheme(self):
+        s = imprecise_scheme(Complexity.PARTIAL)
+        assert s.unit_level is UnitLevel.GATE
+        assert s.default.complexity is Complexity.PARTIAL
+
+    def test_blackbox_scheme_contents(self):
+        s = blackbox_scheme({"a", "b"})
+        assert s.blackboxes == {"a", "b"}
+        assert s.default == TaintOption(Granularity.WORD, Complexity.NAIVE)
+
+    def test_table5_presets_cover_prior_work(self):
+        for row in ("GLIFT [46]", "RTLIFT [1]", "CellIFT [39]", "Compass"):
+            assert row in PRESETS
+        assert PRESETS["Compass"]["unit"] == ("gate", "cell", "module")
+        assert set(PRESETS["CellIFT [39]"]["unit"]) == {"cell"}

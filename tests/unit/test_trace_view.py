@@ -1,0 +1,73 @@
+"""Trace viewer tests."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.formal import Counterexample
+from repro.sim import Simulator
+from repro.sim.trace_view import decode_program_of, format_counterexample, format_waveform
+
+
+def _counter():
+    b = ModuleBuilder("t")
+    en = b.input("en", 1)
+    c = b.reg("cnt", 4)
+    c.drive(c + 1, en=en)
+    b.output("o", c)
+    return b.build()
+
+
+class TestFormatWaveform:
+    def _wf(self):
+        return Simulator(_counter()).run([{"en": 1}] * 5, record=["en", "cnt", "o"])
+
+    def test_table_contains_all_cycles_and_signals(self):
+        text = format_waveform(self._wf(), ["cnt", "o"])
+        assert "cnt" in text and "o" in text
+        for cycle in range(5):
+            assert str(cycle) in text
+
+    def test_hex_radix(self):
+        wf = Simulator(_counter()).run([{"en": 1}] * 12, record=["cnt"])
+        text = format_waveform(wf, ["cnt"], radix="hex")
+        assert " a" in text or "a " in text  # value 10 printed as hex
+
+    def test_range_selection(self):
+        text = format_waveform(self._wf(), ["cnt"], start=2, end=4)
+        rows = text.splitlines()
+        assert rows[0].split() == ["2", "3"]
+
+    def test_values_aligned_per_column(self):
+        text = format_waveform(self._wf(), ["cnt"])
+        values = text.splitlines()[-1].split()[1:]
+        assert values == ["0", "1", "2", "3", "4"]
+
+
+class TestFormatCounterexample:
+    def test_renders_initial_state_and_trace(self):
+        circ = _counter()
+        cex = Counterexample(3, [{"en": 1}] * 3, {"cnt": 7})
+        text = format_counterexample(cex, circ)
+        assert "3 cycles" in text
+        assert "cnt = 7" in text
+        assert "o" in text
+
+    def test_zero_state_suppressed(self):
+        circ = _counter()
+        cex = Counterexample(2, [{"en": 0}] * 2, {"cnt": 0})
+        text = format_counterexample(cex, circ)
+        assert "non-zero initial state" not in text
+
+
+class TestDecodeProgram:
+    def test_disassembles_synthesized_program(self):
+        from repro.cores import CoreConfig, assemble, build_sodor
+
+        core = build_sodor(CoreConfig(xlen=4, imem_depth=4, dmem_depth=4,
+                                      secret_words=1), with_shadow=False)
+        program = assemble("li r1, 3\nhalt")
+        init = core.initial_state_for(program)
+        cex = Counterexample(1, [{}], init)
+        listing = decode_program_of(cex, core)
+        assert any("addi r1, r0, 3" in line for line in listing)
+        assert any("halt" in line for line in listing)

@@ -1,0 +1,83 @@
+"""File-format details: VCD identifiers/values and DIMACS parsing."""
+
+import io
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.sim import Simulator, write_vcd
+from repro.sim.vcd import _identifier
+from repro.formal.sat.cnf import CNF
+
+
+class TestVcdFormat:
+    def _vcd_for(self, cycles=4):
+        b = ModuleBuilder("t")
+        en = b.input("en", 1)
+        c = b.reg("c", 4)
+        c.drive(c + 1, en=en)
+        b.output("o", c)
+        circ = b.build()
+        wf = Simulator(circ).run([{"en": 1}] * cycles, record=["en", "c", "o"])
+        buf = io.StringIO()
+        write_vcd(wf, circ, buf)
+        return buf.getvalue()
+
+    def test_identifiers_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        assert all(ch.isprintable() and ch != " " for s in ids for ch in s)
+
+    def test_header_declares_all_signals(self):
+        text = self._vcd_for()
+        assert text.count("$var wire") == 3
+        assert "$enddefinitions" in text
+
+    def test_timestamps_monotonic(self):
+        text = self._vcd_for(cycles=5)
+        stamps = [int(line[1:]) for line in text.splitlines()
+                  if line.startswith("#")]
+        assert stamps == sorted(stamps)
+        assert stamps[0] == 0 and stamps[-1] == 5
+
+    def test_multibit_values_binary(self):
+        text = self._vcd_for()
+        assert any(line.startswith("b1") for line in text.splitlines())
+
+    def test_subset_of_signals(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 1)
+        b.output("o", ~a)
+        circ = b.build()
+        wf = Simulator(circ).run([{"a": 1}], record=["a", "o"])
+        buf = io.StringIO()
+        write_vcd(wf, circ, buf, signals=["o"])
+        assert buf.getvalue().count("$var") == 1
+
+
+class TestDimacs:
+    def test_parse_with_comments_and_header(self):
+        text = "c a comment\np cnf 3 2\n1 -2 0\n3 0\n"
+        cnf = CNF.read_dimacs(io.StringIO(text))
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [(1, -2), (3,)]
+
+    def test_write_then_read(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2, -3])
+        cnf.add_clause([-1])
+        buf = io.StringIO()
+        cnf.write_dimacs(buf, comments=["hello"])
+        text = buf.getvalue()
+        assert text.startswith("c hello\np cnf 3 2")
+        buf.seek(0)
+        again = CNF.read_dimacs(buf)
+        assert again.clauses == cnf.clauses
+
+    def test_bad_problem_line_rejected(self):
+        with pytest.raises(ValueError):
+            CNF.read_dimacs(io.StringIO("p sat 3 1\n1 0\n"))
+
+    def test_declared_vars_respected(self):
+        cnf = CNF.read_dimacs(io.StringIO("p cnf 9 1\n1 0\n"))
+        assert cnf.num_vars == 9

@@ -1,0 +1,79 @@
+import io
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.sim import Simulator, Waveform, write_vcd
+
+
+class TestWaveform:
+    def _wf(self):
+        wf = Waveform(["a", "b"])
+        wf.record({"a": 1, "b": 10})
+        wf.record({"a": 0, "b": 20})
+        wf.record({"a": 1, "b": 20})
+        return wf
+
+    def test_value_and_trace(self):
+        wf = self._wf()
+        assert wf.value("a", 0) == 1
+        assert wf.value("b", 2) == 20
+        assert wf.trace("b") == [10, 20, 20]
+        assert wf.length == 3
+
+    def test_last(self):
+        assert self._wf().last("a") == 1
+
+    def test_unknown_signal(self):
+        with pytest.raises(KeyError):
+            self._wf().value("zz", 0)
+
+    def test_out_of_range_cycle(self):
+        with pytest.raises(IndexError):
+            self._wf().value("a", 3)
+
+    def test_cycles_where(self):
+        assert self._wf().cycles_where("a", lambda v: v == 1) == [0, 2]
+
+    def test_differs_from(self):
+        w1, w2 = self._wf(), self._wf()
+        assert not w1.differs_from(w2, "a", 1)
+        w3 = Waveform(["a", "b"])
+        w3.record({"a": 0, "b": 10})
+        assert w1.differs_from(w3, "a", 0)
+
+    def test_record_requires_all_signals(self):
+        wf = Waveform(["a", "b"])
+        with pytest.raises(KeyError):
+            wf.record({"a": 1})
+
+
+class TestVcd:
+    def test_vcd_output_structure(self):
+        b = ModuleBuilder("t")
+        en = b.input("en", 1)
+        c = b.reg("c", 4)
+        c.drive(c + 1, en=en)
+        b.output("o", c)
+        circ = b.build()
+        wf = Simulator(circ).run([{"en": 1}] * 3, record=["en", "c", "o"])
+        out = io.StringIO()
+        write_vcd(wf, circ, out)
+        text = out.getvalue()
+        assert "$timescale" in text
+        assert "$var wire 4" in text       # multi-bit signal declared
+        assert "$var wire 1" in text
+        assert "#0" in text and "#2" in text
+        assert "b10 " in text or "b1 " in text  # binary value change lines
+
+    def test_vcd_only_emits_changes(self):
+        b = ModuleBuilder("t")
+        r = b.reg("r", 1)
+        r.drive(r)
+        b.output("o", r)
+        circ = b.build()
+        wf = Simulator(circ).run([{}] * 5, record=["o"])
+        out = io.StringIO()
+        write_vcd(wf, circ, out)
+        # value printed once (cycle 0), not 5 times
+        assert out.getvalue().count("\n0") <= 2

@@ -1,0 +1,101 @@
+"""Workload kernels validated against plain-Python references."""
+
+import random
+
+import pytest
+
+from repro.bench.workloads import WORKLOADS, workload_names
+from repro.cores.common import CoreConfig
+from repro.cores.isa import IsaInterpreter
+
+CFG = CoreConfig.simulation()
+
+
+def _final_memory(workload, data):
+    return workload.expected_memory(data, CFG)
+
+
+class TestMedian:
+    def test_against_python_reference(self):
+        rng = random.Random(9)
+        data = {i: rng.randrange(200) for i in range(8)}
+        mem = _final_memory(WORKLOADS["median"], data)
+        arr = [data[i] for i in range(8)]
+        for i in range(1, 7):
+            expected = sorted([arr[i - 1], arr[i], arr[i + 1]])[1]
+            assert mem[8 + i] == expected, i
+
+
+class TestSorts:
+    @pytest.mark.parametrize("name", ["rsort", "qsort"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_sorts_correctly(self, name, seed):
+        rng = random.Random(seed)
+        data = {i: rng.randrange(1 << CFG.xlen) for i in range(8)}
+        mem = _final_memory(WORKLOADS[name], data)
+        assert mem[:8] == sorted(data[i] for i in range(8))
+
+    def test_sort_with_duplicates(self):
+        data = {i: v for i, v in enumerate([5, 5, 1, 5, 1, 1, 5, 1])}
+        for name in ("rsort", "qsort"):
+            mem = _final_memory(WORKLOADS[name], data)
+            assert mem[:8] == [1, 1, 1, 1, 5, 5, 5, 5]
+
+    def test_sort_already_sorted(self):
+        data = {i: i * 10 for i in range(8)}
+        mem = _final_memory(WORKLOADS["rsort"], data)
+        assert mem[:8] == [i * 10 for i in range(8)]
+
+
+class TestMatrixMul:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_against_python_reference(self, seed):
+        rng = random.Random(seed)
+        data = WORKLOADS["matrix_mul"].make_data(rng, CFG)
+        mem = _final_memory(WORKLOADS["matrix_mul"], data)
+        a = [[data[0], data[1]], [data[2], data[3]]]
+        b = [[data[4], data[5]], [data[6], data[7]]]
+        mask = (1 << CFG.xlen) - 1
+        for i in range(2):
+            for j in range(2):
+                expected = sum(a[i][k] * b[k][j] for k in range(2)) & mask
+                assert mem[8 + 2 * i + j] == expected
+
+
+class TestRsa:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_modular_exponentiation(self, seed):
+        rng = random.Random(seed)
+        data = WORKLOADS["rsa"].make_data(rng, CFG)
+        mem = _final_memory(WORKLOADS["rsa"], data)
+        base, exponent, modulus = data[0], data[1], data[2]
+        assert mem[8] == pow(base, exponent, modulus)
+
+
+class TestWorkloadMetadata:
+    def test_all_five_paper_kernels_present(self):
+        assert set(workload_names()) == {
+            "median", "rsort", "qsort", "matrix_mul", "rsa",
+        }
+
+    def test_programs_fit_the_simulation_imem(self):
+        for workload in WORKLOADS.values():
+            assert len(workload.program) <= CFG.imem_depth
+
+    def test_workloads_avoid_the_secret_region(self):
+        """Kernels only touch low memory; the secret words stay intact."""
+        for name, workload in WORKLOADS.items():
+            data = workload.make_data(random.Random(0), CFG)
+            interp = IsaInterpreter(workload.program, xlen=CFG.xlen,
+                                    imem_depth=CFG.imem_depth,
+                                    dmem_depth=CFG.dmem_depth, dmem=data)
+            for addr in CFG.secret_addresses:
+                interp.dmem[addr] = 0xAB
+            interp.run(20000)
+            for addr in CFG.secret_addresses:
+                assert interp.dmem[addr] == 0xAB, (name, addr)
+
+    def test_reference_instruction_counts_positive(self):
+        for workload in WORKLOADS.values():
+            data = workload.make_data(random.Random(1), CFG)
+            assert workload.reference_instructions(data, CFG) > 5
