@@ -10,6 +10,9 @@ Subpackages:
   self-composition, abstraction;
 - :mod:`repro.taint` — the three-dimensional taint space, propagation
   policies, instrumentation pass, presets, custom handlers, metrics;
+- :mod:`repro.lint` — static analysis over circuits and taint schemes
+  (structural invariants, scheme consistency, SAT-backed semantic
+  checks), also exposed as ``python -m repro lint``;
 - :mod:`repro.cegar` — the Compass CEGAR loop (false-taint tests,
   backtracing, refinement strategy, pruning);
 - :mod:`repro.cores` — RV-lite ISA and the four evaluated processors;
@@ -27,6 +30,7 @@ __all__ = [
     "sim",
     "formal",
     "taint",
+    "lint",
     "cegar",
     "cores",
     "contracts",

@@ -134,6 +134,11 @@ class CegarConfig:
     #: loop ends when simulation finds nothing (cheap scheme derivation
     #: for the simulation-oriented experiments of Section 6.2).
     mc_enabled: bool = True
+    #: Fail fast: run the structural/scheme lint rules over the task's
+    #: circuit and initial scheme before the loop starts, raising
+    #: :class:`repro.lint.LintError` on errors instead of spending the
+    #: model-checking budget on an ill-formed task.
+    lint_on_entry: bool = True
 
 
 @dataclass
@@ -305,6 +310,17 @@ def run_compass(
             config.total_time_limit is not None
             and time.monotonic() - started > config.total_time_limit
         )
+
+    if config.lint_on_entry:
+        from repro.lint import LintConfig, LintError, lint
+
+        report = lint(
+            task.circuit, scheme,
+            config=LintConfig(semantic=False),
+            categories=["structural", "scheme"],
+        )
+        if not report.ok:
+            raise LintError(report)
 
     t0 = time.monotonic()
     design, prop = instrument_task(task, scheme)

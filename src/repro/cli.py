@@ -204,6 +204,132 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Lint a design: a core name or a JSON netlist file."""
+    import json as _json
+    import os
+
+    from repro.lint import LintConfig, Severity, SourceMap, lint
+
+    if args.selftest:
+        return _lint_selftest()
+    if args.design is None:
+        print("error: a design (core name or netlist file) is required "
+              "unless --selftest is given", file=sys.stderr)
+        return 2
+
+    scheme = None
+    if args.scheme:
+        from repro.taint.scheme_io import load_scheme
+
+        with open(args.scheme) as handle:
+            scheme = load_scheme(handle, allow_custom=True)
+
+    source_map = None
+    if args.design in core_registry():
+        cfg = CoreConfig(xlen=args.xlen, imem_depth=args.imem,
+                         dmem_depth=args.dmem, secret_words=args.secret_words)
+        core = core_registry()[args.design](cfg, not args.no_shadow)
+        circuit = core.circuit
+    elif os.path.exists(args.design):
+        # Load leniently: a netlist with invariant violations is exactly
+        # what the linter is for.
+        from repro.hdl.serialize import circuit_from_dict
+
+        try:
+            with open(args.design) as handle:
+                doc = _json.load(handle)
+            circuit = circuit_from_dict(doc, validate=False)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: {args.design} is not a readable netlist "
+                  f"document: {exc}", file=sys.stderr)
+            return 2
+        if doc.get("provenance"):
+            source_map = SourceMap.from_provenance(doc["provenance"])
+    else:
+        print(f"error: {args.design!r} is neither a known core "
+              f"({', '.join(_core_names())}) nor a netlist file",
+              file=sys.stderr)
+        return 2
+
+    waivers = []
+    for entry in args.waive or ():
+        rule_id, sep, pattern = entry.partition(":")
+        if not sep or not rule_id or not pattern:
+            print(f"error: --waive expects RULE:GLOB, got {entry!r}",
+                  file=sys.stderr)
+            return 2
+        waivers.append((rule_id, pattern))
+    config = LintConfig(
+        disabled=set(args.disable or ()),
+        semantic=not args.no_semantic,
+        waivers=tuple(waivers),
+    )
+    started = time.monotonic()
+    report = lint(circuit, scheme, config=config, source_map=source_map)
+    elapsed = time.monotonic() - started
+    if args.json:
+        print(report.to_json())
+    else:
+        min_severity = {"error": Severity.ERROR, "warning": Severity.WARNING,
+                        "info": Severity.INFO}[args.min_severity]
+        print(report.render_text(min_severity=min_severity))
+        print(f"({len(circuit.cells)} cells linted in {elapsed:.2f}s)")
+    return 0 if report.ok else 1
+
+
+def _lint_selftest() -> int:
+    """Verify the linter catches known-bad inputs (exit 0 iff it does)."""
+    from repro.hdl import ModuleBuilder
+    from repro.hdl.cells import Cell, CellOp
+    from repro.hdl.circuit import Circuit
+    from repro.hdl.signals import Signal, SignalKind
+    from repro.lint import lint
+    from repro.taint import TaintScheme
+    from repro.taint.custom import ConstantCleanTaint
+
+    failures = []
+
+    # 1. A custom handler that drops taint on a pass-through.
+    b = ModuleBuilder("selftest")
+    sec = b.reg("secret", 1)
+    sec.drive(sec)
+    a = b.reg("a", 1)
+    a.drive(a)
+    with b.scope("masker"):
+        out = b.named("out", sec & a)
+    b.output("sink", out)
+    circuit = b.build()
+    scheme = TaintScheme("unsound")
+    scheme.custom_modules["masker"] = ConstantCleanTaint()
+    report = lint(circuit, scheme)
+    if report.by_rule("unsound-handler"):
+        print("PASS unsound custom handler flagged as error")
+    else:
+        failures.append("unsound-handler not reported")
+
+    # 2. A hand-built combinational loop.
+    loopy = Circuit("loopy")
+    x = Signal("x", 1, SignalKind.WIRE)
+    y = Signal("y", 1, SignalKind.WIRE)
+    z = Signal("z", 1, SignalKind.OUTPUT)
+    for sig in (x, y):
+        loopy.signals[sig.name] = sig
+    loopy.add_signal(z)
+    loopy.cells.append(Cell(CellOp.BUF, x, (y,)))
+    loopy.cells.append(Cell(CellOp.BUF, y, (x,)))
+    loopy.cells.append(Cell(CellOp.BUF, z, (x,)))
+    report = lint(loopy)
+    if any(d.severity.value == "error" for d in report.by_rule("comb-loop")):
+        print("PASS combinational loop flagged as error")
+    else:
+        failures.append("comb-loop not reported")
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_tables(_args) -> int:
     from repro.cores.configs import format_table1
     from repro.taint import PRESETS
@@ -267,6 +393,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None)
     p.add_argument("--no-shadow", action="store_true")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("lint", help="static analysis over a core or netlist")
+    p.add_argument("design", nargs="?", default=None,
+                   help="core name or JSON netlist file")
+    p.add_argument("--xlen", type=int, default=8)
+    p.add_argument("--imem", type=int, default=8)
+    p.add_argument("--dmem", type=int, default=8)
+    p.add_argument("--secret-words", type=int, default=2)
+    p.add_argument("--no-shadow", action="store_true",
+                   help="lint the core without its ISA shadow machine")
+    p.add_argument("--scheme", metavar="FILE", default=None,
+                   help="also check a saved taint scheme against the design")
+    p.add_argument("--no-semantic", action="store_true",
+                   help="skip SAT-backed semantic rules")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.add_argument("--disable", action="append", metavar="RULE",
+                   help="disable a rule id (repeatable)")
+    p.add_argument("--waive", action="append", metavar="RULE:GLOB",
+                   help="waive findings of RULE on paths matching GLOB")
+    p.add_argument("--min-severity", choices=("error", "warning", "info"),
+                   default="info", help="lowest severity to print")
+    p.add_argument("--selftest", action="store_true",
+                   help="check the linter catches known-bad designs")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("tables", help="print Table 1 and Table 5")
     p.set_defaults(func=cmd_tables)

@@ -202,24 +202,35 @@ class Circuit:
         return order
 
     def validate(self) -> None:
-        """Check all structural invariants; raise :class:`CircuitError`."""
-        for cell in self.cells:
-            validate_cell(cell)
-        for sig in self.signals.values():
-            produced = sig.name in self._producer
-            is_reg = sig.name in self._register_of
-            if sig.kind is SignalKind.INPUT and produced:
-                raise CircuitError(f"input {sig.name!r} is driven by a cell")
-            if sig.kind is SignalKind.REG and produced:
-                raise CircuitError(f"register {sig.name!r} is driven by a cell")
-            if sig.kind in (SignalKind.WIRE, SignalKind.OUTPUT) and not produced:
-                raise CircuitError(f"{sig.kind.value} {sig.name!r} has no driver")
-            if sig.kind is SignalKind.REG and not is_reg:
-                raise CircuitError(f"REG signal {sig.name!r} has no Register entry")
-        for reg in self.registers:
-            if reg.d.name not in self.signals:
-                raise CircuitError(f"register {reg.q.name!r} next-value {reg.d.name!r} unknown")
-        self.topo_cells()
+        """Check all structural invariants; raise :class:`CircuitError`.
+
+        Delegates to the invariant subset of the lint rules
+        (:func:`repro.lint.structural.invariant_diagnostics`) and
+        collects *every* violation before raising — the exception
+        message lists them all.  When the only violations are
+        combinational cycles, :class:`CombinationalLoopError` is raised
+        for compatibility with loop-specific handlers.
+        """
+        from repro.lint.structural import invariant_diagnostics
+
+        violations = invariant_diagnostics(self)
+        if not violations:
+            self.topo_cells()  # populate the cache on the happy path
+            return
+        messages = []
+        for diag in violations:
+            prefix = f"[{diag.rule}] " if len(violations) > 1 else ""
+            location = f"{diag.path}: " if diag.path else ""
+            messages.append(f"{prefix}{location}{diag.message}")
+        summary = (
+            f"circuit {self.name!r} has {len(violations)} invariant "
+            f"violation(s):\n  " + "\n  ".join(messages)
+            if len(violations) > 1
+            else f"circuit {self.name!r}: {messages[0]}"
+        )
+        if all(diag.rule == "comb-loop" for diag in violations):
+            raise CombinationalLoopError(summary)
+        raise CircuitError(summary)
 
     # ------------------------------------------------------------------
     # misc

@@ -1,0 +1,92 @@
+"""Static analysis and lint for circuits and taint schemes.
+
+The linter fails fast — before a multi-minute CEGAR/BMC run — on
+structural problems (combinational loops, undriven signals, width
+mismatches), taint-scheme inconsistencies (dangling references,
+unrealisable granularities, taint-network loops), and, with SAT
+backing, semantic problems (unsound custom handlers, vacuous monitors,
+instrumentation that perturbs the DUV).
+
+Entry points:
+
+- :func:`lint` — run the rule families over a circuit (+ optional
+  scheme) and return a :class:`LintReport`.
+- :func:`lint_instrumented` — semantic checks over an
+  :class:`~repro.taint.instrument.InstrumentedDesign`.
+- ``python -m repro lint <design>`` — the CLI front-end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+    SourceMap,
+)
+from repro.lint.rules import (
+    RULES,
+    LintConfig,
+    LintContext,
+    LintRule,
+    iter_rules,
+    register_rule,
+    run_rules,
+)
+# Importing the rule modules populates the registry.
+from repro.lint.structural import find_combinational_loops, invariant_diagnostics
+from repro.lint.semantic import lint_equivalence, lint_instrumented, lint_monitors
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "LintContext",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "RULES",
+    "Severity",
+    "SourceMap",
+    "find_combinational_loops",
+    "invariant_diagnostics",
+    "iter_rules",
+    "lint",
+    "lint_equivalence",
+    "lint_instrumented",
+    "lint_monitors",
+    "register_rule",
+    "run_rules",
+]
+
+
+def lint(
+    circuit,
+    scheme=None,
+    config: Optional[LintConfig] = None,
+    source_map: Optional[SourceMap] = None,
+    categories: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the registered lint rules over ``circuit``.
+
+    Args:
+        circuit: The :class:`~repro.hdl.circuit.Circuit` to analyse.
+        scheme: Optional :class:`~repro.taint.space.TaintScheme`;
+            scheme-consistency and semantic rules run only when given.
+        config: Per-run :class:`LintConfig` (rule selection, severity
+            overrides, waivers, SAT budgets).
+        source_map: Optional :class:`SourceMap` resolving derived
+            (per-bit) names back to hierarchical source paths.
+        categories: Restrict to these rule categories; by default all
+            structural and scheme rules run, plus semantic rules when
+            ``config.semantic`` and a scheme is present.
+    """
+    config = config or LintConfig()
+    if categories is None:
+        categories = ["structural", "scheme"]
+        if config.semantic and scheme is not None:
+            categories.append("semantic")
+    ctx = LintContext(circuit, scheme=scheme, config=config, source_map=source_map)
+    return run_rules(ctx, iter_rules(categories=categories))

@@ -1,0 +1,261 @@
+"""Diagnostics: the data model of the lint subsystem.
+
+A :class:`Diagnostic` is one finding — a rule id, a severity, the
+signal or module path it anchors to, and an optional fix hint.  A
+:class:`LintReport` aggregates the findings of one lint run and renders
+them as text (for the CLI) or JSON (for tooling).
+
+:class:`SourceMap` maps *derived* signal names back to hierarchical
+source paths — most importantly the per-bit names produced by
+:func:`repro.hdl.lowering.lower_to_gates` (``alu.x[3]`` → bit 3 of
+``alu.x``) — so diagnostics on a lowered or deserialized netlist still
+point at the design the user wrote.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ERROR findings make a report fail (non-zero CLI exit, CEGAR entry
+    gate raises); WARNING findings indicate likely-unintended structure;
+    INFO findings are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def order(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes:
+        rule: Stable rule identifier (e.g. ``"comb-loop"``).
+        severity: See :class:`Severity`.
+        message: Human-readable description of the finding.
+        path: Signal or module path the finding anchors to (raw circuit
+            name; rendering resolves it through a :class:`SourceMap`).
+        module: Hierarchical module path owning the finding.
+        fix_hint: Optional one-line suggestion for resolving it.
+        waived: True when a config waiver downgraded this finding.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    path: Optional[str] = None
+    module: str = ""
+    fix_hint: Optional[str] = None
+    waived: bool = False
+
+    def with_severity(self, severity: Severity) -> "Diagnostic":
+        return replace(self, severity=severity)
+
+    def as_waived(self) -> "Diagnostic":
+        return replace(self, severity=Severity.INFO, waived=True)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.path:
+            out["path"] = self.path
+        if self.module:
+            out["module"] = self.module
+        if self.fix_hint:
+            out["fix_hint"] = self.fix_hint
+        if self.waived:
+            out["waived"] = True
+        return out
+
+
+class SourceMap:
+    """Maps derived (per-bit) signal names to hierarchical source paths."""
+
+    def __init__(self, mapping: Optional[Mapping[str, Tuple[str, int]]] = None) -> None:
+        self._map: Dict[str, Tuple[str, int]] = dict(mapping or {})
+
+    @classmethod
+    def from_lowered(cls, lowered) -> "SourceMap":
+        """Build from a :class:`~repro.hdl.lowering.LoweredCircuit`."""
+        mapping: Dict[str, Tuple[str, int]] = {}
+        for orig, bit_sigs in lowered.bits.items():
+            for i, sig in enumerate(bit_sigs):
+                if sig.name != orig:
+                    mapping[sig.name] = (orig, i)
+        return cls(mapping)
+
+    @classmethod
+    def from_provenance(cls, provenance: Mapping[str, Sequence[str]]) -> "SourceMap":
+        """Build from the serialized ``provenance`` section of a netlist."""
+        mapping: Dict[str, Tuple[str, int]] = {}
+        for orig, names in provenance.items():
+            for i, name in enumerate(names):
+                if name != orig:
+                    mapping[name] = (orig, i)
+        return cls(mapping)
+
+    def __bool__(self) -> bool:
+        return bool(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def origin(self, name: str) -> Optional[Tuple[str, int]]:
+        return self._map.get(name)
+
+    def resolve(self, name: str) -> str:
+        """Render ``name`` as its hierarchical source path when known."""
+        origin = self._map.get(name)
+        if origin is None:
+            return name
+        orig, bit = origin
+        return f"{orig}[{bit}]"
+
+
+class LintReport:
+    """The findings of one lint run over one circuit."""
+
+    def __init__(
+        self,
+        circuit_name: str = "",
+        diagnostics: Optional[Iterable[Diagnostic]] = None,
+        source_map: Optional[SourceMap] = None,
+    ) -> None:
+        self.circuit_name = circuit_name
+        self.diagnostics: List[Diagnostic] = list(diagnostics or ())
+        self.source_map = source_map or SourceMap()
+
+    # ------------------------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "LintReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    def sort(self) -> None:
+        self.diagnostics.sort(
+            key=lambda d: (d.severity.order, d.rule, d.path or "", d.message)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when the report contains no errors."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.infos),
+        }
+
+    # ------------------------------------------------------------------
+    def _render_path(self, diagnostic: Diagnostic) -> str:
+        if not diagnostic.path:
+            return ""
+        resolved = self.source_map.resolve(diagnostic.path)
+        if resolved != diagnostic.path:
+            return f"{diagnostic.path} (= {resolved})"
+        return diagnostic.path
+
+    def render_text(self, min_severity: Severity = Severity.INFO) -> str:
+        """Render the report as compiler-style text output."""
+        lines: List[str] = []
+        shown = 0
+        for diag in self.diagnostics:
+            if diag.severity.order > min_severity.order:
+                continue
+            shown += 1
+            location = self._render_path(diag)
+            head = f"{diag.severity.value}[{diag.rule}]"
+            if location:
+                head += f" {location}"
+            lines.append(f"{head}: {diag.message}")
+            if diag.fix_hint:
+                lines.append(f"    hint: {diag.fix_hint}")
+        counts = self.counts()
+        summary = (
+            f"{self.circuit_name or 'circuit'}: "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info(s)"
+        )
+        if shown:
+            lines.append("")
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        entries = []
+        for diag in self.diagnostics:
+            entry = diag.to_dict()
+            if diag.path:
+                resolved = self.source_map.resolve(diag.path)
+                if resolved != diag.path:
+                    entry["source"] = resolved
+            entries.append(entry)
+        return {
+            "circuit": self.circuit_name,
+            "counts": self.counts(),
+            "diagnostics": entries,
+        }
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __str__(self) -> str:
+        return self.render_text()
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (
+            f"LintReport({self.circuit_name!r}: {counts['error']}E "
+            f"{counts['warning']}W {counts['info']}I)"
+        )
+
+
+class LintError(RuntimeError):
+    """Raised when a lint gate (e.g. CEGAR entry) finds errors."""
+
+    def __init__(self, report: LintReport) -> None:
+        self.report = report
+        errors = report.errors
+        preview = "; ".join(d.message for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"lint found {len(errors)} error(s) in {report.circuit_name!r}: "
+            f"{preview}{more}"
+        )

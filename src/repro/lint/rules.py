@@ -1,0 +1,230 @@
+"""Rule framework: config, context, registry, and the lint driver.
+
+A rule is a small object with a stable ``id`` that inspects a
+:class:`LintContext` and yields :class:`Diagnostic` findings.  Rules
+register themselves into a module-level registry via
+:func:`register_rule`; per-run behaviour (enable/disable, severity
+overrides, waivers) comes from a :class:`LintConfig`.
+
+Writing a custom rule::
+
+    from repro.lint import LintRule, register_rule, Severity
+
+    @register_rule
+    class NoWideAdders(LintRule):
+        id = "no-wide-adders"
+        severity = Severity.WARNING
+        category = "structural"
+
+        def run(self, ctx):
+            for cell in ctx.circuit.cells:
+                if cell.op is CellOp.ADD and cell.out.width > 64:
+                    yield self.diag(ctx, f"{cell.out.width}-bit adder",
+                                    path=cell.out.name, module=cell.module)
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.hdl.circuit import Circuit
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity, SourceMap
+
+
+@dataclass
+class LintConfig:
+    """Per-run lint configuration.
+
+    Attributes:
+        disabled: Rule ids to skip entirely.
+        enabled_only: When set, run only these rule ids.
+        severity_overrides: Rule id -> severity replacing the default.
+        waivers: ``(rule_id, path_glob)`` pairs; matching findings are
+            kept but downgraded to INFO and marked waived (an explicit,
+            visible acknowledgement rather than silence).
+        semantic: Run SAT-backed semantic rules (custom-handler
+            soundness checks) when a scheme is provided.
+        exhaustive_bits: Custom-handler soundness is checked by
+            exhaustive enumeration when the probed module's free input
+            bits fit in this budget; otherwise a SAT miter is used.
+        sat_conflicts: Conflict budget per semantic SAT query (UNKNOWN
+            results become INFO diagnostics instead of blocking).
+        equivalence_bound: BMC depth for instrumentation-equivalence
+            spot checks.
+    """
+
+    disabled: Set[str] = field(default_factory=set)
+    enabled_only: Optional[Set[str]] = None
+    severity_overrides: Dict[str, Severity] = field(default_factory=dict)
+    waivers: Tuple[Tuple[str, str], ...] = ()
+    semantic: bool = True
+    exhaustive_bits: int = 12
+    sat_conflicts: int = 50_000
+    equivalence_bound: int = 3
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.disabled:
+            return False
+        if self.enabled_only is not None and rule_id not in self.enabled_only:
+            return False
+        return True
+
+    def waived(self, diagnostic: Diagnostic) -> bool:
+        path = diagnostic.path or ""
+        for rule_id, pattern in self.waivers:
+            if rule_id == diagnostic.rule and fnmatch.fnmatchcase(path, pattern):
+                return True
+        return False
+
+    def apply(self, diagnostic: Diagnostic) -> Diagnostic:
+        """Apply severity overrides and waivers to one finding."""
+        override = self.severity_overrides.get(diagnostic.rule)
+        if override is not None:
+            diagnostic = diagnostic.with_severity(override)
+        if self.waived(diagnostic):
+            diagnostic = diagnostic.as_waived()
+        return diagnostic
+
+
+class LintContext:
+    """Everything a rule may inspect, with shared lazily-built indexes."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        scheme=None,
+        config: Optional[LintConfig] = None,
+        source_map: Optional[SourceMap] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.scheme = scheme
+        self.config = config or LintConfig()
+        self.source_map = source_map or SourceMap()
+        self._producer: Optional[Dict[str, object]] = None
+        self._consumers: Optional[Dict[str, List[object]]] = None
+        self._module_paths: Optional[Set[str]] = None
+
+    @property
+    def producer_of(self) -> Dict[str, object]:
+        """Output signal name -> producing cell (built from the cell list
+        itself so multiply-driven signals are still observable)."""
+        if self._producer is None:
+            self._producer = {}
+            for cell in self.circuit.cells:
+                self._producer.setdefault(cell.out.name, cell)
+        return self._producer
+
+    @property
+    def consumers_of(self) -> Dict[str, List[object]]:
+        if self._consumers is None:
+            index: Dict[str, List[object]] = {}
+            for cell in self.circuit.cells:
+                for sig in cell.ins:
+                    index.setdefault(sig.name, []).append(cell)
+            self._consumers = index
+        return self._consumers
+
+    @property
+    def module_paths(self) -> Set[str]:
+        if self._module_paths is None:
+            self._module_paths = self.circuit.module_paths()
+        return self._module_paths
+
+    def module_exists(self, path: str) -> bool:
+        """True when ``path`` is (an ancestor of) a module in the design."""
+        if path in self.module_paths:
+            return True
+        prefix = path + "."
+        return any(p.startswith(prefix) for p in self.module_paths)
+
+    def resolve(self, name: str) -> str:
+        return self.source_map.resolve(name)
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Attributes:
+        id: Stable rule identifier (kebab-case).
+        severity: Default severity of this rule's findings.
+        category: ``"structural"`` (pure graph analysis), ``"scheme"``
+            (taint-scheme/circuit consistency) or ``"semantic"``
+            (SAT-backed).
+        invariant: True for rules enforcing :meth:`Circuit.validate`
+            invariants — these are what ``validate()`` delegates to.
+        requires_scheme: Rule is skipped when no scheme is in context.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    category: str = "structural"
+    invariant: bool = False
+    requires_scheme: bool = False
+    description: str = ""
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(
+        self,
+        ctx: LintContext,
+        message: str,
+        path: Optional[str] = None,
+        module: str = "",
+        fix_hint: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule=self.id,
+            severity=severity or self.severity,
+            message=message,
+            path=path,
+            module=module,
+            fix_hint=fix_hint,
+        )
+
+
+#: The global rule registry: rule id -> rule instance.
+RULES: Dict[str, LintRule] = {}
+
+
+def register_rule(rule_cls):
+    """Class decorator adding a rule (by instance) to the registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} must define an id")
+    if rule.id in RULES and type(RULES[rule.id]) is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return rule_cls
+
+
+def iter_rules(
+    categories: Optional[Sequence[str]] = None,
+    invariant_only: bool = False,
+) -> List[LintRule]:
+    rules = [
+        rule for rule in RULES.values()
+        if (categories is None or rule.category in categories)
+        and (not invariant_only or rule.invariant)
+    ]
+    return sorted(rules, key=lambda r: r.id)
+
+
+def run_rules(
+    ctx: LintContext,
+    rules: Iterable[LintRule],
+) -> LintReport:
+    """Run ``rules`` over ``ctx`` and collect a report."""
+    report = LintReport(ctx.circuit.name, source_map=ctx.source_map)
+    for rule in rules:
+        if not ctx.config.rule_enabled(rule.id):
+            continue
+        if rule.requires_scheme and ctx.scheme is None:
+            continue
+        for diagnostic in rule.run(ctx):
+            report.add(ctx.config.apply(diagnostic))
+    report.sort()
+    return report

@@ -1,0 +1,389 @@
+"""Semantic lint rules: SAT-backed checks via small per-region miters.
+
+Three analyses live here, all built on the ``repro.formal`` stack:
+
+- **Custom-handler soundness** (paper §5.4): a custom module handler is
+  *unsound* when some module input can change a module output while the
+  handler reports the output's taint as clean, i.e. taint is dropped on
+  an information-carrying path.  Each custom region is extracted into a
+  standalone combinational probe circuit; soundness is then checked per
+  entering signal — by exhaustive enumeration when the probe's free
+  input bits fit a budget, by a SAT miter otherwise.
+- **Monitor vacuity**: a monitor output that a single symbolic-state
+  frame proves constant-true (can never fire) or constant-false (fires
+  unconditionally) is asserting nothing about the design.
+- **Instrumentation equivalence**: a bounded spot check that the
+  instrumented circuit still computes the original outputs — taint
+  logic must observe the design, never perturb it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.hdl.cells import Cell, CellOp
+from repro.hdl.circuit import Circuit
+from repro.hdl.lowering import lower_to_gates
+from repro.hdl.signals import Signal, SignalKind
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.rules import LintConfig, LintContext, LintRule, register_rule
+
+
+# ---------------------------------------------------------------------------
+# custom-handler soundness
+# ---------------------------------------------------------------------------
+
+class RegionProbe:
+    """A custom region extracted into a standalone combinational circuit.
+
+    ``entries`` are the signals feeding the region (external wires,
+    top-level inputs, and register outputs — including the region's own
+    state), all re-declared as free INPUTs.  ``checked`` are the region
+    outputs anything else can observe: signals consumed by outside
+    cells, circuit OUTPUTs, and register next-values.  Each checked
+    output gets a ``__probe.<name>`` BUF in the open region so that
+    instrumenting the probe circuit forces the handler to produce a
+    taint for it.
+    """
+
+    def __init__(self, circuit: Circuit, scheme, region: str) -> None:
+        self.region = region
+        self.entries: List[Signal] = []
+        self.checked: List[str] = []
+
+        def in_region(module: str) -> bool:
+            eff = scheme.effective_region(module)
+            return eff is not None and eff[0] == region and eff[1] == "custom"
+
+        region_cells = [c for c in circuit.topo_cells() if in_region(c.module)]
+        produced = {c.out.name for c in region_cells}
+        consumed_outside: Set[str] = {sig.name for sig in circuit.outputs}
+        for cell in circuit.cells:
+            if not in_region(cell.module):
+                consumed_outside.update(s.name for s in cell.ins)
+        for reg in circuit.registers:
+            consumed_outside.add(reg.d.name)
+
+        self.circuit = Circuit(f"{circuit.name}.probe.{region}")
+        mapped: Dict[str, Signal] = {}
+        for cell in region_cells:
+            for sig in cell.ins:
+                if sig.name in produced or sig.name in mapped:
+                    continue
+                free = Signal(sig.name, sig.width, SignalKind.INPUT, module="")
+                self.circuit.add_signal(free)
+                mapped[sig.name] = free
+                self.entries.append(free)
+        for cell in region_cells:
+            ins = tuple(mapped.get(s.name, s) for s in cell.ins)
+            self.circuit.add_cell(
+                Cell(cell.op, cell.out, ins, cell.params, module=cell.module)
+            )
+        for name in sorted(produced & consumed_outside):
+            sig = self.circuit.signal(name)
+            probe = Signal(f"__probe.{name}", sig.width, SignalKind.OUTPUT, module="")
+            self.circuit.add_cell(Cell(CellOp.BUF, probe, (sig,), module=""))
+            self.checked.append(name)
+
+    @property
+    def input_bits(self) -> int:
+        return sum(sig.width for sig in self.entries)
+
+
+def _probe_scheme(scheme, region: str):
+    from repro.taint.space import TaintScheme, UnitLevel
+
+    return TaintScheme(
+        name=f"lint.{region}",
+        unit_level=UnitLevel.CELL,
+        default=scheme.default,
+        custom_modules={region: scheme.custom_modules[region]},
+    )
+
+
+def _check_entry_exhaustive(
+    probe: RegionProbe, design, entry: Signal
+) -> Optional[Dict[str, int]]:
+    """Enumerate all probe inputs; return an unsoundness witness or None.
+
+    A witness is an input assignment plus a single-bit flip of ``entry``
+    that changes some checked output whose taint evaluates to clean.
+    """
+    from repro.sim.simulator import Simulator
+
+    sim = Simulator(design.circuit)
+    others = [sig for sig in probe.entries if sig.name != entry.name]
+    spaces = [range(1 << sig.width) for sig in others]
+    for entry_value in range(1 << entry.width):
+        for combo in itertools.product(*spaces):
+            inputs = {sig.name: value for sig, value in zip(others, combo)}
+            inputs[entry.name] = entry_value
+            sim.reset()
+            sim.step(inputs)
+            base = {name: sim.peek(f"__probe.{name}") for name in probe.checked}
+            taints = {
+                name: sim.peek(design.taint_name[f"__probe.{name}"])
+                for name in probe.checked
+            }
+            for bit in range(entry.width):
+                flipped = dict(inputs)
+                flipped[entry.name] = entry_value ^ (1 << bit)
+                sim.reset()
+                sim.step(flipped)
+                for name in probe.checked:
+                    if sim.peek(f"__probe.{name}") != base[name] and taints[name] == 0:
+                        witness = dict(inputs)
+                        witness[f"{entry.name}^bit"] = bit
+                        witness["output"] = name
+                        return witness
+    return None
+
+
+def _check_entry_sat(
+    probe: RegionProbe, design, entry: Signal, config: LintConfig
+) -> Tuple[str, Optional[Dict[str, int]]]:
+    """SAT miter: instrumented probe vs a taint-free copy sharing every
+    input except ``entry``.  Returns ``(status, witness)`` with status
+    one of ``"unsound"``, ``"sound"``, ``"unknown"``.
+    """
+    from repro.formal.product import rename_circuit
+    from repro.formal.sat.solver import SolveStatus, Solver
+    from repro.formal.unroll import Unroller
+
+    shared = {sig.name for sig in probe.entries if sig.name != entry.name}
+    copy = rename_circuit(probe.circuit, "r", shared)
+    miter = Circuit(f"{probe.circuit.name}.miter")
+    for source in (design.circuit, copy):
+        for sig in source.signals.values():
+            miter.add_signal(sig)
+        for reg in source.registers:
+            miter.add_register(reg)
+        for cell in source.cells:
+            miter.add_cell(cell)
+
+    bad_bits: List[Signal] = []
+    for name in probe.checked:
+        left = miter.signal(f"__probe.{name}")
+        right = miter.signal(f"r.__probe.{name}")
+        neq = Signal(f"_lint.neq.{name}", 1, SignalKind.WIRE, module="_lint")
+        miter.add_cell(Cell(CellOp.NEQ, neq, (left, right), module="_lint"))
+        taint = miter.signal(design.taint_name[f"__probe.{name}"])
+        red = Signal(f"_lint.tred.{name}", 1, SignalKind.WIRE, module="_lint")
+        miter.add_cell(Cell(CellOp.REDOR, red, (taint,), module="_lint"))
+        clean = Signal(f"_lint.clean.{name}", 1, SignalKind.WIRE, module="_lint")
+        miter.add_cell(Cell(CellOp.NOT, clean, (red,), module="_lint"))
+        bad = Signal(f"_lint.bad.{name}", 1, SignalKind.WIRE, module="_lint")
+        miter.add_cell(Cell(CellOp.AND, bad, (neq, clean), module="_lint"))
+        bad_bits.append(bad)
+    out = Signal("_lint_bad", 1, SignalKind.OUTPUT, module="_lint")
+    if len(bad_bits) == 1:
+        miter.add_cell(Cell(CellOp.BUF, out, (bad_bits[0],), module="_lint"))
+    else:
+        miter.add_cell(Cell(CellOp.OR, out, tuple(bad_bits), module="_lint"))
+
+    lowered = lower_to_gates(miter)
+    unroller = Unroller(lowered, symbolic_all=True)
+    unroller.add_frame()
+    result = unroller.solver.solve(
+        assumptions=(unroller.lit_of_bit(0, "_lint_bad"),),
+        max_conflicts=config.sat_conflicts,
+    )
+    if result.status is SolveStatus.UNSAT:
+        return "sound", None
+    if result.status is SolveStatus.UNKNOWN:
+        return "unknown", None
+    witness = {
+        sig.name: unroller.word_value(0, sig.name, result.model)
+        for sig in probe.entries
+    }
+    witness[f"r.{entry.name}"] = unroller.word_value(0, f"r.{entry.name}", result.model)
+    for name in probe.checked:
+        if unroller.word_value(0, f"_lint.bad.{name}", result.model):
+            witness["output"] = name
+            break
+    return "unsound", witness
+
+
+@register_rule
+class HandlerSoundnessRule(LintRule):
+    """Flags custom taint handlers that can drop taint on a live path."""
+
+    id = "unsound-handler"
+    severity = Severity.ERROR
+    category = "semantic"
+    requires_scheme = True
+    description = "custom handler reports clean taint on an influencing input"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.taint.instrument import instrument, TaintSources
+
+        scheme = ctx.scheme
+        for region in sorted(scheme.custom_modules):
+            if not ctx.module_exists(region):
+                continue  # scheme-ref reports this
+            probe = RegionProbe(ctx.circuit, scheme, region)
+            if not probe.checked or not probe.entries:
+                continue
+            mini_scheme = _probe_scheme(scheme, region)
+            for entry in probe.entries:
+                sources = TaintSources(inputs={entry.name: -1})
+                try:
+                    design = instrument(probe.circuit, mini_scheme, sources)
+                except Exception as exc:  # noqa: BLE001 — handler code is user code
+                    yield self.diag(
+                        ctx,
+                        f"custom handler for {region!r} failed on isolated "
+                        f"probe (tainting {entry.name!r}): {exc}",
+                        path=region, severity=Severity.WARNING,
+                        fix_hint="handlers must tolerate being evaluated on "
+                                 "the module cone alone",
+                    )
+                    continue
+                if probe.input_bits <= ctx.config.exhaustive_bits:
+                    witness = _check_entry_exhaustive(probe, design, entry)
+                    if witness is not None:
+                        yield self._unsound(ctx, region, entry, witness)
+                else:
+                    status, witness = _check_entry_sat(
+                        probe, design, entry, ctx.config
+                    )
+                    if status == "unsound":
+                        yield self._unsound(ctx, region, entry, witness)
+                    elif status == "unknown":
+                        yield self.diag(
+                            ctx,
+                            f"soundness of custom handler for {region!r} "
+                            f"w.r.t. input {entry.name!r} is inconclusive "
+                            f"(SAT budget of {ctx.config.sat_conflicts} "
+                            "conflicts exhausted)",
+                            path=region, severity=Severity.INFO,
+                        )
+
+    def _unsound(self, ctx, region, entry, witness) -> Diagnostic:
+        shown = {k: v for k, v in witness.items() if not str(k).startswith("r.")}
+        return self.diag(
+            ctx,
+            f"custom handler for {region!r} drops taint: input "
+            f"{entry.name!r} influences output "
+            f"{witness.get('output', '?')!r} while its taint stays clean "
+            f"(witness {shown})",
+            path=region,
+            fix_hint="the handler must taint every output an input can "
+                     "influence; add the dependency or use PassthroughTaint",
+        )
+
+
+# ---------------------------------------------------------------------------
+# monitor vacuity + instrumentation equivalence (InstrumentedDesign checks)
+# ---------------------------------------------------------------------------
+
+def lint_monitors(
+    design,
+    monitor_names: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Diagnostic]:
+    """Check monitor outputs for vacuity.
+
+    The design's own registers are symbolic while the taint registers
+    keep their source-configured reset values; a monitor that is the
+    same constant in *every* frame up to the configured bound asserts
+    nothing — typically the taint sources never reach the monitored
+    sinks (constant monitor despite free design state).
+    """
+    from repro.formal.sat.solver import SolveStatus
+    from repro.formal.unroll import Unroller
+
+    config = config or LintConfig()
+    if monitor_names is None:
+        monitor_names = [
+            sig.name for sig in design.circuit.outputs if sig.module == "_monitor"
+        ]
+    diagnostics: List[Diagnostic] = []
+    if not monitor_names:
+        return diagnostics
+    design_regs = {reg.q.name for reg in design.uninstrumented.registers}
+    lowered = lower_to_gates(design.circuit)
+    unroller = Unroller(lowered, symbolic_registers=design_regs)
+    depth = max(1, config.equivalence_bound)
+    unroller.ensure_depth(depth)
+    for name in monitor_names:
+        lits = [unroller.lit_of_bit(t, name) for t in range(depth)]
+        constant_at: Optional[int] = None
+        for value in (1, 0):
+            # selector -> (monitor == value in some frame)
+            selector = unroller.solver.new_var()
+            clause = (-selector,) + tuple(l if value else -l for l in lits)
+            unroller.solver.add_clause(clause)
+            result = unroller.solver.solve(
+                assumptions=(selector,), max_conflicts=config.sat_conflicts
+            )
+            if result.status is SolveStatus.UNSAT:
+                constant_at = 1 - value
+                break
+        if constant_at is not None:
+            diagnostics.append(Diagnostic(
+                rule="vacuous-monitor", severity=Severity.WARNING,
+                message=f"monitor {name!r} is constant {constant_at} for "
+                        f"{depth} cycle(s) despite fully symbolic design "
+                        "state: it asserts nothing",
+                path=name, module="_monitor",
+                fix_hint="check the taint sources can reach the monitored "
+                         "sinks",
+            ))
+    return diagnostics
+
+
+def lint_equivalence(
+    design, config: Optional[LintConfig] = None
+) -> List[Diagnostic]:
+    """Bounded spot check that instrumentation preserved the DUV.
+
+    Compares the uninstrumented design against the instrumented one on
+    the original outputs, with the original registers symbolic, to the
+    configured BMC depth.  Taint logic only *reads* the design, so any
+    divergence is an instrumentation bug.
+    """
+    from repro.formal.equivalence import check_equivalence
+
+    config = config or LintConfig()
+    original = design.uninstrumented
+    outputs = [sig.name for sig in original.outputs]
+    if not outputs:
+        return []
+    result = check_equivalence(
+        original,
+        design.circuit,
+        outputs=outputs,
+        symbolic_registers=[reg.q.name for reg in original.registers],
+        max_bound=config.equivalence_bound,
+    )
+    if result.equivalent is False:
+        return [Diagnostic(
+            rule="instrumentation-diverges", severity=Severity.ERROR,
+            message=f"instrumented circuit diverges from the original on "
+                    f"its own outputs within {config.equivalence_bound} "
+                    "cycles — taint logic must never perturb the DUV",
+            path=design.circuit.name,
+            fix_hint="a custom handler or monitor is driving original logic",
+        )]
+    if result.equivalent is None:
+        return [Diagnostic(
+            rule="instrumentation-diverges", severity=Severity.INFO,
+            message="instrumentation-equivalence spot check inconclusive "
+                    "(solver budget)",
+            path=design.circuit.name,
+        )]
+    return []
+
+
+def lint_instrumented(
+    design, config: Optional[LintConfig] = None
+) -> LintReport:
+    """All semantic checks that need an :class:`InstrumentedDesign`."""
+    config = config or LintConfig()
+    report = LintReport(design.circuit.name)
+    report.extend(lint_monitors(design, config=config))
+    report.extend(lint_equivalence(design, config=config))
+    report.sort()
+    return report

@@ -1,0 +1,544 @@
+"""Structural lint rules: pure graph analysis over a :class:`Circuit`.
+
+The *invariant* subset (width consistency, driver discipline,
+combinational loops) is exactly what :meth:`Circuit.validate` enforces
+— ``validate()`` delegates here so there is one source of truth.  The
+remaining rules flag likely-unintended structure (dead logic, constant
+registers, foldable cells) and, when a :class:`TaintScheme` is in
+context, scheme/circuit consistency and taint-network loops that only
+appear once custom module handlers wire input taints straight to
+output taints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.hdl.cells import Cell, CellOp, CellValidationError, validate_cell
+from repro.hdl.circuit import Circuit
+from repro.hdl.signals import SignalKind
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.rules import (
+    RULES,
+    LintContext,
+    LintRule,
+    iter_rules,
+    register_rule,
+    run_rules,
+)
+
+
+# ---------------------------------------------------------------------------
+# invariant rules (the Circuit.validate contract)
+# ---------------------------------------------------------------------------
+
+@register_rule
+class WidthMismatchRule(LintRule):
+    """Cell arity/width consistency (delegates to ``validate_cell``)."""
+
+    id = "width-mismatch"
+    severity = Severity.ERROR
+    category = "structural"
+    invariant = True
+    description = "cell arity or operand widths are inconsistent"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for cell in ctx.circuit.cells:
+            try:
+                validate_cell(cell)
+            except CellValidationError as exc:
+                yield self.diag(ctx, str(exc), path=cell.out.name,
+                                module=cell.module,
+                                fix_hint="adjust operand widths or insert zext/sext")
+
+
+@register_rule
+class MultiplyDrivenRule(LintRule):
+    id = "multiply-driven"
+    severity = Severity.ERROR
+    category = "structural"
+    invariant = True
+    description = "a signal is driven by more than one cell"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        seen: Dict[str, Cell] = {}
+        for cell in ctx.circuit.cells:
+            first = seen.get(cell.out.name)
+            if first is not None:
+                yield self.diag(
+                    ctx,
+                    f"signal driven by both {first.op.value} and {cell.op.value} cells",
+                    path=cell.out.name, module=cell.module,
+                    fix_hint="every WIRE/OUTPUT must have exactly one driver",
+                )
+            else:
+                seen[cell.out.name] = cell
+
+
+@register_rule
+class IllegalDriverRule(LintRule):
+    id = "illegal-driver"
+    severity = Severity.ERROR
+    category = "structural"
+    invariant = True
+    description = "a cell drives an INPUT or REG signal"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for cell in ctx.circuit.cells:
+            if cell.out.kind in (SignalKind.INPUT, SignalKind.REG):
+                yield self.diag(
+                    ctx,
+                    f"{cell.out.kind.value} signal is driven by a {cell.op.value} cell",
+                    path=cell.out.name, module=cell.module,
+                    fix_hint="registers update through their Register entry, "
+                             "inputs through the environment",
+                )
+
+
+@register_rule
+class UndrivenSignalRule(LintRule):
+    id = "undriven-signal"
+    severity = Severity.ERROR
+    category = "structural"
+    invariant = True
+    description = "WIRE/OUTPUT without a driver, or dangling register wiring"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        circuit = ctx.circuit
+        produced = ctx.producer_of
+        registered = {reg.q.name for reg in circuit.registers}
+        for sig in circuit.signals.values():
+            if sig.kind in (SignalKind.WIRE, SignalKind.OUTPUT) and sig.name not in produced:
+                yield self.diag(ctx, f"{sig.kind.value} has no driver",
+                                path=sig.name, module=sig.module,
+                                fix_hint="drive it with a cell or change its kind")
+            if sig.kind is SignalKind.REG and sig.name not in registered:
+                yield self.diag(ctx, "REG signal has no Register entry",
+                                path=sig.name, module=sig.module,
+                                fix_hint="add_register() the signal or make it a WIRE")
+        for reg in circuit.registers:
+            if reg.d.name not in circuit.signals:
+                yield self.diag(
+                    ctx,
+                    f"register next-value {reg.d.name!r} is not a signal of the circuit",
+                    path=reg.q.name, module=reg.q.module,
+                )
+        for cell in circuit.cells:
+            for sig in cell.ins:
+                if sig.name not in circuit.signals:
+                    yield self.diag(
+                        ctx,
+                        f"cell references unknown signal {sig.name!r}",
+                        path=cell.out.name, module=cell.module,
+                    )
+
+
+@register_rule
+class CombLoopRule(LintRule):
+    id = "comb-loop"
+    severity = Severity.ERROR
+    category = "structural"
+    invariant = True
+    description = "combinational cycle in the cell graph"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for cycle in find_combinational_loops(ctx.circuit):
+            rendered = " -> ".join(ctx.resolve(name) for name in cycle + (cycle[0],))
+            yield self.diag(
+                ctx,
+                f"combinational loop: {rendered}",
+                path=cycle[0],
+                fix_hint="break the cycle with a register",
+            )
+
+
+def find_combinational_loops(circuit: Circuit) -> List[Tuple[str, ...]]:
+    """All combinational cycles (one representative per SCC).
+
+    Runs Kahn's algorithm to peel acyclic cells, then extracts one
+    concrete cycle from each strongly connected component that remains.
+    """
+    producer: Dict[str, int] = {}
+    for idx, cell in enumerate(circuit.cells):
+        producer.setdefault(cell.out.name, idx)
+    consumers: Dict[int, List[int]] = {}
+    indegree = [0] * len(circuit.cells)
+    for idx, cell in enumerate(circuit.cells):
+        for sig in cell.ins:
+            src = producer.get(sig.name)
+            if src is not None and src != idx:
+                consumers.setdefault(src, []).append(idx)
+                indegree[idx] += 1
+            elif src == idx:
+                # direct self-loop (out feeds its own input)
+                consumers.setdefault(src, []).append(idx)
+                indegree[idx] += 1
+    ready = [i for i, d in enumerate(indegree) if d == 0]
+    while ready:
+        idx = ready.pop()
+        for consumer in consumers.get(idx, ()):  # noqa: B020
+            indegree[consumer] -= 1
+            if indegree[consumer] == 0:
+                ready.append(consumer)
+    stuck = {i for i, d in enumerate(indegree) if d > 0}
+    cycles: List[Tuple[str, ...]] = []
+    remaining = set(stuck)
+    while remaining:
+        # Walk producer edges inside the stuck set until a repeat: that
+        # repeat closes one concrete cycle.
+        start = next(iter(remaining))
+        path: List[int] = []
+        position: Dict[int, int] = {}
+        node = start
+        while node not in position:
+            position[node] = len(path)
+            path.append(node)
+            node = next(
+                (producer[s.name] for s in circuit.cells[node].ins
+                 if producer.get(s.name) in remaining),
+                None,
+            )
+            if node is None:
+                break
+        if node is None:
+            remaining.difference_update(path)
+            continue
+        cycle_nodes = path[position[node]:]
+        cycles.append(tuple(circuit.cells[i].out.name for i in reversed(cycle_nodes)))
+        remaining.difference_update(path)
+    return cycles
+
+
+# ---------------------------------------------------------------------------
+# hygiene rules (non-invariant)
+# ---------------------------------------------------------------------------
+
+@register_rule
+class DeadLogicRule(LintRule):
+    id = "dead-logic"
+    severity = Severity.WARNING
+    category = "structural"
+    description = "cells that cannot reach any output or register"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        circuit = ctx.circuit
+        producer = ctx.producer_of
+        live: Set[str] = set()
+        stack = [sig.name for sig in circuit.outputs]
+        stack.extend(reg.d.name for reg in circuit.registers)
+        while stack:
+            name = stack.pop()
+            if name in live:
+                continue
+            live.add(name)
+            cell = producer.get(name)
+            if cell is not None:
+                stack.extend(sig.name for sig in cell.ins)
+        dead_by_module: Dict[str, List[str]] = {}
+        for cell in circuit.cells:
+            if cell.out.name not in live:
+                dead_by_module.setdefault(cell.module, []).append(cell.out.name)
+        for module in sorted(dead_by_module):
+            names = dead_by_module[module]
+            examples = ", ".join(ctx.resolve(n) for n in names[:4])
+            suffix = ", ..." if len(names) > 4 else ""
+            yield self.diag(
+                ctx,
+                f"{len(names)} cell(s) drive nothing observable "
+                f"({examples}{suffix})",
+                path=names[0], module=module,
+                fix_hint="remove the dead logic or export an output",
+            )
+
+
+@register_rule
+class UnusedInputRule(LintRule):
+    id = "unused-input"
+    severity = Severity.INFO
+    category = "structural"
+    description = "inputs consumed by no cell and no register"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        used = set(ctx.consumers_of)
+        used.update(reg.d.name for reg in ctx.circuit.registers)
+        for sig in ctx.circuit.inputs:
+            if sig.name not in used:
+                yield self.diag(ctx, "input is never read",
+                                path=sig.name, module=sig.module)
+
+
+@register_rule
+class ConstantFoldableRule(LintRule):
+    id = "const-foldable"
+    severity = Severity.INFO
+    category = "structural"
+    description = "non-constant cells whose inputs are all constants"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        producer = ctx.producer_of
+        const_outs = {
+            cell.out.name for cell in ctx.circuit.cells if cell.op is CellOp.CONST
+        }
+        for cell in ctx.circuit.cells:
+            if cell.op is CellOp.CONST or not cell.ins:
+                continue
+            if all(sig.name in const_outs for sig in cell.ins):
+                yield self.diag(
+                    ctx,
+                    f"{cell.op.value} computes a constant (all inputs are constants)",
+                    path=cell.out.name, module=cell.module,
+                    fix_hint="fold with repro.hdl.optimize or use a CONST cell",
+                )
+
+
+@register_rule
+class StuckRegisterRule(LintRule):
+    id = "stuck-register"
+    severity = Severity.WARNING
+    category = "structural"
+    description = "registers whose next value is their own output"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for reg in ctx.circuit.registers:
+            if reg.d.name == reg.q.name:
+                yield self.diag(
+                    ctx,
+                    f"register holds its reset value {reg.reset_value} forever "
+                    "(d is wired to q)",
+                    path=reg.q.name, module=reg.q.module,
+                    fix_hint="intentional for symbolic state; waive "
+                             "('stuck-register', pattern) if so",
+                )
+
+
+# ---------------------------------------------------------------------------
+# scheme/circuit consistency rules
+# ---------------------------------------------------------------------------
+
+@register_rule
+class SchemeReferenceRule(LintRule):
+    id = "scheme-ref"
+    severity = Severity.ERROR
+    category = "scheme"
+    requires_scheme = True
+    description = "taint scheme references cells/registers/modules that exist"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        scheme = ctx.scheme
+        producer = ctx.producer_of
+        registered = {reg.q.name for reg in ctx.circuit.registers}
+        for name in sorted(scheme.cell_options):
+            if name not in producer:
+                yield self.diag(
+                    ctx, f"cell option targets unknown cell output {name!r}",
+                    path=name,
+                    fix_hint="cell options are keyed by the cell's output signal name",
+                )
+        for name in sorted(scheme.register_granularity):
+            if name not in registered:
+                yield self.diag(
+                    ctx, f"register granularity targets unknown register {name!r}",
+                    path=name,
+                )
+        for attr in ("blackboxes", "module_defaults", "custom_modules"):
+            for path in sorted(getattr(scheme, attr)):
+                if not ctx.module_exists(path):
+                    yield self.diag(
+                        ctx,
+                        f"{attr} entry {path!r} matches no module of the design",
+                        path=path,
+                        fix_hint="module paths are dotted hierarchical prefixes",
+                    )
+
+
+@register_rule
+class SchemeGranularityRule(LintRule):
+    id = "scheme-granularity"
+    severity = Severity.ERROR
+    category = "scheme"
+    requires_scheme = True
+    description = "granularity/unit-level combinations that are not realisable"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.taint.space import Granularity, UnitLevel
+
+        scheme = ctx.scheme
+        for name, option in sorted(scheme.cell_options.items()):
+            if option.granularity is Granularity.MODULE:
+                yield self.diag(
+                    ctx,
+                    "module granularity on a single cell is not realisable "
+                    "(register grouping happens via blackboxes)",
+                    path=name,
+                    fix_hint="use word granularity or blackbox the enclosing module",
+                )
+        for name, gran in sorted(scheme.register_granularity.items()):
+            if gran is Granularity.MODULE:
+                yield self.diag(
+                    ctx,
+                    "module granularity on a single register is not realisable",
+                    path=name,
+                    fix_hint="blackbox the enclosing module instead",
+                )
+        if scheme.unit_level is UnitLevel.GATE and scheme.custom_modules:
+            for path in sorted(scheme.custom_modules):
+                yield self.diag(
+                    ctx,
+                    "custom module handlers reference cell-level signal names, "
+                    "which do not survive gate lowering",
+                    path=path, severity=Severity.WARNING,
+                    fix_hint="use CELL unit level with custom handlers",
+                )
+
+
+@register_rule
+class TaintLoopRule(LintRule):
+    """Combinational loops *of the taint network* (paper footnote 2).
+
+    Blackboxed regions propagate taint along real combinational paths
+    (per-output input-cone analysis), so they cannot create new loops.
+    A *custom* handler, however, may read the taint of any module input
+    for any module output — the taint network conservatively contains
+    an edge from every signal entering the region to every signal
+    leaving it.  If outside logic feeds a region output back into a
+    region input combinationally, instrumentation would demand a taint
+    value that depends on itself.
+    """
+
+    id = "taint-loop"
+    severity = Severity.ERROR
+    category = "scheme"
+    requires_scheme = True
+    description = "combinational cycle in the taint network"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        scheme = ctx.scheme
+        if not scheme.custom_modules:
+            return
+        circuit = ctx.circuit
+        producer = ctx.producer_of
+
+        def region_of(module: str) -> Optional[str]:
+            region = scheme.effective_region(module)
+            if region is not None and region[1] == "custom":
+                return region[0]
+            return None
+
+        produced_in: Dict[str, Optional[str]] = {}
+        for cell in circuit.cells:
+            produced_in[cell.out.name] = region_of(cell.module)
+        # Taint-network adjacency: signal -> signals its taint reads.
+        edges: Dict[str, Set[str]] = {}
+        region_entries: Dict[str, Set[str]] = {}
+        region_outputs: Dict[str, Set[str]] = {}
+        consumed_outside: Set[str] = {sig.name for sig in circuit.outputs}
+        for cell in circuit.cells:
+            region = produced_in[cell.out.name]
+            if region is None:
+                edges.setdefault(cell.out.name, set()).update(
+                    s.name for s in cell.ins
+                )
+                for sig in cell.ins:
+                    if produced_in.get(sig.name) is not None:
+                        consumed_outside.add(sig.name)
+            else:
+                for sig in cell.ins:
+                    if produced_in.get(sig.name) != region and \
+                            circuit.register_of(sig) is None:
+                        region_entries.setdefault(region, set()).add(sig.name)
+        for region in scheme.custom_modules:
+            outs = region_outputs.setdefault(region, set())
+            for name, reg in produced_in.items():
+                if reg == region and name in consumed_outside:
+                    outs.add(name)
+            for out in outs:
+                edges.setdefault(out, set()).update(region_entries.get(region, ()))
+        # Registers cut taint cycles: drop edges out of register outputs.
+        for reg in circuit.registers:
+            edges.pop(reg.q.name, None)
+        cycle = _find_cycle(edges)
+        if cycle:
+            rendered = " -> ".join(ctx.resolve(n) for n in cycle + (cycle[0],))
+            yield self.diag(
+                ctx,
+                f"taint network has a combinational loop through a custom "
+                f"module handler: {rendered}",
+                path=cycle[0],
+                fix_hint="break the feedback with a register or narrow the "
+                         "custom region",
+            )
+
+
+def _find_cycle(edges: Dict[str, Set[str]]) -> Optional[Tuple[str, ...]]:
+    """First cycle in a name graph (iterative colouring DFS)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[str, int] = {}
+    for root in edges:
+        if colour.get(root, WHITE) is not WHITE:
+            continue
+        stack: List[Tuple[str, Iterator[str]]] = [(root, iter(sorted(edges.get(root, ()))))]
+        colour[root] = GREY
+        path = [root]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                state = colour.get(nxt, WHITE)
+                if state == GREY:
+                    idx = path.index(nxt)
+                    return tuple(path[idx:])
+                if state == WHITE and nxt in edges:
+                    colour[nxt] = GREY
+                    stack.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# entry points used by Circuit.validate and the instrumentation pass
+# ---------------------------------------------------------------------------
+
+def invariant_diagnostics(circuit: Circuit) -> List[Diagnostic]:
+    """All invariant violations of ``circuit`` (Circuit.validate's core)."""
+    ctx = LintContext(circuit)
+    report = run_rules(ctx, iter_rules(invariant_only=True))
+    return report.diagnostics
+
+
+def scheme_reference_diagnostics(circuit, scheme, sources=None) -> List[Diagnostic]:
+    """Warning-severity consistency check used by ``instrument()``.
+
+    Unlike the ERROR-severity :class:`SchemeReferenceRule`, this is the
+    soft variant the instrumentation pass attaches to its result:
+    stale overrides and taint sources that match nothing are silently
+    ignored by the pass itself, which has historically hidden typos.
+    """
+    ctx = LintContext(circuit, scheme=scheme)
+    diagnostics: List[Diagnostic] = []
+    for diag in RULES["scheme-ref"].run(ctx):
+        diagnostics.append(diag.with_severity(Severity.WARNING))
+    if sources is not None:
+        registered = {reg.q.name for reg in circuit.registers}
+        input_names = {sig.name for sig in circuit.inputs}
+        for name in sorted(sources.registers):
+            if name not in registered:
+                diagnostics.append(Diagnostic(
+                    rule="taint-source-ref", severity=Severity.WARNING,
+                    message=f"taint source targets unknown register {name!r}",
+                    path=name,
+                    fix_hint="sources.registers is keyed by register q names",
+                ))
+        for name in sorted(sources.inputs):
+            if name not in input_names:
+                diagnostics.append(Diagnostic(
+                    rule="taint-source-ref", severity=Severity.WARNING,
+                    message=f"taint source targets unknown input {name!r}",
+                    path=name,
+                ))
+    return diagnostics

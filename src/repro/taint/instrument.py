@@ -71,6 +71,9 @@ class InstrumentedDesign:
     #: circuit whose signal names ``taint_name`` refers to (``original``
     #: stays the cell-level design for overhead baselines).
     gate_level_original: Optional[Circuit] = None
+    #: Non-fatal findings the pass surfaced (scheme entries and taint
+    #: sources that matched nothing — historically silently ignored).
+    warnings: object = None
 
     @property
     def uninstrumented(self) -> Circuit:
@@ -140,11 +143,28 @@ class InstrumentedDesign:
 def instrument(
     circuit: Circuit, scheme: TaintScheme, sources: Optional[TaintSources] = None
 ) -> InstrumentedDesign:
-    """Run the instrumentation pass and return the instrumented design."""
+    """Run the instrumentation pass and return the instrumented design.
+
+    The result's ``warnings`` is a :class:`~repro.lint.LintReport` of
+    non-fatal findings: scheme overrides and taint sources referencing
+    cells, registers, or modules the design does not have.  The pass
+    ignores such entries when generating logic (a stale override is not
+    an error), but a silent typo in a source name has historically
+    meant "verifying nothing", so they are surfaced here.
+    """
     sources = sources or TaintSources()
     if scheme.unit_level is UnitLevel.GATE:
-        return _instrument_gate_level(circuit, scheme, sources)
-    return _Instrumenter(circuit, scheme, sources).run()
+        design = _instrument_gate_level(circuit, scheme, sources)
+    else:
+        design = _Instrumenter(circuit, scheme, sources).run()
+    from repro.lint.diagnostics import LintReport
+    from repro.lint.structural import scheme_reference_diagnostics
+
+    report = LintReport(design.circuit.name)
+    report.extend(scheme_reference_diagnostics(circuit, scheme, sources))
+    report.sort()
+    design.warnings = report
+    return design
 
 
 def _instrument_gate_level(

@@ -1,0 +1,48 @@
+"""Self-lint gate: every shipped design must be free of lint errors.
+
+This is the tier-1 wiring of ``tools/lint_self.py`` — the four cores
+(plus their secure variants) and the example circuits run through the
+full structural rule set with the repo's explicit waiver list.
+"""
+
+import importlib.util
+import pathlib
+import time
+
+import pytest
+
+_TOOLS = pathlib.Path(__file__).resolve().parent.parent.parent / "tools"
+_spec = importlib.util.spec_from_file_location("lint_self", _TOOLS / "lint_self.py")
+lint_self = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint_self)
+
+
+@pytest.mark.lint_self
+class TestLintSelf:
+    def test_all_shipped_designs_lint_clean(self):
+        results = lint_self.lint_all(verbose=False)
+        assert len(results) >= 6  # 4 cores (+ secure variants) + examples
+        for name, report, _elapsed in results:
+            assert report.ok, (
+                f"{name} has lint errors:\n" + report.render_text()
+            )
+            assert not report.warnings, (
+                f"{name} has unwaived warnings:\n" + report.render_text()
+            )
+
+    def test_structural_lint_is_fast_on_rocket(self):
+        """Acceptance criterion: structural lint < 2s on Rocket-lite."""
+        from repro.cores import CoreConfig, core_registry
+        from repro.lint import lint
+
+        core = core_registry()["Rocket"](CoreConfig(), True)
+        started = time.monotonic()
+        report = lint(core.circuit, config=lint_self.LINT_CONFIG)
+        elapsed = time.monotonic() - started
+        assert report.ok
+        assert elapsed < 2.0, f"structural lint took {elapsed:.2f}s"
+
+    def test_selftest_catches_seeded_defects(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--selftest"]) == 0

@@ -13,7 +13,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("verify", "leak-check", "overhead", "simulate",
-                        "export", "tables"):
+                        "export", "lint", "tables"):
             assert command in text
 
     def test_requires_subcommand(self):
@@ -40,6 +40,62 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "median on Sodor" in out
         assert "self-checked" in out
+
+
+class TestLint:
+    def test_selftest_passes(self, capsys):
+        assert main(["lint", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS unsound custom handler" in out
+        assert "PASS combinational loop" in out
+
+    def test_core_lints_clean(self, capsys):
+        assert main(["lint", "Sodor", "--min-severity", "error"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "Sodor", "--json", "--no-semantic"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["error"] == 0
+        assert doc["circuit"] == "sodor"
+
+    def test_netlist_file_with_loop_exits_nonzero(self, tmp_path, capsys):
+        from repro.hdl import ModuleBuilder
+        from repro.hdl.serialize import circuit_to_dict
+
+        b = ModuleBuilder("t")
+        a = b.input("a", 1)
+        b.output("o", a & a)
+        doc = circuit_to_dict(b.build())
+        # Rewire the AND cell to consume its own output: a loop.
+        cell = next(c for c in doc["cells"] if c["op"] == "and")
+        cell["ins"] = [cell["out"], cell["out"]]
+        path = tmp_path / "loop.json"
+        path.write_text(json.dumps(doc))
+        assert main(["lint", str(path)]) == 1
+        assert "comb-loop" in capsys.readouterr().out
+
+    def test_waive_and_disable_flags(self, capsys):
+        code = main(["lint", "Sodor", "--disable", "dead-logic",
+                     "--waive", "stuck-register:*", "--no-semantic"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 warning(s)" in out
+
+    def test_missing_design_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert main(["lint", "NoSuchCoreOrFile"]) == 2
+
+    def test_malformed_waive_is_usage_error(self, capsys):
+        assert main(["lint", "Sodor", "--waive", "no-glob-part"]) == 2
+        assert "RULE:GLOB" in capsys.readouterr().err
+
+    def test_corrupt_netlist_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("not json{")
+        assert main(["lint", str(path)]) == 2
+        assert "not a readable netlist" in capsys.readouterr().err
 
 
 class TestExport:

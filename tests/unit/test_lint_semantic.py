@@ -1,0 +1,204 @@
+"""SAT-backed semantic lint rules: handler soundness, monitor vacuity,
+instrumentation equivalence."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.lint import LintConfig, Severity, lint, lint_instrumented
+from repro.taint import TaintScheme, TaintSources, instrument
+from repro.taint.custom import ConstantCleanTaint, CustomTaintHandler, PassthroughTaint
+from repro.taint.space import Complexity, Granularity, TaintOption
+
+
+def _masking_circuit():
+    """sink = (s & a) | (~s & a) == a — the paper's correlation example."""
+    b = ModuleBuilder("corr")
+    sec = b.reg("secret", 1)
+    sec.drive(sec)
+    a = b.reg("a", 1)
+    a.drive(a)
+    with b.scope("masker"):
+        left = b.named("left", sec & a)
+        right = b.named("right", (~sec) & a)
+        out = b.named("out", left | right)
+    b.output("sink", out)
+    return b.build()
+
+
+class DropTaintOnPassthrough(CustomTaintHandler):
+    """Deliberately unsound: claims every output is always clean."""
+
+    def output_taint(self, signal, taint_of, em, module):
+        return em.zeros(1, module)
+
+
+class TestHandlerSoundness:
+    def test_unsound_passthrough_handler_is_caught(self):
+        circ = _masking_circuit()
+        scheme = TaintScheme("bad")
+        scheme.custom_modules["masker"] = DropTaintOnPassthrough()
+        report = lint(circ, scheme)
+        findings = report.by_rule("unsound-handler")
+        assert findings and findings[0].severity is Severity.ERROR
+        # The witness names the influencing entry and the output.
+        assert "masker.out" in findings[0].message
+
+    def test_shipped_passthrough_taint_passes(self):
+        circ = _masking_circuit()
+        scheme = TaintScheme("good")
+        scheme.custom_modules["masker"] = PassthroughTaint({"masker.out": ["a"]})
+        report = lint(circ, scheme)
+        assert not report.by_rule("unsound-handler")
+
+    def test_constant_clean_taint_caught_on_live_module(self):
+        """ConstantCleanTaint is only sound for modules whose outputs do
+        not depend on their inputs; on the masker it drops real taint."""
+        circ = _masking_circuit()
+        scheme = TaintScheme("clean")
+        scheme.custom_modules["masker"] = ConstantCleanTaint()
+        report = lint(circ, scheme)
+        assert report.by_rule("unsound-handler")
+
+    def test_constant_clean_taint_passes_on_constant_module(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 1)
+        with b.scope("konst"):
+            out = b.named("out", b.const(1, 1) | a)  # == const 1
+        b.output("o", out)
+        circ = b.build()
+        scheme = TaintScheme("s")
+        scheme.custom_modules["konst"] = ConstantCleanTaint()
+        report = lint(circ, scheme)
+        assert not report.by_rule("unsound-handler")
+
+    def test_wrong_dependency_list_is_caught(self):
+        circ = _masking_circuit()
+        scheme = TaintScheme("typo")
+        # `a` influences the output but only `secret`'s taint is forwarded.
+        scheme.custom_modules["masker"] = PassthroughTaint(
+            {"masker.out": ["secret"]})
+        report = lint(circ, scheme)
+        assert report.by_rule("unsound-handler")
+
+    def test_sat_path_agrees_with_exhaustive(self):
+        circ = _masking_circuit()
+        sat_cfg = LintConfig(exhaustive_bits=0)  # force the SAT miter
+        good = TaintScheme("good")
+        good.custom_modules["masker"] = PassthroughTaint({"masker.out": ["a"]})
+        assert not lint(circ, good, config=sat_cfg).by_rule("unsound-handler")
+        bad = TaintScheme("bad")
+        bad.custom_modules["masker"] = DropTaintOnPassthrough()
+        assert lint(circ, bad, config=sat_cfg).by_rule("unsound-handler")
+
+    def test_semantic_rules_skipped_when_disabled(self):
+        circ = _masking_circuit()
+        scheme = TaintScheme("bad")
+        scheme.custom_modules["masker"] = DropTaintOnPassthrough()
+        report = lint(circ, scheme, config=LintConfig(semantic=False))
+        assert not report.by_rule("unsound-handler")
+
+
+class TestMonitorVacuity:
+    def _instrumented(self, sources):
+        circ = _masking_circuit()
+        scheme = TaintScheme(
+            "cellift", default=TaintOption(Granularity.BIT, Complexity.FULL))
+        return instrument(circ, scheme, sources)
+
+    def test_live_monitor_is_not_flagged(self):
+        design = self._instrumented(TaintSources(registers={"secret": -1}))
+        design.add_taint_monitor(["sink"])
+        report = lint_instrumented(design)
+        assert not report.by_rule("vacuous-monitor")
+
+    def test_sourceless_monitor_is_vacuous(self):
+        design = self._instrumented(TaintSources())
+        design.add_taint_monitor(["sink"])
+        report = lint_instrumented(design)
+        vac = report.by_rule("vacuous-monitor")
+        assert vac and vac[0].severity is Severity.WARNING
+
+
+class TestInstrumentationEquivalence:
+    def test_clean_instrumentation_is_equivalent(self):
+        circ = _masking_circuit()
+        scheme = TaintScheme(
+            "cellift", default=TaintOption(Granularity.BIT, Complexity.FULL))
+        design = instrument(circ, scheme, TaintSources(registers={"secret": -1}))
+        report = lint_instrumented(design)
+        assert not report.by_rule("instrumentation-diverges")
+
+    def test_perturbed_design_is_caught(self):
+        """Simulate an instrumentation bug by corrupting the DUV logic."""
+        from repro.hdl.cells import Cell, CellOp
+
+        circ = _masking_circuit()
+        scheme = TaintScheme(
+            "cellift", default=TaintOption(Granularity.BIT, Complexity.FULL))
+        design = instrument(circ, scheme, TaintSources(registers={"secret": -1}))
+        broken = design.circuit
+        # Replace the sink driver: invert it (taint logic "perturbing" logic).
+        sink_cell = broken.producer(broken.signal("sink"))
+        broken.cells.remove(sink_cell)
+        del broken._producer["sink"]
+        broken._topo_cache = None
+        broken.add_cell(Cell(CellOp.NOT, sink_cell.out, sink_cell.ins,
+                             module=sink_cell.module))
+        report = lint_instrumented(design)
+        diverges = report.by_rule("instrumentation-diverges")
+        assert diverges and diverges[0].severity is Severity.ERROR
+
+
+class TestInstrumentWarnings:
+    def test_stale_scheme_and_source_references_warn(self):
+        circ = _masking_circuit()
+        scheme = TaintScheme("s")
+        scheme.cell_options["ghost.cell"] = TaintOption(
+            Granularity.WORD, Complexity.FULL)
+        sources = TaintSources(registers={"secrte": -1})  # typo
+        design = instrument(circ, scheme, sources)
+        rules = {d.rule for d in design.warnings.diagnostics}
+        assert "scheme-ref" in rules
+        assert "taint-source-ref" in rules
+        # instrument() must stay non-fatal: warnings only.
+        assert design.warnings.ok
+
+    def test_clean_instrument_has_no_warnings(self):
+        circ = _masking_circuit()
+        scheme = TaintScheme("s")
+        design = instrument(circ, scheme, TaintSources(registers={"secret": -1}))
+        assert design.warnings.diagnostics == []
+
+
+class TestCegarLintGate:
+    def test_gate_raises_on_ill_formed_scheme(self):
+        from repro.cegar import CegarConfig, TaintVerificationTask, run_compass
+        from repro.lint import LintError
+
+        circ = _masking_circuit()
+        scheme = TaintScheme("broken")
+        scheme.blackboxes.add("no_such_module")
+        task = TaintVerificationTask(
+            name="t", circuit=circ,
+            sources=TaintSources(registers={"secret": -1}),
+            sinks=("sink",),
+            symbolic_registers=frozenset({"secret", "a"}),
+        )
+        with pytest.raises(LintError) as excinfo:
+            run_compass(task, CegarConfig(max_bound=2),
+                        initial_scheme=scheme)
+        assert excinfo.value.report.by_rule("scheme-ref")
+
+    def test_gate_can_be_disabled(self):
+        from repro.cegar import CegarConfig, TaintVerificationTask, run_compass
+
+        circ = _masking_circuit()
+        task = TaintVerificationTask(
+            name="t", circuit=circ,
+            sources=TaintSources(registers={"secret": -1}),
+            sinks=("sink",),
+            symbolic_registers=frozenset({"secret", "a"}),
+        )
+        result = run_compass(
+            task, CegarConfig(max_bound=4, lint_on_entry=False))
+        assert result is not None
