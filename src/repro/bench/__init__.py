@@ -2,8 +2,12 @@
 
 from repro.bench.workloads import WORKLOADS, Workload, workload_names
 from repro.bench.gadgets import SPECTRE_GADGET, MUL_TIMING_GADGET, NESTED_BRANCH_GADGET
+from repro.bench.fuzz import FuzzReport, fuzz_soundness, random_machine
 
 __all__ = [
+    "FuzzReport",
+    "fuzz_soundness",
+    "random_machine",
     "WORKLOADS",
     "Workload",
     "workload_names",

@@ -20,6 +20,58 @@ from repro.sim import Simulator
 from repro.taint.instrument import InstrumentedDesign
 
 
+def random_machine(
+    seed: int,
+    width: int = 3,
+    max_regs: int = 3,
+    max_ops: int = 6,
+    bad_signal: str = "bad",
+) -> Circuit:
+    """Generate a small random sequential machine with a ``bad`` output.
+
+    The machine has one free input, 1..``max_regs`` registers with
+    random resets, a random dataflow core of 2..``max_ops`` word
+    operations (add/sub/and/or/xor/mux), random register feedback, and a
+    1-bit ``bad_signal`` output that fires when a randomly chosen value
+    hits a random constant.  Deterministic in ``seed``.
+
+    This is the shared workload for differential testing of the formal
+    engines: BMC, k-induction, PDR and the portfolio must agree on these
+    circuits, and every counterexample must replay in the reference
+    simulator.
+    """
+    from repro.hdl import ModuleBuilder
+
+    rng = random.Random(seed)
+    b = ModuleBuilder(f"fuzz{seed}")
+    inp = b.input("x", width)
+    regs = []
+    for i in range(rng.randint(1, max_regs)):
+        regs.append(b.reg(f"r{i}", width, reset=rng.randrange(1 << width)))
+    values = [inp] + regs
+    for _ in range(rng.randint(2, max_ops)):
+        op = rng.choice("add sub and or xor mux".split())
+        a, c = rng.choice(values), rng.choice(values)
+        if op == "add":
+            v = a + c
+        elif op == "sub":
+            v = a - c
+        elif op == "and":
+            v = a & c
+        elif op == "or":
+            v = a | c
+        elif op == "xor":
+            v = a ^ c
+        else:
+            v = b.mux(a.redor(), a, c)
+        values.append(v)
+    for reg in regs:
+        reg.drive(rng.choice(values))
+    target = rng.randrange(1 << width)
+    b.output(bad_signal, rng.choice(values[1:]).eq(target))
+    return b.build()
+
+
 @dataclass
 class SoundnessViolation:
     """A false negative: value depends on the secret but taint is 0."""

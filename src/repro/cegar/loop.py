@@ -25,8 +25,15 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.hdl.circuit import Circuit
 from repro.formal.bmc import BmcStatus, bounded_model_check
+from repro.formal.cache import CacheStats, SolveCache
 from repro.formal.counterexample import Counterexample
 from repro.formal.induction import InductionStatus, k_induction
+from repro.formal.portfolio import (
+    ENGINE_NAMES,
+    PortfolioConfig,
+    PortfolioStatus,
+    verify_portfolio,
+)
 from repro.formal.properties import SafetyProperty
 from repro.taint.instrument import InstrumentedDesign, TaintSources, instrument
 from repro.taint.space import TaintScheme, blackbox_scheme
@@ -139,6 +146,26 @@ class CegarConfig:
     #: :class:`repro.lint.LintError` on errors instead of spending the
     #: model-checking budget on an ill-formed task.
     lint_on_entry: bool = True
+    #: Model-checking engine: "sequential" is the classic k-induction /
+    #: BMC cascade above; "portfolio" races BMC, PDR and k-induction
+    #: concurrently (:mod:`repro.formal.portfolio`) with a shared solve
+    #: cache, taking the first definitive verdict.
+    engine: str = "sequential"
+    #: Portfolio only: concurrently running engine processes (0 = one
+    #: per engine, 1 = in-process sequential portfolio).
+    jobs: int = 0
+    #: Portfolio only: which engines participate, in launch order.
+    portfolio_engines: Tuple[str, ...] = ENGINE_NAMES
+    #: Portfolio only: PDR frame limit per model-checking call.
+    pdr_max_frames: int = 50
+    #: Portfolio only: deterministic per-SAT-call conflict budget.
+    max_conflicts: Optional[int] = None
+    #: Portfolio only: verdict cache shared across model-checking calls
+    #: (and, when injected, across runs).  None builds a fresh cache
+    #: per ``run_compass`` call.
+    solve_cache: Optional[SolveCache] = None
+    #: Portfolio only: capacity of the per-run cache when none is given.
+    cache_max_entries: int = 4096
 
 
 @dataclass
@@ -155,6 +182,13 @@ class RefinementStats:
     #: The spurious counterexamples the loop eliminated, kept for the
     #: unnecessary-refinement pruning pass (paper Section 6.5).
     eliminated: List[Counterexample] = field(default_factory=list)
+    #: Portfolio observability: cumulative wall-clock per engine, how
+    #: often each engine produced the winning verdict, number of
+    #: portfolio invocations, and the solve-cache counters.
+    engine_times: Dict[str, float] = field(default_factory=dict)
+    engine_wins: Dict[str, int] = field(default_factory=dict)
+    portfolio_calls: int = 0
+    cache: Optional[CacheStats] = None
 
     @property
     def total(self) -> float:
@@ -167,6 +201,32 @@ class RefinementStats:
             f"t_MC={self.t_mc:6.2f}s t_Simu={self.t_simu:6.2f}s "
             f"t_BT={self.t_bt:6.2f}s t_Gen={self.t_gen:6.2f}s"
         )
+
+    def record_portfolio(self, result) -> None:
+        """Fold one :class:`PortfolioResult` into the counters."""
+        self.portfolio_calls += 1
+        for report in result.reports:
+            self.engine_times[report.engine] = (
+                self.engine_times.get(report.engine, 0.0) + report.elapsed
+            )
+        if result.winner is not None:
+            self.engine_wins[result.winner] = (
+                self.engine_wins.get(result.winner, 0) + 1
+            )
+
+    def portfolio_rows(self) -> List[str]:
+        """Human-readable portfolio/cache summary (empty when unused)."""
+        if not self.portfolio_calls:
+            return []
+        engines = " ".join(
+            f"{name}={self.engine_times.get(name, 0.0):.2f}s"
+            f"(+{self.engine_wins.get(name, 0)} wins)"
+            for name in sorted(self.engine_times)
+        )
+        rows = [f"portfolio: {self.portfolio_calls} calls  {engines}"]
+        if self.cache is not None:
+            rows.append(self.cache.row())
+        return rows
 
 
 class CegarStatus(enum.Enum):
@@ -300,8 +360,19 @@ def run_compass(
 ) -> CegarResult:
     """Run the full Compass CEGAR loop on a verification task."""
     config = config or CegarConfig()
+    if config.engine not in ("sequential", "portfolio"):
+        raise ValueError(
+            f"unknown CEGAR engine {config.engine!r} "
+            "(expected 'sequential' or 'portfolio')"
+        )
     rng = random.Random(config.seed) if config.seed is not None else None
     stats = RefinementStats()
+    solve_cache: Optional[SolveCache] = None
+    if config.engine == "portfolio":
+        solve_cache = config.solve_cache or SolveCache(config.cache_max_entries)
+        # Shared live counters: with an injected cache these accumulate
+        # across runs, which is what cross-run observability wants.
+        stats.cache = solve_cache.stats
     scheme = (initial_scheme or task.initial_scheme()).copy(name=f"{task.name}-compass")
     started = time.monotonic()
 
@@ -352,6 +423,30 @@ def run_compass(
             pass  # the prefilter already produced a violation
         elif not config.mc_enabled:
             pass  # testing-only mode: simulation found nothing; stop
+        elif config.engine == "portfolio":
+            pres = verify_portfolio(
+                design.circuit, prop,
+                PortfolioConfig(
+                    engines=config.portfolio_engines,
+                    jobs=config.jobs,
+                    max_bound=config.max_bound,
+                    induction_max_k=config.induction_max_k,
+                    unique_states=config.unique_states,
+                    pdr_max_frames=config.pdr_max_frames,
+                    time_limit=config.mc_time_limit,
+                    max_conflicts=config.max_conflicts,
+                ),
+                cache=solve_cache,
+            )
+            stats.record_portfolio(pres)
+            if pres.status is PortfolioStatus.PROVED:
+                verify_time = time.monotonic() - t0
+                stats.t_mc += verify_time
+                return CegarResult(CegarStatus.PROVED, task, scheme, design, prop,
+                                   stats, bound=-1, verify_time=verify_time)
+            if pres.status is PortfolioStatus.COUNTEREXAMPLE:
+                cex = pres.counterexample
+            last_bound = max(last_bound, pres.bound)
         elif config.use_induction:
             ind = k_induction(
                 design.circuit, prop,

@@ -55,6 +55,29 @@ def render_report(result, task=None) -> str:
     )
     lines.append("")
 
+    if stats.portfolio_calls:
+        lines.append("## Verification portfolio")
+        lines.append("")
+        lines.append(f"{stats.portfolio_calls} model-checking call(s) dispatched "
+                     "to the parallel engine portfolio.")
+        lines.append("")
+        lines.append("| engine | total time | winning verdicts |")
+        lines.append("|---|---|---|")
+        for engine in sorted(stats.engine_times):
+            lines.append(
+                f"| {engine} | {stats.engine_times[engine]:.2f}s "
+                f"| {stats.engine_wins.get(engine, 0)} |"
+            )
+        lines.append("")
+        if stats.cache is not None:
+            cache = stats.cache
+            lines.append(
+                f"Solve cache: {cache.hits} hits / {cache.misses} misses "
+                f"({cache.hit_rate * 100:.0f}% hit rate), "
+                f"{cache.stores} stores, {cache.evictions} evictions."
+            )
+            lines.append("")
+
     if stats.refinement_log:
         lines.append("## Refinements applied")
         lines.append("")

@@ -55,10 +55,15 @@ def cmd_verify(args) -> int:
         total_time_limit=args.budget,
         max_refinements=args.max_refinements,
         seed=args.seed,
+        engine=args.engine,
+        jobs=args.jobs,
     )
     result = run_compass(task, config)
     print(f"status: {result.status.value} (bound {result.bound})")
     print(result.stats.row(core.name))
+    if args.engine == "portfolio" and (args.cache_stats or result.stats.portfolio_calls):
+        for line in result.stats.portfolio_rows():
+            print(line)
     for line in result.stats.refinement_log:
         print(f"  {line}")
     scheme = result.scheme
@@ -357,6 +362,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prune unnecessary refinements afterwards")
     p.add_argument("--testing-only", action="store_true",
                    help="refinement by simulation only (no model checker)")
+    p.add_argument("--engine", choices=("sequential", "portfolio"),
+                   default="sequential",
+                   help="model-checking engine: the classic k-induction/BMC "
+                        "cascade, or the parallel BMC+PDR+k-induction "
+                        "portfolio with a cross-iteration solve cache")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="portfolio: concurrent engine processes "
+                        "(0 = one per engine, 1 = in-process sequential)")
+    p.add_argument("--cache-stats", action="store_true",
+                   help="portfolio: print solve-cache hit/miss/eviction "
+                        "counters and per-engine timings after the run")
     p.add_argument("--save-scheme", metavar="FILE", default=None,
                    help="save the refined taint scheme as JSON")
     p.add_argument("--report", metavar="FILE", default=None,

@@ -10,6 +10,13 @@ for exact false-taint validation.
 
 from repro.formal.sat.cnf import CNF
 from repro.formal.sat.solver import Solver, SolveStatus, SolveResult
+from repro.formal.cache import (
+    CachedVerdict,
+    CacheStats,
+    SolveCache,
+    circuit_fingerprint,
+    solve_key,
+)
 from repro.formal.encode import FrameEncoder
 from repro.formal.unroll import Unroller
 from repro.formal.properties import SafetyProperty
@@ -17,6 +24,14 @@ from repro.formal.counterexample import Counterexample
 from repro.formal.bmc import BmcResult, BmcStatus, bounded_model_check
 from repro.formal.induction import InductionResult, k_induction
 from repro.formal.pdr import PdrResult, PdrStatus, pdr_prove
+from repro.formal.portfolio import (
+    ENGINE_NAMES,
+    EngineReport,
+    PortfolioConfig,
+    PortfolioResult,
+    PortfolioStatus,
+    verify_portfolio,
+)
 from repro.formal.product import self_composition, rename_circuit
 from repro.formal.equivalence import (
     EquivalenceResult,
@@ -46,6 +61,18 @@ __all__ = [
     "PdrResult",
     "PdrStatus",
     "pdr_prove",
+    "CachedVerdict",
+    "CacheStats",
+    "SolveCache",
+    "circuit_fingerprint",
+    "solve_key",
+    "ENGINE_NAMES",
+    "EngineReport",
+    "PortfolioConfig",
+    "PortfolioResult",
+    "PortfolioStatus",
+    "verify_portfolio",
+
     "self_composition",
     "rename_circuit",
     "EquivalenceResult",

@@ -15,6 +15,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.hdl.circuit import Circuit
 from repro.hdl.lowering import LoweredCircuit, lower_to_gates
+from repro.formal.cache import CachedVerdict, SolveCache, solve_key
 from repro.formal.counterexample import Counterexample
 from repro.formal.properties import SafetyProperty
 from repro.formal.sat.solver import Solver, SolveStatus
@@ -98,6 +99,29 @@ def extract_counterexample(
     return Counterexample(depth + 1, inputs, initial_state, bad_signal=prop.bad)
 
 
+def _frame_key(
+    lowered: LoweredCircuit,
+    prop: SafetyProperty,
+    depth: int,
+    initial_values: Optional[Mapping[str, int]],
+    input_constraints: Optional[Sequence[Mapping[str, int]]],
+) -> str:
+    """Cache key for "is ``bad`` reachable at exactly ``depth``?".
+
+    The answer depends on the netlist, the property, the depth, and any
+    concrete pinning of the environment — all of which go into the key.
+    """
+    pins = None
+    if input_constraints is not None:
+        pins = [dict(frame) for frame in input_constraints[: depth + 1]]
+    params = {
+        "depth": depth,
+        "init": dict(initial_values) if initial_values else None,
+        "pins": pins,
+    }
+    return solve_key(lowered.circuit, prop, "bmc-frame", params)
+
+
 def bounded_model_check(
     circuit: Union[Circuit, LoweredCircuit],
     prop: SafetyProperty,
@@ -106,6 +130,8 @@ def bounded_model_check(
     initial_values: Optional[Mapping[str, int]] = None,
     input_constraints: Optional[Sequence[Mapping[str, int]]] = None,
     start_bound: int = 0,
+    max_conflicts: Optional[int] = None,
+    cache: Optional[SolveCache] = None,
 ) -> BmcResult:
     """Check ``bad`` at depths ``start_bound..max_bound``.
 
@@ -114,15 +140,28 @@ def bounded_model_check(
             (used when replaying a counterexample's environment).
         input_constraints: per-frame word values pinning inputs (frames
             beyond the list are unconstrained).
+        max_conflicts: per-depth SAT conflict budget; exceeding it ends
+            the run with ``TIMEOUT`` (a deterministic alternative to
+            ``time_limit`` for reproducible budget tests).
+        cache: optional cross-call verdict cache; per-depth results are
+            looked up before solving and stored after, so repeated
+            questions on an identical netlist skip the SAT solver (the
+            k-induction base case and repeated portfolio calls share
+            frames this way).
     """
     started = time.monotonic()
     lowered = _as_lowered(circuit)
-    unroller = _make_unroller(lowered, prop, initial_values)
-    solver = unroller.solver
+    unroller: Optional[Unroller] = None
     frames_solved = 0
     proven = start_bound - 1
+    # Depths known clean but whose blocking clause has not been added
+    # yet; flushed lazily so fully-cached runs never build an unroller.
+    pending_clean: List[int] = []
 
-    for depth in range(0, max_bound + 1):
+    def materialize(depth: int) -> Unroller:
+        nonlocal unroller
+        if unroller is None:
+            unroller = _make_unroller(lowered, prop, initial_values)
         while unroller.depth < depth + 1:
             new_frame = unroller.depth
             unroller.add_frame()
@@ -130,21 +169,45 @@ def bounded_model_check(
             if input_constraints is not None and new_frame < len(input_constraints):
                 for name, value in input_constraints[new_frame].items():
                     unroller.constrain_word(new_frame, name, value)
-        bad_lit = unroller.lit_of_bit(depth, prop.bad)
+        while pending_clean:
+            clean_depth = pending_clean.pop(0)
+            unroller.solver.add_clause((-unroller.lit_of_bit(clean_depth, prop.bad),))
+        return unroller
+
+    for depth in range(0, max_bound + 1):
         if depth < start_bound:
             # Caller already knows shallower depths are clean.
-            solver.add_clause((-bad_lit,))
+            pending_clean.append(depth)
             continue
+        key = None
+        if cache is not None:
+            key = _frame_key(lowered, prop, depth, initial_values, input_constraints)
+            entry = cache.get(key)
+            if entry is not None:
+                if entry.status == "sat":
+                    return BmcResult(
+                        BmcStatus.COUNTEREXAMPLE, proven, entry.counterexample,
+                        elapsed=time.monotonic() - started, frames_solved=frames_solved,
+                    )
+                proven = depth
+                pending_clean.append(depth)
+                continue
+        active = materialize(depth)
+        bad_lit = active.lit_of_bit(depth, prop.bad)
         remaining = None
         if time_limit is not None:
             remaining = time_limit - (time.monotonic() - started)
             if remaining <= 0:
                 return BmcResult(BmcStatus.TIMEOUT, proven, elapsed=time.monotonic() - started,
                                  frames_solved=frames_solved)
-        result = solver.solve(assumptions=[bad_lit], time_limit=remaining)
+        result = active.solver.solve(
+            assumptions=[bad_lit], time_limit=remaining, max_conflicts=max_conflicts,
+        )
         frames_solved += 1
         if result.status is SolveStatus.SAT:
-            cex = extract_counterexample(unroller, prop, result.model, depth)
+            cex = extract_counterexample(active, prop, result.model, depth)
+            if cache is not None:
+                cache.put(key, CachedVerdict("sat", bound=depth, counterexample=cex))
             return BmcResult(
                 BmcStatus.COUNTEREXAMPLE, proven, cex,
                 elapsed=time.monotonic() - started, frames_solved=frames_solved,
@@ -152,7 +215,9 @@ def bounded_model_check(
         if result.status is SolveStatus.UNKNOWN:
             return BmcResult(BmcStatus.TIMEOUT, proven, elapsed=time.monotonic() - started,
                              frames_solved=frames_solved)
+        if cache is not None:
+            cache.put(key, CachedVerdict("unsat", bound=depth))
         proven = depth
-        solver.add_clause((-bad_lit,))
+        active.solver.add_clause((-bad_lit,))
     return BmcResult(BmcStatus.BOUND_REACHED, proven, elapsed=time.monotonic() - started,
                      frames_solved=frames_solved)

@@ -1,0 +1,206 @@
+"""Content-addressed solve cache for the formal engines.
+
+CEGAR iterations repeatedly pose closely related model-checking
+questions: the portfolio runs BMC and k-induction over the *same*
+lowered netlist (the induction base case re-solves BMC's frames), and
+refinement-by-testing reruns and scheme pruning re-verify designs that
+did not change.  The cache memoizes verdicts keyed on a stable content
+hash of (lowered netlist, property, engine question, bound/k), so a
+question that has already been decided for an identical gate cone is
+answered without touching the SAT solver.
+
+Keys are *content* addressed: the fingerprint is computed from the
+canonical JSON serialization of the gate-level netlist
+(:func:`repro.hdl.serialize.circuit_to_dict`), so a circuit that
+round-trips through ``serialize`` hashes identically, while any change
+to the instrumented taint logic — a refined mux, an opened blackbox —
+changes the key and invalidates prior answers for that cone.
+
+The cache stores plain-data verdict records (strings, ints, dicts), so
+entries pickle cleanly across :mod:`multiprocessing` workers and could
+be persisted between runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.lowering import LoweredCircuit
+from repro.formal.counterexample import Counterexample
+from repro.formal.properties import SafetyProperty
+
+
+def circuit_fingerprint(circuit: Union[Circuit, LoweredCircuit]) -> str:
+    """Stable content hash of a (lowered) netlist.
+
+    Uses the canonical serialized document, which sorts signals by name
+    and preserves cell order, so structurally identical circuits — in
+    particular ``serialize`` round-trips — produce identical digests.
+    The digest is memoized on the circuit object: instrumented designs
+    are never mutated in place (refinement re-instruments from scratch),
+    so the structure a ``Circuit`` had when first hashed is the
+    structure it keeps.
+    """
+    if isinstance(circuit, LoweredCircuit):
+        circuit = circuit.circuit
+    cached = getattr(circuit, "_content_fingerprint", None)
+    if cached is not None:
+        return cached
+    from repro.hdl.serialize import circuit_to_dict
+
+    doc = circuit_to_dict(circuit)
+    doc.pop("version", None)  # format revisions must not shift keys
+    digest = hashlib.sha256(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    try:
+        circuit._content_fingerprint = digest
+    except AttributeError:  # pragma: no cover - circuits allow attrs
+        pass
+    return digest
+
+
+def property_fingerprint(prop: SafetyProperty) -> str:
+    """Stable hash of the property portion of a solve key."""
+    doc = {
+        "bad": prop.bad,
+        "assumptions": sorted(prop.assumptions),
+        "init_assumptions": sorted(prop.init_assumptions),
+        "symbolic_registers": sorted(prop.symbolic_registers),
+        "symbolic_all": prop.symbolic_all_registers,
+    }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def solve_key(
+    circuit: Union[Circuit, LoweredCircuit],
+    prop: SafetyProperty,
+    question: str,
+    bound: Any = None,
+) -> str:
+    """The cache key for one engine question.
+
+    Args:
+        circuit: design under verification (hashed by content).
+        prop: the safety property.
+        question: which question is being asked — e.g. ``"bmc-frame"``
+            (is *bad* reachable at exactly this depth?), ``"bmc"``,
+            ``"portfolio"``.
+        bound: depth / k / engine parameters distinguishing questions
+            of the same kind; any JSON-serializable value.
+    """
+    return "%s:%s:%s:%s" % (
+        question,
+        circuit_fingerprint(circuit),
+        property_fingerprint(prop),
+        json.dumps(bound, sort_keys=True, default=str),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Counters for observability reports (Table-3-style extensions)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.evictions += other.evictions
+
+    def row(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate * 100:.0f}% hit rate), "
+            f"{self.stores} stores, {self.evictions} evictions"
+        )
+
+
+@dataclass
+class CachedVerdict:
+    """A memoized engine answer (plain data: pickles across processes).
+
+    ``status`` is the engine's own status string ("unsat", "sat",
+    "proved", "bound_reached", ...); ``bound`` carries the depth the
+    verdict holds for; ``counterexample`` is the word-level stimulus
+    when the answer is a violation.
+    """
+
+    status: str
+    bound: int = -1
+    counterexample: Optional[Counterexample] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class SolveCache:
+    """LRU verdict cache shared across engines and CEGAR iterations."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CachedVerdict]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[CachedVerdict]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, key: str) -> Optional[CachedVerdict]:
+        """Lookup without touching the hit/miss counters or LRU order."""
+        return self._entries.get(key)
+
+    def put(self, key: str, verdict: CachedVerdict) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = verdict
+        self.stats.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def merge_entries(self, entries: Dict[str, CachedVerdict]) -> None:
+        """Adopt entries computed elsewhere (e.g. a worker process).
+
+        Store-backs count as stores (and may evict) but not as lookups.
+        """
+        for key, verdict in entries.items():
+            if key not in self._entries:
+                self.put(key, verdict)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def snapshot_entries(self) -> Dict[str, CachedVerdict]:
+        """A shallow copy of the entries (for shipping to workers)."""
+        return dict(self._entries)

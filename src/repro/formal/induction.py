@@ -17,6 +17,7 @@ from typing import Optional, Union
 from repro.hdl.circuit import Circuit
 from repro.hdl.lowering import LoweredCircuit, lower_to_gates
 from repro.formal.bmc import BmcStatus, bounded_model_check, extract_counterexample
+from repro.formal.cache import SolveCache
 from repro.formal.counterexample import Counterexample
 from repro.formal.properties import SafetyProperty
 from repro.formal.sat.solver import SolveStatus
@@ -48,8 +49,16 @@ def k_induction(
     max_k: int = 20,
     time_limit: Optional[float] = None,
     unique_states: bool = True,
+    max_conflicts: Optional[int] = None,
+    cache: Optional[SolveCache] = None,
 ) -> InductionResult:
-    """Attempt an unbounded proof of ``prop`` by k-induction."""
+    """Attempt an unbounded proof of ``prop`` by k-induction.
+
+    ``max_conflicts`` bounds each SAT call by conflict count (a
+    deterministic budget); ``cache`` memoizes base-case frames, so an
+    induction run following a BMC run on the same netlist answers its
+    base case from cached verdicts.
+    """
     started = time.monotonic()
 
     def remaining() -> Optional[float]:
@@ -74,6 +83,7 @@ def k_induction(
         # Base case: no violation within the first k cycles (depths 0..k-1).
         base = bounded_model_check(
             lowered, prop, max_bound=k - 1, time_limit=remaining(), start_bound=base_proven + 1,
+            max_conflicts=max_conflicts, cache=cache,
         )
         if base.status is BmcStatus.COUNTEREXAMPLE:
             return InductionResult(
@@ -96,7 +106,8 @@ def k_induction(
             for earlier in range(k):
                 step.add_state_uniqueness(earlier, k)
         bad_lit = step.lit_of_bit(k, prop.bad)
-        result = step.solver.solve(assumptions=[bad_lit], time_limit=remaining())
+        result = step.solver.solve(assumptions=[bad_lit], time_limit=remaining(),
+                                   max_conflicts=max_conflicts)
         if result.status is SolveStatus.UNSAT:
             return InductionResult(InductionStatus.PROVED, k, base_proven,
                                    elapsed=time.monotonic() - started)

@@ -68,8 +68,10 @@ class _TransitionSolver:
     using activation literals per frame.
     """
 
-    def __init__(self, lowered: LoweredCircuit, prop: SafetyProperty) -> None:
+    def __init__(self, lowered: LoweredCircuit, prop: SafetyProperty,
+                 max_conflicts: Optional[int] = None) -> None:
         self.lowered = lowered
+        self.max_conflicts = max_conflicts  # per-query conflict budget
         circuit = lowered.circuit
         self.solver = Solver()
         true_lit = self.solver.new_var()
@@ -114,7 +116,8 @@ class _TransitionSolver:
 
     # -- queries --------------------------------------------------------
     def solve(self, assumptions: Sequence[int], time_limit: Optional[float] = None):
-        return self.solver.solve(assumptions=assumptions, time_limit=time_limit)
+        return self.solver.solve(assumptions=assumptions, time_limit=time_limit,
+                                 max_conflicts=self.max_conflicts)
 
     def state_cube_from_model(self, model) -> Tuple[int, ...]:
         """Extract the current-state cube (as signed state literals)."""
@@ -151,10 +154,11 @@ class _Pdr:
         lowered: LoweredCircuit,
         prop: SafetyProperty,
         initial_values: Optional[Dict[str, int]] = None,
+        max_conflicts: Optional[int] = None,
     ) -> None:
         self.lowered = lowered
         self.prop = prop
-        self.ts = _TransitionSolver(lowered, prop)
+        self.ts = _TransitionSolver(lowered, prop, max_conflicts=max_conflicts)
         self.frames: List[Set[Tuple[int, ...]]] = [set()]  # clauses per level
         self.ts.ensure_frames(1)
         self._init_cube = self._initial_cube(initial_values or {})
@@ -466,6 +470,7 @@ def pdr_prove(
     max_frames: int = 100,
     time_limit: Optional[float] = None,
     initial_values: Optional[Dict[str, int]] = None,
+    max_conflicts: Optional[int] = None,
 ) -> PdrResult:
     """Attempt an unbounded proof of ``prop`` with IC3/PDR.
 
@@ -477,10 +482,12 @@ def pdr_prove(
       allows any initial state the reset/symbolic spec permits): proofs
       remain sound, and counterexamples are re-validated by replay —
       one that violates an init assumption is downgraded to UNKNOWN
-      (use BMC to search for a genuine one).
+      (use BMC to search for a genuine one);
+    - ``max_conflicts`` bounds every individual SAT query by conflict
+      count; an exceeded budget surfaces as UNKNOWN, deterministically.
     """
     lowered = _as_lowered(circuit)
-    engine = _Pdr(lowered, prop, initial_values)
+    engine = _Pdr(lowered, prop, initial_values, max_conflicts=max_conflicts)
     result = engine.run(max_frames=max_frames, time_limit=time_limit)
     if (
         result.status is PdrStatus.COUNTEREXAMPLE

@@ -1,0 +1,553 @@
+"""Parallel verification portfolio over the formal engines.
+
+The paper's Section 4 flow hands each model-checking obligation to
+JasperGold, which races several proof engines (``Mp``/``AM``/``I``
+unbounded, ``Ht`` bounded) and takes whichever converges first.  This
+module reproduces that scheduling layer over our own engines:
+
+- **bmc** — bounded search, definitive on *violations*;
+- **pdr** — IC3-family unbounded proof, definitive on both outcomes;
+- **kind** — k-induction, definitive on proofs and base-case violations.
+
+:func:`verify_portfolio` runs the engines concurrently in
+``multiprocessing`` worker processes (at most ``jobs`` at a time), each
+under its own wall-clock deadline.  The first *definitive* verdict wins:
+the remaining workers are terminated and their partial results (depths
+proven clean so far) are folded into the final bound.  Engines beyond
+the ``jobs`` limit are queued; when a running engine retires without a
+definitive verdict, the next queued engine starts — seeded with every
+solve result the finished engines cached, so e.g. a k-induction worker
+launched after BMC answers its base case from the cache instead of
+re-solving the frames.
+
+When process spawning is unavailable (restricted environments,
+pickling failures) or ``jobs == 1``, the portfolio degrades gracefully
+to in-process sequential execution with identical verdict semantics —
+engines then share the live cache directly.
+
+Verdicts are memoized in a :class:`~repro.formal.cache.SolveCache`
+keyed on the lowered netlist's content hash, the property, and the
+engine parameters, so a CEGAR loop that re-poses an already-answered
+question (re-verification, pruning, benchmark reruns) returns
+instantly.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.hdl.circuit import Circuit
+from repro.hdl.lowering import LoweredCircuit
+from repro.formal.bmc import BmcStatus, _as_lowered, bounded_model_check
+from repro.formal.cache import CachedVerdict, CacheStats, SolveCache, solve_key
+from repro.formal.counterexample import Counterexample
+from repro.formal.induction import InductionStatus, k_induction
+from repro.formal.pdr import PdrStatus, pdr_prove
+from repro.formal.properties import SafetyProperty
+
+#: Engine launch order.  BMC first: it retires quickly on small bounds
+#: and its cached frames seed the k-induction base case; PDR second as
+#: the strongest unbounded engine; k-induction last (it profits most
+#: from running after BMC).
+ENGINE_NAMES: Tuple[str, ...] = ("bmc", "pdr", "kind")
+
+
+class PortfolioStatus(enum.Enum):
+    PROVED = "proved"                  # some engine closed an unbounded proof
+    COUNTEREXAMPLE = "counterexample"  # some engine found a violation
+    BOUND_REACHED = "bound_reached"    # clean up to `bound`, nothing definitive
+    UNKNOWN = "unknown"                # every engine timed out with no bound
+
+
+@dataclass
+class PortfolioConfig:
+    """Engine selection, budgets and scheduling knobs."""
+
+    engines: Tuple[str, ...] = ENGINE_NAMES
+    #: Maximum concurrently running engine processes; 0 means one per
+    #: engine, 1 selects the in-process sequential mode.
+    jobs: int = 0
+    max_bound: int = 20                # BMC depth
+    induction_max_k: int = 12
+    unique_states: bool = True
+    pdr_max_frames: int = 50
+    #: Overall wall-clock deadline for the whole portfolio call.
+    time_limit: Optional[float] = None
+    #: Per-engine wall-clock deadlines (seconds); engines not listed
+    #: inherit the overall ``time_limit``.  When empty, the scheduler
+    #: fair-shares the remaining window over the unfinished engines so
+    #: the ones queued behind the ``jobs`` limit always get a slot.
+    engine_deadlines: Dict[str, float] = field(default_factory=dict)
+    #: Deterministic per-SAT-call conflict budget (see Solver.solve).
+    max_conflicts: Optional[int] = None
+    #: multiprocessing start method ("fork"/"spawn"); None picks the
+    #: platform default.
+    start_method: Optional[str] = None
+    #: Skip process workers entirely (forced degraded mode).
+    force_sequential: bool = False
+    #: How often the scheduler polls workers for results/deadlines.
+    poll_interval: float = 0.05
+
+    def deadline_for(self, engine: str) -> Optional[float]:
+        if engine in self.engine_deadlines:
+            return self.engine_deadlines[engine]
+        return self.time_limit
+
+
+@dataclass
+class EngineReport:
+    """What one engine contributed to a portfolio call."""
+
+    engine: str
+    status: str = "not_run"     # engine status string, or not_run/cancelled/deadline/error
+    bound: int = -1             # deepest cycle this engine proved clean
+    elapsed: float = 0.0
+    winner: bool = False
+    detail: str = ""
+
+    def row(self) -> str:
+        mark = " <- winner" if self.winner else ""
+        bound = f" bound={self.bound}" if self.bound >= 0 else ""
+        return f"{self.engine:<5} {self.status:<15} {self.elapsed:6.2f}s{bound}{mark}"
+
+
+@dataclass
+class PortfolioResult:
+    status: PortfolioStatus
+    winner: Optional[str] = None
+    bound: int = -1
+    counterexample: Optional[Counterexample] = None
+    elapsed: float = 0.0
+    reports: List[EngineReport] = field(default_factory=list)
+    mode: str = "process"        # "process" | "sequential"
+    cache_hit: bool = False      # whole verdict answered from the cache
+
+    @property
+    def proved(self) -> bool:
+        return self.status is PortfolioStatus.PROVED
+
+    @property
+    def found_cex(self) -> bool:
+        return self.status is PortfolioStatus.COUNTEREXAMPLE
+
+
+# ---------------------------------------------------------------------------
+# Engine adapters: run one engine, produce a uniform plain-data verdict.
+# ---------------------------------------------------------------------------
+
+def _run_engine(
+    engine: str,
+    lowered: LoweredCircuit,
+    prop: SafetyProperty,
+    config: PortfolioConfig,
+    deadline: Optional[float],
+    cache: Optional[SolveCache],
+) -> Dict[str, object]:
+    """Execute one engine; returns a picklable verdict record.
+
+    ``definitive`` marks outcomes that settle the property (violation
+    or unbounded proof); everything else is partial information.
+    """
+    started = time.monotonic()
+    if engine == "bmc":
+        res = bounded_model_check(
+            lowered, prop, max_bound=config.max_bound, time_limit=deadline,
+            max_conflicts=config.max_conflicts, cache=cache,
+        )
+        definitive = res.status is BmcStatus.COUNTEREXAMPLE
+        return {
+            "engine": engine,
+            "status": res.status.value,
+            "definitive": definitive,
+            "proved": False,
+            "bound": res.bound,
+            "counterexample": res.counterexample,
+            "elapsed": time.monotonic() - started,
+        }
+    if engine == "kind":
+        res = k_induction(
+            lowered, prop, max_k=config.induction_max_k, time_limit=deadline,
+            unique_states=config.unique_states,
+            max_conflicts=config.max_conflicts, cache=cache,
+        )
+        definitive = res.status in (InductionStatus.PROVED,
+                                    InductionStatus.COUNTEREXAMPLE)
+        return {
+            "engine": engine,
+            "status": res.status.value,
+            "definitive": definitive,
+            "proved": res.status is InductionStatus.PROVED,
+            "bound": res.bound,
+            "counterexample": res.counterexample,
+            "elapsed": time.monotonic() - started,
+        }
+    if engine == "pdr":
+        res = pdr_prove(
+            lowered, prop, max_frames=config.pdr_max_frames, time_limit=deadline,
+            max_conflicts=config.max_conflicts,
+        )
+        definitive = res.status in (PdrStatus.PROVED, PdrStatus.COUNTEREXAMPLE)
+        return {
+            "engine": engine,
+            "status": res.status.value,
+            "definitive": definitive,
+            "proved": res.status is PdrStatus.PROVED,
+            "bound": -1,  # PDR frames are not cycle bounds
+            "counterexample": res.counterexample,
+            "elapsed": time.monotonic() - started,
+        }
+    raise ValueError(f"unknown portfolio engine {engine!r} "
+                     f"(expected one of {ENGINE_NAMES})")
+
+
+class _StreamingCache(SolveCache):
+    """Worker-side cache that forwards every store to the parent.
+
+    Entries reach the scheduler as soon as they are solved, not only
+    with the final verdict — so an engine launched from the queue is
+    seeded with everything the running engines have learned so far,
+    and a terminated loser's partial work still survives.
+    """
+
+    def __init__(self, queue, engine: str) -> None:
+        super().__init__()
+        self._queue = queue
+        self._engine = engine
+
+    def put(self, key: str, entry: CachedVerdict) -> None:
+        super().put(key, entry)
+        try:
+            self._queue.put({"type": "entry", "engine": self._engine,
+                             "key": key, "entry": entry})
+        except Exception:  # pragma: no cover - queue torn down mid-put
+            pass
+
+
+def _worker_main(queue, engine, lowered, prop, config, deadline, seed_entries):
+    """Entry point of an engine worker process."""
+    local = _StreamingCache(queue, engine)
+    if seed_entries:
+        local.merge_entries(seed_entries)
+    baseline = replace(local.stats)
+    try:
+        verdict = _run_engine(engine, lowered, prop, config, deadline, local)
+        verdict["entries"] = local.snapshot_entries()
+        stats = local.stats
+        stats.hits -= baseline.hits  # report only this worker's traffic
+        stats.misses -= baseline.misses
+        stats.stores -= baseline.stores
+        stats.evictions -= baseline.evictions
+        verdict["cache_stats"] = stats
+        queue.put(verdict)
+    except Exception as exc:  # pragma: no cover - defensive
+        queue.put({
+            "engine": engine, "status": "error", "definitive": False,
+            "proved": False, "bound": -1, "counterexample": None,
+            "elapsed": 0.0, "entries": {}, "cache_stats": CacheStats(),
+            "detail": f"{type(exc).__name__}: {exc}",
+        })
+
+
+# ---------------------------------------------------------------------------
+# Result assembly
+# ---------------------------------------------------------------------------
+
+_PROOF_KEY_PARAMS = ("max_bound", "induction_max_k", "unique_states",
+                     "pdr_max_frames", "max_conflicts")
+
+
+def _portfolio_key(lowered: LoweredCircuit, prop: SafetyProperty,
+                   config: PortfolioConfig) -> str:
+    params = {name: getattr(config, name) for name in _PROOF_KEY_PARAMS}
+    params["engines"] = sorted(config.engines)
+    return solve_key(lowered.circuit, prop, "portfolio", params)
+
+
+def _finalize(
+    reports: Dict[str, EngineReport],
+    order: Tuple[str, ...],
+    winner: Optional[Dict[str, object]],
+    elapsed: float,
+    mode: str,
+) -> PortfolioResult:
+    bound = max((r.bound for r in reports.values()), default=-1)
+    ordered = [reports[name] for name in order]
+    if winner is not None:
+        name = winner["engine"]
+        reports[name].winner = True
+        if winner["proved"]:
+            status = PortfolioStatus.PROVED
+        else:
+            status = PortfolioStatus.COUNTEREXAMPLE
+        return PortfolioResult(
+            status, winner=name, bound=bound,
+            counterexample=winner["counterexample"],
+            elapsed=elapsed, reports=ordered, mode=mode,
+        )
+    status = PortfolioStatus.BOUND_REACHED if bound >= 0 else PortfolioStatus.UNKNOWN
+    return PortfolioResult(status, bound=bound, elapsed=elapsed,
+                           reports=ordered, mode=mode)
+
+
+def _memoize(cache: Optional[SolveCache], key: Optional[str],
+             result: PortfolioResult) -> None:
+    if cache is None or key is None:
+        return
+    if result.status is PortfolioStatus.UNKNOWN:
+        return  # nothing worth replaying
+    cache.put(key, CachedVerdict(
+        result.status.value, bound=result.bound,
+        counterexample=result.counterexample,
+        detail={"winner": result.winner},
+    ))
+
+
+def _from_memo(entry: CachedVerdict, order: Tuple[str, ...]) -> PortfolioResult:
+    status = PortfolioStatus(entry.status)
+    winner = entry.detail.get("winner")
+    reports = [EngineReport(name, status="cached") for name in order]
+    return PortfolioResult(
+        status, winner=winner, bound=entry.bound,
+        counterexample=entry.counterexample,
+        elapsed=0.0, reports=reports, mode="cache", cache_hit=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+# ---------------------------------------------------------------------------
+
+def _run_sequential(
+    lowered: LoweredCircuit,
+    prop: SafetyProperty,
+    config: PortfolioConfig,
+    cache: Optional[SolveCache],
+    started: float,
+) -> PortfolioResult:
+    """Degraded mode: engines run in-process, in order, sharing the cache."""
+    reports = {name: EngineReport(name) for name in config.engines}
+    winner: Optional[Dict[str, object]] = None
+    for position, engine in enumerate(config.engines):
+        remaining = None
+        if config.time_limit is not None:
+            remaining = config.time_limit - (time.monotonic() - started)
+            if remaining <= 0:
+                break
+        deadline = config.deadline_for(engine)
+        if not config.engine_deadlines and remaining is not None:
+            # Same fair-share policy as process mode: split what is
+            # left of the window over the engines still to run, so one
+            # engine cannot starve the ones behind it.
+            deadline = remaining / (len(config.engines) - position)
+        if deadline is None:
+            deadline = remaining
+        elif remaining is not None:
+            deadline = min(deadline, remaining)
+        verdict = _run_engine(engine, lowered, prop, config, deadline, cache)
+        report = reports[engine]
+        report.status = str(verdict["status"])
+        report.bound = int(verdict["bound"])
+        report.elapsed = float(verdict["elapsed"])
+        if verdict["definitive"]:
+            winner = verdict
+            break
+    return _finalize(reports, config.engines, winner,
+                     time.monotonic() - started, mode="sequential")
+
+
+def _run_processes(
+    lowered: LoweredCircuit,
+    prop: SafetyProperty,
+    config: PortfolioConfig,
+    cache: Optional[SolveCache],
+    started: float,
+    jobs: int,
+) -> PortfolioResult:
+    """Process mode: up to ``jobs`` concurrent engine workers."""
+    import multiprocessing
+    import queue as queue_mod
+
+    ctx = (multiprocessing.get_context(config.start_method)
+           if config.start_method else multiprocessing.get_context())
+    result_queue = ctx.Queue()
+    reports = {name: EngineReport(name) for name in config.engines}
+    pending = list(config.engines)
+    # engine -> (process, launch time, kill-at budget)
+    running: Dict[str, Tuple[object, float, Optional[float]]] = {}
+    dead_since: Dict[str, float] = {}               # exit seen, verdict not yet
+    winner: Optional[Dict[str, object]] = None
+
+    def launch(engine: str) -> bool:
+        """Start one engine worker; False when its budget is spent.
+
+        The engine's wall-clock budget (its own deadline capped by the
+        remaining overall time) is enforced *inside* the worker as the
+        engine ``time_limit``, so the worker retires on its own with a
+        partial verdict and its cache entries intact.  Parent-side
+        termination is only the backstop for a wedged worker, with a
+        grace allowance past the budget.
+        """
+        budget = config.deadline_for(engine)
+        if config.time_limit is not None:
+            remaining = config.time_limit - (time.monotonic() - started)
+            if remaining <= 0:
+                return False
+            if not config.engine_deadlines:
+                # No explicit per-engine budgets: fair-share the
+                # remaining window over the unfinished engines so the
+                # ones queued behind the ``jobs`` limit are guaranteed
+                # a slot before the overall deadline.
+                unfinished = 1 + len(pending) + len(running)
+                share = remaining * jobs / unfinished
+                budget = share if budget is None else min(budget, share)
+            budget = remaining if budget is None else min(budget, remaining)
+        seed = cache.snapshot_entries() if cache is not None else None
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(result_queue, engine, lowered, prop, config, budget, seed),
+            daemon=True,
+        )
+        proc.start()
+        kill_at = None if budget is None else budget + 2.0 + 0.25 * budget
+        running[engine] = (proc, time.monotonic(), kill_at)
+        return True
+
+    def reap(engine: str, status: str) -> None:
+        proc, engine_started, _kill_at = running.pop(engine)
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5.0)
+        reports[engine].status = status
+        reports[engine].elapsed = time.monotonic() - engine_started
+
+    try:
+        while running or pending:
+            while len(running) < jobs and pending:
+                if not launch(pending.pop(0)):
+                    # Overall budget exhausted before this engine got a
+                    # slot; its report stays "not_run".
+                    pending.clear()
+                    break
+            if (config.time_limit is not None
+                    and time.monotonic() - started > config.time_limit + 5.0):
+                # Backstop only: workers receive the remaining overall
+                # budget as their own time_limit, so they normally ship
+                # a (partial) verdict before this fires.
+                pending.clear()
+                for engine in list(running):
+                    reap(engine, "cancelled")
+                break
+            if not running:
+                continue
+            try:
+                verdict = result_queue.get(timeout=config.poll_interval)
+            except queue_mod.Empty:
+                verdict = None
+            if verdict is not None and verdict.get("type") == "entry":
+                # A streamed solve result from a still-running worker.
+                if cache is not None:
+                    cache.merge_entries({str(verdict["key"]): verdict["entry"]})
+                continue
+            if verdict is not None:
+                engine = str(verdict["engine"])
+                if engine in running:
+                    proc, engine_started, _kill_at = running.pop(engine)
+                    proc.join(timeout=5.0)
+                    report = reports[engine]
+                    report.status = str(verdict["status"])
+                    report.bound = int(verdict["bound"])
+                    report.elapsed = float(verdict["elapsed"])
+                    report.detail = str(verdict.get("detail", ""))
+                    if cache is not None:
+                        cache.merge_entries(verdict.get("entries") or {})
+                        stats = verdict.get("cache_stats")
+                        if isinstance(stats, CacheStats):
+                            # Worker lookups count toward the shared stats;
+                            # its stores already counted via merge_entries.
+                            cache.stats.hits += stats.hits
+                            cache.stats.misses += stats.misses
+                    if verdict["definitive"]:
+                        winner = verdict
+                        for other in list(running):
+                            reap(other, "cancelled")
+                        pending.clear()
+                        break
+                continue  # a result may unblock a queued engine below
+            # No result this tick: enforce the per-engine backstop and
+            # notice workers that died without reporting a verdict.
+            now = time.monotonic()
+            for engine in list(running):
+                proc, engine_started, kill_at = running[engine]
+                if kill_at is not None and now - engine_started > kill_at:
+                    # Worker overran its own time_limit by the grace
+                    # allowance: assume it is wedged and cut it loose.
+                    reap(engine, "deadline")
+                elif not proc.is_alive():
+                    # The process exited; its verdict may still be in
+                    # flight through the queue, so give it a grace
+                    # period before declaring it dead.
+                    if engine not in dead_since:
+                        dead_since[engine] = now
+                    elif now - dead_since[engine] > 1.0:
+                        reap(engine, "died")
+    finally:
+        pending.clear()
+        for engine in list(running):
+            reap(engine, "cancelled")
+
+    return _finalize(reports, config.engines, winner,
+                     time.monotonic() - started, mode="process")
+
+
+def verify_portfolio(
+    circuit: Union[Circuit, LoweredCircuit],
+    prop: SafetyProperty,
+    config: Optional[PortfolioConfig] = None,
+    cache: Optional[SolveCache] = None,
+) -> PortfolioResult:
+    """Race the verification engines on ``prop``; first definitive wins.
+
+    Args:
+        circuit: design under verification (cell- or gate-level).
+        prop: the safety property.
+        config: engine selection, budgets and scheduling knobs.
+        cache: optional cross-call :class:`SolveCache`; consulted for a
+            memoized verdict first, seeded into workers, and updated
+            with everything they solve.
+
+    Returns a :class:`PortfolioResult`; ``reports`` lists what every
+    engine did (status, time, partial bound) for observability.
+    """
+    config = config or PortfolioConfig()
+    if not config.engines:
+        raise ValueError("portfolio needs at least one engine")
+    for engine in config.engines:
+        if engine not in ENGINE_NAMES:
+            raise ValueError(f"unknown portfolio engine {engine!r} "
+                             f"(expected one of {ENGINE_NAMES})")
+    started = time.monotonic()
+    lowered = _as_lowered(circuit)
+
+    key = None
+    if cache is not None:
+        key = _portfolio_key(lowered, prop, config)
+        entry = cache.get(key)
+        if entry is not None:
+            return _from_memo(entry, config.engines)
+
+    jobs = config.jobs if config.jobs > 0 else len(config.engines)
+    result: Optional[PortfolioResult] = None
+    if not config.force_sequential and jobs > 1 and len(config.engines) > 1:
+        try:
+            result = _run_processes(lowered, prop, config, cache, started, jobs)
+        except (ImportError, OSError, PermissionError):
+            # Restricted environments (no /dev/shm, no fork) land here:
+            # degrade to in-process sequential execution.
+            result = None
+    if result is None:
+        result = _run_sequential(lowered, prop, config, cache, started)
+    _memoize(cache, key, result)
+    return result

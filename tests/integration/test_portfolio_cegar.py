@@ -1,0 +1,75 @@
+"""run_compass with the parallel portfolio vs the sequential cascade.
+
+The PR's acceptance check: on a real (small) Sodor core, the portfolio
+engine must return the same verdict as the sequential path, take no
+longer, and show cross-iteration solve-cache reuse — the k-induction
+worker answers its base case from the frames the BMC worker streamed
+into the shared cache.
+"""
+
+import time
+
+import pytest
+
+from repro.cegar import CegarConfig, run_compass
+from repro.contracts import make_contract_task
+from repro.cores import CoreConfig, build_sodor
+
+TINY = CoreConfig(xlen=4, imem_depth=4, dmem_depth=4, secret_words=1)
+#: induction_max_k is deliberately too large to exhaust within the MC
+#: budget: the sequential cascade then pays for induction *and* BMC,
+#: which is exactly the cost profile the portfolio's racing avoids.
+KNOBS = dict(max_bound=4, mc_time_limit=25, total_time_limit=200,
+             max_refinements=120, seed=0, induction_max_k=8)
+
+
+@pytest.fixture(scope="module")
+def both_runs():
+    task = make_contract_task(build_sodor(TINY))
+    t0 = time.monotonic()
+    seq = run_compass(task, CegarConfig(**KNOBS))
+    seq_wall = time.monotonic() - t0
+
+    task = make_contract_task(build_sodor(TINY))
+    t0 = time.monotonic()
+    por = run_compass(task, CegarConfig(**KNOBS, engine="portfolio", jobs=2))
+    por_wall = time.monotonic() - t0
+    return seq, seq_wall, por, por_wall
+
+
+class TestPortfolioAcceptance:
+    def test_verdict_matches_sequential(self, both_runs):
+        seq, _, por, _ = both_runs
+        assert por.status is seq.status
+        assert por.secure == seq.secure
+
+    def test_wall_clock_no_worse(self, both_runs):
+        _, seq_wall, _, por_wall = both_runs
+        # small slack absorbs scheduler noise; in practice the portfolio
+        # is substantially faster because it races instead of cascading
+        assert por_wall <= seq_wall * 1.15, (por_wall, seq_wall)
+
+    def test_cache_hits_across_engines(self, both_runs):
+        _, _, por, _ = both_runs
+        stats = por.stats
+        assert stats.portfolio_calls >= 1
+        assert stats.cache is not None
+        # the loop eliminated counterexamples before the final call, so
+        # these hits happened on a CEGAR iteration past the first
+        assert stats.counterexamples_eliminated >= 1
+        assert stats.cache.hits > 0
+        assert stats.cache.stores > 0
+
+    def test_engine_times_recorded(self, both_runs):
+        _, _, por, _ = both_runs
+        assert por.stats.engine_times
+        assert all(t >= 0.0 for t in por.stats.engine_times.values())
+        assert por.stats.portfolio_rows()
+
+    def test_report_includes_portfolio_section(self, both_runs):
+        from repro.cegar.report import render_report
+
+        _, _, por, _ = both_runs
+        text = render_report(por)
+        assert "## Verification portfolio" in text
+        assert "Solve cache:" in text

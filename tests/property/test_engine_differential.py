@@ -1,0 +1,118 @@
+"""Differential harness over every verification engine.
+
+Fuzzes random small sequential machines (:func:`repro.bench.fuzz.
+random_machine`) and checks that BMC, k-induction, PDR and the
+portfolio scheduler agree on each one:
+
+- any engine's PROVED forbids any other engine's counterexample;
+- a violation found by one bounded search is found by all of them;
+- every counterexample replays in the reference simulator with the
+  ``bad`` signal firing at exactly the reported cycle.
+
+This is the cross-engine analogue of the SAT solver's fuzz-vs-brute
+force tests: four independent implementations of the same question
+cross-validate each other on dozens of circuits.
+"""
+
+import pytest
+
+from repro.bench.fuzz import random_machine
+from repro.formal import (
+    BmcStatus,
+    PortfolioConfig,
+    PortfolioStatus,
+    SafetyProperty,
+    bounded_model_check,
+    k_induction,
+    verify_portfolio,
+)
+from repro.formal.induction import InductionStatus
+from repro.formal.pdr import PdrStatus, pdr_prove
+
+#: 3-bit machines with <=3 registers: state space <= 2^9, so BMC depth 8
+#: and 30 PDR frames are exhaustive for all practical purposes.
+SEEDS = range(50)
+MAX_BOUND = 8
+PROP = SafetyProperty("p", "bad")
+
+
+def _assert_cex_replays(cex, circuit, seed, engine):
+    """The witness must drive ``bad`` high at the cycle it claims."""
+    wf = cex.replay(circuit)
+    reported = cex.length - 1
+    assert wf.value("bad", reported) == 1, (
+        f"seed {seed}: {engine} counterexample does not fire at "
+        f"cycle {reported}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_agree(seed):
+    circuit = random_machine(seed)
+    bmc = bounded_model_check(circuit, PROP, max_bound=MAX_BOUND, time_limit=30)
+    ind = k_induction(circuit, PROP, max_k=5, time_limit=30, unique_states=True)
+    pdr = pdr_prove(circuit, PROP, max_frames=30, time_limit=30)
+    por = verify_portfolio(
+        circuit, PROP,
+        PortfolioConfig(force_sequential=True, max_bound=MAX_BOUND,
+                        induction_max_k=5, time_limit=60),
+    )
+
+    found = bmc.status is BmcStatus.COUNTEREXAMPLE
+    proved = (pdr.status is PdrStatus.PROVED
+              or ind.status is InductionStatus.PROVED)
+
+    # A proof and a violation on the same circuit is a soundness bug
+    # in at least one engine.
+    assert not (found and proved), (
+        f"seed {seed}: bmc={bmc.status} ind={ind.status} pdr={pdr.status}"
+    )
+
+    if found:
+        # Every engine that terminates on a violating circuit must also
+        # report the violation (k-induction only searches its base case,
+        # i.e. depths below max_k).
+        assert pdr.status is PdrStatus.COUNTEREXAMPLE, (seed, pdr.status)
+        assert por.status is PortfolioStatus.COUNTEREXAMPLE, (seed, por.status)
+        _assert_cex_replays(bmc.counterexample, circuit, seed, "bmc")
+        _assert_cex_replays(pdr.counterexample, circuit, seed, "pdr")
+        _assert_cex_replays(por.counterexample, circuit, seed, "portfolio")
+        if bmc.counterexample.length <= 5:
+            assert ind.status is InductionStatus.COUNTEREXAMPLE, (seed, ind.status)
+            _assert_cex_replays(ind.counterexample, circuit, seed, "kind")
+    if ind.status is InductionStatus.PROVED:
+        assert pdr.status is not PdrStatus.COUNTEREXAMPLE, (seed, pdr.status)
+    if pdr.status is PdrStatus.PROVED:
+        assert bmc.status is BmcStatus.BOUND_REACHED, (seed, bmc.status)
+        assert por.status in (PortfolioStatus.PROVED,
+                              PortfolioStatus.BOUND_REACHED), (seed, por.status)
+    if por.status is PortfolioStatus.PROVED:
+        assert bmc.status is BmcStatus.BOUND_REACHED, (seed, bmc.status)
+        assert pdr.status is not PdrStatus.COUNTEREXAMPLE, (seed, pdr.status)
+
+
+def test_process_portfolio_agrees_with_engines():
+    """Process-mode spot check: racing workers match the in-process
+    verdicts on a violating and a non-violating fuzzed circuit."""
+    verdicts = {}
+    for seed in SEEDS:
+        circuit = random_machine(seed)
+        bmc = bounded_model_check(circuit, PROP, max_bound=MAX_BOUND,
+                                  time_limit=30)
+        verdicts[seed] = bmc.status is BmcStatus.COUNTEREXAMPLE
+        if len(set(verdicts.values())) == 2:
+            break
+    assert len(set(verdicts.values())) == 2, "fuzzer produced no variety"
+    for seed, violating in list(verdicts.items())[-2:]:
+        circuit = random_machine(seed)
+        por = verify_portfolio(
+            circuit, PROP,
+            PortfolioConfig(jobs=2, max_bound=MAX_BOUND, induction_max_k=5,
+                            time_limit=60),
+        )
+        if violating:
+            assert por.status is PortfolioStatus.COUNTEREXAMPLE, (seed, por.status)
+            _assert_cex_replays(por.counterexample, circuit, seed, "portfolio")
+        else:
+            assert por.status in (PortfolioStatus.PROVED,
+                                  PortfolioStatus.BOUND_REACHED), (seed, por.status)

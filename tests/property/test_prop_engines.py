@@ -11,7 +11,7 @@ random small sequential circuits their verdicts must agree:
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
-from repro.hdl import ModuleBuilder
+from repro.bench.fuzz import random_machine as _random_machine
 from repro.formal import (
     BmcStatus,
     SafetyProperty,
@@ -20,39 +20,6 @@ from repro.formal import (
 )
 from repro.formal.induction import InductionStatus
 from repro.formal.pdr import PdrStatus, pdr_prove
-
-
-def _random_machine(seed: int, width: int = 3):
-    import random
-
-    rng = random.Random(seed)
-    b = ModuleBuilder(f"m{seed}")
-    inp = b.input("x", width)
-    regs = []
-    for i in range(rng.randint(1, 3)):
-        regs.append(b.reg(f"r{i}", width, reset=rng.randrange(1 << width)))
-    values = [inp] + regs
-    for _ in range(rng.randint(2, 6)):
-        op = rng.choice("add sub and or xor mux".split())
-        a, c = rng.choice(values), rng.choice(values)
-        if op == "add":
-            v = a + c
-        elif op == "sub":
-            v = a - c
-        elif op == "and":
-            v = a & c
-        elif op == "or":
-            v = a | c
-        elif op == "xor":
-            v = a ^ c
-        else:
-            v = b.mux(a.redor(), a, c)
-        values.append(v)
-    for reg in regs:
-        reg.drive(rng.choice(values))
-    target = rng.randrange(1 << width)
-    b.output("bad", rng.choice(values[1:]).eq(target))
-    return b.build()
 
 
 @given(seed=st.integers(min_value=0, max_value=120))

@@ -1,0 +1,201 @@
+"""The parallel verification portfolio (repro.formal.portfolio)."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.formal import (
+    ENGINE_NAMES,
+    PortfolioConfig,
+    PortfolioStatus,
+    SafetyProperty,
+    SolveCache,
+    verify_portfolio,
+)
+
+PROP = SafetyProperty("p", "bad")
+
+
+def _unsafe_counter(bad_at=5, width=4):
+    b = ModuleBuilder("unsafe")
+    c = b.reg("cnt", width)
+    c.drive(c + 1)
+    b.output("bad", c.eq(bad_at))
+    return b.build()
+
+
+def _safe_machine(width=4):
+    b = ModuleBuilder("safe")
+    c = b.reg("cnt", width)
+    c.drive(c)  # stays at reset: bad is unreachable
+    b.output("bad", c.eq(5))
+    return b.build()
+
+
+class TestVerdicts:
+    def test_counterexample_in_process_mode(self):
+        res = verify_portfolio(
+            _unsafe_counter(), PROP,
+            PortfolioConfig(jobs=2, max_bound=10, time_limit=60),
+        )
+        assert res.status is PortfolioStatus.COUNTEREXAMPLE
+        assert res.found_cex and not res.proved
+        assert res.mode == "process"
+        assert res.winner in ENGINE_NAMES
+        wf = res.counterexample.replay(_unsafe_counter())
+        assert wf.value("bad", res.counterexample.length - 1) == 1
+
+    def test_proof_in_process_mode(self):
+        res = verify_portfolio(
+            _safe_machine(), PROP,
+            PortfolioConfig(jobs=2, max_bound=10, time_limit=60),
+        )
+        assert res.status is PortfolioStatus.PROVED
+        assert res.proved
+        # only unbounded engines can close a proof
+        assert res.winner in ("pdr", "kind")
+
+    def test_losers_are_reported(self):
+        res = verify_portfolio(
+            _unsafe_counter(), PROP,
+            PortfolioConfig(jobs=3, max_bound=10, time_limit=60),
+        )
+        assert {r.engine for r in res.reports} == set(ENGINE_NAMES)
+        winners = [r for r in res.reports if r.winner]
+        assert len(winners) == 1 and winners[0].engine == res.winner
+        assert all(r.row() for r in res.reports)
+
+    def test_jobs_one_runs_sequential(self):
+        res = verify_portfolio(
+            _unsafe_counter(), PROP,
+            PortfolioConfig(jobs=1, max_bound=10, time_limit=60),
+        )
+        assert res.mode == "sequential"
+        assert res.status is PortfolioStatus.COUNTEREXAMPLE
+
+    def test_force_sequential(self):
+        res = verify_portfolio(
+            _safe_machine(), PROP,
+            PortfolioConfig(force_sequential=True, max_bound=10, time_limit=60),
+        )
+        assert res.mode == "sequential"
+        assert res.status is PortfolioStatus.PROVED
+
+    def test_single_engine_subset(self):
+        res = verify_portfolio(
+            _unsafe_counter(), PROP,
+            PortfolioConfig(engines=("bmc",), max_bound=10, time_limit=60),
+        )
+        assert res.status is PortfolioStatus.COUNTEREXAMPLE
+        assert res.winner == "bmc"
+
+
+class TestValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown portfolio engine"):
+            verify_portfolio(_safe_machine(), PROP,
+                             PortfolioConfig(engines=("bmc", "smt")))
+
+    def test_empty_engine_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one engine"):
+            verify_portfolio(_safe_machine(), PROP,
+                             PortfolioConfig(engines=()))
+
+
+class TestBudgets:
+    def test_conflict_budget_gives_deterministic_timeouts(self):
+        """On a circuit whose frames need real search (fuzz seed 14),
+        max_conflicts=1 starves BMC before it can reach its witness —
+        a reproducible timeout with no wall-clock involved."""
+        from repro.bench.fuzz import random_machine
+
+        circ = random_machine(14)
+        full = verify_portfolio(
+            circ, PROP,
+            PortfolioConfig(engines=("bmc",), force_sequential=True,
+                            max_bound=8),
+        )
+        assert full.status is PortfolioStatus.COUNTEREXAMPLE
+
+        def budgeted():
+            return verify_portfolio(
+                circ, PROP,
+                PortfolioConfig(engines=("bmc",), force_sequential=True,
+                                max_bound=8, max_conflicts=1),
+            )
+
+        first, second = budgeted(), budgeted()
+        assert first.status in (PortfolioStatus.BOUND_REACHED,
+                                PortfolioStatus.UNKNOWN)
+        assert second.status is first.status
+        assert second.bound == first.bound
+
+    def test_engine_deadline_honored(self):
+        res = verify_portfolio(
+            _unsafe_counter(bad_at=9), PROP,
+            PortfolioConfig(force_sequential=True, max_bound=10,
+                            engine_deadlines={"bmc": 0.0, "pdr": 0.0,
+                                              "kind": 0.0}),
+        )
+        # zero budget for everyone: nothing definitive can come back
+        assert res.status in (PortfolioStatus.BOUND_REACHED,
+                              PortfolioStatus.UNKNOWN)
+
+    def test_overall_time_limit_zero(self):
+        res = verify_portfolio(
+            _unsafe_counter(), PROP,
+            PortfolioConfig(jobs=2, max_bound=10, time_limit=0.0),
+        )
+        assert res.status is PortfolioStatus.UNKNOWN
+        assert all(r.status == "not_run" for r in res.reports)
+
+
+class TestCache:
+    def test_whole_verdict_memoized(self):
+        cache = SolveCache()
+        cfg = PortfolioConfig(jobs=2, max_bound=10, time_limit=60)
+        first = verify_portfolio(_unsafe_counter(), PROP, cfg, cache=cache)
+        assert not first.cache_hit
+        again = verify_portfolio(_unsafe_counter(), PROP, cfg, cache=cache)
+        assert again.cache_hit and again.mode == "cache"
+        assert again.status is first.status
+        assert again.counterexample is not None
+
+    def test_memo_respects_config(self):
+        cache = SolveCache()
+        verify_portfolio(_unsafe_counter(), PROP,
+                         PortfolioConfig(jobs=1, max_bound=10, time_limit=60),
+                         cache=cache)
+        other = verify_portfolio(
+            _unsafe_counter(), PROP,
+            PortfolioConfig(jobs=1, max_bound=9, time_limit=60), cache=cache)
+        assert not other.cache_hit  # different max_bound, different key
+
+    def test_sequential_engines_share_cache_entries(self):
+        """In degraded mode the k-induction base case reuses the frames
+        BMC just solved on the same netlist."""
+        cache = SolveCache()
+        res = verify_portfolio(
+            _safe_machine(), PROP,
+            PortfolioConfig(force_sequential=True,
+                            engines=("bmc", "kind"),
+                            max_bound=4, induction_max_k=4, time_limit=60),
+            cache=cache,
+        )
+        assert res.status is PortfolioStatus.PROVED
+        assert cache.stats.hits > 0
+
+
+class TestDegradation:
+    def test_falls_back_when_spawning_unavailable(self, monkeypatch):
+        import repro.formal.portfolio as pf
+
+        def broken(*args, **kwargs):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(pf, "_run_processes", broken)
+        res = verify_portfolio(
+            _unsafe_counter(), PROP,
+            PortfolioConfig(jobs=2, max_bound=10, time_limit=60),
+        )
+        assert res.mode == "sequential"
+        assert res.status is PortfolioStatus.COUNTEREXAMPLE

@@ -2,6 +2,8 @@ import itertools
 import random
 
 import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
 
 from repro.formal.sat.cnf import CNF
 from repro.formal.sat.solver import Solver, SolveStatus, _luby
@@ -184,6 +186,106 @@ class TestFuzzing:
         if consistent:
             got = s.solve(assumptions=assumptions).status is SolveStatus.SAT
         assert got == brute_force(num_vars, clauses, assumptions)
+
+
+class TestHypothesisProperties:
+    """Property-based CDCL invariants over random instances."""
+
+    clauses_strategy = st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=12).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=40,
+    )
+    assumptions_strategy = st.lists(
+        st.integers(min_value=1, max_value=12).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        max_size=4,
+        unique_by=abs,
+    )
+
+    @given(clauses=clauses_strategy, assumptions=assumptions_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_sat_model_satisfies_every_clause(self, clauses, assumptions):
+        s = Solver()
+        conflict_free = True
+        for cl in clauses:
+            conflict_free = s.add_clause(cl) and conflict_free
+        r = s.solve(assumptions=assumptions)
+        assert r.status in (SolveStatus.SAT, SolveStatus.UNSAT)
+        if r.status is SolveStatus.SAT:
+            for cl in clauses:
+                assert any(r.lit_true(l) for l in cl), (clauses, cl)
+            for a in assumptions:
+                assert r.lit_true(a), (clauses, assumptions, a)
+
+    @given(clauses=clauses_strategy, assumptions=assumptions_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_unsat_confirmed_by_exhaustive_enumeration(self, clauses, assumptions):
+        num_vars = max(abs(l) for cl in clauses for l in cl)
+        num_vars = max([num_vars] + [abs(a) for a in assumptions])
+        assert num_vars <= 16  # enumeration stays tractable
+        s = Solver()
+        for cl in clauses:
+            s.add_clause(cl)
+        r = s.solve(assumptions=assumptions)
+        if r.status is SolveStatus.UNSAT:
+            assert not brute_force(num_vars, clauses, assumptions), clauses
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_conflict_budget_is_deterministic(self, seed):
+        rng = random.Random(seed)
+        clauses = [
+            [rng.choice([v, -v]) for v in rng.sample(range(1, 10), 3)]
+            for _ in range(30)
+        ]
+
+        def run():
+            s = Solver()
+            for cl in clauses:
+                s.add_clause(cl)
+            return s.solve(max_conflicts=5).status
+
+        assert run() is run()
+
+
+class TestConflictBudget:
+    def test_budget_unknown_leaves_solver_reusable(self):
+        """A mid-solve budget stop must not wedge the solver: the same
+        instance solved again without the budget gives the real answer."""
+        s = php(6, 5)
+        r = s.solve(max_conflicts=3)
+        assert r.status is SolveStatus.UNKNOWN
+        assert r.conflicts == 3
+        assert s.solve().status is SolveStatus.UNSAT
+
+    def test_budget_unknown_then_solver_still_incremental(self):
+        """After a budget stop, the solver keeps accepting clauses and
+        assumption queries (the BMC/portfolio usage pattern)."""
+        s = php(6, 6)  # satisfiable: 6 pigeons fit in 6 holes
+        assert s.solve(max_conflicts=1).status in (
+            SolveStatus.UNKNOWN, SolveStatus.SAT,
+        )
+        assert s.solve().status is SolveStatus.SAT
+        assert s.add_clause([1000])
+        assert s.solve(assumptions=[-1000]).status is SolveStatus.UNSAT
+        assert s.solve(assumptions=[1000]).status is SolveStatus.SAT
+
+    def test_time_limit_unknown_leaves_solver_reusable(self):
+        # The deadline is polled every 256 conflicts, so the instance
+        # must need more than that to be interruptible at all.
+        s = php(7, 6)
+        r = s.solve(time_limit=0.0)
+        assert r.status is SolveStatus.UNKNOWN
+        assert r.conflicts == 256
+        assert s.solve().status is SolveStatus.UNSAT
 
 
 class TestLuby:
