@@ -35,6 +35,7 @@ from repro.formal.portfolio import (
     verify_portfolio,
 )
 from repro.formal.properties import SafetyProperty
+from repro.obs import NULL_TRACER, Tracer
 from repro.taint.instrument import InstrumentedDesign, TaintSources, instrument
 from repro.taint.space import TaintScheme, blackbox_scheme
 from repro.cegar.backtrace import find_refinement_location
@@ -166,6 +167,11 @@ class CegarConfig:
     solve_cache: Optional[SolveCache] = None
     #: Portfolio only: capacity of the per-run cache when none is given.
     cache_max_entries: int = 4096
+    #: Observability: a :class:`repro.obs.Tracer` that records phase
+    #: spans (model-check / simulate / backtrace / generate), engine
+    #: frames and SAT counters for this run.  None disables tracing;
+    #: the Table-3 statistics are collected either way.
+    trace: Optional[Tracer] = None
 
 
 @dataclass
@@ -366,6 +372,7 @@ def run_compass(
             "(expected 'sequential' or 'portfolio')"
         )
     rng = random.Random(config.seed) if config.seed is not None else None
+    tracer = config.trace or NULL_TRACER
     stats = RefinementStats()
     solve_cache: Optional[SolveCache] = None
     if config.engine == "portfolio":
@@ -393,93 +400,105 @@ def run_compass(
         if not report.ok:
             raise LintError(report)
 
-    t0 = time.monotonic()
-    design, prop = instrument_task(task, scheme)
-    stats.t_gen += time.monotonic() - t0
+    with tracer.span("cegar.instrument", cat="gen") as sp:
+        design, prop = instrument_task(task, scheme)
+    stats.t_gen += sp.elapsed
 
     validator: Optional[ExactValidator] = None
     if config.exact_validation:
-        t0 = time.monotonic()
-        validator = ExactValidator(
-            task.circuit, task.secret_registers(), task.sinks,
-            init_assumption_outputs=task.init_assumption_outputs,
-        )
-        stats.t_mc += time.monotonic() - t0
+        with tracer.span("cegar.validator-init", cat="mc") as sp:
+            validator = ExactValidator(
+                task.circuit, task.secret_registers(), task.sinks,
+                init_assumption_outputs=task.init_assumption_outputs,
+            )
+        stats.t_mc += sp.elapsed
 
     last_bound = -1
     verify_time = 0.0
-    for _ in range(config.max_counterexamples + 1):
+    for iteration in range(config.max_counterexamples + 1):
         # ---- Step 2: model checking -----------------------------------
         cex: Optional[Counterexample] = None
         if config.sim_prefilter:
-            t0 = time.monotonic()
-            sim_rng = rng if rng is not None else random.Random()
-            cex = simulate_for_counterexample(
-                task, design, prop, config.sim_trials, config.sim_depth, sim_rng,
-            )
-            stats.t_simu += time.monotonic() - t0
-        t0 = time.monotonic()
-        if cex is not None:
-            pass  # the prefilter already produced a violation
-        elif not config.mc_enabled:
-            pass  # testing-only mode: simulation found nothing; stop
-        elif config.engine == "portfolio":
-            pres = verify_portfolio(
-                design.circuit, prop,
-                PortfolioConfig(
-                    engines=config.portfolio_engines,
-                    jobs=config.jobs,
-                    max_bound=config.max_bound,
-                    induction_max_k=config.induction_max_k,
-                    unique_states=config.unique_states,
-                    pdr_max_frames=config.pdr_max_frames,
+            with tracer.span("cegar.sim-prefilter", cat="simu",
+                             iteration=iteration) as sp:
+                sim_rng = rng if rng is not None else random.Random()
+                cex = simulate_for_counterexample(
+                    task, design, prop, config.sim_trials, config.sim_depth, sim_rng,
+                )
+                sp.set(hit=cex is not None)
+            stats.t_simu += sp.elapsed
+        with tracer.span("cegar.model-check", cat="mc", iteration=iteration,
+                         engine=config.engine) as mc_span:
+            if cex is not None:
+                pass  # the prefilter already produced a violation
+            elif not config.mc_enabled:
+                pass  # testing-only mode: simulation found nothing; stop
+            elif config.engine == "portfolio":
+                pres = verify_portfolio(
+                    design.circuit, prop,
+                    PortfolioConfig(
+                        engines=config.portfolio_engines,
+                        jobs=config.jobs,
+                        max_bound=config.max_bound,
+                        induction_max_k=config.induction_max_k,
+                        unique_states=config.unique_states,
+                        pdr_max_frames=config.pdr_max_frames,
+                        time_limit=config.mc_time_limit,
+                        max_conflicts=config.max_conflicts,
+                    ),
+                    cache=solve_cache,
+                    tracer=config.trace,
+                )
+                stats.record_portfolio(pres)
+                mc_span.set(status=pres.status.value, winner=pres.winner)
+                if pres.status is PortfolioStatus.PROVED:
+                    verify_time = mc_span.elapsed
+                    stats.t_mc += verify_time
+                    return CegarResult(CegarStatus.PROVED, task, scheme, design,
+                                       prop, stats, bound=-1,
+                                       verify_time=verify_time)
+                if pres.status is PortfolioStatus.COUNTEREXAMPLE:
+                    cex = pres.counterexample
+                last_bound = max(last_bound, pres.bound)
+            elif config.use_induction:
+                ind = k_induction(
+                    design.circuit, prop,
+                    max_k=config.induction_max_k,
                     time_limit=config.mc_time_limit,
-                    max_conflicts=config.max_conflicts,
-                ),
-                cache=solve_cache,
-            )
-            stats.record_portfolio(pres)
-            if pres.status is PortfolioStatus.PROVED:
-                verify_time = time.monotonic() - t0
-                stats.t_mc += verify_time
-                return CegarResult(CegarStatus.PROVED, task, scheme, design, prop,
-                                   stats, bound=-1, verify_time=verify_time)
-            if pres.status is PortfolioStatus.COUNTEREXAMPLE:
-                cex = pres.counterexample
-            last_bound = max(last_bound, pres.bound)
-        elif config.use_induction:
-            ind = k_induction(
-                design.circuit, prop,
-                max_k=config.induction_max_k,
-                time_limit=config.mc_time_limit,
-                unique_states=config.unique_states,
-            )
-            if ind.status is InductionStatus.PROVED:
-                verify_time = time.monotonic() - t0
-                stats.t_mc += verify_time
-                return CegarResult(CegarStatus.PROVED, task, scheme, design, prop,
-                                   stats, bound=-1, verify_time=verify_time)
-            if ind.status is InductionStatus.COUNTEREXAMPLE:
-                cex = ind.counterexample
-                last_bound = max(last_bound, ind.bound)
+                    unique_states=config.unique_states,
+                    tracer=config.trace,
+                )
+                mc_span.set(status=ind.status.value)
+                if ind.status is InductionStatus.PROVED:
+                    verify_time = mc_span.elapsed
+                    stats.t_mc += verify_time
+                    return CegarResult(CegarStatus.PROVED, task, scheme, design,
+                                       prop, stats, bound=-1,
+                                       verify_time=verify_time)
+                if ind.status is InductionStatus.COUNTEREXAMPLE:
+                    cex = ind.counterexample
+                    last_bound = max(last_bound, ind.bound)
+                else:
+                    # Induction inconclusive: fall back to plain BMC for depth.
+                    bmc = bounded_model_check(
+                        design.circuit, prop,
+                        max_bound=config.max_bound, time_limit=config.mc_time_limit,
+                        tracer=config.trace,
+                    )
+                    if bmc.status is BmcStatus.COUNTEREXAMPLE:
+                        cex = bmc.counterexample
+                    last_bound = max(last_bound, bmc.bound)
             else:
-                # Induction inconclusive: fall back to plain BMC for depth.
                 bmc = bounded_model_check(
                     design.circuit, prop,
                     max_bound=config.max_bound, time_limit=config.mc_time_limit,
+                    tracer=config.trace,
                 )
+                mc_span.set(status=bmc.status.value)
                 if bmc.status is BmcStatus.COUNTEREXAMPLE:
                     cex = bmc.counterexample
                 last_bound = max(last_bound, bmc.bound)
-        else:
-            bmc = bounded_model_check(
-                design.circuit, prop,
-                max_bound=config.max_bound, time_limit=config.mc_time_limit,
-            )
-            if bmc.status is BmcStatus.COUNTEREXAMPLE:
-                cex = bmc.counterexample
-            last_bound = max(last_bound, bmc.bound)
-        verify_time = time.monotonic() - t0
+        verify_time = mc_span.elapsed
         stats.t_mc += verify_time
 
         if cex is None:
@@ -487,37 +506,42 @@ def run_compass(
                                stats, bound=last_bound, verify_time=verify_time)
 
         # ---- Counterexample validation --------------------------------
-        t0 = time.monotonic()
-        taint_wf = cex.replay(design.circuit)
-        stats.t_simu += time.monotonic() - t0
+        with tracer.span("cegar.replay", cat="simu", iteration=iteration) as sp:
+            taint_wf = cex.replay(design.circuit)
+        stats.t_simu += sp.elapsed
         final_cycle = taint_wf.length - 1
         sink = _tainted_sink(design, taint_wf, task.sinks, final_cycle)
         if sink is None:
             raise RuntimeError("model checker produced a trace with no tainted sink")
 
         if config.exact_validation:
-            t0 = time.monotonic()
-            spurious = validator.is_falsely_tainted(
-                cex, sink, time_limit=config.mc_time_limit,
-            )
-            stats.t_mc += time.monotonic() - t0
+            with tracer.span("cegar.validate", cat="mc", iteration=iteration,
+                             sink=sink) as sp:
+                spurious = validator.is_falsely_tainted(
+                    cex, sink, time_limit=config.mc_time_limit,
+                )
+                sp.set(spurious=spurious)
+            stats.t_mc += sp.elapsed
         else:
-            t0 = time.monotonic()
-            quick = FastFalseTaintOracle(
-                task.circuit, cex, SecretSpec.from_sources(task.sources)
-            )
-            spurious = quick.is_falsely_tainted(sink, final_cycle)
-            stats.t_simu += time.monotonic() - t0
+            with tracer.span("cegar.validate-fast", cat="simu",
+                             iteration=iteration, sink=sink) as sp:
+                quick = FastFalseTaintOracle(
+                    task.circuit, cex, SecretSpec.from_sources(task.sources)
+                )
+                spurious = quick.is_falsely_tainted(sink, final_cycle)
+                sp.set(spurious=spurious)
+            stats.t_simu += sp.elapsed
         if not spurious:
             return CegarResult(CegarStatus.REAL_LEAK, task, scheme, design, prop,
                                stats, bound=last_bound, leak=cex, verify_time=verify_time)
 
         # ---- Step 3: iterative refinement (Figure 3) -------------------
-        t0 = time.monotonic()
-        oracle = FastFalseTaintOracle(
-            task.circuit, cex, SecretSpec.from_sources(task.sources)
-        )
-        stats.t_simu += time.monotonic() - t0
+        with tracer.span("cegar.oracle-build", cat="simu",
+                         iteration=iteration) as sp:
+            oracle = FastFalseTaintOracle(
+                task.circuit, cex, SecretSpec.from_sources(task.sources)
+            )
+        stats.t_simu += sp.elapsed
         failed_locations: set = set()
         while _tainted_sink(design, taint_wf, task.sinks, final_cycle) is not None:
             if stats.refinements >= config.max_refinements or out_of_time():
@@ -527,12 +551,14 @@ def run_compass(
             outcome = None
             alert = None
             for _attempt in range(config.max_location_retries):
-                t0 = time.monotonic()
-                location = find_refinement_location(
-                    design, taint_wf, oracle, sink, cycle=final_cycle, rng=rng,
-                    excluded=failed_locations,
-                )
-                stats.t_bt += time.monotonic() - t0
+                with tracer.span("cegar.backtrace", cat="bt",
+                                 iteration=iteration, sink=sink) as sp:
+                    location = find_refinement_location(
+                        design, taint_wf, oracle, sink, cycle=final_cycle, rng=rng,
+                        excluded=failed_locations,
+                    )
+                    sp.set(location=location.name)
+                stats.t_bt += sp.elapsed
                 try:
                     outcome = apply_refinement(
                         task.circuit, task.sources, scheme, design, location, cex,
@@ -549,15 +575,25 @@ def run_compass(
                                    prop, stats, bound=last_bound, alert=alert)
             stats.t_gen += outcome.gen_time
             stats.t_simu += outcome.sim_time
+            if tracer.enabled:
+                # The refinement machinery measures its own generate /
+                # simulate split; fold it into the trace as backdated
+                # spans so category totals keep matching the stats.
+                tracer.add_span("cegar.refine-gen", "gen", outcome.gen_time,
+                                iteration=iteration, location=location.name)
+                tracer.add_span("cegar.refine-sim", "simu", outcome.sim_time,
+                                iteration=iteration, location=location.name)
+                tracer.count("cegar.refinements")
             stats.refinements += 1
             stats.refinement_log.append(f"{location}: {outcome.description}")
             scheme = outcome.scheme
             design, prop = instrument_task(task, scheme)
-            t0 = time.monotonic()
-            taint_wf = cex.replay(design.circuit)
-            stats.t_simu += time.monotonic() - t0
+            with tracer.span("cegar.replay", cat="simu", iteration=iteration) as sp:
+                taint_wf = cex.replay(design.circuit)
+            stats.t_simu += sp.elapsed
         stats.counterexamples_eliminated += 1
         stats.eliminated.append(cex)
+        tracer.count("cegar.counterexamples_eliminated")
         if out_of_time():
             return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme, design,
                                prop, stats, bound=last_bound)

@@ -13,9 +13,61 @@ from typing import List, Optional
 
 from repro.taint import cellift_scheme, instrumentation_overhead, scheme_summary
 
+#: Span category -> Table-3 column, for the trace-derived breakdown.
+_PHASE_LABELS = {
+    "mc": "model checking (t_MC)",
+    "simu": "simulation (t_Simu)",
+    "bt": "backtracing (t_BT)",
+    "gen": "generation (t_Gen)",
+    "engine": "engine frames (inside t_MC)",
+    "portfolio": "portfolio scheduling",
+}
 
-def render_report(result, task=None) -> str:
-    """Render a Markdown verification report for a CEGAR result."""
+
+def _render_time_breakdown(tracer) -> List[str]:
+    """The "where did the time go" section, from a run's live trace."""
+    from repro.obs import summary_from_events
+
+    summary = summary_from_events(tracer.snapshot_events())
+    lines: List[str] = []
+    lines.append("## Where did the time go")
+    lines.append("")
+    lines.append(f"{len(summary.spans)} spans on {len(summary.tracks)} "
+                 f"track(s), wall {summary.wall:.2f}s.")
+    lines.append("")
+    cats = summary.category_totals()
+    if cats:
+        lines.append("| phase | total |")
+        lines.append("|---|---|")
+        for cat in sorted(cats, key=lambda c: -cats[c]):
+            lines.append(f"| {_PHASE_LABELS.get(cat, cat)} | {cats[cat]:.3f}s |")
+        lines.append("")
+    rows = summary.by_name()
+    if rows:
+        lines.append("| span | count | total | self |")
+        lines.append("|---|---|---|---|")
+        for name, count, total, self_t in rows[:10]:
+            lines.append(f"| `{name}` | {count} | {total:.3f}s | {self_t:.3f}s |")
+        lines.append("")
+    if summary.counters:
+        lines.append("| counter | total |")
+        lines.append("|---|---|")
+        for name in sorted(summary.counters):
+            value = summary.counters[name]
+            shown = int(value) if value == int(value) else value
+            lines.append(f"| `{name}` | {shown} |")
+        lines.append("")
+    return lines
+
+
+def render_report(result, task=None, tracer=None) -> str:
+    """Render a Markdown verification report for a CEGAR result.
+
+    With ``tracer`` (the :class:`~repro.obs.Tracer` the run recorded
+    into) the report gains a "where did the time go" section: phase
+    totals from the trace, the hottest spans by self-time, and the SAT
+    / solve-cache counter totals.
+    """
     from repro.cegar.loop import instrument_task
 
     task = task or result.task
@@ -77,6 +129,9 @@ def render_report(result, task=None) -> str:
                 f"{cache.stores} stores, {cache.evictions} evictions."
             )
             lines.append("")
+
+    if tracer is not None and len(tracer):
+        lines.extend(_render_time_breakdown(tracer))
 
     if stats.refinement_log:
         lines.append("## Refinements applied")

@@ -7,6 +7,7 @@ Commands:
 - ``overhead``   — Figure-5-style instrumentation overhead comparison.
 - ``simulate``   — run a benchmark kernel on a core (optionally tainted).
 - ``export``     — emit a core's circuit as Verilog or JSON netlist.
+- ``trace``      — summarize a performance trace from ``verify --trace``.
 - ``tables``     — print the static tables (Table 1 and Table 5).
 """
 
@@ -44,6 +45,11 @@ def cmd_verify(args) -> int:
     from repro.contracts import make_contract_task
     from repro.cegar import CegarConfig, CegarStatus, run_compass, prune_refinements
 
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     core = _build_core(args)
     task = make_contract_task(core)
     print(f"verifying {core.name}: {core.circuit!r}")
@@ -57,6 +63,7 @@ def cmd_verify(args) -> int:
         seed=args.seed,
         engine=args.engine,
         jobs=args.jobs,
+        trace=tracer,
     )
     result = run_compass(task, config)
     print(f"status: {result.status.value} (bound {result.bound})")
@@ -79,11 +86,18 @@ def cmd_verify(args) -> int:
         with open(args.save_scheme, "w") as handle:
             save_scheme(scheme, handle)
         print(f"saved refined scheme to {args.save_scheme}")
+    if tracer is not None:
+        from repro.obs import write_trace
+
+        with open(args.trace, "w") as handle:
+            write_trace(tracer, handle, args.trace_format)
+        print(f"wrote {args.trace_format} trace ({len(tracer)} events) "
+              f"to {args.trace}")
     if args.report:
         from repro.cegar.report import render_report
 
         with open(args.report, "w") as handle:
-            handle.write(render_report(result, task))
+            handle.write(render_report(result, task, tracer=tracer))
         print(f"wrote verification report to {args.report}")
     return 0 if result.secure else 1
 
@@ -335,6 +349,22 @@ def _lint_selftest() -> int:
     return 1 if failures else 0
 
 
+def cmd_trace(args) -> int:
+    """Inspect a trace file written by ``verify --trace``."""
+    from repro.obs import render_summary, load_trace
+
+    if args.action == "summarize":
+        try:
+            summary = load_trace(args.file)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load trace {args.file!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(render_summary(summary, top=args.top))
+        return 0
+    raise AssertionError(f"unhandled trace action {args.action!r}")
+
+
 def cmd_tables(_args) -> int:
     from repro.cores.configs import format_table1
     from repro.taint import PRESETS
@@ -377,6 +407,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="save the refined taint scheme as JSON")
     p.add_argument("--report", metavar="FILE", default=None,
                    help="write a Markdown verification report")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="record a performance trace of the run (spans per "
+                        "CEGAR phase and engine frame, SAT counters) and "
+                        "write it to FILE")
+    p.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                   default="chrome",
+                   help="trace file format: chrome trace-event JSON "
+                        "(load in Perfetto / about:tracing) or JSONL "
+                        "(one event per line; repro trace summarize "
+                        "reads both)")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("leak-check", help="directed formal leak check")
@@ -434,6 +474,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--selftest", action="store_true",
                    help="check the linter catches known-bad designs")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("trace", help="inspect performance traces")
+    trace_sub = p.add_subparsers(dest="action", required=True)
+    ps = trace_sub.add_parser("summarize",
+                              help="top spans by self-time, counter totals")
+    ps.add_argument("file", help="trace file (chrome or JSONL format)")
+    ps.add_argument("--top", type=int, default=15,
+                    help="number of span names to list")
+    ps.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("tables", help="print Table 1 and Table 5")
     p.set_defaults(func=cmd_tables)

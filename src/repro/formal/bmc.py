@@ -20,6 +20,28 @@ from repro.formal.counterexample import Counterexample
 from repro.formal.properties import SafetyProperty
 from repro.formal.sat.solver import Solver, SolveStatus
 from repro.formal.unroll import Unroller
+from repro.obs import NULL_TRACER
+
+
+def record_solver_stats(tracer, span, result) -> None:
+    """Attach one SAT call's search counters to its span and totals.
+
+    Shared by the engines: the per-solve conflict/decision/propagation/
+    learned-clause/restart figures land as span args (visible on the
+    frame in a trace viewer) and as global counter totals.
+    """
+    span.set(
+        conflicts=result.conflicts,
+        decisions=result.decisions,
+        propagations=result.propagations,
+        learned=result.learned,
+        restarts=result.restarts,
+    )
+    tracer.count("sat.conflicts", result.conflicts)
+    tracer.count("sat.decisions", result.decisions)
+    tracer.count("sat.propagations", result.propagations)
+    tracer.count("sat.learned", result.learned)
+    tracer.count("sat.restarts", result.restarts)
 
 
 class BmcStatus(enum.Enum):
@@ -132,6 +154,7 @@ def bounded_model_check(
     start_bound: int = 0,
     max_conflicts: Optional[int] = None,
     cache: Optional[SolveCache] = None,
+    tracer=None,
 ) -> BmcResult:
     """Check ``bad`` at depths ``start_bound..max_bound``.
 
@@ -148,8 +171,11 @@ def bounded_model_check(
             questions on an identical netlist skip the SAT solver (the
             k-induction base case and repeated portfolio calls share
             frames this way).
+        tracer: optional :class:`repro.obs.Tracer`; records one span
+            per frame with the SAT search counters attached.
     """
     started = time.monotonic()
+    tracer = tracer or NULL_TRACER
     lowered = _as_lowered(circuit)
     unroller: Optional[Unroller] = None
     frames_solved = 0
@@ -200,9 +226,13 @@ def bounded_model_check(
             if remaining <= 0:
                 return BmcResult(BmcStatus.TIMEOUT, proven, elapsed=time.monotonic() - started,
                                  frames_solved=frames_solved)
-        result = active.solver.solve(
-            assumptions=[bad_lit], time_limit=remaining, max_conflicts=max_conflicts,
-        )
+        with tracer.span("bmc.frame", cat="engine", depth=depth) as span:
+            result = active.solver.solve(
+                assumptions=[bad_lit], time_limit=remaining, max_conflicts=max_conflicts,
+            )
+            if tracer.enabled:
+                span.set(status=result.status.value)
+                record_solver_stats(tracer, span, result)
         frames_solved += 1
         if result.status is SolveStatus.SAT:
             cex = extract_counterexample(active, prop, result.model, depth)

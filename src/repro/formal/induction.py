@@ -16,12 +16,18 @@ from typing import Optional, Union
 
 from repro.hdl.circuit import Circuit
 from repro.hdl.lowering import LoweredCircuit, lower_to_gates
-from repro.formal.bmc import BmcStatus, bounded_model_check, extract_counterexample
+from repro.formal.bmc import (
+    BmcStatus,
+    bounded_model_check,
+    extract_counterexample,
+    record_solver_stats,
+)
 from repro.formal.cache import SolveCache
 from repro.formal.counterexample import Counterexample
 from repro.formal.properties import SafetyProperty
 from repro.formal.sat.solver import SolveStatus
 from repro.formal.unroll import Unroller
+from repro.obs import NULL_TRACER
 
 
 class InductionStatus(enum.Enum):
@@ -51,15 +57,18 @@ def k_induction(
     unique_states: bool = True,
     max_conflicts: Optional[int] = None,
     cache: Optional[SolveCache] = None,
+    tracer=None,
 ) -> InductionResult:
     """Attempt an unbounded proof of ``prop`` by k-induction.
 
     ``max_conflicts`` bounds each SAT call by conflict count (a
     deterministic budget); ``cache`` memoizes base-case frames, so an
     induction run following a BMC run on the same netlist answers its
-    base case from cached verdicts.
+    base case from cached verdicts.  ``tracer`` records per-k base and
+    step spans with the SAT counters attached.
     """
     started = time.monotonic()
+    tracer = tracer or NULL_TRACER
 
     def remaining() -> Optional[float]:
         if time_limit is None:
@@ -81,10 +90,13 @@ def k_induction(
             return InductionResult(InductionStatus.UNKNOWN, k - 1, base_proven,
                                    elapsed=time.monotonic() - started)
         # Base case: no violation within the first k cycles (depths 0..k-1).
-        base = bounded_model_check(
-            lowered, prop, max_bound=k - 1, time_limit=remaining(), start_bound=base_proven + 1,
-            max_conflicts=max_conflicts, cache=cache,
-        )
+        with tracer.span("kind.base", cat="engine", k=k) as base_span:
+            base = bounded_model_check(
+                lowered, prop, max_bound=k - 1, time_limit=remaining(),
+                start_bound=base_proven + 1,
+                max_conflicts=max_conflicts, cache=cache, tracer=tracer,
+            )
+            base_span.set(status=base.status.value, bound=base.bound)
         if base.status is BmcStatus.COUNTEREXAMPLE:
             return InductionResult(
                 InductionStatus.COUNTEREXAMPLE, k, base.bound, base.counterexample,
@@ -106,8 +118,12 @@ def k_induction(
             for earlier in range(k):
                 step.add_state_uniqueness(earlier, k)
         bad_lit = step.lit_of_bit(k, prop.bad)
-        result = step.solver.solve(assumptions=[bad_lit], time_limit=remaining(),
-                                   max_conflicts=max_conflicts)
+        with tracer.span("kind.step", cat="engine", k=k) as step_span:
+            result = step.solver.solve(assumptions=[bad_lit], time_limit=remaining(),
+                                       max_conflicts=max_conflicts)
+            if tracer.enabled:
+                step_span.set(status=result.status.value)
+                record_solver_stats(tracer, step_span, result)
         if result.status is SolveStatus.UNSAT:
             return InductionResult(InductionStatus.PROVED, k, base_proven,
                                    elapsed=time.monotonic() - started)

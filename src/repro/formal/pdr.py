@@ -38,6 +38,7 @@ from repro.formal.counterexample import Counterexample
 from repro.formal.encode import FrameEncoder
 from repro.formal.properties import SafetyProperty
 from repro.formal.sat.solver import Solver, SolveStatus
+from repro.obs import NULL_TRACER
 
 
 class PdrStatus(enum.Enum):
@@ -218,8 +219,10 @@ class _Pdr:
         self,
         max_frames: int = 100,
         time_limit: Optional[float] = None,
+        tracer=None,
     ) -> PdrResult:
         started = time.monotonic()
+        tracer = tracer or NULL_TRACER
 
         def remaining() -> Optional[float]:
             if time_limit is None:
@@ -249,34 +252,54 @@ class _Pdr:
             self.ts.ensure_frames(level + 1)
             while len(self.frames) <= level:
                 self.frames.append(set())
-            # Block all bad states reachable at this level.
-            while True:
-                if out_of_time():
-                    return PdrResult(PdrStatus.UNKNOWN, level,
-                                     elapsed=time.monotonic() - started)
-                res = self.ts.solve(
-                    self._frame_assumptions(level) + [self.ts.bad_lit],
-                    time_limit=remaining(),
-                )
-                if res.status is SolveStatus.UNKNOWN:
-                    return PdrResult(PdrStatus.UNKNOWN, level,
-                                     elapsed=time.monotonic() - started)
-                if res.status is SolveStatus.UNSAT:
-                    break
-                cube = self.ts.state_cube_from_model(res.model)
-                trace_tail = (cube, self.ts.input_values(res.model), None)
-                blocked = self._block(cube, level, trace_tail, remaining())
-                if blocked is None:
-                    return PdrResult(PdrStatus.UNKNOWN, level,
-                                     elapsed=time.monotonic() - started)
-                if blocked is False:
-                    return PdrResult(
-                        PdrStatus.COUNTEREXAMPLE, level,
-                        self._build_counterexample(),
-                        elapsed=time.monotonic() - started,
+            solver = self.ts.solver
+            counters_at_entry = (solver.conflicts, solver.decisions,
+                                 solver.propagations, solver.learned,
+                                 solver.restarts)
+            with tracer.span("pdr.frame", cat="engine", frame=level) as span:
+                # Block all bad states reachable at this level.
+                while True:
+                    if out_of_time():
+                        return PdrResult(PdrStatus.UNKNOWN, level,
+                                         elapsed=time.monotonic() - started)
+                    res = self.ts.solve(
+                        self._frame_assumptions(level) + [self.ts.bad_lit],
+                        time_limit=remaining(),
                     )
-            # Propagation: push clauses forward; detect fixpoint.
-            if self._propagate(level, remaining()):
+                    if res.status is SolveStatus.UNKNOWN:
+                        return PdrResult(PdrStatus.UNKNOWN, level,
+                                         elapsed=time.monotonic() - started)
+                    if res.status is SolveStatus.UNSAT:
+                        break
+                    cube = self.ts.state_cube_from_model(res.model)
+                    trace_tail = (cube, self.ts.input_values(res.model), None)
+                    blocked = self._block(cube, level, trace_tail, remaining())
+                    if blocked is None:
+                        return PdrResult(PdrStatus.UNKNOWN, level,
+                                         elapsed=time.monotonic() - started)
+                    if blocked is False:
+                        return PdrResult(
+                            PdrStatus.COUNTEREXAMPLE, level,
+                            self._build_counterexample(),
+                            elapsed=time.monotonic() - started,
+                        )
+                # Propagation: push clauses forward; detect fixpoint.
+                fixpoint = self._propagate(level, remaining())
+                if tracer.enabled:
+                    span.set(
+                        clauses=sum(len(f) for f in self.frames),
+                        conflicts=solver.conflicts - counters_at_entry[0],
+                        decisions=solver.decisions - counters_at_entry[1],
+                        propagations=solver.propagations - counters_at_entry[2],
+                        learned=solver.learned - counters_at_entry[3],
+                        restarts=solver.restarts - counters_at_entry[4],
+                    )
+                    tracer.count("sat.conflicts", solver.conflicts - counters_at_entry[0])
+                    tracer.count("sat.decisions", solver.decisions - counters_at_entry[1])
+                    tracer.count("sat.propagations", solver.propagations - counters_at_entry[2])
+                    tracer.count("sat.learned", solver.learned - counters_at_entry[3])
+                    tracer.count("sat.restarts", solver.restarts - counters_at_entry[4])
+            if fixpoint:
                 invariant = sum(len(f) for f in self.frames)
                 return PdrResult(PdrStatus.PROVED, level,
                                  elapsed=time.monotonic() - started,
@@ -471,6 +494,7 @@ def pdr_prove(
     time_limit: Optional[float] = None,
     initial_values: Optional[Dict[str, int]] = None,
     max_conflicts: Optional[int] = None,
+    tracer=None,
 ) -> PdrResult:
     """Attempt an unbounded proof of ``prop`` with IC3/PDR.
 
@@ -484,11 +508,13 @@ def pdr_prove(
       one that violates an init assumption is downgraded to UNKNOWN
       (use BMC to search for a genuine one);
     - ``max_conflicts`` bounds every individual SAT query by conflict
-      count; an exceeded budget surfaces as UNKNOWN, deterministically.
+      count; an exceeded budget surfaces as UNKNOWN, deterministically;
+    - ``tracer`` records one span per PDR level with the frame-clause
+      count and the SAT counters spent on that level attached.
     """
     lowered = _as_lowered(circuit)
     engine = _Pdr(lowered, prop, initial_values, max_conflicts=max_conflicts)
-    result = engine.run(max_frames=max_frames, time_limit=time_limit)
+    result = engine.run(max_frames=max_frames, time_limit=time_limit, tracer=tracer)
     if (
         result.status is PdrStatus.COUNTEREXAMPLE
         and prop.init_assumptions

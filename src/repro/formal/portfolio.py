@@ -47,6 +47,7 @@ from repro.formal.counterexample import Counterexample
 from repro.formal.induction import InductionStatus, k_induction
 from repro.formal.pdr import PdrStatus, pdr_prove
 from repro.formal.properties import SafetyProperty
+from repro.obs import NULL_TRACER, Tracer
 
 #: Engine launch order.  BMC first: it retires quickly on small bounds
 #: and its cached frames seed the k-induction base case; PDR second as
@@ -145,6 +146,7 @@ def _run_engine(
     config: PortfolioConfig,
     deadline: Optional[float],
     cache: Optional[SolveCache],
+    tracer=None,
 ) -> Dict[str, object]:
     """Execute one engine; returns a picklable verdict record.
 
@@ -155,7 +157,7 @@ def _run_engine(
     if engine == "bmc":
         res = bounded_model_check(
             lowered, prop, max_bound=config.max_bound, time_limit=deadline,
-            max_conflicts=config.max_conflicts, cache=cache,
+            max_conflicts=config.max_conflicts, cache=cache, tracer=tracer,
         )
         definitive = res.status is BmcStatus.COUNTEREXAMPLE
         return {
@@ -171,7 +173,7 @@ def _run_engine(
         res = k_induction(
             lowered, prop, max_k=config.induction_max_k, time_limit=deadline,
             unique_states=config.unique_states,
-            max_conflicts=config.max_conflicts, cache=cache,
+            max_conflicts=config.max_conflicts, cache=cache, tracer=tracer,
         )
         definitive = res.status in (InductionStatus.PROVED,
                                     InductionStatus.COUNTEREXAMPLE)
@@ -187,7 +189,7 @@ def _run_engine(
     if engine == "pdr":
         res = pdr_prove(
             lowered, prop, max_frames=config.pdr_max_frames, time_limit=deadline,
-            max_conflicts=config.max_conflicts,
+            max_conflicts=config.max_conflicts, tracer=tracer,
         )
         definitive = res.status in (PdrStatus.PROVED, PdrStatus.COUNTEREXAMPLE)
         return {
@@ -226,14 +228,27 @@ class _StreamingCache(SolveCache):
             pass
 
 
-def _worker_main(queue, engine, lowered, prop, config, deadline, seed_entries):
-    """Entry point of an engine worker process."""
+def _worker_main(queue, engine, lowered, prop, config, deadline, seed_entries,
+                 traced=False):
+    """Entry point of an engine worker process.
+
+    With ``traced`` the worker records into its own local
+    :class:`~repro.obs.Tracer` (absolute monotonic timestamps, the
+    worker's pid as track id) and ships the events with its verdict;
+    the scheduler merges them onto the parent timeline.  Workers killed
+    by the scheduler backstop lose their events — acceptable, as they
+    normally retire on their own through the in-worker time budget.
+    """
+    import os
+
     local = _StreamingCache(queue, engine)
     if seed_entries:
         local.merge_entries(seed_entries)
     baseline = replace(local.stats)
+    tracer = Tracer() if traced else None
     try:
-        verdict = _run_engine(engine, lowered, prop, config, deadline, local)
+        verdict = _run_engine(engine, lowered, prop, config, deadline, local,
+                              tracer=tracer)
         verdict["entries"] = local.snapshot_entries()
         stats = local.stats
         stats.hits -= baseline.hits  # report only this worker's traffic
@@ -241,6 +256,9 @@ def _worker_main(queue, engine, lowered, prop, config, deadline, seed_entries):
         stats.stores -= baseline.stores
         stats.evictions -= baseline.evictions
         verdict["cache_stats"] = stats
+        if tracer is not None:
+            verdict["trace_events"] = tracer.snapshot_events()
+            verdict["trace_pid"] = os.getpid()
         queue.put(verdict)
     except Exception as exc:  # pragma: no cover - defensive
         queue.put({
@@ -326,8 +344,10 @@ def _run_sequential(
     config: PortfolioConfig,
     cache: Optional[SolveCache],
     started: float,
+    tracer=None,
 ) -> PortfolioResult:
     """Degraded mode: engines run in-process, in order, sharing the cache."""
+    tracer = tracer or NULL_TRACER
     reports = {name: EngineReport(name) for name in config.engines}
     winner: Optional[Dict[str, object]] = None
     for position, engine in enumerate(config.engines):
@@ -346,7 +366,10 @@ def _run_sequential(
             deadline = remaining
         elif remaining is not None:
             deadline = min(deadline, remaining)
-        verdict = _run_engine(engine, lowered, prop, config, deadline, cache)
+        with tracer.span("portfolio.engine", cat="portfolio", engine=engine) as span:
+            verdict = _run_engine(engine, lowered, prop, config, deadline, cache,
+                                  tracer=tracer)
+            span.set(status=str(verdict["status"]))
         report = reports[engine]
         report.status = str(verdict["status"])
         report.bound = int(verdict["bound"])
@@ -365,11 +388,13 @@ def _run_processes(
     cache: Optional[SolveCache],
     started: float,
     jobs: int,
+    tracer=None,
 ) -> PortfolioResult:
     """Process mode: up to ``jobs`` concurrent engine workers."""
     import multiprocessing
     import queue as queue_mod
 
+    tracer = tracer or NULL_TRACER
     ctx = (multiprocessing.get_context(config.start_method)
            if config.start_method else multiprocessing.get_context())
     result_queue = ctx.Queue()
@@ -407,7 +432,8 @@ def _run_processes(
         seed = cache.snapshot_entries() if cache is not None else None
         proc = ctx.Process(
             target=_worker_main,
-            args=(result_queue, engine, lowered, prop, config, budget, seed),
+            args=(result_queue, engine, lowered, prop, config, budget, seed,
+                  tracer.enabled),
             daemon=True,
         )
         proc.start()
@@ -461,6 +487,10 @@ def _run_processes(
                     report.bound = int(verdict["bound"])
                     report.elapsed = float(verdict["elapsed"])
                     report.detail = str(verdict.get("detail", ""))
+                    if tracer.enabled and verdict.get("trace_events"):
+                        tracer.adopt(verdict["trace_events"])
+                        tracer.label_track(int(verdict["trace_pid"]),
+                                           f"{engine} worker")
                     if cache is not None:
                         cache.merge_entries(verdict.get("entries") or {})
                         stats = verdict.get("cache_stats")
@@ -507,6 +537,7 @@ def verify_portfolio(
     prop: SafetyProperty,
     config: Optional[PortfolioConfig] = None,
     cache: Optional[SolveCache] = None,
+    tracer=None,
 ) -> PortfolioResult:
     """Race the verification engines on ``prop``; first definitive wins.
 
@@ -517,6 +548,10 @@ def verify_portfolio(
         cache: optional cross-call :class:`SolveCache`; consulted for a
             memoized verdict first, seeded into workers, and updated
             with everything they solve.
+        tracer: optional :class:`~repro.obs.Tracer`; engine frames and
+            SAT counters are recorded (worker events merged back with
+            per-process track ids) along with solve-cache hit/miss
+            counters for this call.
 
     Returns a :class:`PortfolioResult`; ``reports`` lists what every
     engine did (status, time, partial bound) for observability.
@@ -529,6 +564,7 @@ def verify_portfolio(
             raise ValueError(f"unknown portfolio engine {engine!r} "
                              f"(expected one of {ENGINE_NAMES})")
     started = time.monotonic()
+    tracer = tracer or NULL_TRACER
     lowered = _as_lowered(circuit)
 
     key = None
@@ -536,18 +572,26 @@ def verify_portfolio(
         key = _portfolio_key(lowered, prop, config)
         entry = cache.get(key)
         if entry is not None:
+            tracer.count("solve_cache.memo_hits")
             return _from_memo(entry, config.engines)
 
+    stats_before = replace(cache.stats) if cache is not None else None
     jobs = config.jobs if config.jobs > 0 else len(config.engines)
     result: Optional[PortfolioResult] = None
     if not config.force_sequential and jobs > 1 and len(config.engines) > 1:
         try:
-            result = _run_processes(lowered, prop, config, cache, started, jobs)
+            result = _run_processes(lowered, prop, config, cache, started, jobs,
+                                    tracer=tracer)
         except (ImportError, OSError, PermissionError):
             # Restricted environments (no /dev/shm, no fork) land here:
             # degrade to in-process sequential execution.
             result = None
     if result is None:
-        result = _run_sequential(lowered, prop, config, cache, started)
+        result = _run_sequential(lowered, prop, config, cache, started,
+                                 tracer=tracer)
     _memoize(cache, key, result)
+    if tracer.enabled and stats_before is not None:
+        tracer.count("solve_cache.hits", cache.stats.hits - stats_before.hits)
+        tracer.count("solve_cache.misses", cache.stats.misses - stats_before.misses)
+        tracer.count("solve_cache.stores", cache.stats.stores - stats_before.stores)
     return result

@@ -27,9 +27,12 @@ class SolveStatus(enum.Enum):
 class SolveResult:
     status: SolveStatus
     model: Optional[List[bool]] = None  # model[v] for v in 1..n; model[0] unused
+    # Per-call search statistics (this solve() only, not cumulative):
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    learned: int = 0                    # clauses learned from conflicts
+    restarts: int = 0
 
     def value(self, var: int) -> bool:
         if self.model is None:
@@ -87,9 +90,13 @@ class Solver:
         self._cla_inc = 1.0
         self._order_heap: List[tuple] = []  # lazy max-heap via (-activity, var)
         self._ok = True
+        # Cumulative counters across every solve() on this instance
+        # (per-call figures are returned on each SolveResult).
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.learned = 0
+        self.restarts = 0
 
     # ------------------------------------------------------------------
     # variable / clause management
@@ -427,6 +434,21 @@ class Solver:
         conflicts_since_restart = 0
         max_learnts = max(1000, len(self._clauses) // 2)
         local_conflicts = 0
+        local_learned = 0
+        local_restarts = 0
+        decisions_at_entry = self.decisions
+        propagations_at_entry = self.propagations
+
+        def _result(status: SolveStatus, model=None) -> SolveResult:
+            return SolveResult(
+                status,
+                model=model,
+                conflicts=local_conflicts,
+                decisions=self.decisions - decisions_at_entry,
+                propagations=self.propagations - propagations_at_entry,
+                learned=local_learned,
+                restarts=local_restarts,
+            )
 
         while True:
             conflict = self._propagate()
@@ -436,19 +458,21 @@ class Solver:
                 conflicts_since_restart += 1
                 if self._decision_level == 0:
                     self._ok = False
-                    return SolveResult(SolveStatus.UNSAT, conflicts=local_conflicts)
+                    return _result(SolveStatus.UNSAT)
                 # A conflict below the assumption levels means the
                 # assumptions themselves are inconsistent.
                 learnt, back_level = self._analyze(conflict)
                 if self._decision_level <= len(iassumptions):
                     self._backtrack(0)
-                    return SolveResult(SolveStatus.UNSAT, conflicts=local_conflicts)
+                    return _result(SolveStatus.UNSAT)
                 back_level = max(back_level, 0)
                 self._backtrack(back_level)
+                self.learned += 1
+                local_learned += 1
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
                         self._ok = False
-                        return SolveResult(SolveStatus.UNSAT, conflicts=local_conflicts)
+                        return _result(SolveStatus.UNSAT)
                 else:
                     clause = _Clause(learnt, learnt=True)
                     self._learnts.append(clause)
@@ -459,14 +483,16 @@ class Solver:
                 self._cla_inc /= 0.999
                 if conflict_budget is not None and local_conflicts >= conflict_budget:
                     self._backtrack(0)
-                    return SolveResult(SolveStatus.UNKNOWN, conflicts=local_conflicts)
+                    return _result(SolveStatus.UNKNOWN)
                 if deadline is not None and local_conflicts % 256 == 0 and time.monotonic() > deadline:
                     self._backtrack(0)
-                    return SolveResult(SolveStatus.UNKNOWN, conflicts=local_conflicts)
+                    return _result(SolveStatus.UNKNOWN)
                 if conflicts_since_restart >= restart_limit:
                     restart_idx += 1
                     restart_limit = 64 * _luby(restart_idx)
                     conflicts_since_restart = 0
+                    self.restarts += 1
+                    local_restarts += 1
                     # Assumption levels are re-created as decisions after
                     # the restart, so a full backtrack is safe.
                     self._backtrack(0)
@@ -484,7 +510,7 @@ class Solver:
                     continue
                 if value == 0:
                     self._backtrack(0)
-                    return SolveResult(SolveStatus.UNSAT, conflicts=local_conflicts)
+                    return _result(SolveStatus.UNSAT)
                 self.decisions += 1
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(ilit, None)
@@ -495,13 +521,7 @@ class Solver:
                 model = [False] * (self.num_vars + 1)
                 for v in range(1, self.num_vars + 1):
                     model[v] = self._assign[v] == 1
-                result = SolveResult(
-                    SolveStatus.SAT,
-                    model=model,
-                    conflicts=local_conflicts,
-                    decisions=self.decisions,
-                    propagations=self.propagations,
-                )
+                result = _result(SolveStatus.SAT, model=model)
                 self._backtrack(0)
                 return result
             self.decisions += 1

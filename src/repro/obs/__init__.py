@@ -1,0 +1,34 @@
+"""Observability: span tracing, metrics, exporters, summarization.
+
+The subsystem behind ``python -m repro verify --trace`` and
+``python -m repro trace summarize`` — see :mod:`repro.obs.tracer` for
+the recording model and ``docs/observability.md`` for the user guide.
+"""
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.export import FORMATS, write_chrome_trace, write_jsonl, write_trace
+from repro.obs.summarize import (
+    SpanRecord,
+    TraceSummary,
+    load_trace,
+    render_summary,
+    summarize_file,
+    summary_from_events,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "FORMATS",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+    "SpanRecord",
+    "TraceSummary",
+    "load_trace",
+    "render_summary",
+    "summarize_file",
+    "summary_from_events",
+]

@@ -133,7 +133,10 @@ class CompiledSimulator(Simulator):
         for sig in self.circuit.inputs:
             if sig.name not in inputs:
                 raise SimulationError(f"missing input {sig.name!r}")
-            self._values[sig.name] = inputs[sig.name] & sig.mask
+            value = inputs[sig.name]
+            if not (0 <= value <= sig.mask):
+                raise SimulationError(f"input {sig.name!r}: value {value} exceeds width {sig.width}")
+            self._values[sig.name] = value
         self._step_fn(self._values)
 
 

@@ -35,10 +35,24 @@ def write_vcd(
     """Write ``waveform`` as VCD text to ``stream``.
 
     Signals are grouped into scopes following their hierarchical names.
+    ``signals`` selects what to dump: ``None`` means every signal the
+    waveform tracks (silently restricted to those the circuit knows, so
+    "all" stays best-effort), while an explicit selection — including an
+    empty one — is honored exactly, raising :class:`ValueError` on
+    names the waveform or the circuit does not know.
     """
-    names = [n for n in (signals or waveform.signal_names) if waveform.has_signal(n)]
-    widths = {n: circuit.signal(n).width for n in names if n in circuit.signals}
-    names = [n for n in names if n in widths]
+    if signals is None:
+        names = [n for n in waveform.signal_names if n in circuit.signals]
+    else:
+        names = list(signals)
+        unknown = [n for n in names
+                   if not waveform.has_signal(n) or n not in circuit.signals]
+        if unknown:
+            raise ValueError(
+                "cannot write VCD for unknown signal(s): "
+                + ", ".join(repr(n) for n in sorted(unknown))
+            )
+    widths = {n: circuit.signal(n).width for n in names}
     ids = {name: _identifier(i) for i, name in enumerate(names)}
 
     stream.write(f"$timescale {timescale} $end\n")

@@ -1,0 +1,152 @@
+"""Traced CEGAR runs: the observability acceptance checks.
+
+The PR's acceptance criteria: a traced run's span totals for the
+model-check / simulate / backtrace / generate phases agree with the
+``CegarStats`` t_MC / t_Simu / t_BT / t_Gen fields within 5%, worker
+spans from portfolio processes merge onto the parent timeline, and the
+CLI round-trips a trace file through ``trace summarize``.
+"""
+
+import json
+
+import pytest
+
+from repro.cegar import CegarConfig, run_compass
+from repro.cli import main
+from repro.contracts import make_contract_task
+from repro.cores import CoreConfig, build_sodor
+from repro.obs import Tracer, summary_from_events
+
+TINY = CoreConfig(xlen=4, imem_depth=4, dmem_depth=4, secret_words=1)
+KNOBS = dict(max_bound=4, mc_time_limit=10, total_time_limit=120,
+             max_refinements=120, seed=0, induction_max_k=8)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    task = make_contract_task(build_sodor(TINY))
+    tracer = Tracer()
+    result = run_compass(task, CegarConfig(**KNOBS, trace=tracer))
+    return result, tracer
+
+
+class TestStatsAgreement:
+    """Trace-derived phase totals vs the Table-3 statistics."""
+
+    def test_phase_totals_within_5_percent(self, traced_run):
+        result, tracer = traced_run
+        stats = result.stats
+        cats = summary_from_events(tracer.snapshot_events()).category_totals()
+        expected = {"mc": stats.t_mc, "simu": stats.t_simu,
+                    "bt": stats.t_bt, "gen": stats.t_gen}
+        for cat, stat in expected.items():
+            traced = cats.get(cat, 0.0)
+            if stat < 0.05:
+                # Sub-50ms phases: relative error is noise; check absolute.
+                assert abs(traced - stat) < 0.05, cat
+            else:
+                assert abs(traced - stat) / stat < 0.05, (
+                    f"{cat}: stats={stat:.3f}s trace={traced:.3f}s"
+                )
+
+    def test_expected_span_names_present(self, traced_run):
+        _, tracer = traced_run
+        names = {e["name"] for e in tracer.snapshot_events()
+                 if e["type"] == "span"}
+        assert "cegar.instrument" in names
+        assert "cegar.model-check" in names
+        assert "cegar.sim-prefilter" in names
+
+    def test_refinement_counter_matches_stats(self, traced_run):
+        result, tracer = traced_run
+        totals = tracer.counter_totals()
+        assert totals.get("cegar.refinements", 0) == result.stats.refinements
+        assert (totals.get("cegar.counterexamples_eliminated", 0)
+                == result.stats.counterexamples_eliminated)
+
+    def test_sat_counters_recorded_when_mc_ran(self, traced_run):
+        result, tracer = traced_run
+        if result.stats.t_mc < 0.5:
+            pytest.skip("model checker barely ran")
+        totals = tracer.counter_totals()
+        assert totals.get("sat.propagations", 0) > 0
+
+
+class TestPortfolioTrace:
+    def test_worker_spans_merge_onto_parent_timeline(self):
+        task = make_contract_task(build_sodor(TINY))
+        tracer = Tracer()
+        result = run_compass(task, CegarConfig(
+            **KNOBS, engine="portfolio", jobs=2, trace=tracer))
+        summary = summary_from_events(tracer.snapshot_events())
+        assert result.stats.portfolio_calls > 0
+        # Worker events carry the worker pid as the track id; process
+        # mode therefore yields more than one track, each labelled.
+        if len(summary.tracks) > 1:
+            assert summary.track_labels
+            assert any("worker" in label
+                       for label in summary.track_labels.values())
+            engine_spans = [s for s in summary.spans if s.cat == "engine"]
+            assert engine_spans
+        # Either way the cache counters flowed through the tracer.
+        totals = tracer.counter_totals()
+        assert (totals.get("solve_cache.misses", 0)
+                + totals.get("solve_cache.hits", 0)
+                + totals.get("solve_cache.memo_hits", 0)) > 0
+
+
+class TestCliTrace:
+    TINY_ARGS = ["--core", "Sodor", "--xlen", "4", "--imem", "4",
+                 "--dmem", "4", "--secret-words", "1"]
+
+    @pytest.fixture(scope="class")
+    def trace_files(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("trace")
+        chrome = tmp / "trace.json"
+        report = tmp / "report.md"
+        code = main([
+            "verify", *self.TINY_ARGS, "--budget", "60", "--max-bound", "4",
+            "--testing-only",
+            "--trace", str(chrome), "--report", str(report),
+        ])
+        return code, chrome, report
+
+    def test_verify_exits_clean(self, trace_files):
+        code, _, _ = trace_files
+        assert code == 0
+
+    def test_chrome_trace_is_valid_perfetto_document(self, trace_files):
+        _, chrome, _ = trace_files
+        doc = json.loads(chrome.read_text())
+        assert "traceEvents" in doc
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_summarize_exits_zero(self, trace_files, capsys):
+        _, chrome, _ = trace_files
+        assert main(["trace", "summarize", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "phase totals" in out
+        assert "top spans by self-time" in out
+
+    def test_report_has_time_breakdown(self, trace_files):
+        _, _, report = trace_files
+        text = report.read_text()
+        assert "## Where did the time go" in text
+
+    def test_jsonl_format(self, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        code = main([
+            "verify", *self.TINY_ARGS, "--budget", "30", "--max-bound", "3",
+            "--testing-only", "--max-refinements", "20",
+            "--trace", str(jsonl), "--trace-format", "jsonl",
+        ])
+        lines = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert lines and all("type" in event for event in lines)
+        assert main(["trace", "summarize", str(jsonl)]) == 0
+
+    def test_summarize_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "not-a-trace.json"
+        bad.write_text("{]")
+        code = main(["trace", "summarize", str(bad)])
+        # Garbage JSON parses as neither format -> JSONL line parse error.
+        assert code == 2

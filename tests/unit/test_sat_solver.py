@@ -332,3 +332,45 @@ class TestCnfContainer:
         assert s.add_cnf(cnf)
         r = s.solve()
         assert r.status is SolveStatus.SAT and r.lit_true(2)
+
+
+class TestPerCallCounters:
+    """SolveResult carries this call's search statistics, not cumulative."""
+
+    def test_counters_reset_per_call(self):
+        s = php(5, 4)
+        first = s.solve()
+        assert first.status is SolveStatus.UNSAT
+        assert first.conflicts > 0
+        assert first.decisions > 0
+        assert first.propagations > 0
+        # Identical re-solve: clause database already learned, but the
+        # per-call figures must not include the first call's work.
+        second = s.solve()
+        assert second.status is SolveStatus.UNSAT
+        assert second.conflicts <= first.conflicts
+        assert second.decisions <= s.decisions  # cumulative >= per-call
+
+    def test_cumulative_counters_accumulate(self):
+        s = php(5, 4)
+        r1 = s.solve()
+        conflicts_after_first = s.conflicts
+        r2 = s.solve()
+        assert s.conflicts == conflicts_after_first + r2.conflicts
+        assert s.learned >= r1.learned
+        assert s.restarts >= r1.restarts
+
+    def test_learned_tracks_conflicts(self):
+        s = php(6, 5)
+        r = s.solve()
+        assert r.status is SolveStatus.UNSAT
+        # Every conflict that backtracks learns a clause (or unit).
+        assert 0 < r.learned <= r.conflicts
+
+    def test_trivial_solve_zero_counters(self):
+        s = Solver()
+        s.add_clause([1])
+        r = s.solve()
+        assert r.conflicts == 0
+        assert r.learned == 0
+        assert r.restarts == 0

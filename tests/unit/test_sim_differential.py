@@ -1,0 +1,107 @@
+"""Differential fuzzing: Simulator vs CompiledSimulator.
+
+The two engines must be indistinguishable — identical waveforms on
+valid stimulus AND identical error behavior on invalid stimulus.  The
+compiled engine used to mask out-of-range inputs with ``& sig.mask``
+where the interpreter raises; these tests pin the strict behavior.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.fuzz import random_machine
+from repro.sim.simulator import CompiledSimulator, SimulationError, Simulator
+
+
+def _input_widths(circuit):
+    return {sig.name: sig.width for sig in circuit.inputs}
+
+
+def _random_frames(circuit, rng, cycles):
+    widths = _input_widths(circuit)
+    return [
+        {name: rng.getrandbits(width) for name, width in widths.items()}
+        for _ in range(cycles)
+    ]
+
+
+class TestDifferentialFuzz:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_identical_waveforms(self, seed):
+        circuit = random_machine(seed, width=4, max_regs=3, max_ops=8)
+        rng = random.Random(seed + 1000)
+        frames = _random_frames(circuit, rng, 16)
+        names = list(circuit.signals)
+        ref = Simulator(circuit).run(frames, record=names)
+        fast = CompiledSimulator(circuit).run(frames, record=names)
+        for name in names:
+            assert ref.trace(name) == fast.trace(name), name
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_identical_error_behavior(self, seed):
+        """Invalid frames raise the same error from both engines."""
+        circuit = random_machine(seed, width=4, max_regs=3, max_ops=8)
+        rng = random.Random(seed + 2000)
+        widths = _input_widths(circuit)
+        frames = _random_frames(circuit, rng, 8)
+        # Corrupt one random frame: either drop an input or overflow it.
+        victim = rng.randrange(len(frames))
+        name = rng.choice(sorted(widths))
+        if rng.random() < 0.5:
+            del frames[victim][name]
+        else:
+            frames[victim][name] = (1 << widths[name]) + rng.randrange(16)
+        outcomes = []
+        for engine in (Simulator, CompiledSimulator):
+            sim = engine(circuit)
+            try:
+                for frame in frames:
+                    sim.step(frame)
+                outcomes.append(("ok", None))
+            except SimulationError as exc:
+                outcomes.append(("error", str(exc)))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0] == "error"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_identical_state_after_run(self, seed):
+        circuit = random_machine(seed, width=3)
+        frames = _random_frames(circuit, random.Random(seed), 10)
+        ref, fast = Simulator(circuit), CompiledSimulator(circuit)
+        for frame in frames:
+            assert ref.step(frame) == fast.step(frame)
+        assert ref.state() == fast.state()
+
+
+class TestCompiledStrictness:
+    """Regression: the compiled engine masked oversized inputs silently."""
+
+    def _machine(self):
+        return random_machine(0, width=3)
+
+    def test_oversized_input_raises(self):
+        circuit = self._machine()
+        sim = CompiledSimulator(circuit)
+        with pytest.raises(SimulationError, match="exceeds width"):
+            sim.step({"x": 1 << 3})
+
+    def test_negative_input_raises(self):
+        circuit = self._machine()
+        sim = CompiledSimulator(circuit)
+        with pytest.raises(SimulationError, match="exceeds width"):
+            sim.step({"x": -1})
+
+    def test_error_message_matches_interpreter(self):
+        circuit = self._machine()
+        messages = []
+        for engine in (Simulator, CompiledSimulator):
+            with pytest.raises(SimulationError) as info:
+                engine(circuit).step({"x": 99})
+            messages.append(str(info.value))
+        assert messages[0] == messages[1]
+
+    def test_max_value_still_accepted(self):
+        circuit = self._machine()
+        ref, fast = Simulator(circuit), CompiledSimulator(circuit)
+        assert ref.step({"x": 7}) == fast.step({"x": 7})

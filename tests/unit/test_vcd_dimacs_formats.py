@@ -54,6 +54,41 @@ class TestVcdFormat:
         write_vcd(wf, circ, buf, signals=["o"])
         assert buf.getvalue().count("$var") == 1
 
+    def _simple(self):
+        b = ModuleBuilder("t")
+        a = b.input("a", 1)
+        b.output("o", ~a)
+        circ = b.build()
+        wf = Simulator(circ).run([{"a": 1}], record=["a", "o"])
+        return circ, wf
+
+    def test_empty_selection_dumps_nothing(self):
+        """Regression: ``signals=[]`` used to fall back to *all* signals
+        (``signals or ...``); an explicit empty selection is honored."""
+        circ, wf = self._simple()
+        buf = io.StringIO()
+        write_vcd(wf, circ, buf, signals=[])
+        assert buf.getvalue().count("$var") == 0
+        assert "$enddefinitions" in buf.getvalue()
+
+    def test_none_still_means_all(self):
+        circ, wf = self._simple()
+        buf = io.StringIO()
+        write_vcd(wf, circ, buf, signals=None)
+        assert buf.getvalue().count("$var") == 2
+
+    def test_unknown_signal_raises(self):
+        """Regression: unknown names were silently dropped."""
+        circ, wf = self._simple()
+        with pytest.raises(ValueError, match="'typo'"):
+            write_vcd(wf, circ, io.StringIO(), signals=["o", "typo"])
+
+    def test_signal_not_in_waveform_raises(self):
+        circ, _ = self._simple()
+        wf = Simulator(circ).run([{"a": 1}], record=["o"])  # 'a' untracked
+        with pytest.raises(ValueError, match="'a'"):
+            write_vcd(wf, circ, io.StringIO(), signals=["a"])
+
 
 class TestDimacs:
     def test_parse_with_comments_and_header(self):

@@ -47,6 +47,30 @@ class TestWaveform:
         with pytest.raises(KeyError):
             wf.record({"a": 1})
 
+    def test_record_error_names_missing_signals(self):
+        wf = Waveform(["a", "b", "c"])
+        with pytest.raises(KeyError, match="'b'.*'c'"):
+            wf.record({"a": 1})
+
+    def test_partial_record_leaves_no_ragged_traces(self):
+        """Regression: a bad frame used to append per-signal before
+        noticing the missing key, leaving traces of unequal length."""
+        wf = Waveform(["a", "b"])
+        wf.record({"a": 1, "b": 2})
+        with pytest.raises(KeyError):
+            wf.record({"b": 3})  # 'a' missing; 'b' must NOT be appended
+        assert wf.length == 1
+        assert wf.trace("a") == [1]
+        assert wf.trace("b") == [2]
+        wf.record({"a": 5, "b": 6})  # still consistent afterwards
+        assert wf.trace("b") == [2, 6]
+
+    def test_record_error_truncates_long_lists(self):
+        names = [f"s{i}" for i in range(10)]
+        wf = Waveform(names)
+        with pytest.raises(KeyError, match="5 more"):
+            wf.record({})
+
 
 class TestVcd:
     def test_vcd_output_structure(self):
