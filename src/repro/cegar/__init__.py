@@ -28,6 +28,11 @@ from repro.cegar.loop import (
     TaintVerificationTask,
     run_compass,
 )
+from repro.cegar.checkpoint import (
+    CegarCheckpoint,
+    CheckpointError,
+    CheckpointJournal,
+)
 from repro.cegar.prune import PruneReport, prune_refinements
 
 __all__ = [
@@ -46,6 +51,9 @@ __all__ = [
     "RefinementStats",
     "TaintVerificationTask",
     "run_compass",
+    "CegarCheckpoint",
+    "CheckpointError",
+    "CheckpointJournal",
     "PruneReport",
     "prune_refinements",
 ]

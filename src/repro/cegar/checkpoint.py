@@ -1,0 +1,210 @@
+"""Crash-safe checkpoint journal for CEGAR runs.
+
+A CEGAR verify is a long-running iterative search; on production-scale
+designs a single run spans many minutes of model checking.  Without
+checkpoints, a crashed parent process (OOM kill, node preemption,
+ctrl-C at the wrong moment) discards *everything*: every refined
+scheme, every eliminated counterexample, every cached solve.
+
+:class:`CheckpointJournal` makes the loop resumable.  After every
+completed CEGAR iteration the loop appends a :class:`CegarCheckpoint`
+— the current scheme, the iteration counter, the running
+:class:`~repro.cegar.loop.RefinementStats`, the pruned-candidate set
+and a snapshot of the solve cache — to a numbered journal entry on
+disk.  Entries are written atomically (write-tmp-then-rename through
+:func:`repro.ioutil.atomic_write` with an fsync) and carry a SHA-256
+content checksum, so:
+
+- a crash mid-write never leaves a half-written entry under a journal
+  name (the rename is atomic);
+- a torn or bit-flipped entry (power loss after the rename, disk
+  corruption, an injected fault) is *detected* on read and the reader
+  falls back to the most recent intact entry instead of resuming from
+  garbage.
+
+Journal layout: ``<dir>/journal-000007.ckpt`` — one file per
+checkpoint, monotonically numbered; the newest few are kept (``keep``)
+and older ones pruned.  File format::
+
+    COMPASS-CKPT v1\\n
+    <64 hex chars: sha256 of the payload>\\n
+    <pickled CegarCheckpoint payload>
+
+Restored cache entries go through the *validating*
+:meth:`~repro.formal.cache.SolveCache.merge_entries`, so even a
+corrupted entry that survives inside an intact pickle (e.g. injected
+by :func:`repro.faults.corrupt_entry` before the checkpoint was taken)
+is rejected on merge instead of poisoning a verdict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.faults import FaultPlan
+from repro.ioutil import atomic_write
+
+MAGIC = b"COMPASS-CKPT v1\n"
+_ENTRY_RE = re.compile(r"^journal-(\d{6})\.ckpt$")
+
+#: Bump when the checkpoint payload schema changes incompatibly.
+FORMAT_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """A checkpoint could not be written or no intact entry exists."""
+
+
+@dataclass
+class CegarCheckpoint:
+    """Everything needed to restart a CEGAR run where it stopped.
+
+    ``iteration`` is the *next* iteration to execute: a checkpoint
+    written after iteration k completed carries ``iteration == k + 1``.
+    ``config_digest`` guards against resuming under different knobs
+    (which would make the resumed trajectory diverge silently).
+    """
+
+    version: int
+    task_name: str
+    config_digest: str
+    iteration: int
+    scheme: Any                      # TaintScheme
+    stats: Any                       # RefinementStats
+    last_bound: int = -1
+    rng_state: Optional[tuple] = None
+    cache_entries: Dict[str, Any] = field(default_factory=dict)
+    #: Refinement locations that exhausted the option ladder so far
+    #: (the loop's pruned-candidate set, restored for observability and
+    #: so resumed runs keep identical retry trajectories).
+    pruned_candidates: Set[str] = field(default_factory=set)
+
+
+def _encode(checkpoint: CegarCheckpoint) -> bytes:
+    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return MAGIC + digest + b"\n" + payload
+
+
+def _decode(blob: bytes) -> CegarCheckpoint:
+    """Parse and verify one journal entry; raises CheckpointError."""
+    if not blob.startswith(MAGIC):
+        raise CheckpointError("bad magic (not a compass checkpoint)")
+    rest = blob[len(MAGIC):]
+    digest, sep, payload = rest.partition(b"\n")
+    if not sep or len(digest) != 64:
+        raise CheckpointError("malformed checksum header")
+    actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if actual != digest:
+        raise CheckpointError("checksum mismatch (torn or corrupted entry)")
+    try:
+        checkpoint = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise CheckpointError(f"undecodable payload: {exc}") from exc
+    if not isinstance(checkpoint, CegarCheckpoint):
+        raise CheckpointError(
+            f"payload is a {type(checkpoint).__name__}, not a CegarCheckpoint")
+    if checkpoint.version != FORMAT_VERSION:
+        raise CheckpointError(
+            f"format version {checkpoint.version} != {FORMAT_VERSION}")
+    return checkpoint
+
+
+class CheckpointJournal:
+    """Numbered, checksummed, atomically-written checkpoint directory.
+
+    Args:
+        directory: journal directory; created if missing.
+        keep: how many of the newest entries to retain.  At least 2, so
+            a corrupted newest entry always has an intact predecessor
+            to fall back to.
+        faults: optional deterministic fault plan; consulted after each
+            entry is written (checkpoint corruption / parent-kill
+            faults for the recovery tests).
+    """
+
+    def __init__(self, directory: str, keep: int = 4,
+                 faults: Optional[FaultPlan] = None) -> None:
+        if keep < 2:
+            raise ValueError("keep must be >= 2 (corruption fallback needs "
+                             "a previous entry)")
+        self.directory = directory
+        self.keep = keep
+        self.faults = faults
+        os.makedirs(directory, exist_ok=True)
+
+    # -- enumeration -------------------------------------------------------
+
+    def entries(self) -> List[Tuple[int, str]]:
+        """(index, absolute path) of every journal entry, oldest first."""
+        found = []
+        for name in os.listdir(self.directory):
+            match = _ENTRY_RE.match(name)
+            if match:
+                found.append((int(match.group(1)),
+                              os.path.join(self.directory, name)))
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, checkpoint: CegarCheckpoint) -> str:
+        """Write the next journal entry atomically; returns its path."""
+        entries = self.entries()
+        index = entries[-1][0] + 1 if entries else 0
+        path = os.path.join(self.directory, f"journal-{index:06d}.ckpt")
+        blob = _encode(checkpoint)
+        with atomic_write(path, "wb", fsync=True) as handle:
+            handle.write(blob)
+        self._prune(index)
+        if self.faults is not None:
+            # May damage the file just written or SIGKILL this process.
+            self.faults.on_checkpoint_written(index, path)
+        return path
+
+    def _prune(self, newest_index: int) -> None:
+        for index, path in self.entries():
+            if index <= newest_index - self.keep:
+                try:
+                    os.unlink(path)
+                except OSError:  # pragma: no cover - raced by another run
+                    pass
+
+    # -- reading -----------------------------------------------------------
+
+    def latest(self) -> Optional[CegarCheckpoint]:
+        """The newest *intact* checkpoint, or None for an empty journal.
+
+        Entries failing the checksum or failing to decode are skipped
+        (newest first), so a truncated or corrupted tail falls back to
+        the previous entry.  Raises :class:`CheckpointError` only when
+        the journal has entries but none of them is readable.
+        """
+        checkpoint, _skipped = self.latest_with_diagnostics()
+        return checkpoint
+
+    def latest_with_diagnostics(
+        self,
+    ) -> Tuple[Optional[CegarCheckpoint], List[str]]:
+        """Like :meth:`latest`, plus messages for every skipped entry."""
+        entries = self.entries()
+        skipped: List[str] = []
+        for index, path in reversed(entries):
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+                return _decode(blob), skipped
+            except (OSError, CheckpointError) as exc:
+                skipped.append(f"journal-{index:06d}.ckpt: {exc}")
+        if entries:
+            raise CheckpointError(
+                "no intact checkpoint in %r: %s"
+                % (self.directory, "; ".join(skipped)))
+        return None, skipped

@@ -17,12 +17,17 @@ of refinements, and the t_MC / t_Simu / t_BT / t_Gen runtime breakdown.
 
 from __future__ import annotations
 
+import copy
 import enum
+import hashlib
+import json
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.faults import FaultPlan
 from repro.hdl.circuit import Circuit
 from repro.formal.bmc import BmcStatus, bounded_model_check
 from repro.formal.cache import CacheStats, SolveCache
@@ -172,6 +177,19 @@ class CegarConfig:
     #: frames and SAT counters for this run.  None disables tracing;
     #: the Table-3 statistics are collected either way.
     trace: Optional[Tracer] = None
+    #: Supervision (portfolio process mode): how many times a crashed
+    #: engine worker is relaunched, and the exponential backoff base.
+    max_worker_retries: int = 2
+    retry_backoff: float = 0.1
+    #: Checkpointing: how many journal entries ``run_compass`` keeps
+    #: when a ``checkpoint_dir`` is given (>= 2 so corruption of the
+    #: newest entry can fall back to its predecessor).
+    checkpoint_keep: int = 4
+    #: Deterministic fault-injection plan (:mod:`repro.faults`),
+    #: threaded into the portfolio workers and the checkpoint journal.
+    #: None (the default) injects nothing; tests use this to prove the
+    #: recovery paths.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -195,6 +213,13 @@ class RefinementStats:
     engine_wins: Dict[str, int] = field(default_factory=dict)
     portfolio_calls: int = 0
     cache: Optional[CacheStats] = None
+    #: Robustness observability: supervised worker relaunches and
+    #: crashes seen by the portfolio scheduler, checkpoints written,
+    #: and — on a resumed run — the iteration the journal restored.
+    worker_crashes: int = 0
+    worker_retries: int = 0
+    checkpoints_written: int = 0
+    resumed_from: Optional[int] = None
 
     @property
     def total(self) -> float:
@@ -215,6 +240,9 @@ class RefinementStats:
             self.engine_times[report.engine] = (
                 self.engine_times.get(report.engine, 0.0) + report.elapsed
             )
+            self.worker_retries += report.retries
+            if report.status == "crashed":
+                self.worker_crashes += 1
         if result.winner is not None:
             self.engine_wins[result.winner] = (
                 self.engine_wins.get(result.winner, 0) + 1
@@ -230,8 +258,21 @@ class RefinementStats:
             for name in sorted(self.engine_times)
         )
         rows = [f"portfolio: {self.portfolio_calls} calls  {engines}"]
+        if self.worker_retries or self.worker_crashes:
+            rows.append(f"supervision: {self.worker_retries} worker "
+                        f"retries, {self.worker_crashes} unrecovered crashes")
         if self.cache is not None:
             rows.append(self.cache.row())
+        return rows
+
+    def robustness_rows(self) -> List[str]:
+        """Checkpoint/resume summary lines (empty when unused)."""
+        rows = []
+        if self.resumed_from is not None:
+            rows.append(f"resumed from checkpoint at iteration "
+                        f"{self.resumed_from}")
+        if self.checkpoints_written:
+            rows.append(f"checkpoints written: {self.checkpoints_written}")
         return rows
 
 
@@ -359,29 +400,155 @@ def simulate_for_counterexample(
     return best
 
 
+def _config_digest(task: TaintVerificationTask, config: CegarConfig) -> str:
+    """Fingerprint of the knobs that shape a run's trajectory.
+
+    Stored in every checkpoint; a resume under different knobs would
+    silently diverge from the interrupted run, so it is rejected.
+    Budget-only knobs (wall-clock limits) and observability knobs are
+    deliberately excluded — resuming with a fresh time budget is the
+    whole point.
+    """
+    doc = {
+        "task": task.name,
+        "engine": config.engine,
+        "max_bound": config.max_bound,
+        "use_induction": config.use_induction,
+        "induction_max_k": config.induction_max_k,
+        "unique_states": config.unique_states,
+        "max_counterexamples": config.max_counterexamples,
+        "max_refinements": config.max_refinements,
+        "max_location_retries": config.max_location_retries,
+        "exact_validation": config.exact_validation,
+        "seed": config.seed,
+        "sim_prefilter": config.sim_prefilter,
+        "sim_trials": config.sim_trials,
+        "sim_depth": config.sim_depth,
+        "mc_enabled": config.mc_enabled,
+        "portfolio_engines": list(config.portfolio_engines),
+        "pdr_max_frames": config.pdr_max_frames,
+        "max_conflicts": config.max_conflicts,
+    }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
 def run_compass(
     task: TaintVerificationTask,
     config: Optional[CegarConfig] = None,
     initial_scheme: Optional[TaintScheme] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> CegarResult:
-    """Run the full Compass CEGAR loop on a verification task."""
+    """Run the full Compass CEGAR loop on a verification task.
+
+    Args:
+        task: the verification task.
+        config: budgets and knobs.
+        initial_scheme: starting scheme (default: the task's blackbox
+            scheme).
+        checkpoint_dir: when given, journal the loop state after every
+            completed iteration into this directory (atomic,
+            checksummed entries — see :mod:`repro.cegar.checkpoint`)
+            so a killed run can be resumed.
+        resume: restore the newest intact checkpoint from
+            ``checkpoint_dir`` and continue exactly where the
+            interrupted run stopped — same scheme, same iteration
+            counter, same RNG trajectory, with the journaled solve
+            cache answering the already-decided questions.  An empty
+            journal falls through to a fresh run.
+    """
+    from repro.cegar.checkpoint import (
+        CegarCheckpoint,
+        CheckpointError,
+        CheckpointJournal,
+        FORMAT_VERSION,
+    )
+
     config = config or CegarConfig()
     if config.engine not in ("sequential", "portfolio"):
         raise ValueError(
             f"unknown CEGAR engine {config.engine!r} "
             "(expected 'sequential' or 'portfolio')"
         )
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True needs a checkpoint_dir")
     rng = random.Random(config.seed) if config.seed is not None else None
     tracer = config.trace or NULL_TRACER
+
+    journal: Optional[CheckpointJournal] = None
+    restored: Optional[CegarCheckpoint] = None
+    digest = None
+    if checkpoint_dir is not None:
+        digest = _config_digest(task, config)
+        journal = CheckpointJournal(checkpoint_dir, keep=config.checkpoint_keep,
+                                    faults=config.faults)
+        if resume:
+            restored, skipped = journal.latest_with_diagnostics()
+            for message in skipped:
+                tracer.count("cegar.checkpoint_entries_rejected")
+                warnings.warn(f"checkpoint fallback: skipped {message}",
+                              stacklevel=2)
+            if restored is not None and restored.config_digest != digest:
+                raise CheckpointError(
+                    "checkpoint was written under a different configuration; "
+                    "refusing to resume (delete the journal or rerun with "
+                    "the original knobs)"
+                )
+
     stats = RefinementStats()
     solve_cache: Optional[SolveCache] = None
-    if config.engine == "portfolio":
+    if config.engine == "portfolio" or journal is not None:
+        # Checkpointed runs always keep a solve cache — journaled with
+        # every entry, it is what makes a resume skip the already-
+        # decided solves even under the sequential engine.
         solve_cache = config.solve_cache or SolveCache(config.cache_max_entries)
         # Shared live counters: with an injected cache these accumulate
         # across runs, which is what cross-run observability wants.
         stats.cache = solve_cache.stats
     scheme = (initial_scheme or task.initial_scheme()).copy(name=f"{task.name}-compass")
+    start_iteration = 0
+    last_bound = -1
+    pruned_candidates: Set[str] = set()
+    if restored is not None:
+        scheme = restored.scheme
+        stats = restored.stats
+        stats.resumed_from = restored.iteration
+        start_iteration = restored.iteration
+        last_bound = restored.last_bound
+        pruned_candidates = set(restored.pruned_candidates)
+        if rng is not None and restored.rng_state is not None:
+            rng.setstate(restored.rng_state)
+        if solve_cache is not None:
+            # Validating merge: entries corrupted on disk are counted
+            # in stats.rejected and dropped, never replayed.
+            solve_cache.merge_entries(restored.cache_entries)
+            stats.cache = solve_cache.stats
+        tracer.count("cegar.resumes")
     started = time.monotonic()
+
+    def write_checkpoint(next_iteration: int) -> None:
+        if journal is None:
+            return
+        snapshot = copy.deepcopy(stats)
+        snapshot.cache = (replace(solve_cache.stats)
+                          if solve_cache is not None else None)
+        journal.append(CegarCheckpoint(
+            version=FORMAT_VERSION,
+            task_name=task.name,
+            config_digest=digest,
+            iteration=next_iteration,
+            scheme=scheme.copy(),
+            stats=snapshot,
+            last_bound=last_bound,
+            rng_state=rng.getstate() if rng is not None else None,
+            cache_entries=(solve_cache.snapshot_entries()
+                           if solve_cache is not None else {}),
+            pruned_candidates=set(pruned_candidates),
+        ))
+        stats.checkpoints_written += 1
+        tracer.count("cegar.checkpoints")
 
     def out_of_time() -> bool:
         return (
@@ -413,9 +580,13 @@ def run_compass(
             )
         stats.t_mc += sp.elapsed
 
-    last_bound = -1
+    if journal is not None and restored is None:
+        # Entry 0: even a run killed inside its first iteration can be
+        # resumed (from the initial scheme, with an empty cache).
+        write_checkpoint(start_iteration)
+
     verify_time = 0.0
-    for iteration in range(config.max_counterexamples + 1):
+    for iteration in range(start_iteration, config.max_counterexamples + 1):
         # ---- Step 2: model checking -----------------------------------
         cex: Optional[Counterexample] = None
         if config.sim_prefilter:
@@ -445,6 +616,9 @@ def run_compass(
                         pdr_max_frames=config.pdr_max_frames,
                         time_limit=config.mc_time_limit,
                         max_conflicts=config.max_conflicts,
+                        max_worker_retries=config.max_worker_retries,
+                        retry_backoff=config.retry_backoff,
+                        faults=config.faults,
                     ),
                     cache=solve_cache,
                     tracer=config.trace,
@@ -454,6 +628,9 @@ def run_compass(
                 if pres.status is PortfolioStatus.PROVED:
                     verify_time = mc_span.elapsed
                     stats.t_mc += verify_time
+                    # Terminal checkpoint: a resume re-runs this iteration
+                    # and the restored cache answers the proof instantly.
+                    write_checkpoint(iteration)
                     return CegarResult(CegarStatus.PROVED, task, scheme, design,
                                        prop, stats, bound=-1,
                                        verify_time=verify_time)
@@ -466,12 +643,14 @@ def run_compass(
                     max_k=config.induction_max_k,
                     time_limit=config.mc_time_limit,
                     unique_states=config.unique_states,
+                    cache=solve_cache,
                     tracer=config.trace,
                 )
                 mc_span.set(status=ind.status.value)
                 if ind.status is InductionStatus.PROVED:
                     verify_time = mc_span.elapsed
                     stats.t_mc += verify_time
+                    write_checkpoint(iteration)
                     return CegarResult(CegarStatus.PROVED, task, scheme, design,
                                        prop, stats, bound=-1,
                                        verify_time=verify_time)
@@ -483,7 +662,7 @@ def run_compass(
                     bmc = bounded_model_check(
                         design.circuit, prop,
                         max_bound=config.max_bound, time_limit=config.mc_time_limit,
-                        tracer=config.trace,
+                        cache=solve_cache, tracer=config.trace,
                     )
                     if bmc.status is BmcStatus.COUNTEREXAMPLE:
                         cex = bmc.counterexample
@@ -492,7 +671,7 @@ def run_compass(
                 bmc = bounded_model_check(
                     design.circuit, prop,
                     max_bound=config.max_bound, time_limit=config.mc_time_limit,
-                    tracer=config.trace,
+                    cache=solve_cache, tracer=config.trace,
                 )
                 mc_span.set(status=bmc.status.value)
                 if bmc.status is BmcStatus.COUNTEREXAMPLE:
@@ -502,6 +681,7 @@ def run_compass(
         stats.t_mc += verify_time
 
         if cex is None:
+            write_checkpoint(iteration)
             return CegarResult(CegarStatus.BOUND_REACHED, task, scheme, design, prop,
                                stats, bound=last_bound, verify_time=verify_time)
 
@@ -532,6 +712,7 @@ def run_compass(
                 sp.set(spurious=spurious)
             stats.t_simu += sp.elapsed
         if not spurious:
+            write_checkpoint(iteration)
             return CegarResult(CegarStatus.REAL_LEAK, task, scheme, design, prop,
                                stats, bound=last_bound, leak=cex, verify_time=verify_time)
 
@@ -594,6 +775,10 @@ def run_compass(
         stats.counterexamples_eliminated += 1
         stats.eliminated.append(cex)
         tracer.count("cegar.counterexamples_eliminated")
+        pruned_candidates |= failed_locations
+        # Iteration complete (counterexample eliminated, scheme stable):
+        # journal the state so a crash from here on resumes at k + 1.
+        write_checkpoint(iteration + 1)
         if out_of_time():
             return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme, design,
                                prop, stats, bound=last_bound)

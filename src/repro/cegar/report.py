@@ -123,12 +123,33 @@ def render_report(result, task=None, tracer=None) -> str:
         lines.append("")
         if stats.cache is not None:
             cache = stats.cache
+            rejected = (f", {cache.rejected} rejected on merge"
+                        if cache.rejected else "")
             lines.append(
                 f"Solve cache: {cache.hits} hits / {cache.misses} misses "
                 f"({cache.hit_rate * 100:.0f}% hit rate), "
-                f"{cache.stores} stores, {cache.evictions} evictions."
+                f"{cache.stores} stores, {cache.evictions} evictions"
+                f"{rejected}."
             )
             lines.append("")
+
+    if (stats.worker_crashes or stats.worker_retries
+            or stats.checkpoints_written or stats.resumed_from is not None):
+        lines.append("## Robustness")
+        lines.append("")
+        if stats.resumed_from is not None:
+            lines.append(f"- resumed from a checkpoint at iteration "
+                         f"{stats.resumed_from}")
+        if stats.checkpoints_written:
+            lines.append(f"- checkpoints written this run: "
+                         f"{stats.checkpoints_written}")
+        if stats.worker_retries:
+            lines.append(f"- crashed engine workers relaunched: "
+                         f"{stats.worker_retries}")
+        if stats.worker_crashes:
+            lines.append(f"- worker crashes left unrecovered: "
+                         f"{stats.worker_crashes}")
+        lines.append("")
 
     if tracer is not None and len(tracer):
         lines.extend(_render_time_breakdown(tracer))

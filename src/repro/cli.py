@@ -43,7 +43,13 @@ def _add_core_options(parser: argparse.ArgumentParser) -> None:
 
 def cmd_verify(args) -> int:
     from repro.contracts import make_contract_task
-    from repro.cegar import CegarConfig, CegarStatus, run_compass, prune_refinements
+    from repro.cegar import (
+        CegarConfig,
+        CegarStatus,
+        CheckpointError,
+        prune_refinements,
+        run_compass,
+    )
 
     tracer = None
     if args.trace:
@@ -65,12 +71,26 @@ def cmd_verify(args) -> int:
         jobs=args.jobs,
         trace=tracer,
     )
-    result = run_compass(task, config)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    try:
+        result = run_compass(task, config, checkpoint_dir=args.checkpoint,
+                             resume=args.resume)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"status: {result.status.value} (bound {result.bound})")
     print(result.stats.row(core.name))
     if args.engine == "portfolio" and (args.cache_stats or result.stats.portfolio_calls):
         for line in result.stats.portfolio_rows():
             print(line)
+    elif args.cache_stats and result.stats.cache is not None:
+        # Sequential engines share the cache too once checkpointing (or
+        # resume) brings one into the run.
+        print(result.stats.cache.row())
+    for line in result.stats.robustness_rows():
+        print(line)
     for line in result.stats.refinement_log:
         print(f"  {line}")
     scheme = result.scheme
@@ -81,22 +101,23 @@ def cmd_verify(args) -> int:
         for line in report.removed_log:
             print(f"  pruned: {line}")
     if args.save_scheme:
+        from repro.ioutil import atomic_write
         from repro.taint.scheme_io import save_scheme
 
-        with open(args.save_scheme, "w") as handle:
+        with atomic_write(args.save_scheme) as handle:
             save_scheme(scheme, handle)
         print(f"saved refined scheme to {args.save_scheme}")
     if tracer is not None:
-        from repro.obs import write_trace
+        from repro.obs import write_trace_file
 
-        with open(args.trace, "w") as handle:
-            write_trace(tracer, handle, args.trace_format)
+        write_trace_file(tracer, args.trace, args.trace_format)
         print(f"wrote {args.trace_format} trace ({len(tracer)} events) "
               f"to {args.trace}")
     if args.report:
         from repro.cegar.report import render_report
+        from repro.ioutil import atomic_write
 
-        with open(args.report, "w") as handle:
+        with atomic_write(args.report) as handle:
             handle.write(render_report(result, task, tracer=tracer))
         print(f"wrote verification report to {args.report}")
     return 0 if result.secure else 1
@@ -210,16 +231,21 @@ def cmd_export(args) -> int:
     from repro.hdl.verilog import write_verilog
 
     core = _build_core(args, with_shadow=not args.no_shadow)
-    out = open(args.output, "w") if args.output else sys.stdout
-    try:
+
+    def emit(out) -> None:
         if args.format == "verilog":
             write_verilog(core.circuit, out)
         else:
             dump(core.circuit, out)
-    finally:
-        if args.output:
-            out.close()
-            print(f"wrote {args.format} for {core.name} to {args.output}")
+
+    if args.output:
+        from repro.ioutil import atomic_write
+
+        with atomic_write(args.output) as out:
+            emit(out)
+        print(f"wrote {args.format} for {core.name} to {args.output}")
+    else:
+        emit(sys.stdout)
     return 0
 
 
@@ -403,6 +429,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-stats", action="store_true",
                    help="portfolio: print solve-cache hit/miss/eviction "
                         "counters and per-engine timings after the run")
+    p.add_argument("--checkpoint", metavar="DIR", default=None,
+                   help="journal CEGAR state to DIR after every iteration "
+                        "(atomic, checksummed entries) so an interrupted "
+                        "run can be resumed")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the newest intact checkpoint in the "
+                        "--checkpoint directory instead of starting fresh")
     p.add_argument("--save-scheme", metavar="FILE", default=None,
                    help="save the refined taint scheme as JSON")
     p.add_argument("--report", metavar="FILE", default=None,

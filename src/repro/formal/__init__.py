@@ -16,6 +16,7 @@ from repro.formal.cache import (
     SolveCache,
     circuit_fingerprint,
     solve_key,
+    valid_entry,
 )
 from repro.formal.encode import FrameEncoder
 from repro.formal.unroll import Unroller
@@ -66,6 +67,7 @@ __all__ = [
     "SolveCache",
     "circuit_fingerprint",
     "solve_key",
+    "valid_entry",
     "ENGINE_NAMES",
     "EngineReport",
     "PortfolioConfig",

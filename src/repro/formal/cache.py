@@ -112,6 +112,9 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Malformed entries dropped by a validating merge (wrong types,
+    #: corrupted payloads from a worker or a damaged checkpoint).
+    rejected: int = 0
 
     @property
     def lookups(self) -> int:
@@ -126,13 +129,38 @@ class CacheStats:
         self.misses += other.misses
         self.stores += other.stores
         self.evictions += other.evictions
+        self.rejected += other.rejected
 
     def row(self) -> str:
+        rejected = f", {self.rejected} rejected" if self.rejected else ""
         return (
             f"cache: {self.hits} hits / {self.misses} misses "
             f"({self.hit_rate * 100:.0f}% hit rate), "
-            f"{self.stores} stores, {self.evictions} evictions"
+            f"{self.stores} stores, {self.evictions} evictions{rejected}"
         )
+
+
+def valid_entry(key: Any, verdict: Any) -> bool:
+    """Is ``(key, verdict)`` a well-formed cache entry?
+
+    The shape contract of :class:`CachedVerdict`, checked explicitly
+    because entries arrive from worker queues and checkpoint files
+    where corruption and truncation are real possibilities.
+    """
+    if not isinstance(key, str) or not key:
+        return False
+    if not isinstance(verdict, CachedVerdict):
+        return False
+    if not isinstance(verdict.status, str) or not verdict.status:
+        return False
+    if not isinstance(verdict.bound, int) or isinstance(verdict.bound, bool):
+        return False
+    if verdict.counterexample is not None and not isinstance(
+            verdict.counterexample, Counterexample):
+        return False
+    if not isinstance(verdict.detail, dict):
+        return False
+    return True
 
 
 @dataclass
@@ -192,9 +220,22 @@ class SolveCache:
     def merge_entries(self, entries: Dict[str, CachedVerdict]) -> None:
         """Adopt entries computed elsewhere (e.g. a worker process).
 
-        Store-backs count as stores (and may evict) but not as lookups.
+        Entries cross process and disk boundaries (streamed over a
+        ``multiprocessing`` queue, restored from a checkpoint journal),
+        so they are *validated* before adoption: anything malformed —
+        wrong container type, a payload that is not a
+        :class:`CachedVerdict`, fields of the wrong type — is counted
+        in ``stats.rejected`` and dropped rather than stored where it
+        could later poison a verdict.  Store-backs count as stores (and
+        may evict) but not as lookups.
         """
+        if not isinstance(entries, dict):
+            self.stats.rejected += 1
+            return
         for key, verdict in entries.items():
+            if not valid_entry(key, verdict):
+                self.stats.rejected += 1
+                continue
             if key not in self._entries:
                 self.put(key, verdict)
 

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.faults import FaultPlan
 from repro.hdl.circuit import Circuit
 from repro.hdl.lowering import LoweredCircuit
 from repro.formal.bmc import BmcStatus, _as_lowered, bounded_model_check
@@ -91,6 +92,19 @@ class PortfolioConfig:
     force_sequential: bool = False
     #: How often the scheduler polls workers for results/deadlines.
     poll_interval: float = 0.05
+    #: Supervision: how many times a *crashed* worker (process dead
+    #: without shipping a verdict — OOM kill, segfault, injected fault)
+    #: is relaunched before its engine is written off.  Deadline and
+    #: in-worker Python errors are not retried: the former already
+    #: spent its budget, the latter is deterministic.
+    max_worker_retries: int = 2
+    #: Exponential retry backoff base (seconds): the n-th relaunch of a
+    #: crashed worker waits ``retry_backoff * 2**(n-1)`` first.
+    retry_backoff: float = 0.1
+    #: Deterministic fault-injection plan (:mod:`repro.faults`) shipped
+    #: into every worker; None injects nothing.  Tests use this to
+    #: prove the supervision/recovery paths actually work.
+    faults: Optional[FaultPlan] = None
 
     def deadline_for(self, engine: str) -> Optional[float]:
         if engine in self.engine_deadlines:
@@ -103,16 +117,24 @@ class EngineReport:
     """What one engine contributed to a portfolio call."""
 
     engine: str
-    status: str = "not_run"     # engine status string, or not_run/cancelled/deadline/error
+    #: Engine status string, or one of the scheduler's own outcomes:
+    #: not_run / cancelled / deadline (budget spent) / error (in-worker
+    #: exception) / crashed (process dead without a verdict, retries
+    #: exhausted) / retrying (crashed, relaunch scheduled).
+    status: str = "not_run"
     bound: int = -1             # deepest cycle this engine proved clean
     elapsed: float = 0.0
     winner: bool = False
     detail: str = ""
+    attempts: int = 0           # worker launches (> 1 after a retry)
+    retries: int = 0            # supervised relaunches after a crash
 
     def row(self) -> str:
         mark = " <- winner" if self.winner else ""
         bound = f" bound={self.bound}" if self.bound >= 0 else ""
-        return f"{self.engine:<5} {self.status:<15} {self.elapsed:6.2f}s{bound}{mark}"
+        retries = f" retries={self.retries}" if self.retries else ""
+        return (f"{self.engine:<5} {self.status:<15} "
+                f"{self.elapsed:6.2f}s{bound}{retries}{mark}")
 
 
 @dataclass
@@ -214,23 +236,39 @@ class _StreamingCache(SolveCache):
     and a terminated loser's partial work still survives.
     """
 
-    def __init__(self, queue, engine: str) -> None:
+    def __init__(self, queue, engine: str,
+                 faults: Optional[FaultPlan] = None, attempt: int = 0) -> None:
         super().__init__()
         self._queue = queue
         self._engine = engine
+        self._faults = faults
+        self._attempt = attempt
 
     def put(self, key: str, entry: CachedVerdict) -> None:
         super().put(key, entry)
-        try:
-            self._queue.put({"type": "entry", "engine": self._engine,
-                             "key": key, "entry": entry})
-        except Exception:  # pragma: no cover - queue torn down mid-put
-            pass
+        payload = entry
+        if self._faults is not None:
+            # Injected message loss/corruption; None drops the message.
+            payload = self._faults.filter_entry(self._engine, self._attempt,
+                                                entry)
+        if payload is not None:
+            try:
+                self._queue.put({"type": "entry", "engine": self._engine,
+                                 "key": key, "entry": payload})
+            except Exception:  # pragma: no cover - queue torn down mid-put
+                pass
+        if self._faults is not None:
+            # One put == one completed solve; may os._exit the worker.
+            self._faults.on_worker_solve(self._engine, self._attempt)
 
 
 def _worker_main(queue, engine, lowered, prop, config, deadline, seed_entries,
-                 traced=False):
+                 traced=False, attempt=0):
     """Entry point of an engine worker process.
+
+    ``attempt`` counts supervised relaunches (0 on the first launch);
+    the fault plan uses it to scope injected faults to one attempt so a
+    retried worker runs clean.
 
     With ``traced`` the worker records into its own local
     :class:`~repro.obs.Tracer` (absolute monotonic timestamps, the
@@ -241,7 +279,8 @@ def _worker_main(queue, engine, lowered, prop, config, deadline, seed_entries,
     """
     import os
 
-    local = _StreamingCache(queue, engine)
+    faults = config.faults
+    local = _StreamingCache(queue, engine, faults=faults, attempt=attempt)
     if seed_entries:
         local.merge_entries(seed_entries)
     baseline = replace(local.stats)
@@ -255,10 +294,15 @@ def _worker_main(queue, engine, lowered, prop, config, deadline, seed_entries,
         stats.misses -= baseline.misses
         stats.stores -= baseline.stores
         stats.evictions -= baseline.evictions
+        stats.rejected -= baseline.rejected
         verdict["cache_stats"] = stats
         if tracer is not None:
             verdict["trace_events"] = tracer.snapshot_events()
             verdict["trace_pid"] = os.getpid()
+        if faults is not None:
+            delay = faults.verdict_delay(engine, attempt)
+            if delay > 0:
+                time.sleep(delay)
         queue.put(verdict)
     except Exception as exc:  # pragma: no cover - defensive
         queue.put({
@@ -402,6 +446,7 @@ def _run_processes(
     pending = list(config.engines)
     # engine -> (process, launch time, kill-at budget)
     running: Dict[str, Tuple[object, float, Optional[float]]] = {}
+    delayed: Dict[str, float] = {}                  # crashed, relaunch not before
     dead_since: Dict[str, float] = {}               # exit seen, verdict not yet
     winner: Optional[Dict[str, object]] = None
 
@@ -425,15 +470,21 @@ def _run_processes(
                 # remaining window over the unfinished engines so the
                 # ones queued behind the ``jobs`` limit are guaranteed
                 # a slot before the overall deadline.
-                unfinished = 1 + len(pending) + len(running)
+                unfinished = 1 + len(pending) + len(running) + len(delayed)
                 share = remaining * jobs / unfinished
                 budget = share if budget is None else min(budget, share)
             budget = remaining if budget is None else min(budget, remaining)
+        # Relaunches are seeded with the current cache snapshot, which
+        # includes everything the crashed attempt streamed back before
+        # dying — a retried worker resumes from that work, it does not
+        # start over.
         seed = cache.snapshot_entries() if cache is not None else None
+        attempt = reports[engine].attempts
+        reports[engine].attempts += 1
         proc = ctx.Process(
             target=_worker_main,
             args=(result_queue, engine, lowered, prop, config, budget, seed,
-                  tracer.enabled),
+                  tracer.enabled, attempt),
             daemon=True,
         )
         proc.start()
@@ -443,19 +494,59 @@ def _run_processes(
 
     def reap(engine: str, status: str) -> None:
         proc, engine_started, _kill_at = running.pop(engine)
+        dead_since.pop(engine, None)
         if proc.is_alive():
             proc.terminate()
         proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - ignores SIGTERM: escalate
+            proc.kill()
+            proc.join(timeout=5.0)
         reports[engine].status = status
         reports[engine].elapsed = time.monotonic() - engine_started
 
+    def supervise_crash(engine: str) -> None:
+        """A worker died without a verdict: back off and retry, or give up.
+
+        ``crashed`` is distinct from ``deadline`` (budget spent, worker
+        reaped by the backstop) and ``error`` (in-worker exception,
+        reported through the queue): only crashes are worth retrying —
+        the work is recoverable and the cause (OOM kill, segfault) is
+        usually environmental.
+        """
+        proc, engine_started, _kill_at = running.pop(engine)
+        proc.join(timeout=5.0)
+        dead_since.pop(engine, None)
+        report = reports[engine]
+        report.elapsed = time.monotonic() - engine_started
+        exitcode = proc.exitcode
+        tracer.count("portfolio.worker_crashes")
+        if report.retries < config.max_worker_retries:
+            backoff = config.retry_backoff * (2 ** report.retries)
+            report.retries += 1
+            report.status = "retrying"
+            report.detail = (f"crashed (exit {exitcode}), "
+                             f"retry {report.retries} in {backoff:.2f}s")
+            delayed[engine] = time.monotonic() + backoff
+            tracer.count("portfolio.worker_retries")
+        else:
+            report.status = "crashed"
+            report.detail = (f"exit {exitcode} after "
+                             f"{report.attempts} attempt(s)")
+
     try:
-        while running or pending:
+        while running or pending or delayed:
+            now = time.monotonic()
+            for engine in [e for e, at in delayed.items() if now >= at]:
+                # Backoff expired: relaunch the crashed engine ahead of
+                # anything still queued behind the jobs limit.
+                delayed.pop(engine)
+                pending.insert(0, engine)
             while len(running) < jobs and pending:
                 if not launch(pending.pop(0)):
                     # Overall budget exhausted before this engine got a
                     # slot; its report stays "not_run".
                     pending.clear()
+                    delayed.clear()
                     break
             if (config.time_limit is not None
                     and time.monotonic() - started > config.time_limit + 5.0):
@@ -463,10 +554,15 @@ def _run_processes(
                 # budget as their own time_limit, so they normally ship
                 # a (partial) verdict before this fires.
                 pending.clear()
+                delayed.clear()
                 for engine in list(running):
                     reap(engine, "cancelled")
                 break
             if not running:
+                if delayed:  # nothing to poll; sleep out the backoff
+                    time.sleep(min(config.poll_interval,
+                                   max(0.0, min(delayed.values())
+                                       - time.monotonic())))
                 continue
             try:
                 verdict = result_queue.get(timeout=config.poll_interval)
@@ -481,6 +577,7 @@ def _run_processes(
                 engine = str(verdict["engine"])
                 if engine in running:
                     proc, engine_started, _kill_at = running.pop(engine)
+                    dead_since.pop(engine, None)
                     proc.join(timeout=5.0)
                     report = reports[engine]
                     report.status = str(verdict["status"])
@@ -499,10 +596,14 @@ def _run_processes(
                             # its stores already counted via merge_entries.
                             cache.stats.hits += stats.hits
                             cache.stats.misses += stats.misses
+                            cache.stats.rejected += stats.rejected
                     if verdict["definitive"]:
                         winner = verdict
                         for other in list(running):
                             reap(other, "cancelled")
+                        for other in delayed:
+                            reports[other].status = "cancelled"
+                        delayed.clear()
                         pending.clear()
                         break
                 continue  # a result may unblock a queued engine below
@@ -518,15 +619,23 @@ def _run_processes(
                 elif not proc.is_alive():
                     # The process exited; its verdict may still be in
                     # flight through the queue, so give it a grace
-                    # period before declaring it dead.
+                    # period before treating the exit as a crash.
                     if engine not in dead_since:
                         dead_since[engine] = now
                     elif now - dead_since[engine] > 1.0:
-                        reap(engine, "died")
+                        supervise_crash(engine)
     finally:
         pending.clear()
+        for engine in delayed:
+            if reports[engine].status == "retrying":
+                reports[engine].status = "cancelled"
+        delayed.clear()
         for engine in list(running):
             reap(engine, "cancelled")
+        # Close our end of the queue and drop its feeder thread so a
+        # half-drained queue can never hang interpreter shutdown.
+        result_queue.close()
+        result_queue.cancel_join_thread()
 
     return _finalize(reports, config.engines, winner,
                      time.monotonic() - started, mode="process")
@@ -578,7 +687,11 @@ def verify_portfolio(
     stats_before = replace(cache.stats) if cache is not None else None
     jobs = config.jobs if config.jobs > 0 else len(config.engines)
     result: Optional[PortfolioResult] = None
-    if not config.force_sequential and jobs > 1 and len(config.engines) > 1:
+    # Process mode whenever more than one concurrent job is allowed —
+    # even for a single engine, since a worker process buys crash
+    # isolation and supervised retry; jobs == 1 or a single engine with
+    # default jobs stays in-process.
+    if not config.force_sequential and jobs > 1:
         try:
             result = _run_processes(lowered, prop, config, cache, started, jobs,
                                     tracer=tracer)

@@ -1,0 +1,53 @@
+"""Crash-safe file output helpers.
+
+Every artifact the toolchain writes — traces, reports, refined schemes,
+VCD dumps, CEGAR checkpoints — goes through :func:`atomic_write`: the
+content lands in a temporary file in the *same directory* as the target
+and is moved into place with :func:`os.replace` only after it was
+written completely.  A crash (including SIGKILL) mid-write therefore
+never leaves a half-written artifact under the final name; at worst a
+``.tmp.*`` orphan remains, which readers ignore.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+
+@contextmanager
+def atomic_write(path: str, mode: str = "w", fsync: bool = False) -> Iterator[IO]:
+    """Open a temporary file that replaces ``path`` on a clean exit.
+
+    Args:
+        path: final destination; its directory must exist.
+        mode: ``"w"`` (text, UTF-8) or ``"wb"`` (binary).
+        fsync: flush file contents to stable storage before the rename
+            (used by the checkpoint journal, where durability matters;
+            plain reports skip the extra syscall).
+
+    On an exception inside the ``with`` block the temporary file is
+    removed and ``path`` is left untouched.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_write supports modes 'w'/'wb', not {mode!r}")
+    directory = os.path.dirname(os.path.abspath(path))
+    encoding = None if "b" in mode else "utf-8"
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".tmp."
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        raise

@@ -6,7 +6,13 @@ the recording model and ``docs/observability.md`` for the user guide.
 """
 
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
-from repro.obs.export import FORMATS, write_chrome_trace, write_jsonl, write_trace
+from repro.obs.export import (
+    FORMATS,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+    write_trace_file,
+)
 from repro.obs.summarize import (
     SpanRecord,
     TraceSummary,
@@ -25,6 +31,7 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "write_trace",
+    "write_trace_file",
     "SpanRecord",
     "TraceSummary",
     "load_trace",

@@ -100,3 +100,16 @@ def write_trace(tracer, stream: TextIO, fmt: str = "chrome") -> None:
         write_chrome_trace(tracer, stream)
     else:
         raise ValueError(f"unknown trace format {fmt!r} (expected one of {FORMATS})")
+
+
+def write_trace_file(tracer, path: str, fmt: str = "chrome") -> None:
+    """Write a trace to ``path`` atomically (write-tmp-then-rename).
+
+    A crash mid-export never leaves a truncated trace under ``path``.
+    """
+    from repro.ioutil import atomic_write
+
+    if fmt not in FORMATS:  # validate before touching the filesystem
+        raise ValueError(f"unknown trace format {fmt!r} (expected one of {FORMATS})")
+    with atomic_write(path) as handle:
+        write_trace(tracer, handle, fmt)

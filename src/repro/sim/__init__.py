@@ -7,6 +7,6 @@ and VCD export for debugging.
 
 from repro.sim.simulator import Simulator, CompiledSimulator, make_simulator
 from repro.sim.waveform import Waveform
-from repro.sim.vcd import write_vcd
+from repro.sim.vcd import write_vcd, write_vcd_file
 
-__all__ = ["Simulator", "CompiledSimulator", "make_simulator", "Waveform", "write_vcd"]
+__all__ = ["Simulator", "CompiledSimulator", "make_simulator", "Waveform", "write_vcd", "write_vcd_file"]

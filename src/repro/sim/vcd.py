@@ -75,3 +75,21 @@ def write_vcd(
             else:
                 stream.write(f"b{value:b} {ids[name]}\n")
     stream.write(f"#{waveform.length}\n")
+
+
+def write_vcd_file(
+    waveform: Waveform,
+    circuit: Circuit,
+    path: str,
+    signals: Optional[Iterable[str]] = None,
+    timescale: str = "1ns",
+) -> None:
+    """Write ``waveform`` as a VCD file atomically (tmp-then-rename).
+
+    Unknown-signal validation runs before anything touches the disk and
+    a crash mid-dump never leaves a truncated file under ``path``.
+    """
+    from repro.ioutil import atomic_write
+
+    with atomic_write(path) as stream:
+        write_vcd(waveform, circuit, stream, signals=signals, timescale=timescale)

@@ -1,0 +1,116 @@
+"""End-to-end crash recovery: SIGKILL a CEGAR run, resume, same verdict.
+
+A driver subprocess runs the Figure-2 CEGAR verify with checkpointing
+and a :func:`repro.faults.kill_after_checkpoint` fault, so it dies by
+SIGKILL at a deterministic point (right after a journal entry hit the
+disk) — no timing games.  The parent then resumes from the journal in
+process and must land on exactly the result a never-interrupted run
+produces.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+from repro.cegar import (
+    CegarConfig,
+    CegarStatus,
+    CheckpointJournal,
+    TaintVerificationTask,
+    run_compass,
+)
+from repro.taint import TaintSources
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from conftest import build_mux_chain  # noqa: E402
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+_TESTS = os.path.join(os.path.dirname(__file__), "..")
+
+_DRIVER = """\
+import sys
+sys.path.insert(0, sys.argv[2])
+sys.path.insert(0, sys.argv[3])
+from conftest import build_mux_chain
+from repro import faults
+from repro.cegar import CegarConfig, TaintVerificationTask, run_compass
+from repro.taint import TaintSources
+
+task = TaintVerificationTask(
+    name="fig2",
+    circuit=build_mux_chain(False),
+    sources=TaintSources(registers={"m.secret": -1}),
+    sinks=("sink",),
+    symbolic_registers=frozenset({"m.secret", "m.pub1", "m.pub2", "m.pub3"}),
+)
+plan = faults.FaultPlan(specs=(faults.kill_after_checkpoint(index=1),))
+run_compass(task, CegarConfig(max_bound=6, induction_max_k=6, seed=0,
+                              faults=plan),
+            checkpoint_dir=sys.argv[1])
+print("UNREACHABLE: the kill fault never fired")
+sys.exit(3)
+"""
+
+_KNOBS = dict(max_bound=6, induction_max_k=6, seed=0)
+
+
+def _task():
+    return TaintVerificationTask(
+        name="fig2",
+        circuit=build_mux_chain(False),
+        sources=TaintSources(registers={"m.secret": -1}),
+        sinks=("sink",),
+        symbolic_registers=frozenset(
+            {"m.secret", "m.pub1", "m.pub2", "m.pub3"}),
+    )
+
+
+class TestCrashResume:
+    def test_sigkilled_run_resumes_to_identical_result(self, tmp_path):
+        ckpt_dir = str(tmp_path / "journal")
+        proc = subprocess.run(
+            [sys.executable, "-c", _DRIVER, ckpt_dir, _SRC, _TESTS],
+            capture_output=True, text=True, timeout=300,
+        )
+        # The driver must have died by the injected SIGKILL — not by
+        # finishing, not by a Python exception.
+        assert proc.returncode == -signal.SIGKILL, (
+            f"driver exited {proc.returncode}:\n{proc.stdout}{proc.stderr}")
+
+        # The journal survived the kill with intact entries 0 and 1.
+        journal = CheckpointJournal(ckpt_dir)
+        assert len(journal) == 2
+        restored = journal.latest()
+        assert restored.iteration == 1
+
+        resumed = run_compass(_task(), CegarConfig(**_KNOBS),
+                              checkpoint_dir=ckpt_dir, resume=True)
+        clean = run_compass(_task(), CegarConfig(**_KNOBS))
+        assert resumed.status is CegarStatus.PROVED
+        assert resumed.status is clean.status
+        assert resumed.scheme == clean.scheme
+        assert resumed.stats.refinement_log == clean.stats.refinement_log
+        assert resumed.stats.resumed_from == 1
+
+    def test_kill_during_first_iteration_restarts_from_entry_zero(
+            self, tmp_path):
+        """Entry 0 (initial scheme, empty cache) already covers a crash
+        inside the very first iteration."""
+        ckpt_dir = str(tmp_path / "journal")
+        driver = _DRIVER.replace("kill_after_checkpoint(index=1)",
+                                 "kill_after_checkpoint(index=0)")
+        proc = subprocess.run(
+            [sys.executable, "-c", driver, ckpt_dir, _SRC, _TESTS],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL
+        assert len(CheckpointJournal(ckpt_dir)) == 1
+
+        resumed = run_compass(_task(), CegarConfig(**_KNOBS),
+                              checkpoint_dir=ckpt_dir, resume=True)
+        clean = run_compass(_task(), CegarConfig(**_KNOBS))
+        assert resumed.status is clean.status
+        assert resumed.scheme == clean.scheme
+        assert resumed.stats.refinement_log == clean.stats.refinement_log
+        assert resumed.stats.resumed_from == 0

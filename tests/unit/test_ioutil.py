@@ -1,0 +1,83 @@
+"""Atomic file output (repro.ioutil) and the writers built on it."""
+
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_write(str(target)) as handle:
+            handle.write("hello")
+        assert target.read_text() == "hello"
+
+    def test_writes_binary_with_fsync(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_write(str(target), "wb", fsync=True) as handle:
+            handle.write(b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_write(str(target)) as handle:
+            handle.write("new")
+        assert target.read_text() == "new"
+
+    def test_exception_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(str(target)) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("simulated crash mid-write")
+        assert target.read_text() == "original"
+        # ... and no temporary orphan is left behind either.
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_rejects_exotic_modes(self, tmp_path):
+        with pytest.raises(ValueError, match="modes"):
+            with atomic_write(str(tmp_path / "x"), mode="a"):
+                pass
+
+
+class TestArtifactWriters:
+    def test_trace_writer_is_atomic(self, tmp_path):
+        from repro.obs import Tracer, write_trace_file
+
+        tracer = Tracer()
+        with tracer.span("phase", cat="mc"):
+            pass
+        target = tmp_path / "trace.json"
+        write_trace_file(tracer, str(target), "chrome")
+        assert target.stat().st_size > 0
+        assert os.listdir(tmp_path) == ["trace.json"]
+
+    def test_trace_writer_validates_format_before_touching_disk(
+            self, tmp_path):
+        from repro.obs import Tracer, write_trace_file
+
+        target = tmp_path / "trace.json"
+        target.write_text("precious")
+        with pytest.raises(ValueError):
+            write_trace_file(Tracer(), str(target), "xml")
+        assert target.read_text() == "precious"
+
+    def test_vcd_writer_is_atomic(self, tmp_path):
+        from repro.hdl import ModuleBuilder
+        from repro.sim import Simulator, write_vcd_file
+
+        b = ModuleBuilder("tiny")
+        c = b.reg("cnt", 4)
+        c.drive(c + 1)
+        b.output("out", c)
+        circuit = b.build()
+        wf = Simulator(circuit).run([{}] * 4, record=["cnt", "out"])
+        target = tmp_path / "wave.vcd"
+        write_vcd_file(wf, circuit, str(target))
+        content = target.read_text()
+        assert "$enddefinitions" in content
+        assert os.listdir(tmp_path) == ["wave.vcd"]

@@ -115,9 +115,73 @@ class TestAccounting:
         assert (a.hits, a.misses, a.stores, a.evictions) == (3, 2, 3, 2)
         assert "3 hits" in a.row()
 
+    def test_stats_row_mentions_rejections(self):
+        from repro.formal import CacheStats
+
+        quiet = CacheStats(hits=1, misses=1)
+        assert "rejected" not in quiet.row()
+        noisy = CacheStats(hits=1, misses=1, rejected=2)
+        assert "2 rejected" in noisy.row()
+        quiet.merge(noisy)
+        assert quiet.rejected == 2
+
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             SolveCache(max_entries=0)
+
+
+class TestMergeValidation:
+    """Entries from queues and checkpoint files are untrusted input."""
+
+    def test_valid_entry_contract(self):
+        from repro.formal import valid_entry
+
+        good = CachedVerdict("unsat", bound=3)
+        assert valid_entry("k", good)
+        assert not valid_entry("", good)                  # empty key
+        assert not valid_entry(42, good)                  # non-str key
+        assert not valid_entry("k", "not-a-verdict")      # wrong payload type
+        assert not valid_entry("k", CachedVerdict(""))    # empty status
+        assert not valid_entry("k", CachedVerdict(None))  # non-str status
+        bad_bound = CachedVerdict("unsat")
+        bad_bound.bound = "3"
+        assert not valid_entry("k", bad_bound)
+        bool_bound = CachedVerdict("unsat")
+        bool_bound.bound = True
+        assert not valid_entry("k", bool_bound)
+        bad_cex = CachedVerdict("sat")
+        bad_cex.counterexample = {"cycles": 3}
+        assert not valid_entry("k", bad_cex)
+        bad_detail = CachedVerdict("unsat")
+        bad_detail.detail = "oops"
+        assert not valid_entry("k", bad_detail)
+
+    def test_merge_rejects_non_dict_container(self):
+        cache = SolveCache()
+        cache.merge_entries(["not", "a", "dict"])
+        assert len(cache) == 0
+        assert cache.stats.rejected == 1
+
+    def test_merge_drops_malformed_keeps_valid(self):
+        cache = SolveCache()
+        cache.merge_entries({
+            "good": CachedVerdict("unsat", bound=2),
+            "corrupt": "\x00corrupt-cache-entry\x00",
+            17: CachedVerdict("unsat"),
+        })
+        assert cache.peek("good") is not None
+        assert len(cache) == 1
+        assert cache.stats.rejected == 2
+        assert cache.stats.stores == 1
+
+    def test_merge_of_clean_snapshot_rejects_nothing(self):
+        source = SolveCache()
+        source.put("a", CachedVerdict("unsat", bound=1))
+        source.put("b", CachedVerdict("sat", bound=2))
+        cache = SolveCache()
+        cache.merge_entries(source.snapshot_entries())
+        assert len(cache) == 2
+        assert cache.stats.rejected == 0
 
 
 class TestEngineIntegration:

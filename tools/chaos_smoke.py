@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Chaos smoke: verdicts must survive injected faults.
+
+Runs the Figure-2 CEGAR verify through the parallel portfolio twice —
+once clean, once under a seeded :class:`repro.faults.FaultPlan` that
+hard-kills an engine worker mid-run and corrupts a streamed cache
+entry — and fails unless both runs reach the *same* verdict and final
+scheme.  A third phase SIGKILL-proofs the checkpoint journal: a run
+whose newest checkpoint is torn on disk must resume from the previous
+intact entry and still land on the clean verdict.
+
+This is the recovery-path regression guard: it exercises worker
+supervision (crash detection, seeded relaunch), validating cache
+merges, checksummed checkpoint fallback and resume in one short run.
+
+Run:  PYTHONPATH=src python tools/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import faults  # noqa: E402
+from repro.cegar import (  # noqa: E402
+    CegarConfig,
+    TaintVerificationTask,
+    run_compass,
+)
+from repro.hdl import ModuleBuilder  # noqa: E402
+from repro.taint import TaintSources  # noqa: E402
+
+
+def build_fig2():
+    """The paper's Figure 2 mux chain (safe variant)."""
+    b = ModuleBuilder("fig2")
+    sel1 = b.input("sel1", 1)
+    sel23 = b.const(0, 1)
+    with b.scope("m"):
+        secret = b.reg("secret", 4)
+        secret.drive(secret)
+        pubs = []
+        for i in range(1, 4):
+            reg = b.reg(f"pub{i}", 4)
+            reg.drive(reg)
+            pubs.append(reg)
+        o1 = b.named("o1", b.mux(sel1, secret, pubs[0]))
+        o2 = b.named("o2", b.mux(sel23, o1, pubs[1]))
+        o3 = b.named("o3", b.mux(sel23, o2, pubs[2]))
+    b.output("sink", o3)
+    return b.build()
+
+
+def make_task():
+    return TaintVerificationTask(
+        name="fig2",
+        circuit=build_fig2(),
+        sources=TaintSources(registers={"m.secret": -1}),
+        sinks=("sink",),
+        symbolic_registers=frozenset(
+            {"m.secret", "m.pub1", "m.pub2", "m.pub3"}),
+    )
+
+
+def config(**extra):
+    # A single-engine portfolio makes the faults load-bearing: when the
+    # k-induction worker is killed, only a supervised retry can still
+    # close the proof — a racing engine cannot mask a broken recovery
+    # path.
+    return CegarConfig(max_bound=6, induction_max_k=6, seed=0,
+                       engine="portfolio", portfolio_engines=("kind",),
+                       jobs=2, retry_backoff=0.05, **extra)
+
+
+def main() -> int:
+    failures = []
+
+    started = time.monotonic()
+    clean = run_compass(make_task(), config())
+    print(f"clean run:   {clean.status.value} "
+          f"({time.monotonic() - started:.1f}s)")
+
+    # Phase 1: kill one worker mid-run, corrupt one streamed entry.
+    plan = faults.FaultPlan(seed=2026, specs=(
+        faults.kill_worker("kind", after_solves=1),
+        faults.corrupt_entry("kind", index=0),
+    ))
+    started = time.monotonic()
+    chaotic = run_compass(make_task(), config(faults=plan))
+    print(f"chaotic run: {chaotic.status.value} "
+          f"({time.monotonic() - started:.1f}s) — "
+          f"{chaotic.stats.worker_retries} retries, "
+          f"{chaotic.stats.worker_crashes} unrecovered crashes, "
+          f"cache: {chaotic.stats.cache.row() if chaotic.stats.cache else 'n/a'}")
+    if chaotic.status is not clean.status:
+        failures.append(f"verdict changed under faults: "
+                        f"{clean.status.value} -> {chaotic.status.value}")
+    if chaotic.scheme != clean.scheme:
+        failures.append("final scheme changed under faults")
+    if not chaotic.stats.worker_retries:
+        failures.append("injected worker kill produced no supervised retry")
+
+    # Phase 2: torn checkpoint on disk -> fallback entry -> same verdict.
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        torn = faults.FaultPlan(seed=2026, specs=(
+            faults.truncate_checkpoint(index=2),))
+        run_compass(make_task(), config(faults=torn), checkpoint_dir=ckpt_dir)
+        started = time.monotonic()
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            resumed = run_compass(make_task(), config(),
+                                  checkpoint_dir=ckpt_dir, resume=True)
+        print(f"torn-journal resume: {resumed.status.value} "
+              f"({time.monotonic() - started:.1f}s) — resumed from "
+              f"iteration {resumed.stats.resumed_from}")
+        if resumed.status is not clean.status:
+            failures.append(f"resume after torn checkpoint diverged: "
+                            f"{clean.status.value} -> {resumed.status.value}")
+        if resumed.scheme != clean.scheme:
+            failures.append("resumed scheme differs from the clean run")
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print("chaos smoke OK: faults injected, verdicts unchanged")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
