@@ -19,6 +19,7 @@ from repro.formal.cache import (
     valid_entry,
 )
 from repro.formal.encode import FrameEncoder
+from repro.formal.frameprog import FrameProgram, compile_frame_program
 from repro.formal.unroll import Unroller
 from repro.formal.properties import SafetyProperty
 from repro.formal.counterexample import Counterexample
@@ -51,6 +52,8 @@ __all__ = [
     "SolveStatus",
     "SolveResult",
     "FrameEncoder",
+    "FrameProgram",
+    "compile_frame_program",
     "Unroller",
     "SafetyProperty",
     "Counterexample",

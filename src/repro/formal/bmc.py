@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
@@ -63,19 +64,76 @@ class BmcResult:
         return self.status is BmcStatus.COUNTEREXAMPLE
 
 
-def _as_lowered(circuit: Union[Circuit, LoweredCircuit]) -> LoweredCircuit:
-    """Lower and simplify for SAT encoding.
+#: Digest-keyed LRU of lowered/simplified/reduced netlists, shared by
+#: every engine in the process (BMC, k-induction, PDR, portfolio
+#: dispatch, CEGAR iterations).  Keyed on content fingerprints, so a
+#: re-instrumented but structurally identical circuit still hits.
+_LOWERED_CACHE: "OrderedDict[tuple, LoweredCircuit]" = OrderedDict()
+_LOWERED_CACHE_MAX = 32
+
+
+def _property_roots(lowered: LoweredCircuit, prop: SafetyProperty) -> List[str]:
+    """Gate-level signal names the property can observe."""
+    roots: List[str] = []
+    names = [prop.bad]
+    names.extend(prop.assumptions)
+    names.extend(prop.init_assumptions)
+    for name in names:
+        for sig in lowered.bits[name]:
+            roots.append(sig.name)
+    return roots
+
+
+def _as_lowered(
+    circuit: Union[Circuit, LoweredCircuit],
+    prop: Optional[SafetyProperty] = None,
+) -> LoweredCircuit:
+    """Lower, simplify and property-reduce a circuit for SAT encoding.
 
     The simplification pass preserves inputs, registers and outputs by
     name — everything BMC needs to extract counterexamples and locate
-    property/assumption signals.
+    property/assumption signals.  When ``prop`` is given, the netlist
+    is additionally restricted to the cone of influence of the
+    property's ``bad``/assumption signals and structurally hashed
+    (:func:`repro.hdl.optimize.cone_of_influence` / :func:`strash`) —
+    logic the property cannot observe never reaches the encoder, and
+    duplicated shadow logic collapses.
+
+    Results are memoized in a digest-keyed LRU shared across engines:
+    the portfolio's BMC and induction workers, the induction base case,
+    and successive CEGAR verify calls all re-lower the same content
+    otherwise.  An explicit ``LoweredCircuit`` argument bypasses both
+    the cache and the reduction (the caller controls the netlist).
     """
     if isinstance(circuit, LoweredCircuit):
         return circuit
-    from repro.hdl.optimize import simplify
+    from repro.formal.cache import circuit_fingerprint, property_fingerprint
 
-    lowered = lower_to_gates(circuit)
-    return LoweredCircuit(simplify(lowered.circuit), lowered.bits)
+    key = (
+        circuit_fingerprint(circuit),
+        property_fingerprint(prop) if prop is not None else None,
+    )
+    cached = _LOWERED_CACHE.get(key)
+    if cached is not None:
+        _LOWERED_CACHE.move_to_end(key)
+        return cached
+    from repro.hdl.optimize import cone_of_influence, simplify, strash
+
+    # Intermediate passes skip their own invariant re-validation; the
+    # final netlist is validated once below.
+    lowered = lower_to_gates(circuit, validate=False)
+    gates = simplify(lowered.circuit, validate=False)
+    if prop is not None:
+        gates = strash(
+            cone_of_influence(gates, _property_roots(lowered, prop), validate=False),
+            validate=False,
+        )
+    gates.validate()
+    result = LoweredCircuit(gates, lowered.bits)
+    _LOWERED_CACHE[key] = result
+    while len(_LOWERED_CACHE) > _LOWERED_CACHE_MAX:
+        _LOWERED_CACHE.popitem(last=False)
+    return result
 
 
 def _make_unroller(
@@ -176,13 +234,15 @@ def bounded_model_check(
     """
     started = time.monotonic()
     tracer = tracer or NULL_TRACER
-    lowered = _as_lowered(circuit)
+    lowered = _as_lowered(circuit, prop)
     unroller: Optional[Unroller] = None
     frames_solved = 0
     proven = start_bound - 1
     # Depths known clean but whose blocking clause has not been added
     # yet; flushed lazily so fully-cached runs never build an unroller.
-    pending_clean: List[int] = []
+    # A deque: long cached prefixes (resumed runs, warm caches) made the
+    # old list.pop(0) flush quadratic.
+    pending_clean: "deque[int]" = deque()
 
     def materialize(depth: int) -> Unroller:
         nonlocal unroller
@@ -196,7 +256,7 @@ def bounded_model_check(
                 for name, value in input_constraints[new_frame].items():
                     unroller.constrain_word(new_frame, name, value)
         while pending_clean:
-            clean_depth = pending_clean.pop(0)
+            clean_depth = pending_clean.popleft()
             unroller.solver.add_clause((-unroller.lit_of_bit(clean_depth, prop.bad),))
         return unroller
 

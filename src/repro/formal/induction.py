@@ -75,7 +75,7 @@ def k_induction(
             return None
         return time_limit - (time.monotonic() - started)
 
-    lowered = _as_lowered(circuit)
+    lowered = _as_lowered(circuit, prop)
 
     # Step-case unroller: arbitrary start state, no init assumptions.
     step = Unroller(lowered, symbolic_all=True)
@@ -135,7 +135,7 @@ def k_induction(
                            elapsed=time.monotonic() - started)
 
 
-def _as_lowered(circuit: Union[Circuit, LoweredCircuit]) -> LoweredCircuit:
+def _as_lowered(circuit: Union[Circuit, LoweredCircuit], prop=None) -> LoweredCircuit:
     from repro.formal.bmc import _as_lowered as shared
 
-    return shared(circuit)
+    return shared(circuit, prop)

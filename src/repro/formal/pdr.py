@@ -512,7 +512,7 @@ def pdr_prove(
     - ``tracer`` records one span per PDR level with the frame-clause
       count and the SAT counters spent on that level attached.
     """
-    lowered = _as_lowered(circuit)
+    lowered = _as_lowered(circuit, prop)
     engine = _Pdr(lowered, prop, initial_values, max_conflicts=max_conflicts)
     result = engine.run(max_frames=max_frames, time_limit=time_limit, tracer=tracer)
     if (

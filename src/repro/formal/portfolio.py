@@ -674,7 +674,7 @@ def verify_portfolio(
                              f"(expected one of {ENGINE_NAMES})")
     started = time.monotonic()
     tracer = tracer or NULL_TRACER
-    lowered = _as_lowered(circuit)
+    lowered = _as_lowered(circuit, prop)
 
     key = None
     if cache is not None:

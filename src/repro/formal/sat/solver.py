@@ -1,11 +1,36 @@
 """CDCL SAT solver (MiniSat-style), written from scratch.
 
-Features: two-watched-literal propagation, 1UIP conflict analysis with
-clause learning, VSIDS variable activities with phase saving, Luby
-restarts, activity-based learned-clause deletion, assumption literals,
-and conflict/time budgets (returning UNKNOWN instead of blowing the
-model-checking time limit — this is how the paper's timeouts are
-realised).
+Features: two-watched-literal propagation with *blocker* literals, 1UIP
+conflict analysis with clause learning, VSIDS variable activities with
+phase saving, Luby restarts, LBD-aware learned-clause deletion,
+assumption literals, and conflict/time budgets (returning UNKNOWN
+instead of blowing the model-checking time limit — this is how the
+paper's timeouts are realised).
+
+Hot-path representation: clauses of three or more literals live in one
+flat Python list of ints (the *arena*).  A clause at integer reference
+``ref`` has the layout::
+
+    _ca[ref]     = size (number of literals)
+    _ca[ref+1]   = 1 if learnt else 0
+    _ca[ref+2..] = literals in internal encoding (2*v / 2*v+1)
+
+Watch lists are flat ``blocker, ref`` pairs, so propagation touches the
+arena only when the blocker literal is not already satisfied.
+
+Binary clauses — the majority of a Tseitin encoding (every AND/OR input
+contributes one) — never enter the arena at all: each literal has a
+dedicated flat list of the *other* literals of its binary clauses,
+walked before the long-clause watches in a tight loop with no arena
+access and no watch relocation (a binary watch never moves).  A binary
+*reason* is encoded in the reason slot itself as ``-2 - other_lit``
+(arena references are ``>= 0``, ``-1`` means decision/assumption).
+Arena slot 0 is a reserved scratch clause used to hand binary
+conflicts to the analyzer in the uniform arena shape.
+
+Frames stamped by the frame-template encoder enter the solver through
+:meth:`Solver.stamp_clauses`, which offsets pre-encoded template
+literals without re-normalising them.
 """
 
 from __future__ import annotations
@@ -58,13 +83,8 @@ def _luby(i: int) -> int:
     return 1 << seq
 
 
-class _Clause:
-    __slots__ = ("lits", "learnt", "activity")
-
-    def __init__(self, lits: List[int], learnt: bool) -> None:
-        self.lits = lits
-        self.learnt = learnt
-        self.activity = 0.0
+_NO_REASON = -1
+_BINARY = -2  # reason encoding base: reason == -2 - other_lit for binaries
 
 
 class Solver:
@@ -75,12 +95,19 @@ class Solver:
 
     def __init__(self) -> None:
         self.num_vars = 0
-        self._clauses: List[_Clause] = []
-        self._learnts: List[_Clause] = []
-        self._watches: List[List[_Clause]] = [[], []]  # indexed by internal lit
+        # Arena slot 0 is the scratch clause for binary conflicts:
+        # [size=2, learnt=0, lit, lit]; real clauses start at ref 4.
+        self._ca: List[int] = [2, 0, 0, 0]
+        self._clause_refs: List[int] = []   # problem clauses (>= 3 lits)
+        self._learnt_refs: List[int] = []   # learnt clauses (>= 3 lits)
+        self._num_binaries = 0              # binaries live only in watch lists
+        self._cla_act: Dict[int, float] = {}
+        self._cla_lbd: Dict[int, int] = {}
+        self._watches: List[List[int]] = [[], []]  # flat (blocker, ref) pairs
+        self._bin_watches: List[List[int]] = [[], []]  # other lit per binary
         self._assign: List[int] = [-1]  # -1 unassigned, 0 false, 1 true ; index by var
         self._level: List[int] = [0]
-        self._reason: List[Optional[_Clause]] = [None]
+        self._reason: List[int] = [_NO_REASON]  # ref | -1 | (-2 - other_lit)
         self._activity: List[float] = [0.0]
         self._phase: List[int] = [0]
         self._trail: List[int] = []  # internal lits in assignment order
@@ -105,16 +132,43 @@ class Solver:
         self.num_vars += 1
         self._assign.append(-1)
         self._level.append(0)
-        self._reason.append(None)
+        self._reason.append(_NO_REASON)
         self._activity.append(0.0)
         self._phase.append(0)
         self._watches.append([])
         self._watches.append([])
+        self._bin_watches.append([])
+        self._bin_watches.append([])
         return self.num_vars
 
+    def new_vars(self, count: int) -> int:
+        """Bulk-allocate ``count`` fresh variables; returns the first one.
+
+        Equivalent to ``count`` calls of :meth:`new_var` but without the
+        per-call overhead — the frame stamper allocates a whole frame's
+        variables at once.
+        """
+        if count <= 0:
+            return self.num_vars + 1
+        first = self.num_vars + 1
+        self.num_vars += count
+        self._assign.extend([-1] * count)
+        self._level.extend([0] * count)
+        self._reason.extend([_NO_REASON] * count)
+        self._activity.extend([0.0] * count)
+        self._phase.extend([0] * count)
+        self._watches.extend([] for _ in range(2 * count))
+        self._bin_watches.extend([] for _ in range(2 * count))
+        return first
+
     def ensure_vars(self, n: int) -> None:
-        while self.num_vars < n:
-            self.new_var()
+        if n > self.num_vars:
+            self.new_vars(n - self.num_vars)
+
+    @property
+    def num_clauses(self) -> int:
+        """Problem + learnt clauses currently in the database."""
+        return len(self._clause_refs) + len(self._learnt_refs) + self._num_binaries
 
     @staticmethod
     def _internal(lit: int) -> int:
@@ -131,6 +185,33 @@ class Solver:
         if v < 0:
             return -1
         return v ^ (ilit & 1)
+
+    def _add_binary(self, l0: int, l1: int) -> None:
+        # Indexed like _watches: _bin_watches[lit] is consulted when
+        # lit itself becomes false, yielding the implied other literal.
+        self._bin_watches[l0].append(l1)
+        self._bin_watches[l1].append(l0)
+        self._num_binaries += 1
+
+    def _new_clause(self, ilits: Sequence[int], learnt: bool) -> int:
+        """Append a clause (>= 3 literals) to the arena and watch it."""
+        ca = self._ca
+        ref = len(ca)
+        ca.append(len(ilits))
+        ca.append(1 if learnt else 0)
+        ca.extend(ilits)
+        l0, l1 = ilits[0], ilits[1]
+        w0 = self._watches[l0]
+        w0.append(l1)
+        w0.append(ref)
+        w1 = self._watches[l1]
+        w1.append(l0)
+        w1.append(ref)
+        if learnt:
+            self._learnt_refs.append(ref)
+        else:
+            self._clause_refs.append(ref)
+        return ref
 
     def add_clause(self, lits: Sequence[int]) -> bool:
         """Add a problem clause; returns False if the formula became UNSAT."""
@@ -158,17 +239,18 @@ class Solver:
             self._ok = False
             return False
         if len(norm) == 1:
-            if not self._enqueue(norm[0], None):
+            if not self._enqueue(norm[0], _NO_REASON):
                 self._ok = False
                 return False
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict >= 0:
                 self._ok = False
                 return False
             return True
-        clause = _Clause(norm, learnt=False)
-        self._clauses.append(clause)
-        self._watch(clause)
+        if len(norm) == 2:
+            self._add_binary(norm[0], norm[1])
+        else:
+            self._new_clause(norm, learnt=False)
         return True
 
     def add_cnf(self, cnf) -> bool:
@@ -178,9 +260,56 @@ class Solver:
                 return False
         return True
 
-    def _watch(self, clause: _Clause) -> None:
-        self._watches[clause.lits[0]].append(clause)
-        self._watches[clause.lits[1]].append(clause)
+    def stamp_clauses(self, template: Sequence[int], first_var: int) -> None:
+        """Bulk-add pre-encoded clauses by offsetting variable indices.
+
+        ``template`` is a flat ``[size, lit, lit, ..., size, lit, ...]``
+        stream whose literals are internal-encoded relative to variable
+        0 (literal ``(k << 1) | sign`` refers to the k-th variable of a
+        freshly allocated block).  ``first_var`` is the base returned by
+        :meth:`new_vars` for that block.
+
+        The caller guarantees every clause has >= 2 literals, no
+        duplicate/complementary literals, and only variables from the
+        fresh block — exactly what a pre-folded Tseitin frame template
+        produces — so normalisation, tautology checks and level-0
+        simplification are all skipped.  This is the frame-stamping
+        fast path: a couple of list appends per clause, with binary
+        clauses going straight into the watch lists.
+        """
+        ca = self._ca
+        watches = self._watches
+        bin_watches = self._bin_watches
+        offset = first_var << 1
+        refs = self._clause_refs
+        i = 0
+        n = len(template)
+        while i < n:
+            size = template[i]
+            if size == 2:
+                l0 = template[i + 1] + offset
+                l1 = template[i + 2] + offset
+                bin_watches[l0].append(l1)
+                bin_watches[l1].append(l0)
+                self._num_binaries += 1
+                i += 3
+                continue
+            ref = len(ca)
+            ca.append(size)
+            ca.append(0)
+            end = i + 1 + size
+            for j in range(i + 1, end):
+                ca.append(template[j] + offset)
+            l0 = ca[ref + 2]
+            l1 = ca[ref + 3]
+            w0 = watches[l0]
+            w0.append(l1)
+            w0.append(ref)
+            w1 = watches[l1]
+            w1.append(l0)
+            w1.append(ref)
+            refs.append(ref)
+            i = end
 
     # ------------------------------------------------------------------
     # assignment / propagation
@@ -189,59 +318,132 @@ class Solver:
     def _decision_level(self) -> int:
         return len(self._trail_lim)
 
-    def _enqueue(self, ilit: int, reason: Optional[_Clause]) -> bool:
+    def _enqueue(self, ilit: int, reason: int) -> bool:
         value = self._lit_value(ilit)
         if value >= 0:
             return value == 1
         var = ilit >> 1
         self._assign[var] = 1 - (ilit & 1)
-        self._level[var] = self._decision_level
+        self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._phase[var] = 1 - (ilit & 1)
         self._trail.append(ilit)
         return True
 
-    def _propagate(self) -> Optional[_Clause]:
-        while self._qhead < len(self._trail):
-            ilit = self._trail[self._qhead]
+    def _propagate(self) -> int:
+        """Propagate the trail; returns a conflict clause ref or -1.
+
+        For each newly-false literal the dedicated binary list is
+        walked first (one value test per clause, nothing to relocate),
+        then the long-clause watches, compacted in place with a write
+        index.  A binary conflict is written into the arena's scratch
+        slot (ref 0) so conflict analysis sees the uniform arena
+        clause shape.
+        """
+        trail = self._trail
+        assign = self._assign
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        watches = self._watches
+        bin_watches = self._bin_watches
+        ca = self._ca
+        trail_lim = self._trail_lim
+        visited = 0
+        conflict = _NO_REASON
+        while self._qhead < len(trail):
+            ilit = trail[self._qhead]
             self._qhead += 1
             false_lit = ilit ^ 1  # this literal just became false
-            watch_list = self._watches[false_lit]
-            self._watches[false_lit] = []
-            i = 0
-            n = len(watch_list)
+            bwl = bin_watches[false_lit]
+            if bwl:
+                visited += len(bwl)
+                breason = -2 - false_lit
+                for other in bwl:
+                    ov = assign[other >> 1]
+                    if ov < 0:
+                        # Other literal unassigned: implied.
+                        var = other >> 1
+                        assign[var] = 1 - (other & 1)
+                        level[var] = len(trail_lim)
+                        reason[var] = breason
+                        phase[var] = 1 - (other & 1)
+                        trail.append(other)
+                    elif not (ov ^ (other & 1)):
+                        # Both literals of (false_lit, other) false.
+                        ca[2] = false_lit
+                        ca[3] = other
+                        self._qhead = len(trail)
+                        conflict = 0
+                        break
+                if conflict >= 0:
+                    break
+            wl = watches[false_lit]
+            i = j = 0
+            n = len(wl)
             while i < n:
-                clause = watch_list[i]
-                i += 1
-                self.propagations += 1
-                lits = clause.lits
-                # Ensure the false literal is at position 1.
-                if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], lits[0]
-                first = lits[0]
-                if self._lit_value(first) == 1:
-                    self._watches[false_lit].append(clause)
+                blocker = wl[i]
+                ref = wl[i + 1]
+                i += 2
+                visited += 1
+                bv = assign[blocker >> 1]
+                if bv >= 0 and bv ^ (blocker & 1):
+                    # Blocker satisfied: clause true, arena untouched.
+                    wl[j] = blocker
+                    wl[j + 1] = ref
+                    j += 2
+                    continue
+                # Ensure the false literal sits at the second slot.
+                first = ca[ref + 2]
+                if first == false_lit:
+                    first = ca[ref + 3]
+                    ca[ref + 2] = first
+                    ca[ref + 3] = false_lit
+                fv = assign[first >> 1]
+                if fv >= 0 and fv ^ (first & 1):
+                    wl[j] = first
+                    wl[j + 1] = ref
+                    j += 2
                     continue
                 # Look for a new watch.
                 found = False
-                for k in range(2, len(lits)):
-                    if self._lit_value(lits[k]) != 0:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[lits[1]].append(clause)
+                for k in range(ref + 4, ref + 2 + ca[ref]):
+                    other = ca[k]
+                    ov = assign[other >> 1]
+                    if ov < 0 or ov ^ (other & 1):
+                        ca[ref + 3] = other
+                        ca[k] = false_lit
+                        wo = watches[other]
+                        wo.append(first)
+                        wo.append(ref)
                         found = True
                         break
                 if found:
                     continue
                 # Unit or conflicting.
-                self._watches[false_lit].append(clause)
-                if not self._enqueue(first, clause):
-                    # Conflict: restore remaining watches and report.
-                    while i < n:
-                        self._watches[false_lit].append(watch_list[i])
-                        i += 1
-                    self._qhead = len(self._trail)
-                    return clause
-        return None
+                wl[j] = first
+                wl[j + 1] = ref
+                j += 2
+                if fv < 0:
+                    var = first >> 1
+                    assign[var] = 1 - (first & 1)
+                    level[var] = len(trail_lim)
+                    reason[var] = ref
+                    phase[var] = 1 - (first & 1)
+                    trail.append(first)
+                else:
+                    # Conflict: keep remaining watches and report.
+                    if i < n:
+                        wl[j: j + (n - i)] = wl[i:n]
+                        j += n - i
+                    self._qhead = len(trail)
+                    conflict = ref
+                    break
+            del wl[j:]
+            if conflict >= 0:
+                break
+        self.propagations += visited
+        return conflict
 
     # ------------------------------------------------------------------
     # conflict analysis
@@ -253,59 +455,74 @@ class Solver:
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > 1e20:
-            for c in self._learnts:
-                c.activity *= 1e-20
+    def _bump_clause(self, ref: int) -> None:
+        act = self._cla_act.get(ref, 0.0) + self._cla_inc
+        self._cla_act[ref] = act
+        if act > 1e20:
+            for r in self._learnt_refs:
+                self._cla_act[r] = self._cla_act.get(r, 0.0) * 1e-20
             self._cla_inc *= 1e-20
 
-    def _analyze(self, conflict: _Clause) -> tuple:
-        """Return (learnt clause internal lits, backtrack level)."""
-        seen = [False] * (self.num_vars + 1)
+    def _analyze(self, conflict: int) -> tuple:
+        """Return (learnt clause internal lits, backtrack level, lbd)."""
+        ca = self._ca
+        level = self._level
+        reason_of = self._reason
+        trail = self._trail
+        seen = bytearray(self.num_vars + 1)
         learnt: List[int] = [0]  # placeholder for asserting literal
         path_count = 0
         ilit = -1
-        index = len(self._trail) - 1
-        reason: Optional[_Clause] = conflict
-        current_level = self._decision_level
+        index = len(trail) - 1
+        ref = conflict
+        current_level = len(self._trail_lim)
 
         while True:
-            assert reason is not None
-            self._bump_clause(reason)
-            for lit in reason.lits:
-                var = lit >> 1
+            if ref <= _BINARY:
+                # Binary reason: the clause implying ilit is (ilit, -2 - ref).
+                reason_lits = (-2 - ref,)
+            else:
+                if ca[ref + 1]:
+                    self._bump_clause(ref)
+                reason_lits = ca[ref + 2: ref + 2 + ca[ref]]
+            for lit in reason_lits:
                 if lit == ilit:
                     continue  # the literal this reason implied
-                if not seen[var] and self._level[var] > 0:
-                    seen[var] = True
+                var = lit >> 1
+                if not seen[var] and level[var] > 0:
+                    seen[var] = 1
                     self._bump_var(var)
-                    if self._level[var] >= current_level:
+                    if level[var] >= current_level:
                         path_count += 1
                     else:
                         learnt.append(lit)
             # Select next literal to expand from trail.
-            while not seen[self._trail[index] >> 1]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            ilit = self._trail[index]
+            ilit = trail[index]
             index -= 1
             var = ilit >> 1
-            seen[var] = False
+            seen[var] = 0
             path_count -= 1
             if path_count == 0:
                 break
-            reason = self._reason[var]
+            ref = reason_of[var]
         learnt[0] = ilit ^ 1
 
         # Conflict-clause minimisation (recursive, simple self-subsumption).
         abstract_levels = 0
         for lit in learnt[1:]:
-            abstract_levels |= 1 << (self._level[lit >> 1] & 31)
+            abstract_levels |= 1 << (level[lit >> 1] & 31)
         kept = [learnt[0]]
         for lit in learnt[1:]:
-            if self._reason[lit >> 1] is None or not self._redundant(lit, seen, abstract_levels):
+            if reason_of[lit >> 1] == _NO_REASON or not self._redundant(
+                    lit, seen, abstract_levels):
                 kept.append(lit)
         learnt = kept
+
+        # Literal-block distance: distinct decision levels in the clause
+        # (the glucose quality measure steering DB reduction).
+        lbd = len({level[lit >> 1] for lit in learnt})
 
         if len(learnt) == 1:
             back_level = 0
@@ -313,47 +530,59 @@ class Solver:
             # Find the literal with the second-highest level; move to pos 1.
             max_i = 1
             for i in range(2, len(learnt)):
-                if self._level[learnt[i] >> 1] > self._level[learnt[max_i] >> 1]:
+                if level[learnt[i] >> 1] > level[learnt[max_i] >> 1]:
                     max_i = i
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            back_level = self._level[learnt[1] >> 1]
-        return learnt, back_level
+            back_level = level[learnt[1] >> 1]
+        return learnt, back_level, lbd
 
-    def _redundant(self, lit: int, seen: List[bool], abstract_levels: int) -> bool:
+    def _redundant(self, lit: int, seen: bytearray, abstract_levels: int) -> bool:
         """Is ``lit`` implied by the rest of the learnt clause? (bounded DFS)"""
+        ca = self._ca
+        level = self._level
+        reason_of = self._reason
         stack = [lit]
         cleared: List[int] = []
         while stack:
             current = stack.pop()
-            reason = self._reason[current >> 1]
-            if reason is None:
+            ref = reason_of[current >> 1]
+            if ref == _NO_REASON:
                 for var in cleared:
-                    seen[var] = False
+                    seen[var] = 0
                 return False
-            for other in reason.lits:
+            if ref <= _BINARY:
+                others = (-2 - ref,)
+            else:
+                others = ca[ref + 2: ref + 2 + ca[ref]]
+            for other in others:
                 if other == current or other == (current ^ 1):
                     continue
                 var = other >> 1
-                if seen[var] or self._level[var] == 0:
+                if seen[var] or level[var] == 0:
                     continue
-                if self._reason[var] is None or not ((1 << (self._level[var] & 31)) & abstract_levels):
+                if reason_of[var] == _NO_REASON or not (
+                        (1 << (level[var] & 31)) & abstract_levels):
                     for v in cleared:
-                        seen[v] = False
+                        seen[v] = 0
                     return False
-                seen[var] = True
+                seen[var] = 1
                 cleared.append(var)
                 stack.append(other)
         return True
 
     def _backtrack(self, level: int) -> None:
-        if self._decision_level <= level:
+        if len(self._trail_lim) <= level:
             return
         limit = self._trail_lim[level]
+        assign = self._assign
+        reason = self._reason
+        activity = self._activity
+        heap = self._order_heap
         for ilit in reversed(self._trail[limit:]):
             var = ilit >> 1
-            self._assign[var] = -1
-            self._reason[var] = None
-            heapq.heappush(self._order_heap, (-self._activity[var], var))
+            assign[var] = -1
+            reason[var] = _NO_REASON
+            heapq.heappush(heap, (-activity[var], var))
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -386,24 +615,81 @@ class Solver:
     # learned clause DB reduction
     # ------------------------------------------------------------------
     def _reduce_db(self) -> None:
-        self._learnts.sort(key=lambda c: c.activity)
-        keep_from = len(self._learnts) // 2
-        removed = []
-        kept = []
-        locked = {id(self._reason[lit >> 1]) for lit in self._trail if self._reason[lit >> 1] is not None}
-        for i, clause in enumerate(self._learnts):
-            if i < keep_from and len(clause.lits) > 2 and id(clause) not in locked:
-                removed.append(clause)
-            else:
-                kept.append(clause)
-        if not removed:
+        """Drop the worst half of the learnt clauses, LBD-aware.
+
+        Glue clauses (LBD <= 2), binary clauses (never in the arena)
+        and clauses locked as reasons on the trail are always kept; the
+        remaining candidates are ranked worst-first by (high LBD, low
+        activity).  The arena is compacted afterwards so dead clauses
+        free their memory.
+        """
+        reason = self._reason
+        locked = set()
+        for ilit in self._trail:
+            ref = reason[ilit >> 1]
+            if ref >= 0:
+                locked.add(ref)
+        lbd_of = self._cla_lbd
+        cand = [
+            ref for ref in self._learnt_refs
+            if lbd_of.get(ref, 3) > 2 and ref not in locked
+        ]
+        if len(cand) < 2:
             return
-        removed_ids = {id(c) for c in removed}
-        self._learnts = kept
-        for lit in range(2, 2 * self.num_vars + 2):
-            wl = self._watches[lit]
-            if wl:
-                self._watches[lit] = [c for c in wl if id(c) not in removed_ids]
+        act_of = self._cla_act
+        cand.sort(key=lambda ref: (-lbd_of.get(ref, 3), act_of.get(ref, 0.0)))
+        removed = set(cand[: len(cand) // 2])
+        if removed:
+            self._compact(removed)
+
+    def _compact(self, removed: set) -> None:
+        """Rebuild the arena without ``removed``; remap refs and watches."""
+        old = self._ca
+        new_ca: List[int] = old[0:4]  # preserve the binary-conflict scratch
+        remap: Dict[int, int] = {}
+
+        def copy(ref: int) -> int:
+            new_ref = len(new_ca)
+            new_ca.extend(old[ref: ref + 2 + old[ref]])
+            remap[ref] = new_ref
+            return new_ref
+
+        self._clause_refs = [copy(ref) for ref in self._clause_refs]
+        new_learnts: List[int] = []
+        new_act: Dict[int, float] = {}
+        new_lbd: Dict[int, int] = {}
+        for ref in self._learnt_refs:
+            if ref in removed:
+                continue
+            new_ref = copy(ref)
+            new_act[new_ref] = self._cla_act.get(ref, 0.0)
+            new_lbd[new_ref] = self._cla_lbd.get(ref, 3)
+            new_learnts.append(new_ref)
+        self._ca = new_ca
+        self._learnt_refs = new_learnts
+        self._cla_act = new_act
+        self._cla_lbd = new_lbd
+        self._reason = [
+            remap[ref] if ref >= 0 else ref for ref in self._reason
+        ]
+        # Rebuild long-clause watches (binary lists are arena-free and
+        # untouched): re-watch every survivor on its first two slots.
+        watches: List[List[int]] = [[] for _ in range(len(self._watches))]
+        for ref in self._clause_refs:
+            l0 = new_ca[ref + 2]
+            l1 = new_ca[ref + 3]
+            watches[l0].append(l1)
+            watches[l0].append(ref)
+            watches[l1].append(l0)
+            watches[l1].append(ref)
+        for ref in new_learnts:
+            l0 = new_ca[ref + 2]
+            l1 = new_ca[ref + 3]
+            watches[l0].append(l1)
+            watches[l0].append(ref)
+            watches[l1].append(l0)
+            watches[l1].append(ref)
+        self._watches = watches
 
     # ------------------------------------------------------------------
     # main search
@@ -419,7 +705,7 @@ class Solver:
             return SolveResult(SolveStatus.UNSAT)
         self._backtrack(0)
         conflict = self._propagate()
-        if conflict is not None:
+        if conflict >= 0:
             self._ok = False
             return SolveResult(SolveStatus.UNSAT)
         self._rebuild_heap()
@@ -432,12 +718,13 @@ class Solver:
         restart_idx = 1
         restart_limit = 64 * _luby(restart_idx)
         conflicts_since_restart = 0
-        max_learnts = max(1000, len(self._clauses) // 2)
+        max_learnts = max(1000, len(self._clause_refs) // 2)
         local_conflicts = 0
         local_learned = 0
         local_restarts = 0
         decisions_at_entry = self.decisions
         propagations_at_entry = self.propagations
+        assign = self._assign
 
         def _result(status: SolveStatus, model=None) -> SolveResult:
             return SolveResult(
@@ -452,17 +739,17 @@ class Solver:
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict >= 0:
                 self.conflicts += 1
                 local_conflicts += 1
                 conflicts_since_restart += 1
-                if self._decision_level == 0:
+                if not self._trail_lim:
                     self._ok = False
                     return _result(SolveStatus.UNSAT)
                 # A conflict below the assumption levels means the
                 # assumptions themselves are inconsistent.
-                learnt, back_level = self._analyze(conflict)
-                if self._decision_level <= len(iassumptions):
+                learnt, back_level, lbd = self._analyze(conflict)
+                if len(self._trail_lim) <= len(iassumptions):
                     self._backtrack(0)
                     return _result(SolveStatus.UNSAT)
                 back_level = max(back_level, 0)
@@ -470,15 +757,19 @@ class Solver:
                 self.learned += 1
                 local_learned += 1
                 if len(learnt) == 1:
-                    if not self._enqueue(learnt[0], None):
+                    if not self._enqueue(learnt[0], _NO_REASON):
                         self._ok = False
                         return _result(SolveStatus.UNSAT)
+                elif len(learnt) == 2:
+                    # Learnt binaries go straight into the watch lists
+                    # (and, like all binaries, are never deleted).
+                    self._add_binary(learnt[0], learnt[1])
+                    self._enqueue(learnt[0], -2 - learnt[1])
                 else:
-                    clause = _Clause(learnt, learnt=True)
-                    self._learnts.append(clause)
-                    self._watch(clause)
-                    self._bump_clause(clause)
-                    self._enqueue(learnt[0], clause)
+                    ref = self._new_clause(learnt, learnt=True)
+                    self._cla_lbd[ref] = lbd
+                    self._bump_clause(ref)
+                    self._enqueue(learnt[0], ref)
                 self._var_inc /= 0.95
                 self._cla_inc /= 0.999
                 if conflict_budget is not None and local_conflicts >= conflict_budget:
@@ -496,14 +787,14 @@ class Solver:
                     # Assumption levels are re-created as decisions after
                     # the restart, so a full backtrack is safe.
                     self._backtrack(0)
-                if len(self._learnts) > max_learnts:
+                if len(self._learnt_refs) > max_learnts:
                     self._reduce_db()
                     max_learnts = int(max_learnts * 1.3)
                 continue
 
             # No conflict: extend assignment.
-            if self._decision_level < len(iassumptions):
-                ilit = iassumptions[self._decision_level]
+            if len(self._trail_lim) < len(iassumptions):
+                ilit = iassumptions[len(self._trail_lim)]
                 value = self._lit_value(ilit)
                 if value == 1:
                     self._trail_lim.append(len(self._trail))
@@ -513,18 +804,18 @@ class Solver:
                     return _result(SolveStatus.UNSAT)
                 self.decisions += 1
                 self._trail_lim.append(len(self._trail))
-                self._enqueue(ilit, None)
+                self._enqueue(ilit, _NO_REASON)
                 continue
 
             var = self._pick_branch_var()
             if var == 0:
                 model = [False] * (self.num_vars + 1)
                 for v in range(1, self.num_vars + 1):
-                    model[v] = self._assign[v] == 1
+                    model[v] = assign[v] == 1
                 result = _result(SolveStatus.SAT, model=model)
                 self._backtrack(0)
                 return result
             self.decisions += 1
             self._trail_lim.append(len(self._trail))
             ilit = (var << 1) | (1 - self._phase[var])
-            self._enqueue(ilit, None)
+            self._enqueue(ilit, _NO_REASON)

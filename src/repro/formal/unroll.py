@@ -4,16 +4,33 @@ An :class:`Unroller` owns a solver and incrementally appends time
 frames.  Register values flow between frames by literal aliasing (frame
 ``t+1``'s ``q`` literal *is* frame ``t``'s ``d`` literal), so the CNF
 contains only real logic.
+
+By default frames are *stamped* from a pre-compiled
+:class:`~repro.formal.frameprog.FrameProgram` — the combinational
+logic is folded into a clause template once and each frame is added by
+offsetting variable indices (see :mod:`repro.formal.frameprog`).  Pass
+``use_templates=False`` to re-encode every frame through the reference
+:class:`FrameEncoder`; the property suite runs both paths and checks
+them equisatisfiable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set, Union
 
 from repro.hdl.circuit import Circuit
 from repro.hdl.lowering import LoweredCircuit
 from repro.formal.encode import FrameEncoder
+from repro.formal.frameprog import (
+    InterpretedFrame,
+    StampedFrame,
+    execute_ops,
+    frame_program_for,
+)
 from repro.formal.sat.solver import Solver
+
+#: All frame kinds expose ``lit(name)`` / ``const_lit(value)`` / ``true_lit``.
+Frame = Union[FrameEncoder, StampedFrame, InterpretedFrame]
 
 
 class Unroller:
@@ -28,6 +45,8 @@ class Unroller:
         symbolic_registers: original register names whose initial
             values are free (universally quantified by the check).
         symbolic_all: make every register's initial value free.
+        use_templates: stamp frames from a compiled frame program
+            (default) instead of re-encoding via ``FrameEncoder``.
     """
 
     def __init__(
@@ -37,13 +56,16 @@ class Unroller:
         initial_values: Optional[Mapping[str, int]] = None,
         symbolic_registers: Optional[Set[str]] = None,
         symbolic_all: bool = False,
+        use_templates: bool = True,
     ) -> None:
         self.lowered = lowered
         self.circuit = lowered.circuit
         self.solver = solver or Solver()
         self.true_lit = self.solver.new_var()
         self.solver.add_clause((self.true_lit,))
-        self.frames: List[FrameEncoder] = []
+        self.frames: List[Frame] = []
+        self._use_templates = use_templates
+        self._program = frame_program_for(lowered) if use_templates else None
         self._initial_values = dict(initial_values or {})
         self._symbolic = set(symbolic_registers or ())
         self._symbolic_all = symbolic_all
@@ -59,18 +81,55 @@ class Unroller:
         """Number of frames encoded so far."""
         return len(self.frames)
 
-    def add_frame(self) -> FrameEncoder:
+    def add_frame(self) -> Frame:
         """Encode one more time frame and return its encoder."""
+        if self._program is not None:
+            return self._stamp_frame()
         frame = FrameEncoder(self.solver, self.true_lit)
         previous = self.frames[-1] if self.frames else None
         for sig in self.circuit.inputs:
             frame.fresh(sig.name)
         for reg in self.circuit.registers:
             if previous is None:
-                frame.define(reg.q.name, self._initial_lit(frame, reg))
+                frame.define(reg.q.name, self._initial_lit(reg))
             else:
                 frame.define(reg.q.name, previous.lit(reg.d.name))
         frame.encode_combinational(self.circuit)
+        self.frames.append(frame)
+        return frame
+
+    def _stamp_frame(self) -> Frame:
+        """Add one frame from the compiled program.
+
+        While any boundary literal is still a constant — frame 0 under
+        a concrete reset, and succeeding frames for as long as constant
+        register values keep propagating — the op program is
+        *interpreted* so the encoder's constant folding fires exactly
+        as in the reference path.  Once the boundary is fully symbolic
+        (always, for a free initial state) folding cannot trigger and
+        the pre-folded template is stamped by index offsetting.
+        """
+        program = self._program
+        solver = self.solver
+        true_lit = self.true_lit
+        previous = self.frames[-1] if self.frames else None
+        if previous is None:
+            boundary = [self._initial_lit(reg) for reg in self.circuit.registers]
+        else:
+            boundary = [previous.lit(reg.d.name) for reg in self.circuit.registers]
+        if any(lit == true_lit or lit == -true_lit for lit in boundary):
+            inputs = [solver.new_var() for _ in program.input_slots]
+            frame: Frame = execute_ops(program, solver, true_lit, boundary, inputs)
+        else:
+            base = solver.num_vars + 1
+            solver.new_vars(program.n_fresh)
+            frame = StampedFrame(program, true_lit, boundary, base)
+            if program.pure:
+                solver.stamp_clauses(program.pure, base)
+            resolve = frame.resolve
+            add = solver.add_clause
+            for clause in program.mixed:
+                add([resolve(tv) for tv in clause])
         self.frames.append(frame)
         return frame
 
@@ -78,14 +137,14 @@ class Unroller:
         while self.depth < depth:
             self.add_frame()
 
-    def _initial_lit(self, frame: FrameEncoder, reg) -> int:
+    def _initial_lit(self, reg) -> int:
         orig_name, bit_index = self._orig_of_gate_reg.get(reg.q.name, (reg.q.name, 0))
         if self._symbolic_all or orig_name in self._symbolic or reg.q.name in self._symbolic:
             return self.solver.new_var()
         if orig_name in self._initial_values:
             value = self._initial_values[orig_name]
-            return frame.const_lit((value >> bit_index) & 1)
-        return frame.const_lit(reg.reset_value & 1)
+            return self.true_lit if (value >> bit_index) & 1 else -self.true_lit
+        return self.true_lit if reg.reset_value & 1 else -self.true_lit
 
     # ------------------------------------------------------------------
     # convenience lookups on original (word-level) names

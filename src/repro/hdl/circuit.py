@@ -99,6 +99,22 @@ class Circuit:
         self._topo_cache = None
         return cell
 
+    def adopt_cell(self, cell: Cell) -> Cell:
+        """Trusted :meth:`add_cell` for optimizer passes.
+
+        The per-cell arity/width validation is skipped — the cell is
+        being copied unchanged out of an already-validated circuit.
+        Structural bookkeeping (producer uniqueness, signal
+        registration) still applies.
+        """
+        if cell.out.name in self._producer:
+            raise CircuitError(f"signal {cell.out.name!r} already driven")
+        self.add_signal(cell.out)
+        self.cells.append(cell)
+        self._producer[cell.out.name] = cell
+        self._topo_cache = None
+        return cell
+
     def add_register(self, register: Register) -> Register:
         if register.q.kind is not SignalKind.REG:
             raise CircuitError(f"register q signal {register.q.name!r} must have kind REG")

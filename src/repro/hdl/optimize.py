@@ -32,7 +32,7 @@ class _Simplifier:
         self._tmp = 0
 
     # ------------------------------------------------------------------
-    def run(self) -> Circuit:
+    def run(self, validate: bool = True) -> Circuit:
         for sig in self.src.inputs:
             self.out.add_signal(sig)
             self.repr[sig.name] = ("sig", sig.name)
@@ -52,7 +52,7 @@ class _Simplifier:
             if source == sig.name:
                 continue
             self.out.add_cell(Cell(CellOp.BUF, sig, (self.out.signal(source),), module=sig.module))
-        return _eliminate_dead(self.out)
+        return _eliminate_dead(self.out, validate=validate)
 
     # ------------------------------------------------------------------
     def _canon(self, sig: Signal) -> Tuple[str, int]:
@@ -238,7 +238,253 @@ class _Simplifier:
         self._emit_generic(cell, entries)
 
 
-def _eliminate_dead(circuit: Circuit) -> Circuit:
+def cone_of_influence(circuit: Circuit, roots: "Iterable[str]",
+                      validate: bool = True) -> Circuit:
+    """Restrict a circuit to the logic that can influence ``roots``.
+
+    ``roots`` are signal names (typically a property's ``bad``,
+    assumption and monitor signals at gate level).  The cone walks
+    backwards through cells and *through registers*: reaching a
+    register's ``q`` pulls the cone of its ``d`` in, so the result is
+    closed under sequential influence — sound for unrolled reachability
+    checks at any depth.
+
+    Unlike :func:`_eliminate_dead` (which keeps every output and
+    register), this drops registers, outputs and cells outside the
+    cone.  All INPUT signals are kept even when unreferenced: a pruned
+    input costs one unconstrained solver variable and zero clauses, and
+    keeping them means counterexamples still assign every input of the
+    original interface.
+    """
+    live: Set[str] = set()
+    register_of = {reg.q.name: reg for reg in circuit.registers}
+    stack = [name for name in roots]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        reg = register_of.get(name)
+        if reg is not None:
+            stack.append(reg.d.name)
+            continue
+        producer = circuit.producer(circuit.signal(name))
+        if producer is not None:
+            stack.extend(s.name for s in producer.ins)
+    out = Circuit(circuit.name)
+    for sig in circuit.inputs:
+        out.add_signal(sig)
+    for reg in circuit.registers:
+        if reg.q.name in live:
+            out.add_register(reg)
+    for cell in circuit.cells:
+        if cell.out.name in live:
+            out.adopt_cell(cell)
+    if validate:
+        out.validate()
+    return out
+
+
+class _Strasher:
+    """Structural hashing over 1-bit gates with signed edges.
+
+    Every 1-bit signal is reduced to an *edge* ``(node, negated)``
+    where ``node`` is a canonical signal name in the output circuit (or
+    ``None`` for a constant).  ``BUF``/``NOT`` fold into the edge
+    phase, and ``AND``/``OR``/``XOR`` nodes are hash-consed on
+    ``(op, sorted signed inputs)``, so gates that differ only in
+    operand order, buffering or input polarity spelling hash to the
+    same node.  Taint instrumentation duplicates the host design's
+    logic as shadow logic — shared cones between original and shadow
+    collapse here.
+
+    ``OR`` is deliberately *not* De-Morganed into ``AND``: doing so
+    materialises a NOT wall at every phase boundary and restructures
+    the CNF for no extra dedup on real netlists (the duplicates taint
+    instrumentation creates are op-identical).
+
+    Cells that are not 1-bit gates pass through unchanged, which keeps
+    the pass safe on arbitrary circuits (it just does nothing for
+    them).
+    """
+
+    _FALSE = (None, False)
+    _TRUE = (None, True)
+
+    def __init__(self, source: Circuit) -> None:
+        self.src = source
+        self.out = Circuit(source.name)
+        #: source signal name -> (canonical node name | None, negated)
+        self.edge: Dict[str, Tuple[Optional[str], bool]] = {}
+        #: structural key -> canonical node name
+        self.nodes: Dict[Tuple, str] = {}
+        self._tmp = 0
+
+    def run(self, validate: bool = True) -> Circuit:
+        for sig in self.src.inputs:
+            self.out.add_signal(sig)
+            self.edge[sig.name] = (sig.name, False)
+        for reg in self.src.registers:
+            self.out.add_signal(reg.q)
+            self.edge[reg.q.name] = (reg.q.name, False)
+        for cell in self.src.topo_cells():
+            self._hash_cell(cell)
+        for reg in self.src.registers:
+            d_name = self._materialize(self.edge[reg.d.name], reg.d.width)
+            self.out.add_register(
+                Register(reg.q, self.out.signal(d_name), reg.reset_value))
+        for sig in self.src.outputs:
+            self._drive_output(sig)
+        return _eliminate_dead(self.out, validate=validate)
+
+    # ------------------------------------------------------------------
+    def _fresh_name(self, prefix: str) -> str:
+        self._tmp += 1
+        return f"_st_{prefix}{self._tmp}"
+
+    def _materialize(self, edge: Tuple[Optional[str], bool], width: int) -> str:
+        """Name of an output-circuit signal carrying this edge's value."""
+        node, negated = edge
+        if node is None:
+            key = ("const", int(negated))
+            existing = self.nodes.get(key)
+            if existing is not None:
+                return existing
+            name = self._fresh_name("const")
+            sig = Signal(name, width, SignalKind.WIRE)
+            self.out.add_cell(
+                Cell(CellOp.CONST, sig, (), (("value", int(negated)),)))
+            self.nodes[key] = name
+            return name
+        if not negated:
+            return node
+        key = ("not", node)
+        existing = self.nodes.get(key)
+        if existing is not None:
+            return existing
+        name = self._fresh_name("not")
+        sig = Signal(name, width, SignalKind.WIRE)
+        self.out.add_cell(Cell(CellOp.NOT, sig, (self.out.signal(node),)))
+        self.nodes[key] = name
+        return name
+
+    def _drive_output(self, sig: Signal) -> None:
+        """Re-create an OUTPUT signal, by name, from its canonical edge."""
+        node, negated = self.edge[sig.name]
+        if node == sig.name and not negated:
+            return  # the canonical node *is* the output signal
+        out_sig = Signal(sig.name, sig.width, SignalKind.OUTPUT, module=sig.module)
+        if node is None:
+            self.out.add_cell(
+                Cell(CellOp.CONST, out_sig, (), (("value", int(negated)),)))
+        elif negated:
+            self.out.add_cell(Cell(CellOp.NOT, out_sig, (self.out.signal(node),)))
+        else:
+            self.out.add_cell(Cell(CellOp.BUF, out_sig, (self.out.signal(node),)))
+
+    def _emit_node(self, cell: Cell, key: Tuple, op: CellOp,
+                   in_edges: List[Tuple[Optional[str], bool]]) -> Tuple[str, bool]:
+        """Hash-cons a gate node; returns its positive edge."""
+        existing = self.nodes.get(key)
+        if existing is not None:
+            return (existing, False)
+        ins = tuple(
+            self.out.signal(self._materialize(edge, 1)) for edge in in_edges)
+        # Keep the source name when it is free (preserves readability and
+        # lets outputs be their own canonical node); OUTPUT-kind signals
+        # are re-driven separately so the node itself stays a wire.
+        if cell.out.kind is SignalKind.WIRE and cell.out.name not in self.out.signals:
+            sig = Signal(cell.out.name, 1, SignalKind.WIRE, module=cell.module)
+        else:
+            sig = Signal(self._fresh_name("n"), 1, SignalKind.WIRE, module=cell.module)
+        self.out.add_cell(Cell(op, sig, ins, module=cell.module))
+        self.nodes[key] = sig.name
+        return (sig.name, False)
+
+    def _hash_cell(self, cell: Cell) -> None:
+        op = cell.op
+        out_name = cell.out.name
+        if cell.out.width == 1 and op in (
+                CellOp.CONST, CellOp.BUF, CellOp.NOT,
+                CellOp.AND, CellOp.OR, CellOp.XOR):
+            if op is CellOp.CONST:
+                self.edge[out_name] = self._TRUE if cell.param("value") & 1 else self._FALSE
+                return
+            ins = [self.edge[s.name] for s in cell.ins]
+            if op is CellOp.BUF:
+                self.edge[out_name] = ins[0]
+                return
+            if op is CellOp.NOT:
+                node, negated = ins[0]
+                self.edge[out_name] = (node, not negated)
+                return
+            if op is CellOp.AND:
+                self.edge[out_name] = self._strash_andor(cell, CellOp.AND, ins)
+                return
+            if op is CellOp.OR:
+                self.edge[out_name] = self._strash_andor(cell, CellOp.OR, ins)
+                return
+            self.edge[out_name] = self._strash_xor(cell, ins)
+            return
+        # Generic pass-through for non-gate cells (word-level circuits).
+        in_names = [self._materialize(self.edge[s.name], s.width) for s in cell.ins]
+        ins = tuple(self.out.signal(n) for n in in_names)
+        out_sig = cell.out
+        if out_sig.name in self.out.signals and self.out.signals[out_sig.name] != out_sig:
+            out_sig = Signal(self._fresh_name("w"), out_sig.width, out_sig.kind,
+                             module=cell.module)
+        self.out.add_cell(Cell(op, out_sig, ins, cell.params, module=cell.module))
+        self.edge[out_name] = (out_sig.name, False)
+
+    def _strash_andor(self, cell: Cell, op: CellOp,
+                      ins: List[Tuple[Optional[str], bool]]) -> Tuple[Optional[str], bool]:
+        is_and = op is CellOp.AND
+        absorbing = self._FALSE if is_and else self._TRUE
+        live: List[Tuple[str, bool]] = []
+        seen: Set[Tuple[str, bool]] = set()
+        for node, negated in ins:
+            if node is None:
+                if negated != is_and:
+                    return absorbing  # x AND 0 / x OR 1
+                continue  # identity constant
+            if (node, not negated) in seen:
+                return absorbing  # x AND ~x / x OR ~x
+            if (node, negated) not in seen:
+                seen.add((node, negated))
+                live.append((node, negated))
+        if not live:
+            return self._TRUE if is_and else self._FALSE
+        if len(live) == 1:
+            return live[0]
+        live.sort(key=lambda e: (e[0], e[1]))
+        key = (op.value, tuple(live))
+        return self._emit_node(cell, key, op, list(live))
+
+    def _strash_xor(self, cell: Cell,
+                    ins: List[Tuple[Optional[str], bool]]) -> Tuple[Optional[str], bool]:
+        parity = False
+        counts: Dict[str, int] = {}
+        for node, negated in ins:
+            parity ^= negated  # XOR(~a, b) == ~XOR(a, b); consts fold too
+            if node is not None:
+                counts[node] = counts.get(node, 0) + 1
+        nodes = sorted(n for n, c in counts.items() if c % 2 == 1)
+        if not nodes:
+            return (None, parity)
+        if len(nodes) == 1:
+            return (nodes[0], parity)
+        key = ("xor", tuple(nodes))
+        node, _ = self._emit_node(
+            cell, key, CellOp.XOR, [(n, False) for n in nodes])
+        return (node, parity)
+
+
+def strash(circuit: Circuit, validate: bool = True) -> Circuit:
+    """Hash-cons structurally identical 1-bit gates (see :class:`_Strasher`)."""
+    return _Strasher(circuit).run(validate=validate)
+
+
+def _eliminate_dead(circuit: Circuit, validate: bool = True) -> Circuit:
     """Drop cells not in the cone of any output or register next-value."""
     live: Set[str] = set()
     stack = [sig.name for sig in circuit.outputs]
@@ -258,11 +504,16 @@ def _eliminate_dead(circuit: Circuit) -> Circuit:
         out.add_register(reg)
     for cell in circuit.cells:
         if cell.out.name in live:
-            out.add_cell(cell)
-    out.validate()
+            out.adopt_cell(cell)
+    if validate:
+        out.validate()
     return out
 
 
-def simplify(circuit: Circuit) -> Circuit:
-    """Run the full simplification pipeline on a circuit."""
-    return _Simplifier(circuit).run()
+def simplify(circuit: Circuit, validate: bool = True) -> Circuit:
+    """Run the full simplification pipeline on a circuit.
+
+    ``validate=False`` skips the output invariant check — for use in
+    pass pipelines that validate once at the end.
+    """
+    return _Simplifier(circuit).run(validate=validate)

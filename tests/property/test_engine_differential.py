@@ -116,3 +116,96 @@ def test_process_portfolio_agrees_with_engines():
         else:
             assert por.status in (PortfolioStatus.PROVED,
                                   PortfolioStatus.BOUND_REACHED), (seed, por.status)
+
+
+# ---------------------------------------------------------------------------
+# encoding/reduction differentials (the fast formal hot path)
+# ---------------------------------------------------------------------------
+
+from repro.hdl.lowering import lower_to_gates  # noqa: E402
+from repro.hdl.optimize import simplify  # noqa: E402
+from repro.formal.sat.solver import SolveStatus  # noqa: E402
+from repro.formal.unroll import Unroller  # noqa: E402
+
+
+@pytest.mark.parametrize("seed", range(25))
+@pytest.mark.parametrize("symbolic", [False, True])
+def test_stamped_frames_equisatisfiable_with_reference(seed, symbolic):
+    """Template-stamped frames answer every per-depth reachability
+    question exactly like the reference FrameEncoder path.
+
+    This is the contract that lets the fast path replace the reference:
+    the same verdict for ``bad`` at every depth — with both a concrete
+    reset (interpreted constant folding) and a fully symbolic initial
+    state (pure stamping).  CNF sizes may differ: when two registers'
+    next-state literals coincide, the reference encoder folds across
+    the frame boundary while the template treats each boundary slot as
+    a distinct opaque symbol — a strictly weaker fold that preserves
+    equisatisfiability.
+    """
+    circuit = random_machine(seed)
+    lowered = lower_to_gates(circuit)
+    ref = Unroller(lowered, symbolic_all=symbolic, use_templates=False)
+    fast = Unroller(lowered, symbolic_all=symbolic, use_templates=True)
+    for depth in range(5):
+        ref.add_frame()
+        fast.add_frame()
+        ref_bad = ref.lit_of_bit(depth, "bad")
+        fast_bad = fast.lit_of_bit(depth, "bad")
+        ref_res = ref.solver.solve(assumptions=[ref_bad])
+        fast_res = fast.solver.solve(assumptions=[fast_bad])
+        assert ref_res.status == fast_res.status, (seed, depth)
+        if ref_res.status is SolveStatus.UNSAT:
+            ref.solver.add_clause((-ref_bad,))
+            fast.solver.add_clause((-fast_bad,))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_property_reduction_preserves_bmc_verdict(seed):
+    """COI + strash (the Circuit entry path) vs. the raw lowered
+    netlist (the LoweredCircuit entry path, which bypasses reduction):
+    identical BMC verdicts and bounds, and any counterexample from the
+    reduced netlist must replay on the ORIGINAL circuit."""
+    circuit = random_machine(seed)
+    reduced = bounded_model_check(circuit, PROP, max_bound=MAX_BOUND,
+                                  time_limit=30)
+    raw_lowered = lower_to_gates(circuit)
+    raw_lowered = type(raw_lowered)(simplify(raw_lowered.circuit),
+                                    raw_lowered.bits)
+    unreduced = bounded_model_check(raw_lowered, PROP, max_bound=MAX_BOUND,
+                                    time_limit=30)
+    assert reduced.status == unreduced.status, seed
+    assert reduced.bound == unreduced.bound, seed
+    if reduced.status is BmcStatus.COUNTEREXAMPLE:
+        assert reduced.counterexample.length == \
+            unreduced.counterexample.length, seed
+        _assert_cex_replays(reduced.counterexample, circuit, seed,
+                            "bmc-reduced")
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_property_reduction_preserves_proofs(seed):
+    """k-induction and PDR agree between the reduced and raw netlists:
+    a proof on one side forbids a counterexample on the other."""
+    circuit = random_machine(seed)
+    raw_lowered = lower_to_gates(circuit)
+    raw_lowered = type(raw_lowered)(simplify(raw_lowered.circuit),
+                                    raw_lowered.bits)
+    ind_red = k_induction(circuit, PROP, max_k=5, time_limit=30)
+    ind_raw = k_induction(raw_lowered, PROP, max_k=5, time_limit=30)
+    pdr_red = pdr_prove(circuit, PROP, max_frames=30, time_limit=30)
+    pdr_raw = pdr_prove(raw_lowered, PROP, max_frames=30, time_limit=30)
+    for red, raw, engine in ((ind_red, ind_raw, "kind"),
+                             (pdr_red, pdr_raw, "pdr")):
+        proved = {s for s in (red.status, raw.status)
+                  if s in (InductionStatus.PROVED, PdrStatus.PROVED)}
+        cex = {s for s in (red.status, raw.status)
+               if s in (InductionStatus.COUNTEREXAMPLE,
+                        PdrStatus.COUNTEREXAMPLE)}
+        assert not (proved and cex), (seed, engine, red.status, raw.status)
+    if ind_red.status is InductionStatus.COUNTEREXAMPLE:
+        _assert_cex_replays(ind_red.counterexample, circuit, seed,
+                            "kind-reduced")
+    if pdr_red.status is PdrStatus.COUNTEREXAMPLE:
+        _assert_cex_replays(pdr_red.counterexample, circuit, seed,
+                            "pdr-reduced")

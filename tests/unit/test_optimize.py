@@ -1,7 +1,7 @@
 import pytest
 
 from repro.hdl import ModuleBuilder, lower_to_gates
-from repro.hdl.optimize import simplify
+from repro.hdl.optimize import cone_of_influence, simplify, strash
 from repro.sim import Simulator
 
 import sys
@@ -120,3 +120,150 @@ class TestSimplify:
         low = lower_to_gates(design.circuit).circuit
         opt = simplify(low)
         assert len(opt.cells) < len(low.cells)
+
+
+class TestConeOfInfluence:
+    def _split_circuit(self):
+        """Two independent halves: a counter cone and a shifter cone."""
+        b = ModuleBuilder("split")
+        inc = b.input("inc", 1)
+        data = b.input("data", 4)
+        count = b.reg("count", 4)
+        count.drive(count + inc.zext(4))
+        shift = b.reg("shift", 4)
+        shift.drive(shift << 1 ^ data)
+        b.output("count_out", count)
+        b.output("shift_out", shift)
+        return b.build()
+
+    def test_prunes_logic_outside_cone(self):
+        circ = lower_to_gates(self._split_circuit()).circuit
+        root_bits = [s.name for s in circ.outputs if s.name.startswith("count_out")]
+        coi = cone_of_influence(circ, root_bits)
+        assert len(coi.cells) < len(circ.cells)
+        # The shifter's registers are not in the counter's cone.
+        kept_regs = {r.q.name for r in coi.registers}
+        assert not any(name.startswith("shift") for name in kept_regs)
+
+    def test_keeps_all_inputs(self):
+        """Inputs survive even outside the cone (cex interface)."""
+        circ = lower_to_gates(self._split_circuit()).circuit
+        root_bits = [s.name for s in circ.outputs if s.name.startswith("count_out")]
+        coi = cone_of_influence(circ, root_bits)
+        assert {s.name for s in coi.inputs} == {s.name for s in circ.inputs}
+
+    def test_closed_under_registers(self):
+        """Reaching a register q must pull in its next-state cone."""
+        b = ModuleBuilder("chain")
+        x = b.input("x", 1)
+        first = b.reg("first", 1)
+        second = b.reg("second", 1)
+        first.drive(x)
+        second.drive(first)
+        b.output("o", second)
+        circ = lower_to_gates(b.build()).circuit
+        roots = [s.name for s in circ.outputs]
+        coi = cone_of_influence(circ, roots)
+        assert {r.q.name for r in coi.registers} == \
+            {r.q.name for r in circ.registers}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cone_semantics_preserved(self, seed):
+        """Signals inside the cone behave identically after pruning."""
+        circ = lower_to_gates(random_cell_circuit(seed)).circuit
+        roots = [s.name for s in circ.outputs]
+        coi = cone_of_influence(circ, roots)
+        import random as _r
+
+        rng = _r.Random(seed)
+        names = [s.name for s in circ.inputs]
+        stim = [{n: rng.randrange(2) for n in names} for _ in range(8)]
+        _same_outputs(circ, coi, stim)
+
+
+class TestStrash:
+    def test_merges_duplicate_gates(self):
+        b = ModuleBuilder("dup")
+        x = b.input("x", 1)
+        y = b.input("y", 1)
+        b.output("o1", x & y)
+        b.output("o2", y & x)  # same gate, operands swapped
+        st = strash(lower_to_gates(b.build()).circuit)
+        and_cells = [c for c in st.cells if c.op.value == "and"]
+        assert len(and_cells) == 1
+
+    def test_folds_buffer_chains_into_phase(self):
+        b = ModuleBuilder("phase")
+        x = b.input("x", 1)
+        y = b.input("y", 1)
+        b.output("o1", ~(~x & ~y))
+        b.output("o2", ~(~x & ~y))
+        st = strash(lower_to_gates(b.build()).circuit)
+        and_cells = [c for c in st.cells if c.op.value == "and"]
+        assert len(and_cells) == 1
+
+    def test_xor_duplicate_operands_cancel(self):
+        from repro.hdl.cells import Cell, CellOp
+        from repro.hdl.circuit import Circuit
+        from repro.hdl.signals import Signal, SignalKind
+
+        circ = Circuit("xc")
+        x = circ.add_signal(Signal("x", 1, SignalKind.INPUT))
+        y = circ.add_signal(Signal("y", 1, SignalKind.INPUT))
+        o = Signal("o", 1, SignalKind.OUTPUT)
+        circ.add_cell(Cell(CellOp.XOR, o, (x, y, x)))  # == y
+        circ.validate()
+        st = strash(circ)
+        assert not [c for c in st.cells if c.op is CellOp.XOR]
+        import random as _r
+
+        rng = _r.Random(0)
+        stim = [{"x": rng.randrange(2), "y": rng.randrange(2)}
+                for _ in range(8)]
+        _same_outputs(circ, st, stim)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_semantics_preserved(self, seed):
+        circ = lower_to_gates(random_cell_circuit(seed)).circuit
+        st = strash(circ)
+        import random as _r
+
+        rng = _r.Random(seed)
+        names = [s.name for s in circ.inputs]
+        stim = [{n: rng.randrange(2) for n in names} for _ in range(8)]
+        _same_outputs(circ, st, stim)
+
+    def test_interface_preserved(self):
+        circ = lower_to_gates(random_cell_circuit(2)).circuit
+        st = strash(circ)
+        assert {s.name for s in st.inputs} == {s.name for s in circ.inputs}
+        assert {s.name for s in st.outputs} == {s.name for s in circ.outputs}
+        assert {r.q.name for r in st.registers} == \
+            {r.q.name for r in circ.registers}
+
+    def test_shrinks_shadow_logic(self):
+        """Taint instrumentation duplicates host cones; strash merges
+        the shared structure back."""
+        from repro.taint import TaintSources, cellift_scheme, instrument
+
+        circ = random_cell_circuit(4)
+        design = instrument(circ, cellift_scheme(),
+                            TaintSources(registers={"secret": -1}))
+        low = simplify(lower_to_gates(design.circuit).circuit)
+        st = strash(low)
+        assert len(st.cells) <= len(low.cells)
+
+
+class TestValidateSkip:
+    """validate=False must change nothing but the invariant re-check."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_result_with_and_without(self, seed):
+        circ = lower_to_gates(random_cell_circuit(seed)).circuit
+        a = simplify(circ)
+        bb = simplify(circ, validate=False)
+        assert [c.out.name for c in a.cells] == [c.out.name for c in bb.cells]
+        sa = strash(a)
+        sb = strash(bb, validate=False)
+        assert [c.out.name for c in sa.cells] == [c.out.name for c in sb.cells]
+        sb.validate()  # the skipped check still holds

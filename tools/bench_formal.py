@@ -1,0 +1,340 @@
+"""Formal hot-path benchmark: the ``BENCH_formal.json`` perf trajectory.
+
+Runs a fixed set of verification workloads through the formal engines
+and records, per case:
+
+- wall-clock seconds for the engine run,
+- the verdict (so perf work cannot silently change answers),
+- SAT propagations and propagations/second (from the PR-3 tracer),
+- CNF size per unrolled frame (variables / clauses) and encode time,
+- solve-cache hits when a second engine re-asks the same frames.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_formal.py                 # print table
+    PYTHONPATH=src python tools/bench_formal.py -o BENCH_formal.json
+    PYTHONPATH=src python tools/bench_formal.py \
+        --baseline benchmarks/results/bench_formal_baseline.json \
+        -o BENCH_formal.json                                    # + speedups
+
+The benchmark set is deliberately small enough for a CI smoke job
+(≈1-2 minutes) but shaped like the real workloads: fuzzed sequential
+machines (the differential-test population), a harder/wider fuzz tier,
+and a taint-instrumented tiny core (the Table-2 shape, where COI and
+structural hashing earn their keep on shadow logic).
+
+With ``--baseline``, the output embeds per-case and geometric-mean
+speedups (baseline wall / current wall); the CI perf-smoke job uploads
+the JSON as an artifact so the trajectory is recorded per commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+
+def _tracer():
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _sum_sat_counters(tracer) -> Dict[str, float]:
+    totals = tracer.counter_totals()
+    return {
+        "propagations": int(totals.get("sat.propagations", 0)),
+        "conflicts": int(totals.get("sat.conflicts", 0)),
+        "decisions": int(totals.get("sat.decisions", 0)),
+    }
+
+
+def _solver_clause_count(solver) -> Optional[int]:
+    count = getattr(solver, "num_clauses", None)
+    if count is not None:
+        return int(count)
+    clauses = getattr(solver, "_clauses", None)
+    if clauses is not None:
+        return len(clauses)
+    return None
+
+
+# ----------------------------------------------------------------------
+# workload construction
+# ----------------------------------------------------------------------
+
+def _fuzz_case(seed: int, **kwargs):
+    from repro.bench.fuzz import random_machine
+    from repro.formal import SafetyProperty
+
+    return random_machine(seed, **kwargs), SafetyProperty("p", "bad")
+
+
+def _tiny_sodor():
+    from repro.cores import CoreConfig, core_registry
+
+    cfg = CoreConfig.formal(xlen=4, imem_depth=4, dmem_depth=4, secret_words=1)
+    return core_registry()["Sodor"](cfg, True)
+
+
+def _cellift_contract_case():
+    """A taint-instrumented tiny Sodor: the COI/strash showcase."""
+    from repro.cegar.loop import instrument_task
+    from repro.contracts import make_contract_task
+    from repro.taint import cellift_scheme
+
+    task = make_contract_task(_tiny_sodor())
+    design, prop = instrument_task(task, cellift_scheme())
+    return design.circuit, prop
+
+
+def _selfcomp_case():
+    """Two-copy self-composition of tiny Sodor (the Ht baseline shape)."""
+    from repro.contracts import make_selfcomp_property
+
+    task = make_selfcomp_property(_tiny_sodor())
+    return task.circuit, task.prop
+
+
+def _benchmark_set(quick: bool) -> List[Dict[str, Any]]:
+    cases: List[Dict[str, Any]] = []
+    fuzz_seeds = (0, 3, 7, 11) if quick else (0, 3, 7, 11, 17, 23)
+    for seed in fuzz_seeds:
+        cases.append({
+            "name": f"fuzz-w3-s{seed}",
+            "build": lambda seed=seed: _fuzz_case(seed),
+            "engines": ("bmc", "kind", "pdr"),
+            "max_bound": 8, "max_k": 5, "max_frames": 30,
+        })
+    for seed in (2, 5) if quick else (2, 5, 9):
+        cases.append({
+            "name": f"fuzz-w4-s{seed}",
+            "build": lambda seed=seed: _fuzz_case(
+                seed, width=4, max_regs=4, max_ops=10),
+            "engines": ("bmc", "kind"),
+            "max_bound": 10, "max_k": 5, "max_frames": 20,
+        })
+    cases.append({
+        "name": "sodor-cellift-bmc",
+        "build": _cellift_contract_case,
+        "engines": ("bmc",),
+        "max_bound": 2 if quick else 3, "max_k": 2, "max_frames": 10,
+    })
+    cases.append({
+        "name": "sodor-cellift-kind",
+        "build": _cellift_contract_case,
+        "engines": ("kind",),
+        "max_bound": 2, "max_k": 2, "max_frames": 10,
+    })
+    cases.append({
+        "name": "sodor-selfcomp-bmc",
+        "build": _selfcomp_case,
+        "engines": ("bmc",),
+        "max_bound": 2 if quick else 3, "max_k": 2, "max_frames": 10,
+    })
+    return cases
+
+
+# ----------------------------------------------------------------------
+# measurements
+# ----------------------------------------------------------------------
+
+def _measure_encoding(circuit, prop, frames: int = 4) -> Dict[str, Any]:
+    """Unroll ``frames`` frames and report CNF growth per frame."""
+    from repro.formal.unroll import Unroller
+
+    try:
+        from repro.formal.bmc import _as_lowered
+
+        try:
+            lowered = _as_lowered(circuit, prop)
+        except TypeError:  # seed-era signature without the property
+            lowered = _as_lowered(circuit)
+    except Exception:
+        return {}
+    started = time.monotonic()
+    unroller = Unroller(lowered)
+    unroller.ensure_depth(frames)
+    elapsed = time.monotonic() - started
+    solver = unroller.solver
+    clauses = _solver_clause_count(solver)
+    return {
+        "frames": frames,
+        "encode_s": round(elapsed, 6),
+        "vars_per_frame": round(solver.num_vars / frames, 1),
+        "clauses_per_frame": (
+            round(clauses / frames, 1) if clauses is not None else None
+        ),
+    }
+
+
+def _run_engines(circuit, prop, spec, time_limit: float) -> Dict[str, Any]:
+    from repro.formal import SolveCache, bounded_model_check, k_induction
+    from repro.formal.pdr import pdr_prove
+
+    tracer = _tracer()
+    cache = SolveCache()
+    out: Dict[str, Any] = {}
+    wall = 0.0
+    if "bmc" in spec["engines"]:
+        started = time.monotonic()
+        res = bounded_model_check(
+            circuit, prop, max_bound=spec["max_bound"],
+            time_limit=time_limit, cache=cache, tracer=tracer,
+        )
+        elapsed = time.monotonic() - started
+        wall += elapsed
+        out["bmc"] = {"status": res.status.value, "bound": res.bound,
+                      "wall_s": round(elapsed, 6)}
+    if "kind" in spec["engines"]:
+        started = time.monotonic()
+        res = k_induction(
+            circuit, prop, max_k=spec["max_k"], time_limit=time_limit,
+            cache=cache, tracer=tracer,
+        )
+        elapsed = time.monotonic() - started
+        wall += elapsed
+        out["kind"] = {"status": res.status.value, "k": res.k,
+                       "wall_s": round(elapsed, 6)}
+    if "pdr" in spec["engines"]:
+        started = time.monotonic()
+        res = pdr_prove(
+            circuit, prop, max_frames=spec["max_frames"],
+            time_limit=time_limit, tracer=tracer,
+        )
+        elapsed = time.monotonic() - started
+        wall += elapsed
+        out["pdr"] = {"status": res.status.value, "frames": res.frames,
+                      "wall_s": round(elapsed, 6)}
+    sat = _sum_sat_counters(tracer)
+    out["wall_s"] = round(wall, 6)
+    out["propagations"] = sat["propagations"]
+    out["conflicts"] = sat["conflicts"]
+    out["props_per_sec"] = (
+        round(sat["propagations"] / wall) if wall > 0 else None
+    )
+    out["cache_hits"] = cache.stats.hits
+    return out
+
+
+def run_benchmarks(quick: bool = False, repeat: int = 1,
+                   time_limit: float = 60.0) -> Dict[str, Any]:
+    cases: Dict[str, Any] = {}
+    for spec in _benchmark_set(quick):
+        circuit, prop = spec["build"]()
+        best: Optional[Dict[str, Any]] = None
+        for _ in range(max(1, repeat)):
+            result = _run_engines(circuit, prop, spec, time_limit)
+            if best is None or result["wall_s"] < best["wall_s"]:
+                best = result
+        assert best is not None
+        best["encode"] = _measure_encoding(circuit, prop)
+        cases[spec["name"]] = best
+        print(f"  {spec['name']}: {best['wall_s']:.3f}s, "
+              f"{best['propagations']} props, "
+              f"{best['cache_hits']} cache hits", file=sys.stderr)
+    return cases
+
+
+# ----------------------------------------------------------------------
+# comparison / output
+# ----------------------------------------------------------------------
+
+def compare(cases: Dict[str, Any], baseline: Dict[str, Any],
+            min_wall: float = 0.05) -> Dict[str, Any]:
+    """Per-case and geomean speedups vs a baseline run.
+
+    Cases whose *baseline* wall-clock is below ``min_wall`` seconds are
+    excluded from the geometric mean — at millisecond scale the ratio
+    measures scheduler noise, not the encoder/solver — but they still
+    participate in verdict-mismatch detection.
+    """
+    per_case: Dict[str, float] = {}
+    measured: List[float] = []
+    base_total = cur_total = 0.0
+    verdict_mismatches: List[str] = []
+    for name, current in cases.items():
+        base = baseline.get(name)
+        if not base:
+            continue
+        if base.get("wall_s") and current.get("wall_s"):
+            ratio = round(base["wall_s"] / current["wall_s"], 3)
+            per_case[name] = ratio
+            base_total += base["wall_s"]
+            cur_total += current["wall_s"]
+            if base["wall_s"] >= min_wall:
+                measured.append(ratio)
+        for engine in ("bmc", "kind", "pdr"):
+            b, c = base.get(engine), current.get(engine)
+            if b and c and b.get("status") != c.get("status"):
+                verdict_mismatches.append(
+                    f"{name}/{engine}: {b['status']} -> {c['status']}")
+    geomean = None
+    if measured:
+        geomean = round(
+            math.exp(sum(math.log(s) for s in measured) / len(measured)), 3)
+    return {
+        "per_case": per_case,
+        "geomean": geomean,
+        "geomean_cases": len(measured),
+        "total_wall_speedup": (
+            round(base_total / cur_total, 3) if cur_total else None
+        ),
+        "verdict_mismatches": verdict_mismatches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", help="write JSON here")
+    parser.add_argument("--baseline", help="baseline JSON to compare against")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller set for CI smoke runs")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="repetitions per case (best wall kept)")
+    parser.add_argument("--time-limit", type=float, default=60.0)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit nonzero when the geomean speedup vs "
+                             "the baseline falls below this")
+    args = parser.parse_args(argv)
+
+    print("running formal hot-path benchmarks...", file=sys.stderr)
+    cases = run_benchmarks(quick=args.quick, repeat=args.repeat,
+                           time_limit=args.time_limit)
+    doc: Dict[str, Any] = {
+        "schema": "bench_formal/v1",
+        "quick": args.quick,
+        "cases": cases,
+    }
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base_doc = json.load(fh)
+        doc["baseline_cases"] = base_doc.get("cases", {})
+        doc["speedup"] = compare(cases, doc["baseline_cases"])
+        print(f"geomean speedup vs baseline: {doc['speedup']['geomean']}",
+              file=sys.stderr)
+        for line in doc["speedup"]["verdict_mismatches"]:
+            print(f"VERDICT MISMATCH: {line}", file=sys.stderr)
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    if args.baseline and doc["speedup"]["verdict_mismatches"]:
+        return 1
+    if (args.baseline and args.min_speedup is not None
+            and (doc["speedup"]["geomean"] or 0) < args.min_speedup):
+        print(f"geomean speedup below required {args.min_speedup}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
