@@ -1,0 +1,139 @@
+"""Structural taint reachability (GLIFT-style ever-tainted closure).
+
+Works directly on the cell-level circuit plus a candidate
+:class:`~repro.taint.space.TaintScheme` — no instrumentation, no
+lowering.  A signal is *statically clean* when no combinational or
+sequential path from a taint source can reach it under the scheme's
+region structure; since every propagation policy in the design space
+(naive, partial, full logic, any granularity) only taints an output
+when some input is tainted, the closure over-approximates the dynamic
+taint of every scheme sharing the same blackbox/custom regions.  Cell
+options and register granularities therefore do not affect the result
+— which is exactly what lets the refinement-pruning pass answer many
+trial schemes from one closure.
+
+Region modelling: a blackboxed or custom-handled module subtree is a
+single super-node — any tainted signal entering the region may taint
+every signal the region produces (complete bipartite, sticky).  This
+is the worst case over both the sticky module bit of blackboxing and
+any custom handler that does not *generate* taint out of nothing (the
+standard IFT non-generation assumption; ``docs/static-analysis.md``
+spells it out).
+
+Suspect ranking: signals that are both forward-reachable from the
+sources and backward-reachable from a sink, ordered by distance to the
+sink — the cells a refinement is most likely to need to touch, used to
+steer :func:`repro.cegar.backtrace.find_refinement_location`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hdl.circuit import Circuit
+from repro.taint.instrument import TaintSources
+from repro.taint.space import TaintScheme
+from repro.analyze.lattice import solve_reachability
+
+
+def _region_node(path: str) -> str:
+    return f"region::{path}"
+
+
+def _build_deps(circuit: Circuit, scheme: Optional[TaintScheme]):
+    """Dependency graph over signal names (+ region super-nodes)."""
+    deps: Dict[str, List[str]] = {}
+
+    def region_of(module: str) -> Optional[str]:
+        if scheme is None:
+            return None
+        region = scheme.effective_region(module)
+        return None if region is None else _region_node(region[0])
+
+    for cell in circuit.cells:
+        region = region_of(cell.module)
+        if region is None:
+            deps.setdefault(cell.out.name, []).extend(
+                sig.name for sig in cell.ins
+            )
+        else:
+            # Complete bipartite through the region super-node: every
+            # signal feeding the region may taint every signal it makes.
+            deps.setdefault(region, []).extend(sig.name for sig in cell.ins)
+            deps.setdefault(cell.out.name, []).append(region)
+    for reg in circuit.registers:
+        region = region_of(reg.q.module)
+        if region is None:
+            deps.setdefault(reg.q.name, []).append(reg.d.name)
+        else:
+            deps.setdefault(region, []).append(reg.d.name)
+            deps.setdefault(reg.q.name, []).append(region)
+    # Make every signal a node even when it has no dependencies.
+    for sig in circuit.inputs:
+        deps.setdefault(sig.name, [])
+    for sig in circuit.outputs:
+        deps.setdefault(sig.name, [])
+    return deps
+
+
+@dataclass
+class TaintReach:
+    """Ever-tainted closure for one region structure."""
+
+    tainted: FrozenSet[str]
+    sources: Tuple[str, ...]
+
+    def clean(self, name: str) -> bool:
+        """No structural path from any source reaches ``name``."""
+        return name not in self.tainted
+
+    def reachable(self, names: Iterable[str]) -> Tuple[str, ...]:
+        return tuple(n for n in names if n in self.tainted)
+
+
+def taint_reachability(
+    circuit: Circuit,
+    scheme: Optional[TaintScheme],
+    sources: TaintSources,
+) -> TaintReach:
+    """Forward ever-tainted closure from the task's taint sources."""
+    deps = _build_deps(circuit, scheme)
+    seeds = [name for name, mask in sources.registers.items() if mask]
+    seeds += [name for name, mask in sources.inputs.items() if mask]
+    reached = solve_reachability(deps, seeds)
+    reached.update(seeds)
+    return TaintReach(
+        tainted=frozenset(n for n in reached if not n.startswith("region::")),
+        sources=tuple(seeds),
+    )
+
+
+def suspect_ranking(
+    circuit: Circuit,
+    scheme: Optional[TaintScheme],
+    reach: TaintReach,
+    sinks: Sequence[str],
+    limit: int = 24,
+) -> Tuple[str, ...]:
+    """Tainted signals on a source->sink path, nearest-to-sink first."""
+    deps = _build_deps(circuit, scheme)
+    distance: Dict[str, int] = {}
+    queue = deque()
+    for sink in sinks:
+        if sink not in distance:
+            distance[sink] = 0
+            queue.append(sink)
+    while queue:
+        name = queue.popleft()
+        for dep in deps.get(name, ()):
+            if dep not in distance:
+                distance[dep] = distance[name] + 1
+                queue.append(dep)
+    suspects = [
+        name for name in distance
+        if name in reach.tainted and not name.startswith("region::")
+    ]
+    suspects.sort(key=lambda n: (distance[n], n))
+    return tuple(suspects[:limit])

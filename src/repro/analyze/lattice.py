@@ -1,0 +1,154 @@
+"""Generic incremental worklist fixpoint engine.
+
+All three analysis domains (taint reachability, ternary constant
+propagation, X-propagation) are monotone dataflow problems over a
+finite-height lattice: every node of a dependency graph carries an
+abstract value, a transfer function recomputes a node from its
+dependencies, and values only ever move *up* the lattice.  The solver
+here is the shared engine: it owns the worklist bookkeeping, the
+sticky join (``env[n] = join(env[n], transfer(n))``), and the change
+propagation to dependents, while each domain supplies its graph,
+transfer function and join.
+
+The engine is *incremental*: after an initial :meth:`solve`, callers
+may raise individual nodes (new taint sources, refined assumptions)
+with :meth:`raise_to` and re-solve — only the affected cone is
+revisited, which is what makes per-candidate pre-screening in the
+CEGAR loop cheap.
+
+Termination is guaranteed for monotone transfers over finite-height
+lattices; a generous pop budget (nodes + height * edges, with margin)
+turns an accidentally non-monotone transfer into a loud error instead
+of a hang.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping
+
+Node = Hashable
+
+
+class FixpointError(RuntimeError):
+    """The worklist failed to converge (non-monotone transfer)."""
+
+
+class FixpointSolver:
+    """Worklist solver for ``env[n] = join(env[n], transfer(n, env))``.
+
+    Args:
+        deps: node -> the nodes its transfer function reads.  Every
+            node of the problem must appear as a key (leaf nodes map
+            to an empty sequence).
+        transfer: ``transfer(node, value_of) -> value`` where
+            ``value_of`` looks up the current value of any node.
+        join: least upper bound of two values.
+        default: value assigned to nodes not explicitly seeded
+            (the domain's bottom, usually).
+    """
+
+    def __init__(
+        self,
+        deps: Mapping[Node, Iterable[Node]],
+        transfer: Callable[[Node, Callable[[Node], object]], object],
+        join: Callable[[object, object], object],
+        default: object,
+    ) -> None:
+        self._deps: Dict[Node, List[Node]] = {}
+        self._succs: Dict[Node, List[Node]] = {}
+        edges = 0
+        for node, node_deps in deps.items():
+            dep_list = list(node_deps)
+            self._deps[node] = dep_list
+            edges += len(dep_list)
+        for node, dep_list in self._deps.items():
+            for dep in dep_list:
+                self._succs.setdefault(dep, []).append(node)
+        self._transfer = transfer
+        self._join = join
+        self._default = default
+        self.env: Dict[Node, object] = {}
+        self._queue: deque = deque()
+        self._queued: set = set()
+        # height * edges pops for a monotone system; x4 margin.
+        self._pop_budget = 4 * (len(self._deps) + edges) * 4 + 1024
+        self.pops = 0
+
+    # -- values ----------------------------------------------------------
+
+    def value(self, node: Node):
+        return self.env.get(node, self._default)
+
+    def seed(self, node: Node, value) -> None:
+        """Set a node's starting value (joined with anything present)."""
+        self.raise_to(node, value)
+        self._enqueue(node)
+
+    def raise_to(self, node: Node, value) -> None:
+        """Monotone in-place update; re-run :meth:`solve` afterwards."""
+        old = self.env.get(node, self._default)
+        new = self._join(old, value)
+        if new != old:
+            self.env[node] = new
+            for succ in self._succs.get(node, ()):
+                self._enqueue(succ)
+
+    # -- solving ---------------------------------------------------------
+
+    def _enqueue(self, node: Node) -> None:
+        if node not in self._queued and node in self._deps:
+            self._queued.add(node)
+            self._queue.append(node)
+
+    def solve_all(self) -> Dict[Node, object]:
+        """Enqueue every node once, then run to fixpoint."""
+        for node in self._deps:
+            self._enqueue(node)
+        return self.solve()
+
+    def solve(self) -> Dict[Node, object]:
+        """Drain the worklist; returns the (live) environment."""
+        value_of = self.value
+        while self._queue:
+            self.pops += 1
+            if self.pops > self._pop_budget:
+                raise FixpointError(
+                    "worklist failed to converge — non-monotone transfer?"
+                )
+            node = self._queue.popleft()
+            self._queued.discard(node)
+            new = self._transfer(node, value_of)
+            old = self.env.get(node, self._default)
+            joined = self._join(old, new)
+            if joined != old:
+                self.env[node] = joined
+                for succ in self._succs.get(node, ()):
+                    self._enqueue(succ)
+        return self.env
+
+
+def reach_join(a: bool, b: bool) -> bool:
+    """Join of the two-point reachability lattice (False below True)."""
+    return a or b
+
+
+def solve_reachability(
+    deps: Mapping[Node, Iterable[Node]],
+    seeds: Iterable[Node],
+) -> set:
+    """Boolean forward closure: a node is reached when seeded or when
+    any dependency is reached.  The common shape of the taint- and
+    X-propagation domains."""
+    solver = FixpointSolver(
+        deps,
+        transfer=lambda node, value_of: any(
+            value_of(dep) for dep in deps.get(node, ())
+        ),
+        join=reach_join,
+        default=False,
+    )
+    for node in seeds:
+        solver.seed(node, True)
+    solver.solve()
+    return {node for node, reached in solver.env.items() if reached}

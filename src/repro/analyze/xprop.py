@@ -1,0 +1,83 @@
+"""X-propagation: which signals can observe uninitialized state.
+
+The HDL here has no four-valued simulation — every register resets to
+a concrete value — but two idioms reintroduce "effectively X" state:
+
+- *self-driven registers* (``r.drive(r)``), the repo's convention for
+  symbolic state and preloaded memories: their content is whatever the
+  environment (or a formal tool) put there, not the reset literal;
+- registers a property marks ``symbolic`` (universally quantified
+  initial value).
+
+An output that can see such a register's value depends on state no
+reset ever established — worth knowing when auditing what an attacker
+observes, and the basis of the ``x-reaches-observable`` lint rule.
+
+The forward closure is pruned by constant facts: a signal the ternary
+fixpoint pins to 0/1 is constant in every reachable state and
+therefore cannot *carry* unknown-ness, whatever its cone contains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.hdl.circuit import Circuit
+from repro.analyze.lattice import solve_reachability
+
+
+def x_sources(
+    circuit: Circuit,
+    symbolic_registers: Iterable[str] = (),
+) -> Tuple[str, ...]:
+    """Registers whose post-reset content is not pinned by the design."""
+    names = {
+        reg.q.name for reg in circuit.registers if reg.d.name == reg.q.name
+    }
+    widths = {reg.q.name for reg in circuit.registers}
+    names.update(n for n in symbolic_registers if n in widths)
+    return tuple(sorted(names))
+
+
+@dataclass
+class XReach:
+    """Forward closure of the X sources."""
+
+    reaches: FrozenSet[str]
+    sources: Tuple[str, ...]
+
+    def observable(self, outputs: Iterable[str]) -> Tuple[str, ...]:
+        return tuple(n for n in outputs if n in self.reaches)
+
+
+def x_reachability(
+    circuit: Circuit,
+    sources: Iterable[str],
+    constant_signals: Optional[Iterable[str]] = None,
+) -> XReach:
+    """Which signals may depend on uninitialized register state.
+
+    ``constant_signals`` (cell-level names proven constant, e.g. via
+    :func:`repro.analyze.constprop.constant_fixpoint` mapped back
+    through the lowering provenance) are removed from the graph — a
+    constant wire cannot transport X.
+    """
+    blocked = frozenset(constant_signals or ())
+    deps: Dict[str, List[str]] = {}
+    for cell in circuit.cells:
+        if cell.out.name in blocked:
+            deps.setdefault(cell.out.name, [])
+            continue
+        deps.setdefault(cell.out.name, []).extend(
+            sig.name for sig in cell.ins if sig.name not in blocked
+        )
+    for reg in circuit.registers:
+        if reg.q.name in blocked or reg.d.name == reg.q.name:
+            deps.setdefault(reg.q.name, [])
+            continue
+        deps.setdefault(reg.q.name, []).append(reg.d.name)
+    seeds = [name for name in sources if name not in blocked]
+    reached = solve_reachability(deps, seeds)
+    reached.update(seeds)
+    return XReach(reaches=frozenset(reached), sources=tuple(sorted(seeds)))

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.hdl.cells import Cell
 from repro.hdl.circuit import Circuit
@@ -64,6 +64,7 @@ def find_refinement_location(
     rng: Optional[random.Random] = None,
     max_steps: int = 100000,
     excluded: Optional[Set[str]] = None,
+    hints: Optional[Sequence[str]] = None,
 ) -> RefinementLocation:
     """Run Algorithm 1 and return the refinement location.
 
@@ -82,9 +83,14 @@ def find_refinement_location(
             trace pushes past them by relaxing the false-taint filter
             (the fast test may over- or under-claim, so a dead end is
             not necessarily correlation imprecision).
+        hints: ranked signal names (best first) the trace should prefer
+            when Algorithm 1 leaves the pick arbitrary — e.g. the
+            suspect list of the static pre-screen. Candidates outside
+            the hint set fall back to the rng / first-candidate order.
     """
     original = design.original
     excluded = excluded or set()
+    hint_rank = {name: i for i, name in enumerate(hints or ())}
     if cycle is None:
         cycle = taint_waveform.length - 1
 
@@ -154,7 +160,13 @@ def find_refinement_location(
             # misjudged an upstream signal — push past the dead end.
             candidates = relaxed
         if candidates:
-            pick = rng.choice(candidates) if rng is not None else candidates[0]
+            hinted = [c for c in candidates if c in hint_rank]
+            if hinted:
+                pick = min(hinted, key=lambda c: hint_rank[c])
+            elif rng is not None:
+                pick = rng.choice(candidates)
+            else:
+                pick = candidates[0]
             current_name = pick
             continue
         return _locate(design, original, current_name, current_cycle, register=False)

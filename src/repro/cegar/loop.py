@@ -155,8 +155,19 @@ class CegarConfig:
     #: Model-checking engine: "sequential" is the classic k-induction /
     #: BMC cascade above; "portfolio" races BMC, PDR and k-induction
     #: concurrently (:mod:`repro.formal.portfolio`) with a shared solve
-    #: cache, taking the first definitive verdict.
+    #: cache, taking the first definitive verdict; "static" answers
+    #: from the SAT-free abstract interpreter only
+    #: (:func:`repro.analyze.static_verify`) — inconclusive iterations
+    #: end the loop at the ternary bound, like ``mc_enabled=False``.
     engine: str = "sequential"
+    #: Run the static analyzer before every model-checking call:
+    #: a ``verified``/``violation`` verdict skips SAT entirely, and an
+    #: inconclusive one still donates its proven-clean bound so BMC
+    #: skips the shallow solves.  Prune counts land in
+    #: :class:`RefinementStats` and the ``analyze.*`` tracer counters.
+    static_prescreen: bool = False
+    #: Frame budget for the static engine's bounded ternary pass.
+    static_max_frames: int = 64
     #: Portfolio only: concurrently running engine processes (0 = one
     #: per engine, 1 = in-process sequential portfolio).
     jobs: int = 0
@@ -220,6 +231,13 @@ class RefinementStats:
     worker_retries: int = 0
     checkpoints_written: int = 0
     resumed_from: Optional[int] = None
+    #: Static pre-screen observability: analyzer invocations, how many
+    #: ended the iteration without SAT (proof or definite violation),
+    #: and how many shallow BMC solves its bounds let the solver skip.
+    static_prescreens: int = 0
+    static_proofs: int = 0
+    static_cex: int = 0
+    static_skipped_bounds: int = 0
 
     @property
     def total(self) -> float:
@@ -264,6 +282,16 @@ class RefinementStats:
         if self.cache is not None:
             rows.append(self.cache.row())
         return rows
+
+    def analyze_rows(self) -> List[str]:
+        """Static pre-screen summary lines (empty when unused)."""
+        if not self.static_prescreens:
+            return []
+        return [
+            f"static pre-screen: {self.static_prescreens} runs, "
+            f"{self.static_proofs} proofs, {self.static_cex} definite "
+            f"violations, {self.static_skipped_bounds} SAT bounds skipped"
+        ]
 
     def robustness_rows(self) -> List[str]:
         """Checkpoint/resume summary lines (empty when unused)."""
@@ -428,6 +456,8 @@ def _config_digest(task: TaintVerificationTask, config: CegarConfig) -> str:
         "portfolio_engines": list(config.portfolio_engines),
         "pdr_max_frames": config.pdr_max_frames,
         "max_conflicts": config.max_conflicts,
+        "static_prescreen": config.static_prescreen,
+        "static_max_frames": config.static_max_frames,
     }
     return hashlib.sha256(
         json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
@@ -467,10 +497,10 @@ def run_compass(
     )
 
     config = config or CegarConfig()
-    if config.engine not in ("sequential", "portfolio"):
+    if config.engine not in ("sequential", "portfolio", "static"):
         raise ValueError(
             f"unknown CEGAR engine {config.engine!r} "
-            "(expected 'sequential' or 'portfolio')"
+            "(expected 'sequential', 'portfolio' or 'static')"
         )
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True needs a checkpoint_dir")
@@ -598,12 +628,48 @@ def run_compass(
                 )
                 sp.set(hit=cex is not None)
             stats.t_simu += sp.elapsed
+        start_bound = 0
+        static_suspects: Tuple[str, ...] = ()
         with tracer.span("cegar.model-check", cat="mc", iteration=iteration,
                          engine=config.engine) as mc_span:
+            if (cex is None and config.mc_enabled
+                    and (config.static_prescreen or config.engine == "static")):
+                # SAT-free pre-screen: a definitive ternary verdict ends
+                # the iteration without any solver; an inconclusive one
+                # still donates its proven-clean bound and suspect hints.
+                from repro.analyze import static_verify
+
+                with tracer.span("cegar.analyze", cat="mc",
+                                 iteration=iteration) as asp:
+                    sres = static_verify(
+                        design.circuit, prop,
+                        max_frames=config.static_max_frames, tracer=tracer,
+                    )
+                    asp.set(status=sres.status, bound=sres.bound)
+                stats.static_prescreens += 1
+                tracer.count("analyze.prescreens")
+                if sres.proved:
+                    stats.static_proofs += 1
+                    verify_time = mc_span.elapsed
+                    stats.t_mc += verify_time
+                    write_checkpoint(iteration)
+                    return CegarResult(CegarStatus.PROVED, task, scheme,
+                                       design, prop, stats, bound=-1,
+                                       verify_time=verify_time)
+                if sres.status == "violation":
+                    stats.static_cex += 1
+                    cex = sres.counterexample
+                else:
+                    static_suspects = sres.suspects
+                    last_bound = max(last_bound, sres.bound)
+                    if sres.bound >= 0:
+                        start_bound = sres.bound + 1
+                        stats.static_skipped_bounds += start_bound
+                        tracer.count("analyze.skipped_bounds", start_bound)
             if cex is not None:
-                pass  # the prefilter already produced a violation
-            elif not config.mc_enabled:
-                pass  # testing-only mode: simulation found nothing; stop
+                pass  # the prefilter or pre-screen produced a violation
+            elif not config.mc_enabled or config.engine == "static":
+                pass  # no model checker to consult; stop at the bound
             elif config.engine == "portfolio":
                 pres = verify_portfolio(
                     design.circuit, prop,
@@ -616,6 +682,8 @@ def run_compass(
                         pdr_max_frames=config.pdr_max_frames,
                         time_limit=config.mc_time_limit,
                         max_conflicts=config.max_conflicts,
+                        start_bound=start_bound,
+                        static_max_frames=config.static_max_frames,
                         max_worker_retries=config.max_worker_retries,
                         retry_backoff=config.retry_backoff,
                         faults=config.faults,
@@ -662,6 +730,7 @@ def run_compass(
                     bmc = bounded_model_check(
                         design.circuit, prop,
                         max_bound=config.max_bound, time_limit=config.mc_time_limit,
+                        start_bound=start_bound,
                         cache=solve_cache, tracer=config.trace,
                     )
                     if bmc.status is BmcStatus.COUNTEREXAMPLE:
@@ -671,6 +740,7 @@ def run_compass(
                 bmc = bounded_model_check(
                     design.circuit, prop,
                     max_bound=config.max_bound, time_limit=config.mc_time_limit,
+                    start_bound=start_bound,
                     cache=solve_cache, tracer=config.trace,
                 )
                 mc_span.set(status=bmc.status.value)
@@ -736,7 +806,7 @@ def run_compass(
                                  iteration=iteration, sink=sink) as sp:
                     location = find_refinement_location(
                         design, taint_wf, oracle, sink, cycle=final_cycle, rng=rng,
-                        excluded=failed_locations,
+                        excluded=failed_locations, hints=static_suspects,
                     )
                     sp.set(location=location.name)
                 stats.t_bt += sp.elapsed

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.formal.counterexample import Counterexample
 from repro.taint.instrument import InstrumentedDesign, TaintSources, instrument
@@ -32,14 +32,19 @@ class PruneReport:
     attempted: int = 0
     removed: int = 0
     kept: int = 0
+    #: Undo trials accepted by static taint reachability alone (no replay).
+    static_accepted: int = 0
     elapsed: float = 0.0
     removed_log: List[str] = field(default_factory=list)
 
     def row(self) -> str:
-        return (
+        row = (
             f"pruning: removed {self.removed}/{self.attempted} refinements "
             f"in {self.elapsed:.2f}s"
         )
+        if self.static_accepted:
+            row += f" ({self.static_accepted} accepted without replay)"
+        return row
 
 
 def _blocks_all(
@@ -56,11 +61,43 @@ def _blocks_all(
     return True
 
 
+_RegionKey = Tuple[FrozenSet[str], FrozenSet[str]]
+
+
+def _statically_clean(
+    task: TaintVerificationTask,
+    scheme: TaintScheme,
+    cache: Dict[_RegionKey, object],
+) -> bool:
+    """All sinks unreachable in the ever-tainted structural closure?
+
+    The closure over-approximates every instrumented replay (taint is
+    never generated outside the source set), so a clean answer accepts
+    the undo trial without simulating a single counterexample.  It
+    depends only on the scheme's region structure — cell options and
+    register granularities change *precision*, not the propagation
+    edges — so one closure is shared by every trial with the same
+    blackbox/custom-module sets.
+    """
+    from repro.analyze.ift import taint_reachability
+
+    key: _RegionKey = (
+        frozenset(scheme.blackboxes),
+        frozenset(scheme.custom_modules),
+    )
+    reach = cache.get(key)
+    if reach is None:
+        reach = taint_reachability(task.circuit, scheme, task.sources)
+        cache[key] = reach
+    return not reach.reachable(task.sinks)
+
+
 def prune_refinements(
     task: TaintVerificationTask,
     scheme: TaintScheme,
     counterexamples: Sequence[Counterexample],
     time_limit: Optional[float] = None,
+    use_static: bool = True,
 ) -> Tuple[TaintScheme, PruneReport]:
     """Remove refinements that are no longer needed.
 
@@ -69,6 +106,9 @@ def prune_refinements(
         scheme: the refined scheme (not mutated).
         counterexamples: the spurious counterexamples the CEGAR loop
             eliminated (``result.stats.eliminated``).
+        use_static: accept undo trials whose sinks are provably
+            unreachable in the structural taint closure without
+            replaying any counterexample.
 
     Returns the pruned scheme and a report.  With no counterexamples to
     re-check the scheme is returned unchanged (nothing can be validated).
@@ -81,6 +121,13 @@ def prune_refinements(
         return current, report
 
     initial_blackboxes = set(task.initial_scheme().blackboxes)
+    reach_cache: Dict[_RegionKey, object] = {}
+
+    def trial_blocks(trial: TaintScheme) -> bool:
+        if use_static and _statically_clean(task, trial, reach_cache):
+            report.static_accepted += 1
+            return True
+        return _blocks_all(task, trial, counterexamples)
 
     def out_of_time() -> bool:
         return time_limit is not None and time.monotonic() - started > time_limit
@@ -94,7 +141,7 @@ def prune_refinements(
         report.attempted += 1
         trial = current.copy()
         removed_option = trial.cell_options.pop(cell_name)
-        if _blocks_all(task, trial, counterexamples):
+        if trial_blocks(trial):
             current = trial
             report.removed += 1
             report.removed_log.append(f"cell {cell_name} ({removed_option})")
@@ -107,7 +154,7 @@ def prune_refinements(
         report.attempted += 1
         trial = current.copy()
         del trial.register_granularity[reg_name]
-        if _blocks_all(task, trial, counterexamples):
+        if trial_blocks(trial):
             current = trial
             report.removed += 1
             report.removed_log.append(f"register {reg_name}")
@@ -121,7 +168,7 @@ def prune_refinements(
         report.attempted += 1
         trial = current.copy()
         trial.blackboxes.add(module)
-        if _blocks_all(task, trial, counterexamples):
+        if trial_blocks(trial):
             current = trial
             report.removed += 1
             report.removed_log.append(f"re-blackbox {module}")

@@ -107,6 +107,13 @@ def render_report(result, task=None, tracer=None) -> str:
     )
     lines.append("")
 
+    if stats.static_prescreens:
+        lines.append("## Static pre-screen")
+        lines.append("")
+        for row in stats.analyze_rows():
+            lines.append(f"- {row}")
+        lines.append("")
+
     if stats.portfolio_calls:
         lines.append("## Verification portfolio")
         lines.append("")

@@ -69,6 +69,7 @@ def cmd_verify(args) -> int:
         seed=args.seed,
         engine=args.engine,
         jobs=args.jobs,
+        static_prescreen=args.static_prescreen,
         trace=tracer,
     )
     if args.resume and not args.checkpoint:
@@ -89,6 +90,8 @@ def cmd_verify(args) -> int:
         # Sequential engines share the cache too once checkpointing (or
         # resume) brings one into the run.
         print(result.stats.cache.row())
+    for line in result.stats.analyze_rows():
+        print(line)
     for line in result.stats.robustness_rows():
         print(line)
     for line in result.stats.refinement_log:
@@ -121,6 +124,111 @@ def cmd_verify(args) -> int:
             handle.write(render_report(result, task, tracer=tracer))
         print(f"wrote verification report to {args.report}")
     return 0 if result.secure else 1
+
+
+def cmd_analyze(args) -> int:
+    """SAT-free dataflow summary of a core's contract task."""
+    import json as _json
+
+    from repro.analyze import (
+        constant_fixpoint,
+        static_verify,
+        taint_reachability,
+        x_reachability,
+        x_sources,
+    )
+    from repro.cegar.loop import instrument_task
+    from repro.contracts import make_contract_task
+    from repro.hdl.lowering import lower_to_gates
+    from repro.taint import cellift_scheme
+
+    core = _build_core(args)
+    task = make_contract_task(core)
+    circuit = task.circuit
+    started = time.monotonic()
+
+    # Structural taint reachability under the CellIFT (fully precise)
+    # region structure: which contract sinks can taint reach at all?
+    reach = taint_reachability(circuit, cellift_scheme(), task.sources)
+    hot_sinks = reach.reachable(task.sinks)
+
+    # Ternary constant facts, with the universally quantified and
+    # never-initialized state left unpinned.
+    symbolic = frozenset(task.symbolic_registers)
+    lowered = lower_to_gates(circuit)
+    facts = constant_fixpoint(
+        lowered, symbolic | frozenset(x_sources(circuit))
+    )
+    constants = facts.constant_names()
+
+    # X reachability: which outputs can observe uninitialized state?
+    xreach = x_reachability(
+        circuit,
+        x_sources(circuit, symbolic),
+        constant_signals=[
+            name for name in circuit.signals
+            if facts.word_value(lowered, name) is not None
+        ],
+    )
+    x_outputs = xreach.observable(sig.name for sig in circuit.outputs)
+
+    # The static engine's verdict on the instrumented contract property.
+    design, prop = instrument_task(task, task.initial_scheme())
+    verdict = static_verify(design.circuit, prop, max_frames=args.max_frames)
+    elapsed = time.monotonic() - started
+
+    if args.json:
+        print(_json.dumps({
+            "schema": "repro-analyze/v1",
+            "task": task.name,
+            "cells": len(circuit.cells),
+            "state_bits": circuit.state_bits(),
+            "taint": {
+                "sources": len(reach.sources),
+                "tainted_signals": len(reach.tainted),
+                "sinks": list(task.sinks),
+                "reachable_sinks": list(hot_sinks),
+            },
+            "constants": {
+                "slots": len(facts.values),
+                "pinned": len(constants),
+                "worklist_pops": facts.pops,
+            },
+            "xprop": {
+                "sources": list(xreach.sources),
+                "observable_outputs": list(x_outputs),
+            },
+            "static": {
+                "status": verdict.status,
+                "bound": verdict.bound,
+                "frames": verdict.frames,
+                "reason": verdict.reason,
+                "suspects": list(verdict.suspects),
+                "elapsed": round(verdict.elapsed, 3),
+            },
+            "elapsed": round(elapsed, 3),
+        }, indent=1))
+        return 0
+
+    print(f"analyze {task.name}: {len(circuit.cells)} cells, "
+          f"{circuit.state_bits()} state bits")
+    print(f"  taint : {len(hot_sinks)}/{len(task.sinks)} sinks reachable "
+          f"from {len(reach.sources)} sources "
+          f"({len(reach.tainted)} signals ever-tainted)")
+    print(f"  const : {len(constants)}/{len(facts.values)} gate-level "
+          f"signals pinned at the ternary fixpoint")
+    print(f"  xprop : {len(xreach.sources)} uninitialized sources; "
+          f"observable at {len(x_outputs)}/{len(circuit.outputs)} outputs")
+    print(f"  static: {verdict.status} (bound {verdict.bound}, "
+          f"{verdict.frames} frames) in {verdict.elapsed:.2f}s")
+    if verdict.reason:
+        print(f"          {verdict.reason}")
+    if verdict.suspects:
+        shown = ", ".join(verdict.suspects[:8])
+        suffix = ", ..." if len(verdict.suspects) > 8 else ""
+        print(f"          suspects: {shown}{suffix}")
+    print(f"  ({elapsed:.2f}s total)")
+    return 0
 
 
 def cmd_leak_check(args) -> int:
@@ -305,6 +413,20 @@ def cmd_lint(args) -> int:
                   file=sys.stderr)
             return 2
         waivers.append((rule_id, pattern))
+    waivers_file = args.waivers
+    if waivers_file is None and not args.no_waivers:
+        from repro.lint import find_waivers_file
+
+        found = find_waivers_file()
+        waivers_file = str(found) if found is not None else None
+    if waivers_file:
+        from repro.lint import WaiverError, load_waivers
+
+        try:
+            waivers.extend(load_waivers(waivers_file))
+        except (OSError, WaiverError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     config = LintConfig(
         disabled=set(args.disable or ()),
         semantic=not args.no_semantic,
@@ -313,7 +435,9 @@ def cmd_lint(args) -> int:
     started = time.monotonic()
     report = lint(circuit, scheme, config=config, source_map=source_map)
     elapsed = time.monotonic() - started
-    if args.json:
+    if args.format == "json":
+        print(_json.dumps(report.to_stable_dict(), indent=1))
+    elif args.json:
         print(report.to_json())
     else:
         min_severity = {"error": Severity.ERROR, "warning": Severity.WARNING,
@@ -418,11 +542,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prune unnecessary refinements afterwards")
     p.add_argument("--testing-only", action="store_true",
                    help="refinement by simulation only (no model checker)")
-    p.add_argument("--engine", choices=("sequential", "portfolio"),
+    p.add_argument("--engine", choices=("sequential", "portfolio", "static"),
                    default="sequential",
                    help="model-checking engine: the classic k-induction/BMC "
-                        "cascade, or the parallel BMC+PDR+k-induction "
-                        "portfolio with a cross-iteration solve cache")
+                        "cascade, the parallel BMC+PDR+k-induction "
+                        "portfolio with a cross-iteration solve cache, or "
+                        "the SAT-free ternary static engine")
+    p.add_argument("--static-prescreen", action="store_true",
+                   help="run the SAT-free ternary pre-screen before each "
+                        "model-check call (implied by --engine static)")
     p.add_argument("--jobs", type=int, default=0,
                    help="portfolio: concurrent engine processes "
                         "(0 = one per engine, 1 = in-process sequential)")
@@ -451,6 +579,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(one event per line; repro trace summarize "
                         "reads both)")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("analyze",
+                       help="SAT-free dataflow analysis of a core's contract")
+    _add_core_options(p)
+    p.add_argument("--max-frames", type=int, default=64,
+                   help="frame budget of the bounded ternary pass")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as JSON (repro-analyze/v1)")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("leak-check", help="directed formal leak check")
     _add_core_options(p)
@@ -497,11 +634,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-semantic", action="store_true",
                    help="skip SAT-backed semantic rules")
     p.add_argument("--json", action="store_true",
-                   help="emit the report as JSON")
+                   help="emit the report as JSON (legacy compact form)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format; json is the stable machine "
+                        "schema (repro-lint/v1)")
     p.add_argument("--disable", action="append", metavar="RULE",
                    help="disable a rule id (repeatable)")
     p.add_argument("--waive", action="append", metavar="RULE:GLOB",
                    help="waive findings of RULE on paths matching GLOB")
+    p.add_argument("--waivers", metavar="FILE", default=None,
+                   help="committed waivers file (default: nearest "
+                        "lint-waivers.toml up from the working directory)")
+    p.add_argument("--no-waivers", action="store_true",
+                   help="ignore any committed lint-waivers.toml")
     p.add_argument("--min-severity", choices=("error", "warning", "info"),
                    default="info", help="lowest severity to print")
     p.add_argument("--selftest", action="store_true",

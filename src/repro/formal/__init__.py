@@ -27,6 +27,7 @@ from repro.formal.bmc import BmcResult, BmcStatus, bounded_model_check
 from repro.formal.induction import InductionResult, k_induction
 from repro.formal.pdr import PdrResult, PdrStatus, pdr_prove
 from repro.formal.portfolio import (
+    ALL_ENGINE_NAMES,
     ENGINE_NAMES,
     EngineReport,
     PortfolioConfig,
@@ -71,6 +72,7 @@ __all__ = [
     "circuit_fingerprint",
     "solve_key",
     "valid_entry",
+    "ALL_ENGINE_NAMES",
     "ENGINE_NAMES",
     "EngineReport",
     "PortfolioConfig",

@@ -123,13 +123,19 @@ def _as_lowered(
     # final netlist is validated once below.
     lowered = lower_to_gates(circuit, validate=False)
     gates = simplify(lowered.circuit, validate=False)
+    pruned_resets: Dict[str, int] = {}
     if prop is not None:
+        full_resets = {reg.q.name: reg.reset_value & 1 for reg in gates.registers}
         gates = strash(
             cone_of_influence(gates, _property_roots(lowered, prop), validate=False),
             validate=False,
         )
+        kept = {reg.q.name for reg in gates.registers}
+        pruned_resets = {
+            name: bit for name, bit in full_resets.items() if name not in kept
+        }
     gates.validate()
-    result = LoweredCircuit(gates, lowered.bits)
+    result = LoweredCircuit(gates, lowered.bits, pruned_resets)
     _LOWERED_CACHE[key] = result
     while len(_LOWERED_CACHE) > _LOWERED_CACHE_MAX:
         _LOWERED_CACHE.popitem(last=False)

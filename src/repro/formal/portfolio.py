@@ -56,6 +56,14 @@ from repro.obs import NULL_TRACER, Tracer
 #: from running after BMC).
 ENGINE_NAMES: Tuple[str, ...] = ("bmc", "pdr", "kind")
 
+#: Engines accepted in ``PortfolioConfig.engines``: the SAT racers
+#: above plus the opt-in SAT-free abstract-interpretation engine
+#: (:func:`repro.analyze.static_verify`).  ``static`` is deliberately
+#: not in the default lineup — it answers a strictly weaker class of
+#: questions and is selected explicitly (``--engine static`` or a
+#: custom engine tuple) or used as the CEGAR pre-screen.
+ALL_ENGINE_NAMES: Tuple[str, ...] = ENGINE_NAMES + ("static",)
+
 
 class PortfolioStatus(enum.Enum):
     PROVED = "proved"                  # some engine closed an unbounded proof
@@ -85,6 +93,11 @@ class PortfolioConfig:
     engine_deadlines: Dict[str, float] = field(default_factory=dict)
     #: Deterministic per-SAT-call conflict budget (see Solver.solve).
     max_conflicts: Optional[int] = None
+    #: BMC skips SAT queries below this depth — the caller (the CEGAR
+    #: pre-screen) vouches those cycles are violation-free.
+    start_bound: int = 0
+    #: Frame budget of the ``static`` engine's bounded ternary pass.
+    static_max_frames: int = 64
     #: multiprocessing start method ("fork"/"spawn"); None picks the
     #: platform default.
     start_method: Optional[str] = None
@@ -179,6 +192,7 @@ def _run_engine(
     if engine == "bmc":
         res = bounded_model_check(
             lowered, prop, max_bound=config.max_bound, time_limit=deadline,
+            start_bound=config.start_bound,
             max_conflicts=config.max_conflicts, cache=cache, tracer=tracer,
         )
         definitive = res.status is BmcStatus.COUNTEREXAMPLE
@@ -222,6 +236,26 @@ def _run_engine(
             "bound": -1,  # PDR frames are not cycle bounds
             "counterexample": res.counterexample,
             "elapsed": time.monotonic() - started,
+        }
+    if engine == "static":
+        from repro.analyze import static_verify
+
+        res = static_verify(lowered, prop,
+                            max_frames=config.static_max_frames,
+                            tracer=tracer)
+        detail = res.reason
+        if res.suspects:
+            detail += f"; {len(res.suspects)} suspects"
+        return {
+            "engine": engine,
+            "status": res.status,
+            "definitive": res.definitive,
+            "proved": res.proved,
+            "bound": res.bound,
+            "counterexample": res.counterexample,
+            "elapsed": time.monotonic() - started,
+            "detail": detail,
+            "suspects": res.suspects,
         }
     raise ValueError(f"unknown portfolio engine {engine!r} "
                      f"(expected one of {ENGINE_NAMES})")
@@ -318,7 +352,8 @@ def _worker_main(queue, engine, lowered, prop, config, deadline, seed_entries,
 # ---------------------------------------------------------------------------
 
 _PROOF_KEY_PARAMS = ("max_bound", "induction_max_k", "unique_states",
-                     "pdr_max_frames", "max_conflicts")
+                     "pdr_max_frames", "max_conflicts", "start_bound",
+                     "static_max_frames")
 
 
 def _portfolio_key(lowered: LoweredCircuit, prop: SafetyProperty,
@@ -669,9 +704,9 @@ def verify_portfolio(
     if not config.engines:
         raise ValueError("portfolio needs at least one engine")
     for engine in config.engines:
-        if engine not in ENGINE_NAMES:
+        if engine not in ALL_ENGINE_NAMES:
             raise ValueError(f"unknown portfolio engine {engine!r} "
-                             f"(expected one of {ENGINE_NAMES})")
+                             f"(expected one of {ALL_ENGINE_NAMES})")
     started = time.monotonic()
     tracer = tracer or NULL_TRACER
     lowered = _as_lowered(circuit, prop)

@@ -156,8 +156,19 @@ class Unroller:
     def word_value(self, frame_index: int, original_name: str, model) -> int:
         """Read a word-level value of a signal from a SAT model."""
         frame = self.frames[frame_index]
+        pruned = self.lowered.pruned_resets
         value = 0
         for i, gate_sig in enumerate(self.lowered.bits[original_name]):
+            if gate_sig.name in pruned:
+                # The cone-of-influence reduction dropped this register
+                # bit: the property cannot observe it, so the run's
+                # value is its (initial-value-overridden) reset bit.
+                if original_name in self._initial_values:
+                    bit = (self._initial_values[original_name] >> i) & 1
+                else:
+                    bit = pruned[gate_sig.name]
+                value |= bit << i
+                continue
             lit = frame.lit(gate_sig.name)
             if lit == self.true_lit:
                 bit = 1

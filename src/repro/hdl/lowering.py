@@ -18,7 +18,7 @@ and counterexamples remain readable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hdl.cells import Cell, CellOp
@@ -33,10 +33,16 @@ class LoweredCircuit:
     Attributes:
         circuit: The 1-bit gate netlist.
         bits: ``original signal name -> [gate signal per bit]`` (LSB first).
+        pruned_resets: reset bit of register bits that a
+            cone-of-influence reduction removed from ``circuit`` but
+            that ``bits`` still references — the property cannot
+            observe them, so counterexample extraction reads their
+            value from here instead of the SAT model.
     """
 
     circuit: Circuit
     bits: Dict[str, List[Signal]]
+    pruned_resets: Dict[str, int] = field(default_factory=dict)
 
     def bit(self, name: str, index: int) -> Signal:
         return self.bits[name][index]

@@ -39,6 +39,13 @@ from repro.lint.rules import (
 # Importing the rule modules populates the registry.
 from repro.lint.structural import find_combinational_loops, invariant_diagnostics
 from repro.lint.semantic import lint_equivalence, lint_instrumented, lint_monitors
+from repro.lint import dataflow as _dataflow  # noqa: F401
+from repro.lint.waivers import (
+    WAIVERS_FILENAME,
+    WaiverError,
+    find_waivers_file,
+    load_waivers,
+)
 
 __all__ = [
     "Diagnostic",
@@ -50,7 +57,11 @@ __all__ = [
     "RULES",
     "Severity",
     "SourceMap",
+    "WAIVERS_FILENAME",
+    "WaiverError",
     "find_combinational_loops",
+    "find_waivers_file",
+    "load_waivers",
     "invariant_diagnostics",
     "iter_rules",
     "lint",
@@ -80,12 +91,12 @@ def lint(
         source_map: Optional :class:`SourceMap` resolving derived
             (per-bit) names back to hierarchical source paths.
         categories: Restrict to these rule categories; by default all
-            structural and scheme rules run, plus semantic rules when
-            ``config.semantic`` and a scheme is present.
+            structural, dataflow and scheme rules run, plus semantic
+            rules when ``config.semantic`` and a scheme is present.
     """
     config = config or LintConfig()
     if categories is None:
-        categories = ["structural", "scheme"]
+        categories = ["structural", "dataflow", "scheme"]
         if config.semantic and scheme is not None:
             categories.append("semantic")
     ctx = LintContext(circuit, scheme=scheme, config=config, source_map=source_map)

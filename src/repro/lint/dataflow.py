@@ -1,0 +1,223 @@
+"""Dataflow lint rules backed by :mod:`repro.analyze`.
+
+Where the structural rules look at the cell graph one edge at a time,
+these rules ask whole-program questions — can this observable ever
+change, does this scheme entry refine logic that can influence
+anything, can uninitialized state leak into an output — using the
+SAT-free fixpoint domains of :mod:`repro.analyze`.
+
+The expensive facts (gate lowering + ternary constant fixpoint) are
+computed at most once per :class:`LintContext` and shared by every
+rule; a circuit the lowering rejects simply skips the fixpoint-backed
+rules (the structural rules already reported why).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.rules import LintContext, LintRule, register_rule
+
+_UNSET = object()
+
+
+def _fixpoint(ctx: LintContext):
+    """``(lowered, ConstFacts)`` for the context's circuit, or None.
+
+    Cached on the context so the four rules share one lowering and one
+    fixpoint run.
+    """
+    cached = getattr(ctx, "_dataflow_fixpoint", _UNSET)
+    if cached is not _UNSET:
+        return cached
+    try:
+        from repro.hdl.lowering import lower_to_gates
+        from repro.analyze.constprop import constant_fixpoint
+        from repro.analyze.xprop import x_sources
+
+        lowered = lower_to_gates(ctx.circuit, validate=False)
+        # Self-driven registers hold environment-provided state, not
+        # their reset literal — the fixpoint must not pin them.
+        symbolic = frozenset(x_sources(ctx.circuit))
+        result = (lowered, constant_fixpoint(lowered, symbolic))
+    except Exception:
+        result = None
+    ctx._dataflow_fixpoint = result
+    return result
+
+
+def _observable_cone(ctx: LintContext) -> Set[str]:
+    """Signals that can influence some output, crossing registers."""
+    cached = getattr(ctx, "_dataflow_cone", None)
+    if cached is not None:
+        return cached
+    producer = ctx.producer_of
+    d_of = {reg.q.name: reg.d.name for reg in ctx.circuit.registers}
+    live: Set[str] = set()
+    stack = [sig.name for sig in ctx.circuit.outputs]
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        cell = producer.get(name)
+        if cell is not None:
+            stack.extend(sig.name for sig in cell.ins)
+        d_name = d_of.get(name)
+        if d_name is not None and d_name != name:
+            stack.append(d_name)
+    ctx._dataflow_cone = live
+    return live
+
+
+@register_rule
+class UnreachableObservableRule(LintRule):
+    """An output fed by neither inputs nor registers is compile-time
+    constant: it observes nothing, and a property or sink anchored on
+    it is vacuous."""
+
+    id = "unreachable-observable"
+    severity = Severity.WARNING
+    category = "dataflow"
+    description = "outputs whose cone contains no input and no register"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        producer = ctx.producer_of
+        registered = {reg.q.name for reg in ctx.circuit.registers}
+        input_names = {sig.name for sig in ctx.circuit.inputs}
+        for out in ctx.circuit.outputs:
+            if out.name not in producer:
+                continue  # undriven-signal already errors on this
+            seen: Set[str] = set()
+            stack = [out.name]
+            dynamic = False
+            while stack:
+                name = stack.pop()
+                if name in seen:
+                    continue
+                seen.add(name)
+                if name in input_names or name in registered:
+                    dynamic = True
+                    break
+                cell = producer.get(name)
+                if cell is not None:
+                    stack.extend(sig.name for sig in cell.ins)
+            if not dynamic:
+                yield self.diag(
+                    ctx,
+                    "output depends on no input and no register — it is "
+                    "the same constant in every run",
+                    path=out.name, module=out.module,
+                    fix_hint="wire the observable to real state or drop it",
+                )
+
+
+@register_rule
+class StaticallyDeadTaintLogicRule(LintRule):
+    """Scheme refinements are per-cell/per-register precision upgrades;
+    one on logic that cannot reach any output buys nothing and usually
+    marks a stale entry from an earlier netlist revision."""
+
+    id = "statically-dead-taint-logic"
+    severity = Severity.WARNING
+    category = "dataflow"
+    requires_scheme = True
+    description = "scheme refinements on logic that cannot reach any output"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        live = _observable_cone(ctx)
+        producer = ctx.producer_of
+        for name in sorted(ctx.scheme.cell_options):
+            cell = producer.get(name)
+            if cell is not None and name not in live:
+                yield self.diag(
+                    ctx,
+                    "cell option refines logic that cannot reach any output",
+                    path=name, module=cell.module,
+                    fix_hint="drop the entry or export an output that "
+                             "observes this logic",
+                )
+        registered = {reg.q.name: reg for reg in ctx.circuit.registers}
+        for name in sorted(ctx.scheme.register_granularity):
+            reg = registered.get(name)
+            if reg is not None and name not in live:
+                yield self.diag(
+                    ctx,
+                    "register granularity refines state that cannot reach "
+                    "any output",
+                    path=name, module=reg.q.module,
+                    fix_hint="drop the entry or export an output that "
+                             "observes this register",
+                )
+
+
+@register_rule
+class ConstGatedMonitorRule(LintRule):
+    """A 1-bit output pinned to a constant by the reachable-state
+    ternary fixpoint never changes: as a monitor it can never fire (or
+    always fires), so whatever it guards is unchecked."""
+
+    id = "const-gated-monitor"
+    severity = Severity.INFO
+    category = "dataflow"
+    description = "1-bit outputs constant in every reachable state"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        bundle = _fixpoint(ctx)
+        if bundle is None:
+            return
+        lowered, facts = bundle
+        for sig in ctx.circuit.outputs:
+            if sig.width != 1:
+                continue
+            value = facts.word_value(lowered, sig.name)
+            if value is not None:
+                yield self.diag(
+                    ctx,
+                    f"output is constant {value} in every reachable state "
+                    "(ternary fixpoint)",
+                    path=sig.name, module=sig.module,
+                    fix_hint="a monitor that cannot change observes nothing; "
+                             "check its enable/reset conditions",
+                )
+
+
+@register_rule
+class XReachesObservableRule(LintRule):
+    """Outputs in the forward closure of never-initialized registers
+    (self-driven ``d == q`` state) expose content no reset established
+    — exactly the signals worth auditing as attacker observations."""
+
+    id = "x-reaches-observable"
+    severity = Severity.INFO
+    category = "dataflow"
+    description = "outputs that can observe never-initialized register state"
+
+    def run(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.analyze.xprop import x_reachability, x_sources
+
+        sources = x_sources(ctx.circuit)
+        if not sources:
+            return
+        constant: Optional[List[str]] = None
+        bundle = _fixpoint(ctx)
+        if bundle is not None:
+            lowered, facts = bundle
+            constant = [
+                name for name in ctx.circuit.signals
+                if facts.word_value(lowered, name) is not None
+            ]
+        reach = x_reachability(ctx.circuit, sources, constant_signals=constant)
+        for name in reach.observable(s.name for s in ctx.circuit.outputs):
+            sig = ctx.circuit.signals[name]
+            examples = ", ".join(reach.sources[:3])
+            suffix = ", ..." if len(reach.sources) > 3 else ""
+            yield self.diag(
+                ctx,
+                f"output can observe uninitialized register state "
+                f"({examples}{suffix})",
+                path=name, module=sig.module,
+                fix_hint="expected for secrets/ROMs; otherwise reset the "
+                         "state it reads",
+            )

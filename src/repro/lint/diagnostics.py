@@ -233,6 +233,36 @@ class LintReport:
             "diagnostics": entries,
         }
 
+    def to_stable_dict(self) -> Dict[str, Any]:
+        """Machine-readable report with a fixed key set per finding.
+
+        Unlike :meth:`to_dict` (compact, omits empty fields), every
+        diagnostic entry always carries the same keys — ``rule``,
+        ``severity``, ``path``, ``source``, ``module``, ``message``,
+        ``fix_hint``, ``waived`` — so downstream tooling can index
+        without existence checks.  Schema id: ``repro-lint/v1``.
+        """
+        entries: List[Dict[str, Any]] = []
+        for diag in self.diagnostics:
+            path = diag.path or ""
+            entries.append({
+                "rule": diag.rule,
+                "severity": diag.severity.value,
+                "path": path,
+                "source": self.source_map.resolve(path) if path else "",
+                "module": diag.module,
+                "message": diag.message,
+                "fix_hint": diag.fix_hint or "",
+                "waived": diag.waived,
+            })
+        return {
+            "schema": "repro-lint/v1",
+            "circuit": self.circuit_name,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "diagnostics": entries,
+        }
+
     def to_json(self, indent: Optional[int] = 1) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 

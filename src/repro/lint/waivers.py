@@ -1,0 +1,77 @@
+"""Committed waiver files.
+
+A waiver acknowledges a known finding without silencing the rule: the
+finding is kept, downgraded to INFO, and marked ``waived``.  Ad-hoc
+waivers come from the CLI (``--waive RULE:GLOB``); *committed* waivers
+live in a ``lint-waivers.toml`` checked into the repository so every
+entry carries a reason and survives across runs and tools::
+
+    [[waivers]]
+    rule = "stuck-register"
+    path = "*"
+    reason = "d == q registers model symbolic state (secrets, ROMs)"
+
+``rule`` is a lint rule id, ``path`` an ``fnmatch`` glob over the
+finding's anchor path, and ``reason`` a mandatory justification — a
+waiver without a reason is a config error, not a default.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+#: Canonical file name looked up by :func:`find_waivers_file`.
+WAIVERS_FILENAME = "lint-waivers.toml"
+
+
+class WaiverError(ValueError):
+    """A waivers file is malformed (missing keys, wrong types)."""
+
+
+def load_waivers(path: Union[str, Path]) -> Tuple[Tuple[str, str], ...]:
+    """Parse a ``lint-waivers.toml`` into ``LintConfig.waivers`` pairs.
+
+    Returns ``(rule_id, path_glob)`` tuples in file order.  Raises
+    :class:`WaiverError` on missing/empty ``rule``, ``path`` or
+    ``reason`` keys so silent waivers cannot creep in.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        try:
+            doc = tomllib.load(handle)
+        except tomllib.TOMLDecodeError as exc:
+            raise WaiverError(f"{path}: invalid TOML: {exc}") from exc
+    entries = doc.get("waivers", [])
+    if not isinstance(entries, list):
+        raise WaiverError(f"{path}: 'waivers' must be an array of tables")
+    pairs: List[Tuple[str, str]] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise WaiverError(f"{path}: waivers[{index}] is not a table")
+        for key in ("rule", "path", "reason"):
+            value = entry.get(key)
+            if not isinstance(value, str) or not value.strip():
+                raise WaiverError(
+                    f"{path}: waivers[{index}] needs a non-empty "
+                    f"string {key!r}"
+                )
+        unknown = set(entry) - {"rule", "path", "reason"}
+        if unknown:
+            raise WaiverError(
+                f"{path}: waivers[{index}] has unknown key(s) "
+                f"{', '.join(sorted(unknown))}"
+            )
+        pairs.append((entry["rule"], entry["path"]))
+    return tuple(pairs)
+
+
+def find_waivers_file(start: Union[str, Path, None] = None) -> Optional[Path]:
+    """Nearest ``lint-waivers.toml`` in ``start`` or an ancestor."""
+    directory = Path(start or Path.cwd()).resolve()
+    for candidate in (directory, *directory.parents):
+        path = candidate / WAIVERS_FILENAME
+        if path.is_file():
+            return path
+    return None

@@ -135,3 +135,27 @@ class TestInduction:
         # without unique states this particular invariant is still provable
         # or unknown, but never a counterexample
         assert res_plain.status is not InductionStatus.COUNTEREXAMPLE
+
+
+class TestCoiPrunedExtraction:
+    def test_cex_extraction_with_out_of_cone_register(self):
+        """Registers outside the property's cone of influence are
+        dropped from the encoded netlist; counterexample extraction
+        must fall back to their reset bits instead of asking the frame
+        program for an unencoded literal."""
+        b = ModuleBuilder("m")
+        x = b.input("x", 1)
+        # 3-bit register whose upper bits never influence `bad`.
+        r = b.reg("r0", 3, reset=0b110)
+        r.drive(r ^ b.const(1, 3))
+        b.output("bad", r[0] & x)
+        circuit = b.build()
+
+        res = bounded_model_check(circuit, SafetyProperty("p", "bad"),
+                                  max_bound=4)
+        assert res.status is BmcStatus.COUNTEREXAMPLE
+        cex = res.counterexample
+        # the unobservable bits read back as their reset values
+        assert cex.initial_state["r0"] & 0b110 == 0b110
+        wf = cex.replay(circuit)
+        assert any(wf.value("bad", t) for t in range(wf.length))

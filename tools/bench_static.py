@@ -1,0 +1,237 @@
+"""Static-analysis benchmark: the ``BENCH_static.json`` trajectory.
+
+Measures what the SAT-free ``repro.analyze`` engine buys on real
+workloads and records, per section:
+
+- ``cegar_prescreen`` — the headline number: the same CEGAR run on a
+  shipped core with the static pre-screen off vs on.  Verdict and
+  bound must match exactly; the pre-screen run must do *strictly
+  fewer* SAT frame solves (``bmc.frame`` spans in the tracer) whenever
+  it skipped any bounds.  A verdict mismatch fails the benchmark.
+- ``fuzz_verdicts`` — ``static_verify`` over the fuzzed-machine
+  population the formal engines differential-test on: how often the
+  abstraction is definitive (verified / violation) without a solver,
+  and how fast.
+- ``constprop`` / ``ift`` — domain-level rates on the
+  taint-instrumented tiny core: fraction of gate-level slots the
+  ternary fixpoint pins, and taint reachability over the contract
+  sinks (with wall-clock, so the "pre-screen is cheap" claim in
+  docs/static-analysis.md stays honest).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_static.py                # print
+    PYTHONPATH=src python tools/bench_static.py -o BENCH_static.json
+    PYTHONPATH=src python tools/bench_static.py --quick        # CI scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List
+
+
+def _frame_solves(tracer) -> int:
+    """Number of SAT frame solves (``bmc.frame`` spans) in a trace."""
+    from repro.obs import summary_from_events
+
+    summary = summary_from_events(tracer.snapshot_events())
+    return sum(count for name, count, _total, _self in summary.by_name()
+               if name == "bmc.frame")
+
+
+def _tiny_sodor():
+    from repro.cores import CoreConfig, core_registry
+
+    cfg = CoreConfig.formal(xlen=4, imem_depth=4, dmem_depth=4,
+                            secret_words=1)
+    return core_registry()["Sodor"](cfg, True)
+
+
+# ----------------------------------------------------------------------
+# section 1: CEGAR with the pre-screen off vs on
+# ----------------------------------------------------------------------
+
+def _cegar_run(task, prescreen: bool, max_bound: int) -> Dict[str, Any]:
+    from repro.cegar.loop import CegarConfig, run_compass
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    # Sequential engine, no induction, no simulation pre-filter: every
+    # iteration goes straight to BMC, so the SAT frame count isolates
+    # exactly what the static pre-screen saves.
+    config = CegarConfig(
+        engine="sequential",
+        use_induction=False,
+        sim_prefilter=False,
+        max_bound=max_bound,
+        max_refinements=2,
+        seed=0,
+        static_prescreen=prescreen,
+        trace=tracer,
+    )
+    started = time.monotonic()
+    result = run_compass(task, config)
+    elapsed = time.monotonic() - started
+    return {
+        "status": result.status.value,
+        "bound": result.bound,
+        "refinements": result.stats.refinements,
+        "sat_frames": _frame_solves(tracer),
+        "static_prescreens": result.stats.static_prescreens,
+        "static_proofs": result.stats.static_proofs,
+        "static_skipped_bounds": result.stats.static_skipped_bounds,
+        "wall_s": round(elapsed, 6),
+    }
+
+
+def bench_cegar_prescreen(quick: bool) -> Dict[str, Any]:
+    from repro.contracts import make_contract_task
+
+    max_bound = 2 if quick else 3
+    baseline = _cegar_run(make_contract_task(_tiny_sodor()), False, max_bound)
+    prescreen = _cegar_run(make_contract_task(_tiny_sodor()), True, max_bound)
+    out = {
+        "case": "sodor-contract",
+        "max_bound": max_bound,
+        "baseline": baseline,
+        "prescreen": prescreen,
+        "verdict_match": (baseline["status"] == prescreen["status"]
+                          and baseline["bound"] == prescreen["bound"]),
+        "sat_frames_saved": baseline["sat_frames"] - prescreen["sat_frames"],
+    }
+    print(f"  cegar: {baseline['status']} both ways, "
+          f"{baseline['sat_frames']} -> {prescreen['sat_frames']} SAT frames "
+          f"({prescreen['static_skipped_bounds']} bounds skipped)",
+          file=sys.stderr)
+    return out
+
+
+# ----------------------------------------------------------------------
+# section 2: static verdict rates on the fuzz population
+# ----------------------------------------------------------------------
+
+def bench_fuzz_verdicts(quick: bool) -> Dict[str, Any]:
+    from repro.analyze import static_verify
+    from repro.bench.fuzz import random_machine
+    from repro.formal import SafetyProperty
+
+    prop = SafetyProperty("p", "bad")
+    seeds = range(20 if quick else 60)
+    counts = {"verified": 0, "violation": 0, "unknown": 0}
+    bounds: List[int] = []
+    started = time.monotonic()
+    for seed in seeds:
+        verdict = static_verify(random_machine(seed), prop, max_frames=32)
+        counts[verdict.status] += 1
+        if verdict.status == "unknown":
+            bounds.append(verdict.bound)
+    elapsed = time.monotonic() - started
+    n = len(seeds)
+    out = {
+        "seeds": n,
+        **counts,
+        "definitive_fraction": round((n - counts["unknown"]) / n, 3),
+        "avg_unknown_bound": (
+            round(sum(bounds) / len(bounds), 2) if bounds else None
+        ),
+        "wall_s": round(elapsed, 6),
+        "avg_wall_ms": round(1000.0 * elapsed / n, 3),
+    }
+    print(f"  fuzz: {counts['verified']}V {counts['violation']}C "
+          f"{counts['unknown']}U over {n} seeds "
+          f"({out['avg_wall_ms']}ms/machine)", file=sys.stderr)
+    return out
+
+
+# ----------------------------------------------------------------------
+# section 3: domain-level rates on the instrumented tiny core
+# ----------------------------------------------------------------------
+
+def bench_domains() -> Dict[str, Any]:
+    from repro.analyze import constant_fixpoint, taint_reachability
+    from repro.contracts import make_contract_task
+    from repro.hdl.lowering import lower_to_gates
+    from repro.taint import cellift_scheme
+
+    task = make_contract_task(_tiny_sodor())
+    circuit = task.circuit
+
+    started = time.monotonic()
+    lowered = lower_to_gates(circuit, validate=False)
+    facts = constant_fixpoint(lowered)
+    const_wall = time.monotonic() - started
+    total = len(facts.values)
+    pinned = len(facts.constant_names())
+
+    started = time.monotonic()
+    reach = taint_reachability(circuit, cellift_scheme(), task.sources)
+    ift_wall = time.monotonic() - started
+    reachable = sum(1 for sink in task.sinks if reach.reachable((sink,)))
+
+    out = {
+        "case": "sodor-contract",
+        "constprop": {
+            "slots": total,
+            "pinned": pinned,
+            "pinned_fraction": round(pinned / total, 3),
+            "wall_s": round(const_wall, 6),
+        },
+        "ift": {
+            "sinks": len(task.sinks),
+            "reachable_sinks": reachable,
+            "wall_s": round(ift_wall, 6),
+        },
+    }
+    print(f"  domains: {pinned}/{total} slots pinned, "
+          f"{reachable}/{len(task.sinks)} sinks taint-reachable",
+          file=sys.stderr)
+    return out
+
+
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", help="write JSON here")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller set for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    print("running static-analysis benchmarks...", file=sys.stderr)
+    doc: Dict[str, Any] = {
+        "schema": "bench_static/v1",
+        "quick": args.quick,
+        "cegar_prescreen": bench_cegar_prescreen(args.quick),
+        "fuzz_verdicts": bench_fuzz_verdicts(args.quick),
+        "domains": bench_domains(),
+    }
+
+    failures: List[str] = []
+    cegar = doc["cegar_prescreen"]
+    if not cegar["verdict_match"]:
+        failures.append(
+            f"verdict changed under pre-screen: "
+            f"{cegar['baseline']['status']}/{cegar['baseline']['bound']} -> "
+            f"{cegar['prescreen']['status']}/{cegar['prescreen']['bound']}")
+    if (cegar["prescreen"]["static_skipped_bounds"]
+            and cegar["sat_frames_saved"] <= 0):
+        failures.append("pre-screen skipped bounds but saved no SAT frames")
+
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,15 +2,11 @@
 """Self-lint: run ``repro lint`` over everything this repo ships.
 
 Lints all four evaluated cores (with their ISA shadow machines) and the
-example circuits, and fails if any design has lint *errors*.  Known
-benign warnings are explicitly waived rather than silenced:
-
-- ``stuck-register``: self-driven registers (``r.drive(r)``) model
-  symbolic state and preloaded ROMs throughout the cores and examples.
-- ``dead-logic`` on core/shadow decoders: ``decode_instruction``
-  returns a full :class:`Decoded` bundle and each core consumes the
-  subset it needs; the unused classification signals are shared-API
-  byproducts, not bugs.
+example circuits, and fails if any design has lint *errors* or
+unwaived warnings.  Known benign warnings are waived through the
+committed ``lint-waivers.toml`` at the repository root — the same file
+``python -m repro lint`` discovers — so every waiver carries a reason
+and the CLI and this gate cannot drift apart.
 
 Run:  PYTHONPATH=src python tools/lint_self.py
 """
@@ -26,14 +22,12 @@ from typing import List, Tuple
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
 from repro.cores import CoreConfig, core_registry  # noqa: E402
-from repro.lint import LintConfig, LintReport, lint  # noqa: E402
+from repro.lint import LintConfig, LintReport, lint, load_waivers  # noqa: E402
 
-#: (rule-id, path glob) pairs; see the module docstring for the reasons.
-WAIVERS: Tuple[Tuple[str, str], ...] = (
-    ("stuck-register", "*"),
-    ("dead-logic", "core.*"),
-    ("dead-logic", "isa.*"),
-)
+#: The committed waiver file shared with ``python -m repro lint``.
+WAIVERS_FILE = REPO / "lint-waivers.toml"
+
+WAIVERS: Tuple[Tuple[str, str], ...] = load_waivers(WAIVERS_FILE)
 
 LINT_CONFIG = LintConfig(waivers=WAIVERS)
 
