@@ -127,17 +127,74 @@ def check_soundness_once(
     return violations
 
 
+def check_soundness_batch(
+    design: InstrumentedDesign,
+    trials: Sequence[Tuple[Mapping[str, int], Mapping[str, int], Sequence[Mapping[str, int]]]],
+    base_state: Optional[Mapping[str, int]] = None,
+) -> List[SoundnessViolation]:
+    """Check many ``(secrets_a, secrets_b, stimulus)`` trials in one pass.
+
+    Bit-parallel: all secret-A and secret-B runs of the original circuit
+    share one :class:`~repro.sim.batch.BatchSimulator` pass (2·N lanes),
+    and all instrumented replays share another (N lanes).  Stimuli must
+    be equal-length across trials (as :func:`fuzz_soundness` generates
+    them).  Returns the violations of the *first* failing trial, in the
+    same (signal, cycle) order :func:`check_soundness_once` reports —
+    the scalar loop stops at the first failing trial too.
+    """
+    from repro.sim.batch import BatchSimulator
+
+    if not trials:
+        return []
+    circuit = design.uninstrumented
+    count = len(trials)
+
+    def merged(secrets: Mapping[str, int]) -> Dict[str, int]:
+        init = dict(base_state or {})
+        init.update(secrets)
+        return init
+
+    plain_inits = [merged(a) for a, _, _ in trials] + [merged(b) for _, b, _ in trials]
+    stimuli = [list(stim) for _, _, stim in trials]
+    wf = BatchSimulator(circuit, lanes=2 * count,
+                        initial_states=plain_inits).run(stimuli * 2)
+    taint_names = [t for t in design.taint_name.values()
+                   if t in design.circuit.signals]
+    wf_t = BatchSimulator(design.circuit, lanes=count,
+                          initial_states=[merged(a) for a, _, _ in trials]
+                          ).run(stimuli, record=taint_names)
+    for trial in range(count):
+        violations: List[SoundnessViolation] = []
+        for name in circuit.signals:
+            taint_name = design.taint_name.get(name)
+            if taint_name is None or not wf_t.has_signal(taint_name):
+                continue
+            for cycle in range(len(stimuli[trial])):
+                va = wf.value(name, cycle, trial)
+                vb = wf.value(name, cycle, count + trial)
+                if va != vb and wf_t.value(taint_name, cycle, trial) == 0:
+                    violations.append(SoundnessViolation(name, cycle, va, vb))
+        if violations:
+            return violations  # one failing trial is enough
+    return []
+
+
 def fuzz_soundness(
     design: InstrumentedDesign,
     trials: int = 25,
     cycles: int = 6,
     seed: int = 0,
     base_state: Optional[Mapping[str, int]] = None,
+    batch: bool = True,
 ) -> FuzzReport:
     """Random differential soundness fuzzing of an instrumented design.
 
     Secrets are the design's taint sources (``design.sources``); inputs
-    and secret values are sampled uniformly per trial.
+    and secret values are sampled uniformly per trial.  With ``batch``
+    (the default) every trial runs as one lane of a bit-parallel
+    :class:`~repro.sim.batch.BatchSimulator` pass — same RNG draws,
+    same report, ~trials-times fewer simulator passes; ``batch=False``
+    keeps the scalar reference loop for differential testing.
     """
     rng = random.Random(seed)
     circuit = design.uninstrumented
@@ -145,6 +202,18 @@ def fuzz_soundness(
     reg_widths = {reg.q.name: reg.q.width for reg in circuit.registers}
     secret_names = [n for n in design.sources.registers if n in reg_widths]
     input_sigs = list(circuit.inputs)
+    if batch:
+        drawn = []
+        for _ in range(trials):
+            secrets_a = {n: rng.getrandbits(reg_widths[n]) for n in secret_names}
+            secrets_b = {n: rng.getrandbits(reg_widths[n]) for n in secret_names}
+            stimulus = [
+                {sig.name: rng.getrandbits(sig.width) for sig in input_sigs}
+                for _ in range(cycles)
+            ]
+            drawn.append((secrets_a, secrets_b, stimulus))
+        report.violations.extend(check_soundness_batch(design, drawn, base_state))
+        return report
     for _ in range(trials):
         secrets_a = {n: rng.getrandbits(reg_widths[n]) for n in secret_names}
         secrets_b = {n: rng.getrandbits(reg_widths[n]) for n in secret_names}

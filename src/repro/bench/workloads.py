@@ -25,9 +25,10 @@ first input elements are tainted and the rest of memory is public.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence
 
 from repro.cores.common import CoreConfig
 from repro.cores.isa import IsaInterpreter, assemble
@@ -43,7 +44,7 @@ class Workload:
     min_xlen: int = 8
     data_depth: int = 16   # data addresses used (must avoid the secret region)
 
-    @property
+    @functools.cached_property
     def program(self) -> List[int]:
         return assemble(self.source)
 
@@ -248,3 +249,60 @@ def run_workload_on_core(core, workload: Workload, seed: int = 0,
                 f"expected {value}"
             )
     return cycles, sim
+
+
+def run_workload_batch(core, workload: Workload, seeds: Sequence[int],
+                       circuit=None, max_cycles: int = 20000,
+                       self_check: bool = True, tracer=None):
+    """Execute one workload for many data seeds in a single bit-parallel
+    pass — the Figure-6 overhead sweep's K-hungry inner loop.
+
+    Each seed becomes one lane of a :class:`~repro.sim.batch.BatchSimulator`
+    (same program, per-seed data memory).  Lanes run until every lane's
+    ``core.halted`` fires; a lane's data memory is snapshotted at its own
+    halt cycle and (by default) checked against the architectural
+    interpreter, exactly as the scalar runner does.
+
+    ``circuit`` overrides the simulated netlist (e.g. a taint-
+    instrumented variant of ``core.circuit`` sharing its signal names).
+    Returns ``(cycles_per_lane, simulator)``.
+    """
+    from repro.sim import BatchSimulator
+
+    cfg = core.config
+    lanes = len(seeds)
+    datas = [workload.make_data(random.Random(seed), cfg) for seed in seeds]
+    expected = [workload.expected_memory(data, cfg) for data in datas]
+    inits = [core.initial_state_for(workload.program, data) for data in datas]
+    sim = BatchSimulator(circuit if circuit is not None else core.circuit,
+                         lanes=lanes, initial_states=inits, tracer=tracer)
+    halted = 0
+    memories: Dict[int, List[int]] = {}
+    cycles: Dict[int, int] = {}
+    depth = len(expected[0]) if expected else 0
+    for t in range(1, max_cycles + 1):
+        sim.advance({})
+        newly = sim.peek_planes("core.halted")[0] & ~halted
+        if newly:
+            for lane in range(lanes):
+                if (newly >> lane) & 1:
+                    cycles[lane] = t
+                    memories[lane] = [sim.peek(core.dmem_words[a], lane)
+                                     for a in range(depth)]
+            halted |= newly
+            if halted == sim.lane_mask:
+                break
+    stuck = [seeds[k] for k in range(lanes) if k not in cycles]
+    if stuck:
+        raise RuntimeError(
+            f"{workload.name} on {core.name}: seeds {stuck} did not halt "
+            f"in {max_cycles} cycles")
+    if self_check:
+        for lane in range(lanes):
+            for address, value in enumerate(expected[lane]):
+                got = memories[lane][address]
+                if got != value:
+                    raise AssertionError(
+                        f"{workload.name} on {core.name} (seed {seeds[lane]}): "
+                        f"mem[{address}] = {got}, expected {value}")
+    return [cycles[k] for k in range(lanes)], sim

@@ -52,10 +52,19 @@ def _blocks_all(
     scheme: TaintScheme,
     counterexamples: Sequence[Counterexample],
 ) -> bool:
-    """Does ``scheme`` keep every counterexample's sink untainted?"""
+    """Does ``scheme`` keep every counterexample's sink untainted?
+
+    All counterexamples replay bit-parallel in one pass (one lane per
+    witness), recording only the sink taint signals the check reads.
+    """
+    from repro.formal.counterexample import replay_batch
+
     design = instrument(task.circuit, scheme, task.sources)
-    for cex in counterexamples:
-        waveform = cex.replay(design.circuit)
+    record = {design.taint_name[sink] for sink in task.sinks
+              if design.taint_name.get(sink) in design.circuit.signals}
+    waveforms = replay_batch(design.circuit, list(counterexamples),
+                             record=sorted(record))
+    for waveform in waveforms:
         if _tainted_sink(design, waveform, task.sinks, waveform.length - 1):
             return False
     return True

@@ -57,3 +57,41 @@ class Counterexample:
         merged = dict(self.initial_state)
         merged.update(overrides)
         return Counterexample(self.length, [dict(f) for f in self.inputs], merged, self.bad_signal)
+
+
+def replay_batch(
+    circuit: Circuit,
+    counterexamples: List["Counterexample"],
+    record: Optional[Iterable[str]] = None,
+) -> List[Waveform]:
+    """Replay N counterexamples on one circuit in a single pass.
+
+    Each counterexample becomes one lane of a
+    :class:`~repro.sim.batch.BatchSimulator`; shorter traces are padded
+    with zero frames up to the longest and each returned waveform is
+    truncated back to its own length, so every entry is bit-identical to
+    ``cex.replay(circuit, record)``.  This is how the CEGAR machinery
+    certifies many candidate witnesses at once (refinement pruning,
+    false-taint filtering).
+    """
+    from repro.sim.batch import BatchSimulator
+
+    if not counterexamples:
+        return []
+    known_regs = {reg.q.name for reg in circuit.registers}
+    input_names = [sig.name for sig in circuit.inputs]
+    max_length = max(cex.length for cex in counterexamples)
+    zero_frame = {name: 0 for name in input_names}
+    inits = []
+    stimuli = []
+    for cex in counterexamples:
+        inits.append({k: v for k, v in cex.initial_state.items() if k in known_regs})
+        frames = [{name: frame.get(name, 0) for name in input_names}
+                  for frame in cex.inputs]
+        frames.extend([zero_frame] * (max_length - len(frames)))
+        stimuli.append(frames)
+    sim = BatchSimulator(circuit, lanes=len(counterexamples), initial_states=inits)
+    names = list(record) if record is not None else None
+    batch = sim.run(stimuli, record=names)
+    return [batch.lane(lane, length=cex.length)
+            for lane, cex in enumerate(counterexamples)]

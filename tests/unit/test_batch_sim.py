@@ -1,0 +1,256 @@
+"""Metamorphic and integration tests for the bit-parallel batch engine.
+
+These pin the *relations* that make batching trustworthy: lanes are
+independent (permutation invariance), broadcasting equals scalar runs,
+K=1 degenerates to the compiled engine, ragged stimulus is rejected up
+front, taint state slices per lane, coverage is the union of lanes, and
+the obs counters surface lane throughput.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.fuzz import random_machine
+from repro.obs import Tracer
+from repro.obs.summarize import render_summary, summary_from_events
+from repro.sim import (
+    BatchSimulator,
+    CompiledSimulator,
+    Simulator,
+    batch_program_for,
+)
+from repro.sim.coverage import CoverageCollector
+from repro.sim.simulator import SimulationError
+from repro.taint import TaintSources, glift_scheme, instrument
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from conftest import build_mux_chain, random_cell_circuit, random_stimulus  # noqa: E402
+
+
+def _input_widths(circuit):
+    return {sig.name: sig.width for sig in circuit.inputs}
+
+
+def _lane_stimuli(circuit, rng, lanes, cycles):
+    widths = _input_widths(circuit)
+    return [
+        [{name: rng.getrandbits(width) for name, width in widths.items()}
+         for _ in range(cycles)]
+        for _ in range(lanes)
+    ]
+
+
+class TestMetamorphic:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_lane_permutation_invariance(self, seed):
+        """Permuting the lanes permutes the results and nothing else."""
+        circuit = random_machine(seed, width=4, max_regs=3, max_ops=8)
+        rng = random.Random(seed + 100)
+        stimuli = _lane_stimuli(circuit, rng, lanes=16, cycles=6)
+        perm = list(range(16))
+        rng.shuffle(perm)
+        names = list(circuit.signals)
+        base = BatchSimulator(circuit, lanes=16).run(stimuli, record=names)
+        shuffled = BatchSimulator(circuit, lanes=16).run(
+            [stimuli[perm[k]] for k in range(16)], record=names)
+        for k in range(16):
+            for name in names:
+                assert (shuffled.lane_trace(name, k)
+                        == base.lane_trace(name, perm[k])), (name, k)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_broadcast_equals_scalar(self, seed):
+        """One frame per cycle broadcast to all lanes == a scalar run."""
+        circuit = random_machine(seed, width=4, max_regs=3, max_ops=8)
+        rng = random.Random(seed + 200)
+        widths = _input_widths(circuit)
+        frames = [{n: rng.getrandbits(w) for n, w in widths.items()}
+                  for _ in range(8)]
+        names = list(circuit.signals)
+        batch = BatchSimulator(circuit, lanes=7).run(frames, record=names)
+        scalar = Simulator(circuit).run(frames, record=names)
+        for lane in range(7):
+            for name in names:
+                assert batch.lane_trace(name, lane) == scalar.trace(name), name
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_single_lane_equals_compiled(self, seed):
+        """K=1 is just a slow spelling of CompiledSimulator."""
+        circuit = random_machine(seed, width=4, max_regs=3, max_ops=8)
+        rng = random.Random(seed + 300)
+        widths = _input_widths(circuit)
+        frames = [{n: rng.getrandbits(w) for n, w in widths.items()}
+                  for _ in range(8)]
+        bsim = BatchSimulator(circuit, lanes=1)
+        fast = CompiledSimulator(circuit)
+        for frame in frames:
+            (batch_out,) = bsim.step([frame])
+            assert batch_out == fast.step(frame)
+        assert bsim.state(0) == fast.state()
+
+    def test_ragged_stimulus_rejected_up_front(self):
+        circuit = random_machine(0, width=3)
+        widths = _input_widths(circuit)
+        frame = {n: 0 for n in widths}
+        bsim = BatchSimulator(circuit, lanes=3)
+        with pytest.raises(SimulationError, match="ragged stimulus"):
+            bsim.run([[frame] * 4, [frame] * 4, [frame] * 3])
+        # Rejection happened before any lane stepped.
+        assert bsim.cycle == 0
+
+    def test_wrong_lane_count_rejected(self):
+        circuit = random_machine(0, width=3)
+        frame = {n: 0 for n in _input_widths(circuit)}
+        bsim = BatchSimulator(circuit, lanes=4)
+        with pytest.raises(SimulationError, match="input frames for 4 lanes"):
+            bsim.step([frame, frame])
+        with pytest.raises(SimulationError, match="per-lane stimuli for 4 lanes"):
+            bsim.run([[frame], [frame]])
+        with pytest.raises(SimulationError, match="initial states for 4 lanes"):
+            BatchSimulator(circuit, lanes=4, initial_states=[{}, {}])
+
+    def test_bad_lane_count_rejected(self):
+        with pytest.raises(SimulationError, match="lane count"):
+            BatchSimulator(random_machine(0, width=3), lanes=0)
+
+    def test_peek_before_evaluate(self):
+        """Pre-step peeks: registers readable, wires raise like scalar."""
+        circuit = random_machine(0, width=3)
+        bsim = BatchSimulator(circuit, lanes=2)
+        scalar = Simulator(circuit)
+        reg_name = circuit.registers[0].q.name
+        assert bsim.peek(reg_name, 0) == scalar.peek(reg_name)
+        wire = next(n for n in circuit.signals
+                    if n not in {r.q.name for r in circuit.registers}
+                    and n not in _input_widths(circuit))
+        with pytest.raises(SimulationError) as batch_info:
+            bsim.peek(wire, 0)
+        with pytest.raises(SimulationError) as scalar_info:
+            scalar.peek(wire)
+        assert str(batch_info.value) == str(scalar_info.value)
+
+    def test_program_memoized_and_lane_independent(self):
+        circuit = random_machine(1, width=3)
+        assert batch_program_for(circuit) is batch_program_for(circuit)
+        assert (BatchSimulator(circuit, lanes=2).program
+                is BatchSimulator(circuit, lanes=200).program)
+
+    def test_per_lane_initial_states(self):
+        circuit = build_mux_chain(True)
+        inits = [{"m.secret": k, "m.pub1": 15 - k} for k in range(16)]
+        bsim = BatchSimulator(circuit, lanes=16, initial_states=inits)
+        for k in range(16):
+            assert bsim.peek("m.secret", k) == k
+            assert bsim.peek("m.pub1", k) == 15 - k
+        assert bsim.state(3) == Simulator(circuit, initial_state=inits[3]).state()
+
+
+class TestTaintLanes:
+    def test_lane_sliced_taint_state(self):
+        """Each lane of an instrumented design carries its own taint.
+
+        Lane k taints only bit k%4 of the secret; the per-lane sink
+        taints must match scalar instrumented runs exactly.
+        """
+        circuit = build_mux_chain(True)
+        design = instrument(circuit, glift_scheme(),
+                            TaintSources(registers={"m.secret": -1}))
+        # Instrumentation lowers to gates: per-bit sink taints plus the
+        # shadow-taint registers themselves.
+        sink_taints = sorted(t for name, t in design.taint_name.items()
+                             if name.startswith("sink["))
+        taint_regs = sorted(set(design.taint_name.values())
+                            & {r.q.name for r in design.circuit.registers})
+        assert sink_taints and taint_regs
+        names = sink_taints + taint_regs
+        lanes = 8
+        rng = random.Random(7)
+        stimuli = [
+            [{"sel1": rng.getrandbits(1), "sel2": rng.getrandbits(1)}
+             for _ in range(6)]
+            for _ in range(lanes)
+        ]
+        reg_names = {r.q.name for r in design.circuit.registers}
+        inits = []
+        for _ in range(lanes):
+            secret = rng.getrandbits(4)
+            inits.append({f"m.secret[{b}]": (secret >> b) & 1
+                          for b in range(4)
+                          if f"m.secret[{b}]" in reg_names})
+        batch = BatchSimulator(design.circuit, lanes=lanes,
+                               initial_states=inits)
+        wf = batch.run(stimuli, record=names)
+        for lane in range(lanes):
+            scalar = Simulator(design.circuit, initial_state=inits[lane]).run(
+                stimuli[lane], record=names)
+            for name in names:
+                assert wf.lane_trace(name, lane) == scalar.trace(name), name
+
+    def test_batch_waveform_lane_slice_truncation(self):
+        circuit = random_machine(2, width=3)
+        widths = _input_widths(circuit)
+        frames = [{n: 0 for n in widths}] * 5
+        wf = BatchSimulator(circuit, lanes=2).run([frames, frames])
+        short = wf.lane(0, length=3)
+        assert short.length == 3
+        assert wf.lane(1).length == 5
+
+
+class TestCoverageUnion:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_batched_coverage_is_union_of_scalar_runs(self, seed):
+        """64 batched lanes toggle exactly the union of 64 scalar runs."""
+        circuit = random_cell_circuit(seed)
+        lanes = 64
+        stimuli = [random_stimulus(seed * 1000 + k, 6) for k in range(lanes)]
+        regs = [reg.q.name for reg in circuit.registers]
+
+        batched = CoverageCollector(BatchSimulator(circuit, lanes=lanes), regs)
+        for t in range(6):
+            batched.step([stimuli[k][t] for k in range(lanes)])
+        batch_report = batched.report()
+
+        union = {name: [0, 0] for name in regs}
+        for k in range(lanes):
+            scalar = CoverageCollector(Simulator(circuit), regs)
+            for frame in stimuli[k]:
+                scalar.step(frame)
+            for name, cov in scalar.report().signals.items():
+                union[name][0] |= cov.seen_zero
+                union[name][1] |= cov.seen_one
+
+        for name in regs:
+            cov = batch_report.signals[name]
+            assert (cov.seen_zero, cov.seen_one) == tuple(union[name]), name
+
+
+class TestObservability:
+    def test_counters_and_gauges_recorded(self):
+        circuit = random_machine(0, width=3)
+        widths = _input_widths(circuit)
+        frames = [{n: 0 for n in widths}] * 10
+        tracer = Tracer()
+        BatchSimulator(circuit, lanes=16, tracer=tracer).run([frames] * 16)
+        summary = summary_from_events(tracer.snapshot_events())
+        assert summary.counters["sim.steps"] == 10
+        assert summary.counters["sim.lane_steps"] == 160
+        assert summary.gauges["sim.lanes"] == 16.0
+        assert summary.gauges["sim.steps_per_sec"] > 0
+        rendered = render_summary(summary)
+        assert "sim.lanes" in rendered
+        assert "sim.steps_per_sec" in rendered
+
+    def test_step_counters_accumulate(self):
+        circuit = random_machine(0, width=3)
+        frame = {n: 0 for n in _input_widths(circuit)}
+        tracer = Tracer()
+        bsim = BatchSimulator(circuit, lanes=4, tracer=tracer)
+        for _ in range(3):
+            bsim.step(frame)
+        totals = tracer.counter_totals()
+        assert totals["sim.steps"] == 3
+        assert totals["sim.lane_steps"] == 12

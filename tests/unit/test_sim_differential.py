@@ -105,3 +105,50 @@ class TestCompiledStrictness:
         circuit = self._machine()
         ref, fast = Simulator(circuit), CompiledSimulator(circuit)
         assert ref.step({"x": 7}) == fast.step({"x": 7})
+
+
+class TestBatchDifferentialFuzz:
+    """The 20-seed harness, third engine: BatchSimulator lanes.
+
+    Same seeds and stimuli as :class:`TestDifferentialFuzz`, with the 16
+    scalar frames also driven as 16 concurrent lanes (lane k replays
+    frames rotated by k) — every lane must match its own scalar run.
+    """
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_identical_waveforms(self, seed):
+        from repro.sim import BatchSimulator
+
+        circuit = random_machine(seed, width=4, max_regs=3, max_ops=8)
+        rng = random.Random(seed + 1000)
+        frames = _random_frames(circuit, rng, 16)
+        names = list(circuit.signals)
+        lanes = [frames[k:] + frames[:k] for k in range(16)]
+        batch = BatchSimulator(circuit, lanes=16).run(lanes, record=names)
+        ref = Simulator(circuit)
+        for k in range(16):
+            ref.reset({})
+            wf = ref.run(lanes[k], record=names)
+            for name in names:
+                assert batch.lane_trace(name, k) == wf.trace(name), (name, k)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_identical_error_behavior(self, seed):
+        """The corrupted frame raises the scalar message from the batch."""
+        from repro.sim import BatchSimulator
+
+        circuit = random_machine(seed, width=4, max_regs=3, max_ops=8)
+        rng = random.Random(seed + 2000)
+        widths = _input_widths(circuit)
+        frames = _random_frames(circuit, rng, 8)
+        victim = rng.randrange(len(frames))
+        name = rng.choice(sorted(widths))
+        if rng.random() < 0.5:
+            del frames[victim][name]
+        else:
+            frames[victim][name] = (1 << widths[name]) + rng.randrange(16)
+        with pytest.raises(SimulationError) as scalar_info:
+            Simulator(circuit).run(frames)
+        with pytest.raises(SimulationError) as batch_info:
+            BatchSimulator(circuit, lanes=4).run([list(frames)] * 4)
+        assert str(batch_info.value) == str(scalar_info.value)

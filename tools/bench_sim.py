@@ -1,0 +1,370 @@
+"""Simulation throughput benchmark: the ``BENCH_sim.json`` trajectory.
+
+Measures steps/second for the bit-parallel ``BatchSimulator`` against
+the per-stimulus ``CompiledSimulator`` (and, in full mode, the
+interpreted ``Simulator``) on the three K-hungry consumer workloads:
+
+- **fuzz campaign** — cellift-instrumented fuzzed machines, 64
+  independent stimuli per circuit (the differential fuzz harness's
+  soundness-check population);
+- **Figure-6 sweep** — Sodor running the benchmark kernels, one data
+  seed per lane, plain and taint-instrumented, every lane self-checked
+  against the architectural interpreter;
+- **counterexample replay** — 64 BMC-style witnesses certified in one
+  pass (the CEGAR pruning / false-taint path).
+
+Every case cross-checks the 64-lane batch run against the per-stimulus
+compiled runs (per-lane register state, halt cycles, or full recorded
+waveforms); a speedup that changes answers is a failure, not a result.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sim.py                  # print table
+    PYTHONPATH=src python tools/bench_sim.py -o BENCH_sim.json
+    PYTHONPATH=src python tools/bench_sim.py --check          # CI smoke:
+        # quick case set, equivalence asserted, geomean floor enforced
+
+The headline number is ``geomean_speedup_k64``: geometric-mean
+steps/sec of the 64-lane batch engine over the per-stimulus compiled
+engine across all cases.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import sys
+import time
+from typing import Any, Dict, List
+
+LANES_TOTAL = 64
+BATCH_KS = (1, 16, 64)
+
+
+def _lane_stimuli(circuit, rng, lanes: int, cycles: int):
+    widths = {sig.name: sig.width for sig in circuit.inputs}
+    return [
+        [{name: rng.getrandbits(width) for name, width in widths.items()}
+         for _ in range(cycles)]
+        for _ in range(lanes)
+    ]
+
+
+def _instrumented_machine(seed: int):
+    from repro.bench.fuzz import random_machine
+    from repro.taint import TaintSources, cellift_scheme, instrument
+
+    circuit = random_machine(seed, width=4, max_regs=4, max_ops=10)
+    return instrument(circuit, cellift_scheme(),
+                      TaintSources(registers={"r0": -1})).circuit
+
+
+# ----------------------------------------------------------------------
+# fuzz-campaign cases (instrumented machines, raw stimulus)
+# ----------------------------------------------------------------------
+
+def _bench_campaign_case(seed: int, cycles: int,
+                         measure_interp: bool) -> Dict[str, Any]:
+    from repro.sim import BatchSimulator, CompiledSimulator, Simulator
+
+    circuit = _instrumented_machine(seed)
+    rng = random.Random(seed * 97 + 13)
+    stimuli = _lane_stimuli(circuit, rng, LANES_TOTAL, cycles)
+    total_steps = LANES_TOTAL * cycles
+    out: Dict[str, Any] = {"steps": total_steps, "cycles": cycles,
+                           "cells": len(circuit.cells)}
+
+    fast = CompiledSimulator(circuit)
+    started = time.monotonic()
+    compiled_states = []
+    for lane in range(LANES_TOTAL):
+        fast.reset({})
+        fast.run(stimuli[lane], record=[])
+        compiled_states.append(fast.state())
+    wall = time.monotonic() - started
+    out["compiled"] = {"wall_s": round(wall, 6),
+                       "steps_per_sec": round(total_steps / wall)}
+
+    if measure_interp:
+        ref = Simulator(circuit)
+        started = time.monotonic()
+        for lane in range(LANES_TOTAL):
+            ref.reset({})
+            ref.run(stimuli[lane], record=[])
+        interp_wall = time.monotonic() - started
+        out["interp"] = {"wall_s": round(interp_wall, 6),
+                         "steps_per_sec": round(total_steps / interp_wall)}
+
+    out["batch"] = {}
+    for lanes in BATCH_KS:
+        sim = BatchSimulator(circuit, lanes=lanes)
+        batch_states: List[Dict[str, int]] = []
+        started = time.monotonic()
+        for base in range(0, LANES_TOTAL, lanes):
+            sim.reset({})
+            sim.run(stimuli[base:base + lanes] if lanes > 1
+                    else stimuli[base], record=[])
+            batch_states.extend(sim.state())
+        bwall = time.monotonic() - started
+        out["batch"][str(lanes)] = {
+            "wall_s": round(bwall, 6),
+            "steps_per_sec": round(total_steps / bwall),
+            "speedup_vs_compiled": round(wall / bwall, 3),
+        }
+        if lanes == LANES_TOTAL:
+            out["equivalent"] = batch_states == compiled_states
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure-6 sweep cases (Sodor kernels, plain and instrumented)
+# ----------------------------------------------------------------------
+
+def _sodor():
+    from repro.cores import CoreConfig, core_registry
+
+    return core_registry()["Sodor"](CoreConfig.simulation(), False)
+
+
+def _bench_sweep_case(workload_name: str, seeds: int) -> Dict[str, Any]:
+    from repro.bench.workloads import (WORKLOADS, run_workload_batch,
+                                       run_workload_on_core)
+
+    core = _sodor()
+    workload = WORKLOADS[workload_name]
+    seed_list = list(range(seeds))
+    run_workload_batch(core, workload, [0])  # warm program caches
+
+    started = time.monotonic()
+    scalar_cycles = [run_workload_on_core(core, workload, seed=seed)[0]
+                     for seed in seed_list]
+    scalar_wall = time.monotonic() - started
+    useful = sum(scalar_cycles)
+
+    started = time.monotonic()
+    batch_cycles, _sim = run_workload_batch(core, workload, seed_list)
+    batch_wall = time.monotonic() - started
+    return {
+        "core": core.name, "workload": workload_name, "seeds": seeds,
+        "steps": useful,
+        "compiled": {"wall_s": round(scalar_wall, 6),
+                     "steps_per_sec": round(useful / scalar_wall)},
+        "batch": {str(seeds): {
+            "wall_s": round(batch_wall, 6),
+            "steps_per_sec": round(useful / batch_wall),
+            "speedup_vs_compiled": round(scalar_wall / batch_wall, 3),
+        }},
+        # run_workload_batch self-checks every lane's final memory
+        # against the ISA interpreter; halt cycles must also agree.
+        "equivalent": batch_cycles == scalar_cycles,
+    }
+
+
+def _bench_overhead_case(workload_name: str, seeds: int) -> Dict[str, Any]:
+    """The instrumented sweep: Figure 6's actual overhead measurement."""
+    from repro.bench.workloads import WORKLOADS, run_workload_batch
+    from repro.sim import make_simulator
+    from repro.taint import TaintSources, cellift_scheme, instrument
+
+    core = _sodor()
+    cfg = core.config
+    workload = WORKLOADS[workload_name]
+    seed_list = list(range(seeds))
+    sources = TaintSources(
+        registers={core.dmem_words[i]: -1 for i in range(4)})
+    design = instrument(core.circuit, cellift_scheme(), sources)
+    run_workload_batch(core, workload, [0], circuit=design.circuit,
+                       self_check=False)  # warm caches
+
+    def scalar_run(seed: int) -> int:
+        data = workload.make_data(random.Random(seed), cfg)
+        sim = make_simulator(
+            design.circuit, compiled=True,
+            initial_state=core.initial_state_for(workload.program, data))
+        for cycle in range(1, 20001):
+            sim.step({})
+            if sim.peek("core.halted"):
+                return cycle
+        raise RuntimeError(f"seed {seed} did not halt")
+
+    started = time.monotonic()
+    scalar_cycles = [scalar_run(seed) for seed in seed_list]
+    scalar_wall = time.monotonic() - started
+    useful = sum(scalar_cycles)
+
+    started = time.monotonic()
+    batch_cycles, _sim = run_workload_batch(
+        core, workload, seed_list, circuit=design.circuit, self_check=False)
+    batch_wall = time.monotonic() - started
+    return {
+        "core": core.name, "workload": workload_name, "seeds": seeds,
+        "scheme": "cellift", "steps": useful,
+        "cells": len(design.circuit.cells),
+        "compiled": {"wall_s": round(scalar_wall, 6),
+                     "steps_per_sec": round(useful / scalar_wall)},
+        "batch": {str(seeds): {
+            "wall_s": round(batch_wall, 6),
+            "steps_per_sec": round(useful / batch_wall),
+            "speedup_vs_compiled": round(scalar_wall / batch_wall, 3),
+        }},
+        "equivalent": batch_cycles == scalar_cycles,
+    }
+
+
+# ----------------------------------------------------------------------
+# counterexample-replay case (CEGAR certification path)
+# ----------------------------------------------------------------------
+
+def _bench_replay_case(seed: int, length: int) -> Dict[str, Any]:
+    from repro.formal.counterexample import Counterexample, replay_batch
+    from repro.sim import CompiledSimulator
+
+    circuit = _instrumented_machine(seed)
+    rng = random.Random(seed * 131 + 7)
+    widths = {sig.name: sig.width for sig in circuit.inputs}
+    regs = {reg.q.name: reg.q.width for reg in circuit.registers}
+    cexs = [
+        Counterexample(
+            length=length,
+            inputs=[{n: rng.getrandbits(w) for n, w in widths.items()}
+                    for _ in range(length)],
+            initial_state={n: rng.getrandbits(w) for n, w in regs.items()},
+        )
+        for _ in range(LANES_TOTAL)
+    ]
+    record = sorted(regs)
+    total_steps = LANES_TOTAL * length
+
+    started = time.monotonic()
+    scalar_waves = []
+    for cex in cexs:
+        sim = CompiledSimulator(circuit, initial_state=cex.initial_state)
+        scalar_waves.append(sim.run(cex.inputs, record=record))
+    scalar_wall = time.monotonic() - started
+
+    started = time.monotonic()
+    batch_waves = replay_batch(circuit, cexs, record=record)
+    batch_wall = time.monotonic() - started
+    equivalent = all(
+        b.trace(name) == s.trace(name)
+        for b, s in zip(batch_waves, scalar_waves) for name in record)
+    return {
+        "steps": total_steps, "length": length,
+        "witnesses": LANES_TOTAL,
+        "compiled": {"wall_s": round(scalar_wall, 6),
+                     "steps_per_sec": round(total_steps / scalar_wall)},
+        "batch": {str(LANES_TOTAL): {
+            "wall_s": round(batch_wall, 6),
+            "steps_per_sec": round(total_steps / batch_wall),
+            "speedup_vs_compiled": round(scalar_wall / batch_wall, 3),
+        }},
+        "equivalent": equivalent,
+    }
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+def run_benchmarks(quick: bool = False) -> Dict[str, Any]:
+    cases: Dict[str, Any] = {}
+    campaign_seeds = (0, 7) if quick else (0, 3, 7, 11)
+    cycles = 128 if quick else 512
+    for seed in campaign_seeds:
+        name = f"campaign-cellift-s{seed}"
+        cases[name] = _bench_campaign_case(seed, cycles,
+                                           measure_interp=not quick)
+        _report(name, cases[name])
+    workloads = ("median",) if quick else ("median", "rsort", "matrix_mul")
+    for wl in workloads:
+        name = f"sodor-{wl}"
+        cases[name] = _bench_sweep_case(wl, LANES_TOTAL)
+        _report(name, cases[name])
+    if not quick:
+        name = "sodor-median-cellift"
+        cases[name] = _bench_overhead_case("median", LANES_TOTAL)
+        _report(name, cases[name])
+    # BMC witnesses are short; batching amortizes the per-witness
+    # simulator setup that per-stimulus replay pays 64 times.
+    for seed in (2,) if quick else (2, 5):
+        name = f"replay-cellift-s{seed}"
+        cases[name] = _bench_replay_case(seed, length=64)
+        _report(name, cases[name])
+    return cases
+
+
+def _report(name: str, case: Dict[str, Any]) -> None:
+    top_k = max(int(k) for k in case["batch"])
+    batch = case["batch"][str(top_k)]
+    print(f"  {name}: compiled {case['compiled']['steps_per_sec']:,} steps/s, "
+          f"batch-{top_k} {batch['steps_per_sec']:,} steps/s "
+          f"({batch['speedup_vs_compiled']}x, "
+          f"equivalent={case.get('equivalent')})", file=sys.stderr)
+
+
+def summarize(cases: Dict[str, Any]) -> Dict[str, Any]:
+    speedups = []
+    mismatched = []
+    for name, case in cases.items():
+        top_k = max(int(k) for k in case["batch"])
+        speedups.append(case["batch"][str(top_k)]["speedup_vs_compiled"])
+        if not case.get("equivalent", False):
+            mismatched.append(name)
+    geomean = round(
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 3
+    ) if speedups else None
+    return {"geomean_speedup_k64": geomean, "mismatched_cases": mismatched}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", help="write JSON here")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller case set (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: quick set, assert equivalence and "
+                             "enforce --min-speedup on the geomean")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="geomean floor enforced by --check "
+                             "(default %(default)s; CI machines are noisy, "
+                             "the committed BENCH_sim.json records the "
+                             "real trajectory)")
+    args = parser.parse_args(argv)
+    quick = args.quick or args.check
+
+    print("running simulation throughput benchmarks...", file=sys.stderr)
+    cases = run_benchmarks(quick=quick)
+    summary = summarize(cases)
+    doc: Dict[str, Any] = {
+        "schema": "bench_sim/v1",
+        "quick": quick,
+        "lanes": LANES_TOTAL,
+        "cases": cases,
+    }
+    doc.update(summary)
+    print(f"geomean batch-64 speedup vs compiled: "
+          f"{summary['geomean_speedup_k64']}", file=sys.stderr)
+
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+
+    if summary["mismatched_cases"]:
+        print(f"EQUIVALENCE FAILURE: {summary['mismatched_cases']}",
+              file=sys.stderr)
+        return 1
+    if args.check and (summary["geomean_speedup_k64"] or 0) < args.min_speedup:
+        print(f"geomean speedup below required {args.min_speedup}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
