@@ -177,6 +177,10 @@ class CegarConfig:
     pdr_max_frames: int = 50
     #: Portfolio only: deterministic per-SAT-call conflict budget.
     max_conflicts: Optional[int] = None
+    #: Portfolio only: validate each PDR proof's inductive-invariant
+    #: certificate with the independent checker before accepting the
+    #: verdict; a rejected certificate downgrades the call to UNKNOWN.
+    certify: bool = True
     #: Portfolio only: verdict cache shared across model-checking calls
     #: (and, when injected, across runs).  None builds a fresh cache
     #: per ``run_compass`` call.
@@ -238,6 +242,11 @@ class RefinementStats:
     static_proofs: int = 0
     static_cex: int = 0
     static_skipped_bounds: int = 0
+    #: Proof-certificate observability: how many PDR invariant
+    #: certificates the independent checker validated, and how many it
+    #: rejected (each rejection downgraded its call to UNKNOWN).
+    certificates_checked: int = 0
+    certificates_failed: int = 0
 
     @property
     def total(self) -> float:
@@ -265,6 +274,10 @@ class RefinementStats:
             self.engine_wins[result.winner] = (
                 self.engine_wins.get(result.winner, 0) + 1
             )
+        if result.certificate_ok is not None:
+            self.certificates_checked += 1
+            if not result.certificate_ok:
+                self.certificates_failed += 1
 
     def portfolio_rows(self) -> List[str]:
         """Human-readable portfolio/cache summary (empty when unused)."""
@@ -276,6 +289,9 @@ class RefinementStats:
             for name in sorted(self.engine_times)
         )
         rows = [f"portfolio: {self.portfolio_calls} calls  {engines}"]
+        if self.certificates_checked:
+            rows.append(f"certificates: {self.certificates_checked} checked, "
+                        f"{self.certificates_failed} rejected")
         if self.worker_retries or self.worker_crashes:
             rows.append(f"supervision: {self.worker_retries} worker "
                         f"retries, {self.worker_crashes} unrecovered crashes")
@@ -684,6 +700,7 @@ def run_compass(
                         max_conflicts=config.max_conflicts,
                         start_bound=start_bound,
                         static_max_frames=config.static_max_frames,
+                        certify=config.certify,
                         max_worker_retries=config.max_worker_retries,
                         retry_backoff=config.retry_backoff,
                         faults=config.faults,

@@ -128,6 +128,14 @@ def render_report(result, task=None, tracer=None) -> str:
                 f"| {stats.engine_wins.get(engine, 0)} |"
             )
         lines.append("")
+        if stats.certificates_checked:
+            lines.append(
+                f"Proof certificates: {stats.certificates_checked} "
+                f"inductive-invariant certificate(s) validated by the "
+                f"independent checker, {stats.certificates_failed} "
+                f"rejected."
+            )
+            lines.append("")
         if stats.cache is not None:
             cache = stats.cache
             rejected = (f", {cache.rejected} rejected on merge"

@@ -70,6 +70,7 @@ def cmd_verify(args) -> int:
         engine=args.engine,
         jobs=args.jobs,
         static_prescreen=args.static_prescreen,
+        certify=args.certify,
         trace=tracer,
     )
     if args.resume and not args.checkpoint:
@@ -601,6 +602,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-stats", action="store_true",
                    help="portfolio: print solve-cache hit/miss/eviction "
                         "counters and per-engine timings after the run")
+    p.add_argument("--certify", dest="certify", action="store_true",
+                   default=True,
+                   help="portfolio: validate every PDR proof's inductive-"
+                        "invariant certificate with the independent checker "
+                        "before accepting the verdict (the default)")
+    p.add_argument("--no-certify", dest="certify", action="store_false",
+                   help="portfolio: accept PDR proofs without re-checking "
+                        "their certificates")
     p.add_argument("--checkpoint", metavar="DIR", default=None,
                    help="journal CEGAR state to DIR after every iteration "
                         "(atomic, checksummed entries) so an interrupted "

@@ -26,6 +26,11 @@ from repro.formal.counterexample import Counterexample
 from repro.formal.bmc import BmcResult, BmcStatus, bounded_model_check
 from repro.formal.induction import InductionResult, k_induction
 from repro.formal.pdr import PdrResult, PdrStatus, pdr_prove
+from repro.formal.certificate import (
+    Certificate,
+    CertificateCheck,
+    check_certificate,
+)
 from repro.formal.portfolio import (
     ALL_ENGINE_NAMES,
     ENGINE_NAMES,
@@ -66,6 +71,9 @@ __all__ = [
     "PdrResult",
     "PdrStatus",
     "pdr_prove",
+    "Certificate",
+    "CertificateCheck",
+    "check_certificate",
     "CachedVerdict",
     "CacheStats",
     "SolveCache",

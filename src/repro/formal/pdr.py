@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.hdl.circuit import Circuit
 from repro.hdl.lowering import LoweredCircuit
 from repro.formal.bmc import _as_lowered
+from repro.formal.certificate import Certificate
 from repro.formal.counterexample import Counterexample
 from repro.formal.encode import FrameEncoder
 from repro.formal.properties import SafetyProperty
@@ -53,11 +54,18 @@ class PdrResult:
     frames: int = 0
     counterexample: Optional[Counterexample] = None
     elapsed: float = 0.0
-    invariant_clauses: int = 0
+    # On PROVED: the inductive invariant as a checkable certificate
+    # (see repro.formal.certificate.check_certificate).
+    certificate: Optional[Certificate] = None
 
     @property
     def proved(self) -> bool:
         return self.status is PdrStatus.PROVED
+
+    @property
+    def invariant_clauses(self):
+        """The proved inductive invariant's clauses (named literals)."""
+        return self.certificate.clauses if self.certificate is not None else ()
 
 
 class _TransitionSolver:
@@ -95,6 +103,16 @@ class _TransitionSolver:
         for lit in self.assumption_lits:
             self.solver.add_clause((lit,))
         self._activation: List[int] = []  # one per frame; act => frame clauses
+        self._act_level: Dict[int, int] = {}  # activation var -> frame level
+        # Word-level input name -> per-bit frame literals, hoisted out of
+        # input_values (it used to rebuild the input-name set per signal,
+        # O(inputs x signals) per extracted counterexample state).
+        input_names = {s.name for s in circuit.inputs}
+        self._input_bit_lits: List[Tuple[str, List[int]]] = [
+            (name, [self.frame.lit(sig.name) for sig in bit_sigs])
+            for name, bit_sigs in lowered.bits.items()
+            if bit_sigs and bit_sigs[0].name in input_names
+        ]
 
     def _signal_lit(self, original_name: str) -> int:
         gate_sig = self.lowered.bits[original_name][0]
@@ -103,10 +121,22 @@ class _TransitionSolver:
     # -- frames --------------------------------------------------------
     def ensure_frames(self, count: int) -> None:
         while len(self._activation) < count:
-            self._activation.append(self.solver.new_var())
+            act = self.solver.new_var()
+            self._act_level[act] = len(self._activation)
+            self._activation.append(act)
 
     def activation(self, level: int) -> int:
         return self._activation[level]
+
+    def frame_activations(self, level: int) -> List[int]:
+        """Activation literals realising F_level (levels ``level .. N``)."""
+        self.ensure_frames(level + 1)
+        return self._activation[level:]
+
+    def activation_level(self, lit: int) -> Optional[int]:
+        """The frame level of an activation literal; None for any other
+        literal (cube literals, the per-query ¬cube activator)."""
+        return self._act_level.get(lit)
 
     def add_frame_clause(self, level: int, clause: Sequence[int]) -> None:
         """Add a clause over state literals, guarded by frame ``level``'s
@@ -135,16 +165,11 @@ class _TransitionSolver:
 
     def input_values(self, model) -> Dict[str, int]:
         values: Dict[str, int] = {}
-        for name, bit_sigs in self.lowered.bits.items():
-            if not bit_sigs or bit_sigs[0].name not in {
-                s.name for s in self.lowered.circuit.inputs
-            }:
-                continue
+        for name, lits in self._input_bit_lits:
             word = 0
-            for i, sig in enumerate(bit_sigs):
-                lit = self.frame.lit(sig.name)
-                bit = 1 if (model[abs(lit)] ^ (lit < 0)) else 0
-                word |= bit << i
+            for i, lit in enumerate(lits):
+                if model[abs(lit)] ^ (lit < 0):
+                    word |= 1 << i
             values[name] = word
         return values
 
@@ -168,6 +193,9 @@ class _Pdr:
         for lit in self._init_cube:
             self._add_clause(0, (lit,))
         self._trace_parent: Dict[Tuple[int, ...], Tuple] = {}
+        # Clauses whose consecution core needed no frame clauses at all:
+        # they are inductive on their own and push without re-querying.
+        self._inductive: Set[Tuple[int, ...]] = set()
 
     # ------------------------------------------------------------------
     def _initial_cube(self, initial_values: Dict[str, int]) -> Tuple[int, ...]:
@@ -211,8 +239,7 @@ class _Pdr:
         A query against F_level therefore assumes the activation
         literals of levels ``level .. N``.
         """
-        self.ts.ensure_frames(level + 1)
-        return [self.ts.activation(i) for i in range(level, len(self.ts._activation))]
+        return self.ts.frame_activations(level)
 
     # ------------------------------------------------------------------
     def run(
@@ -284,7 +311,7 @@ class _Pdr:
                             elapsed=time.monotonic() - started,
                         )
                 # Propagation: push clauses forward; detect fixpoint.
-                fixpoint = self._propagate(level, remaining())
+                fixpoint_level = self._propagate(level, remaining())
                 if tracer.enabled:
                     span.set(
                         clauses=sum(len(f) for f in self.frames),
@@ -299,11 +326,10 @@ class _Pdr:
                     tracer.count("sat.propagations", solver.propagations - counters_at_entry[2])
                     tracer.count("sat.learned", solver.learned - counters_at_entry[3])
                     tracer.count("sat.restarts", solver.restarts - counters_at_entry[4])
-            if fixpoint:
-                invariant = sum(len(f) for f in self.frames)
+            if fixpoint_level is not None:
                 return PdrResult(PdrStatus.PROVED, level,
                                  elapsed=time.monotonic() - started,
-                                 invariant_clauses=invariant)
+                                 certificate=self._build_certificate(fixpoint_level))
         return PdrResult(PdrStatus.UNKNOWN, level, elapsed=time.monotonic() - started)
 
     # ------------------------------------------------------------------
@@ -326,11 +352,14 @@ class _Pdr:
             if remaining() is not None and remaining() <= 0:
                 return None
             current, lvl, tail = obligations.pop()
+            # Obligation cubes are full predecessor states (generalized
+            # clauses are never enqueued), so intersecting the initial
+            # predicate means *being* an initial state — a concrete
+            # counterexample, whatever level the obligation sits at.
+            if self._intersects_init(current):
+                self._cex_chain = self._collect_chain(tail)
+                return False
             if lvl == 0:
-                # Reached the initial frame: check the cube intersects init.
-                if self._intersects_init(current):
-                    self._cex_chain = self._collect_chain(tail)
-                    return False
                 # Cannot be an initial state: blocked at level 0 by init.
                 continue
             # Is the cube already excluded at lvl?
@@ -343,7 +372,8 @@ class _Pdr:
             if res.status is SolveStatus.UNSAT:
                 continue
             # Relative consecution: F_{lvl-1} ∧ ¬cube ∧ T ∧ cube' SAT?
-            res = self._consecution_query(current, lvl - 1, remaining())
+            res, core_cube, core_level = self._consecution_query(
+                current, lvl - 1, remaining())
             if res is None:
                 return None
             if res.status is SolveStatus.SAT:
@@ -352,16 +382,34 @@ class _Pdr:
                 obligations.append((current, lvl, tail))
                 obligations.append((pred, lvl - 1, pred_tail))
                 continue
-            # No predecessor: generalize and add the blocking clause.
-            generalized = self._generalize(current, lvl, remaining())
+            # No predecessor: generalize and add the blocking clause at
+            # the highest frame the consecution core supports.
+            generalized, store_at = self._generalize(
+                current, lvl, remaining(), core_cube, core_level)
             if generalized is None:
                 return None
             clause = tuple(-lit for lit in generalized)
-            self._add_clause(lvl, clause)
+            self._add_clause(store_at, clause)
+            # The state is now excluded up to store_at; keep chasing it
+            # at the next frame so it cannot resurface there later
+            # (Een-style obligation rescheduling).
+            if store_at < level:
+                obligations.append((current, store_at + 1, tail))
         return True
 
     def _consecution_query(self, cube, from_level, budget):
-        """SAT query: F_from ∧ ¬cube ∧ T ∧ cube'.  Returns None on budget."""
+        """SAT query: F_from ∧ ¬cube ∧ T ∧ cube'.
+
+        The cube's next-state literals ride in as *assumptions*, so an
+        UNSAT answer carries a failed-assumption core.  Returns a triple
+        ``(result, core_cube, core_level)``; ``(None, None, None)`` on a
+        blown budget.  On UNSAT, ``core_cube`` is the subset of ``cube``
+        whose primed literals the refutation used, and ``core_level`` is
+        the lowest frame whose activation appears in the core — the
+        query was really UNSAT relative to that (weaker) frame — or -1
+        when no frame clause was needed at all (the clause is inductive
+        unconditionally).
+        """
         act = self.ts.solver.new_var()
         self.ts.solver.add_clause((-act,) + tuple(-lit for lit in cube))
         next_lits = [self._to_next(lit) for lit in cube]
@@ -372,8 +420,19 @@ class _Pdr:
         # Permanently disable the temporary ¬cube clause.
         self.ts.solver.add_clause((-act,))
         if res.status is SolveStatus.UNKNOWN:
-            return None
-        return res
+            return None, None, None
+        if res.status is not SolveStatus.UNSAT or res.core is None:
+            return res, None, None
+        core_set = set(res.core)
+        core_cube = tuple(
+            lit for lit, nxt in zip(cube, next_lits) if nxt in core_set
+        )
+        levels = [
+            lvl for lvl in map(self.ts.activation_level, core_set)
+            if lvl is not None
+        ]
+        core_level = min(levels) if levels else -1
+        return res, core_cube, core_level
 
     def _to_next(self, state_lit: int) -> int:
         """Map a signed current-state literal to the next-state literal."""
@@ -389,41 +448,126 @@ class _Pdr:
     def _intersects_init(self, cube) -> bool:
         return not any(-lit in self._init_lits for lit in cube)
 
-    def _generalize(self, cube, level, budget) -> Optional[Tuple[int, ...]]:
-        """Drop literals while the cube stays inductively blocked relative
-        to F_{level-1} and disjoint from the initial states."""
+    def _build_certificate(self, fixpoint_level: int) -> Certificate:
+        """Export the inductive invariant found at the fixpoint.
+
+        When ``frames[lvl]`` empties during propagation, every clause
+        still stored at a level > lvl holds at F_lvl and F_{lvl+1}
+        alike, so their conjunction is closed under the transition
+        relation and excludes ``bad`` — the invariant.  Clauses are
+        translated from solver literals to named register-bit literals
+        so the certificate survives the process boundary and can be
+        re-checked against an independent encoding.
+        """
+        lit_to_name = {abs(lit): name for name, lit in self.ts.state_lit.items()}
+        clauses = set()
+        for frame in self.frames[fixpoint_level + 1:]:
+            for clause in frame:
+                named = []
+                for lit in clause:
+                    name = lit_to_name[abs(lit)]
+                    base = self.ts.state_lit[name]
+                    value = 1 if (lit > 0) == (base > 0) else 0
+                    named.append((name, value))
+                clauses.add(tuple(sorted(named)))
+        return Certificate(
+            prop_name=self.prop.name,
+            bad=self.prop.bad,
+            clauses=tuple(sorted(clauses)),
+        )
+
+    def _store_level(self, block_level: int, core_level: Optional[int],
+                     clause: Tuple[int, ...]) -> int:
+        """Translate a consecution core's frame level into the level the
+        blocking clause can be *stored* at.
+
+        A query against F_{k} whose core only used activations of levels
+        >= m was really UNSAT relative to the weaker frame F_m, so the
+        clause holds up to F_{m+1} — an eager multi-level push that
+        skips the intermediate per-frame re-queries.  A core with no
+        frame activation at all (-1) means the clause is inductive
+        unconditionally; it is marked so propagation pushes it for free
+        forever.
+        """
+        if core_level is None:
+            return block_level
+        if core_level < 0:
+            self._inductive.add(tuple(sorted(clause)))
+            return max(block_level, len(self.frames) - 1)
+        return max(block_level, core_level + 1)
+
+    def _generalize(self, cube, level, budget, core_cube=None,
+                    core_level=None) -> Tuple[Optional[Tuple[int, ...]], int]:
+        """Shrink a blocked cube, then compute its storage level.
+
+        First seeds from the failed-assumption core — every literal
+        whose primed version the refutation never used is dropped in one
+        step, no re-query needed (the sub-cube's consecution query is a
+        strictly stronger formula; SMPT's ``sub_clause_finder_unsat_core``)
+        — repairing an init intersection by re-adding one literal that
+        separates the cube from the initial states.  Then falls back to
+        MIC-style one-literal-at-a-time dropping, re-querying each drop.
+        Returns ``(generalized cube, storage level)``.
+        """
         started = time.monotonic()
         current = list(cube)
-        for lit in list(cube):
+        evidence = core_level  # core level backing `current`'s blocking
+        if core_cube is not None and 0 < len(core_cube) < len(current):
+            trial = list(core_cube)
+            if self._intersects_init(trial):
+                for lit in cube:
+                    if -lit in self._init_lits and lit not in trial:
+                        trial.append(lit)
+                        break
+            if not self._intersects_init(trial):
+                current = trial
+        for lit in list(current):
             if budget is not None and time.monotonic() - started > budget:
-                return tuple(current)
+                break
             if len(current) <= 1 or lit not in current:
                 continue
             trial = [l for l in current if l != lit]
             if self._intersects_init(trial):
                 continue
-            res = self._consecution_query(tuple(trial), level - 1, budget)
+            res, sub_core, sub_level = self._consecution_query(
+                tuple(trial), level - 1, budget)
             if res is not None and res.status is SolveStatus.UNSAT:
                 current = trial
-        return tuple(current)
+                evidence = sub_level
+        generalized = tuple(current)
+        clause = tuple(-lit for lit in generalized)
+        return generalized, self._store_level(level, evidence, clause)
 
-    def _propagate(self, top_level: int, budget) -> bool:
-        """Push clauses to higher frames; True when a frame empties out
-        (fixpoint: F_lvl == F_{lvl+1}, an inductive invariant)."""
+    def _propagate(self, top_level: int, budget) -> Optional[int]:
+        """Push clauses to higher frames; returns the level whose frame
+        emptied out (fixpoint: F_lvl == F_{lvl+1}, an inductive
+        invariant) or None.
+
+        Core-aware: a clause already known inductive pushes without a
+        query, and a re-query whose core is frame-local (only used
+        activations of higher levels) jumps the clause straight to the
+        level its core supports.
+        """
         started = time.monotonic()
         for lvl in range(1, top_level):
             for clause in sorted(self.frames[lvl]):
                 if budget is not None and time.monotonic() - started > budget:
-                    return False
+                    return None
+                if clause in self._inductive:
+                    self.frames[lvl].discard(clause)
+                    self._add_clause(lvl + 1, clause)
+                    continue
                 # clause holds at lvl; push when F_lvl ∧ T ∧ ¬clause' UNSAT.
                 cube = tuple(-lit for lit in clause)
-                res = self._consecution_query(cube, lvl, budget)
+                res, _core_cube, core_level = self._consecution_query(
+                    cube, lvl, budget)
                 if res is not None and res.status is SolveStatus.UNSAT:
-                    self.frames[lvl].discard(tuple(sorted(clause)))
-                    self._add_clause(lvl + 1, clause)
+                    self.frames[lvl].discard(clause)
+                    self._add_clause(
+                        self._store_level(lvl + 1, core_level, clause), clause)
             if not self.frames[lvl]:
-                return True
-        return False
+                return lvl
+        return None
 
     # -- counterexample reconstruction ----------------------------------
     def _collect_chain(self, tail) -> List[Tuple]:

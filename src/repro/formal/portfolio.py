@@ -44,6 +44,7 @@ from repro.hdl.circuit import Circuit
 from repro.hdl.lowering import LoweredCircuit
 from repro.formal.bmc import BmcStatus, _as_lowered, bounded_model_check
 from repro.formal.cache import CachedVerdict, CacheStats, SolveCache, solve_key
+from repro.formal.certificate import Certificate, check_certificate
 from repro.formal.counterexample import Counterexample
 from repro.formal.induction import InductionStatus, k_induction
 from repro.formal.pdr import PdrStatus, pdr_prove
@@ -118,6 +119,11 @@ class PortfolioConfig:
     #: into every worker; None injects nothing.  Tests use this to
     #: prove the supervision/recovery paths actually work.
     faults: Optional[FaultPlan] = None
+    #: Validate PDR proof certificates with the independent checker
+    #: (:func:`repro.formal.certificate.check_certificate`) before
+    #: reporting PROVED; a certificate that fails to check downgrades
+    #: the verdict to UNKNOWN instead of shipping an untrusted proof.
+    certify: bool = True
 
     def deadline_for(self, engine: str) -> Optional[float]:
         if engine in self.engine_deadlines:
@@ -160,6 +166,11 @@ class PortfolioResult:
     reports: List[EngineReport] = field(default_factory=list)
     mode: str = "process"        # "process" | "sequential"
     cache_hit: bool = False      # whole verdict answered from the cache
+    #: PDR's inductive-invariant certificate when it won with a proof.
+    certificate: Optional[Certificate] = None
+    #: True/False once the independent checker ran; None when there was
+    #: no certificate to check (other winner, cache hit, certify off).
+    certificate_ok: Optional[bool] = None
 
     @property
     def proved(self) -> bool:
@@ -236,6 +247,8 @@ def _run_engine(
             "bound": -1,  # PDR frames are not cycle bounds
             "counterexample": res.counterexample,
             "elapsed": time.monotonic() - started,
+            # Plain tuples/strings: pickles across the worker boundary.
+            "certificate": res.certificate,
         }
     if engine == "static":
         from repro.analyze import static_verify
@@ -383,6 +396,7 @@ def _finalize(
             status, winner=name, bound=bound,
             counterexample=winner["counterexample"],
             elapsed=elapsed, reports=ordered, mode=mode,
+            certificate=winner.get("certificate"),
         )
     status = PortfolioStatus.BOUND_REACHED if bound >= 0 else PortfolioStatus.UNKNOWN
     return PortfolioResult(status, bound=bound, elapsed=elapsed,
@@ -737,6 +751,23 @@ def verify_portfolio(
     if result is None:
         result = _run_sequential(lowered, prop, config, cache, started,
                                  tracer=tracer)
+    if (config.certify and result.status is PortfolioStatus.PROVED
+            and result.certificate is not None):
+        # Re-check PDR's invariant on a fresh encoding before the
+        # verdict leaves the portfolio.  A certificate that does not
+        # check means the proof cannot be trusted: downgrade rather
+        # than ship it.
+        check = check_certificate(lowered, prop, result.certificate)
+        result.certificate_ok = bool(check.ok)
+        tracer.count("portfolio.certificates_checked")
+        if not check.ok:
+            tracer.count("portfolio.certificate_failures")
+            result.status = PortfolioStatus.UNKNOWN
+            for report in result.reports:
+                if report.winner:
+                    report.winner = False
+                    report.detail = f"certificate rejected: {check.reason}"
+            result.winner = None
     _memoize(cache, key, result)
     if tracer.enabled and stats_before is not None:
         tracer.count("solve_cache.hits", cache.stats.hits - stats_before.hits)

@@ -58,6 +58,12 @@ class SolveResult:
     propagations: int = 0
     learned: int = 0                    # clauses learned from conflicts
     restarts: int = 0
+    # On UNSAT under assumptions: the subset of the passed assumption
+    # literals (DIMACS-signed, as passed) the refutation actually used —
+    # re-solving under just these is still UNSAT.  An empty list means
+    # the formula is UNSAT regardless of the assumptions.  None when the
+    # result is not UNSAT (or predates core extraction).
+    core: Optional[List[int]] = None
 
     def value(self, var: int) -> bool:
         if self.model is None:
@@ -691,6 +697,46 @@ class Solver:
             watches[l1].append(ref)
         self._watches = watches
 
+    def _analyze_final(self, ilits: Sequence[int]) -> List[int]:
+        """Final-conflict analysis (MiniSat's ``analyze_final``).
+
+        Starting from the literals of a conflicting clause (or a single
+        falsified assumption literal), walk the reason graph down the
+        trail and collect the *decisions* it rests on.  Inside an
+        assumption-UNSAT exit every decision on the trail is an
+        assumption, so the result — externalized back to DIMACS signs —
+        is the failed-assumption core.  Must run before backtracking.
+        """
+        seen = bytearray(self.num_vars + 1)
+        level = self._level
+        for ilit in ilits:
+            if level[ilit >> 1] > 0:
+                seen[ilit >> 1] = 1
+        core: List[int] = []
+        trail = self._trail
+        reason = self._reason
+        ca = self._ca
+        start = self._trail_lim[0] if self._trail_lim else len(trail)
+        for i in range(len(trail) - 1, start - 1, -1):
+            ilit = trail[i]
+            var = ilit >> 1
+            if not seen[var]:
+                continue
+            seen[var] = 0
+            ref = reason[var]
+            if ref == _NO_REASON:
+                core.append(self._external(ilit))
+            elif ref <= _BINARY:
+                other = -2 - ref
+                if level[other >> 1] > 0:
+                    seen[other >> 1] = 1
+            else:
+                for k in range(ref + 2, ref + 2 + ca[ref]):
+                    other = ca[k]
+                    if other >> 1 != var and level[other >> 1] > 0:
+                        seen[other >> 1] = 1
+        return core
+
     # ------------------------------------------------------------------
     # main search
     # ------------------------------------------------------------------
@@ -701,13 +747,31 @@ class Solver:
         time_limit: Optional[float] = None,
     ) -> SolveResult:
         """Solve under assumptions with optional budgets."""
+        local_conflicts = 0
+        local_learned = 0
+        local_restarts = 0
+        decisions_at_entry = self.decisions
+        propagations_at_entry = self.propagations
+
+        def _result(status: SolveStatus, model=None, core=None) -> SolveResult:
+            return SolveResult(
+                status,
+                model=model,
+                conflicts=local_conflicts,
+                decisions=self.decisions - decisions_at_entry,
+                propagations=self.propagations - propagations_at_entry,
+                learned=local_learned,
+                restarts=local_restarts,
+                core=core,
+            )
+
         if not self._ok:
-            return SolveResult(SolveStatus.UNSAT)
+            return _result(SolveStatus.UNSAT, core=[])
         self._backtrack(0)
         conflict = self._propagate()
         if conflict >= 0:
             self._ok = False
-            return SolveResult(SolveStatus.UNSAT)
+            return _result(SolveStatus.UNSAT, core=[])
         self._rebuild_heap()
 
         for lit in assumptions:
@@ -719,23 +783,8 @@ class Solver:
         restart_limit = 64 * _luby(restart_idx)
         conflicts_since_restart = 0
         max_learnts = max(1000, len(self._clause_refs) // 2)
-        local_conflicts = 0
-        local_learned = 0
-        local_restarts = 0
-        decisions_at_entry = self.decisions
-        propagations_at_entry = self.propagations
+        decisions_until_poll = 256
         assign = self._assign
-
-        def _result(status: SolveStatus, model=None) -> SolveResult:
-            return SolveResult(
-                status,
-                model=model,
-                conflicts=local_conflicts,
-                decisions=self.decisions - decisions_at_entry,
-                propagations=self.propagations - propagations_at_entry,
-                learned=local_learned,
-                restarts=local_restarts,
-            )
 
         while True:
             conflict = self._propagate()
@@ -750,8 +799,14 @@ class Solver:
                 # assumptions themselves are inconsistent.
                 learnt, back_level, lbd = self._analyze(conflict)
                 if len(self._trail_lim) <= len(iassumptions):
+                    # The conflict is entailed by the assumptions alone:
+                    # extract which of them the refutation used before
+                    # the trail is unwound.
+                    ca = self._ca
+                    core = self._analyze_final(
+                        ca[conflict + 2: conflict + 2 + ca[conflict]])
                     self._backtrack(0)
-                    return _result(SolveStatus.UNSAT)
+                    return _result(SolveStatus.UNSAT, core=core)
                 back_level = max(back_level, 0)
                 self._backtrack(back_level)
                 self.learned += 1
@@ -792,7 +847,16 @@ class Solver:
                     max_learnts = int(max_learnts * 1.3)
                 continue
 
-            # No conflict: extend assignment.
+            # No conflict: extend assignment.  The deadline is also
+            # polled on a decision counter — a low-conflict instance
+            # would otherwise never reach the per-conflict check and
+            # blow straight past its time limit.
+            decisions_until_poll -= 1
+            if decisions_until_poll <= 0:
+                decisions_until_poll = 256
+                if deadline is not None and time.monotonic() > deadline:
+                    self._backtrack(0)
+                    return _result(SolveStatus.UNKNOWN)
             if len(self._trail_lim) < len(iassumptions):
                 ilit = iassumptions[len(self._trail_lim)]
                 value = self._lit_value(ilit)
@@ -800,8 +864,15 @@ class Solver:
                     self._trail_lim.append(len(self._trail))
                     continue
                 if value == 0:
+                    # The assumption is already falsified: its negation
+                    # is implied by earlier assumptions (or by the
+                    # formula itself at level 0).
+                    if self._level[ilit >> 1] == 0:
+                        core = [self._external(ilit)]
+                    else:
+                        core = [self._external(ilit)] + self._analyze_final([ilit])
                     self._backtrack(0)
-                    return _result(SolveStatus.UNSAT)
+                    return _result(SolveStatus.UNSAT, core=core)
                 self.decisions += 1
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(ilit, _NO_REASON)

@@ -26,6 +26,7 @@ from repro.formal import (
     k_induction,
     verify_portfolio,
 )
+from repro.formal.certificate import check_certificate
 from repro.formal.induction import InductionStatus
 from repro.formal.pdr import PdrStatus, pdr_prove
 
@@ -86,6 +87,11 @@ def test_engines_agree(seed):
         assert bmc.status is BmcStatus.BOUND_REACHED, (seed, bmc.status)
         assert por.status in (PortfolioStatus.PROVED,
                               PortfolioStatus.BOUND_REACHED), (seed, por.status)
+        # Every PROVED PDR verdict ships an invariant certificate the
+        # independent checker validates on a fresh encoding.
+        assert pdr.certificate is not None, seed
+        check = check_certificate(circuit, PROP, pdr.certificate)
+        assert check.ok, (seed, check.reason)
     if por.status is PortfolioStatus.PROVED:
         assert bmc.status is BmcStatus.BOUND_REACHED, (seed, bmc.status)
         assert pdr.status is not PdrStatus.COUNTEREXAMPLE, (seed, pdr.status)

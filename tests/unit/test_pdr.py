@@ -1,9 +1,12 @@
 """IC3/PDR engine tests."""
 
 import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
 
 from repro.hdl import ModuleBuilder
 from repro.formal import SafetyProperty
+from repro.formal.certificate import Certificate, check_certificate
 from repro.formal.pdr import PdrStatus, pdr_prove
 
 
@@ -29,7 +32,7 @@ class TestProofs:
     def test_proves_wrap_invariant(self):
         res = pdr_prove(wrap_counter(), SafetyProperty("p", "bad"), time_limit=30)
         assert res.status is PdrStatus.PROVED
-        assert res.invariant_clauses > 0
+        assert len(res.invariant_clauses) > 0
 
     def test_proves_where_k_induction_struggles(self):
         """A property that is not 1-inductive: two lockstep counters stay
@@ -79,6 +82,84 @@ class TestProofs:
         prop = SafetyProperty("p", bad, symbolic_registers=frozenset({"secret", "pub"}))
         res = pdr_prove(design.circuit, prop, time_limit=60)
         assert res.status is PdrStatus.PROVED
+
+
+class TestCertificates:
+    """Every PROVED run exports an invariant the independent checker
+    validates from a fresh encoding."""
+
+    def test_wrap_counter_certificate_checks(self):
+        circ = wrap_counter()
+        prop = SafetyProperty("p", "bad")
+        res = pdr_prove(circ, prop, time_limit=30)
+        assert res.status is PdrStatus.PROVED
+        assert res.certificate is not None
+        check = check_certificate(circ, prop, res.certificate)
+        assert check.ok, check.reason
+        assert check.clauses_checked == len(res.certificate.clauses)
+
+    def test_lockstep_certificate_checks(self):
+        b = ModuleBuilder("pair")
+        a = b.reg("a", 3)
+        c = b.reg("c", 3)
+        a.drive(a + 1)
+        c.drive(c + 1)
+        b.output("bad", a.ne(c))
+        circ = b.build()
+        prop = SafetyProperty("p", "bad")
+        res = pdr_prove(circ, prop, time_limit=30)
+        assert res.status is PdrStatus.PROVED
+        check = check_certificate(circ, prop, res.certificate)
+        assert check.ok, check.reason
+
+    def test_certificate_with_assumptions_checks(self):
+        b = ModuleBuilder("asm")
+        en = b.input("en", 1)
+        r = b.reg("r", 1)
+        r.drive(r | en)
+        b.output("bad", r)
+        b.output("en_low", ~en)
+        circ = b.build()
+        prop = SafetyProperty("p", "bad", assumptions=("en_low",))
+        res = pdr_prove(circ, prop, time_limit=30)
+        assert res.status is PdrStatus.PROVED
+        check = check_certificate(circ, prop, res.certificate)
+        assert check.ok, check.reason
+
+    def test_checker_rejects_tampered_certificate(self):
+        circ = wrap_counter()
+        prop = SafetyProperty("p", "bad")
+        res = pdr_prove(circ, prop, time_limit=30)
+        assert res.status is PdrStatus.PROVED and res.certificate.clauses
+        # Drop a clause: the remaining conjunction is weaker and some
+        # condition (safety or consecution) must break — or, if it
+        # happens to still be inductive and safe, flipping a literal
+        # value in one clause must break initialisation or consecution.
+        tampered = Certificate(
+            prop_name=res.certificate.prop_name,
+            bad=res.certificate.bad,
+            clauses=tuple(
+                tuple((n, 1 - v) for n, v in clause)
+                for clause in res.certificate.clauses
+            ),
+        )
+        assert not check_certificate(circ, prop, tampered).ok
+
+    def test_checker_rejects_unknown_names(self):
+        circ = wrap_counter()
+        prop = SafetyProperty("p", "bad")
+        cert = Certificate("p", "bad", ((("no_such_bit", 1),),))
+        check = check_certificate(circ, prop, cert)
+        assert not check.ok
+        assert "unknown register bit" in check.reason
+
+    def test_certificate_roundtrips_through_dict(self):
+        circ = wrap_counter()
+        prop = SafetyProperty("p", "bad")
+        res = pdr_prove(circ, prop, time_limit=30)
+        back = Certificate.from_dict(res.certificate.as_dict())
+        assert back == res.certificate
+        assert check_certificate(circ, prop, back).ok
 
 
 class TestCounterexamples:
@@ -135,7 +216,33 @@ class TestCounterexamples:
                 (pdr.status is PdrStatus.COUNTEREXAMPLE), seed
 
 
-class TestBudget:
+class TestGeneralizationInvariants:
+    """Core-seeded generalization must stay sound: no blocking clause
+    may exclude an initial state (that is the init-intersection repair's
+    whole job)."""
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_blocking_clauses_never_exclude_initial_states(self, seed):
+        from repro.bench.fuzz import random_machine
+        from repro.formal.bmc import _as_lowered
+        from repro.formal.pdr import _Pdr
+
+        circuit = random_machine(seed)
+        prop = SafetyProperty("p", "bad")
+        engine = _Pdr(_as_lowered(circuit, prop), prop)
+        orig = engine._add_clause
+
+        def checked(level, clause):
+            if level >= 1:
+                # The clause holds on every init state iff one of its
+                # literals is pinned true by the initial predicate.
+                assert any(lit in engine._init_lits for lit in clause), (
+                    seed, level, clause)
+            return orig(level, clause)
+
+        engine._add_clause = checked
+        engine.run(max_frames=20, time_limit=20)
     def test_time_limit_returns_unknown(self):
         res = pdr_prove(wrap_counter(limit=14, width=5, bad_at=31),
                         SafetyProperty("p", "bad"), time_limit=0.0)

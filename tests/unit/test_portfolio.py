@@ -185,6 +185,57 @@ class TestCache:
         assert cache.stats.hits > 0
 
 
+class TestCertification:
+    def test_pdr_proof_ships_validated_certificate(self):
+        res = verify_portfolio(
+            _safe_machine(), PROP,
+            PortfolioConfig(engines=("pdr",), force_sequential=True,
+                            time_limit=60),
+        )
+        assert res.status is PortfolioStatus.PROVED
+        assert res.certificate is not None
+        assert res.certificate_ok is True
+
+    def test_certificate_crosses_worker_boundary(self):
+        res = verify_portfolio(
+            _safe_machine(), PROP,
+            PortfolioConfig(engines=("pdr",), jobs=2, time_limit=60),
+        )
+        assert res.status is PortfolioStatus.PROVED
+        assert res.mode == "process"
+        assert res.certificate is not None
+        assert res.certificate_ok is True
+
+    def test_certify_off_skips_validation(self):
+        res = verify_portfolio(
+            _safe_machine(), PROP,
+            PortfolioConfig(engines=("pdr",), force_sequential=True,
+                            time_limit=60, certify=False),
+        )
+        assert res.status is PortfolioStatus.PROVED
+        assert res.certificate is not None
+        assert res.certificate_ok is None
+
+    def test_rejected_certificate_downgrades_verdict(self, monkeypatch):
+        """A PROVED verdict whose invariant fails the independent check
+        must not leave the portfolio as a proof."""
+        import repro.formal.portfolio as pf
+        from repro.formal.certificate import CertificateCheck
+
+        monkeypatch.setattr(
+            pf, "check_certificate",
+            lambda *a, **kw: CertificateCheck(False, "injected failure"))
+        res = verify_portfolio(
+            _safe_machine(), PROP,
+            PortfolioConfig(engines=("pdr",), force_sequential=True,
+                            time_limit=60),
+        )
+        assert res.status is PortfolioStatus.UNKNOWN
+        assert res.certificate_ok is False
+        assert res.winner is None
+        assert any("certificate rejected" in r.detail for r in res.reports)
+
+
 class TestDegradation:
     def test_falls_back_when_spawning_unavailable(self, monkeypatch):
         import repro.formal.portfolio as pf

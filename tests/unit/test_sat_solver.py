@@ -1,5 +1,6 @@
 import itertools
 import random
+import time
 
 import pytest
 import hypothesis.strategies as st
@@ -106,6 +107,123 @@ class TestAssumptions:
         r = s.solve(assumptions=[5])
         assert r.status is SolveStatus.SAT
         assert r.lit_true(5)
+
+
+class TestFailedAssumptionCores:
+    """analyze_final: UNSAT under assumptions returns the used subset."""
+
+    def test_core_on_conflict_path(self):
+        s = Solver()
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        r = s.solve(assumptions=[1, -3, 5])
+        assert r.status is SolveStatus.UNSAT
+        assert r.core is not None
+        assert set(r.core) <= {1, -3, 5}
+        assert 5 not in r.core  # the free variable played no part
+        # The core alone still refutes.
+        assert s.solve(assumptions=r.core).status is SolveStatus.UNSAT
+
+    def test_core_on_falsified_assumption_path(self):
+        s = Solver()
+        s.add_clause([-1, -2])
+        # 1 is assumed first; by the time 2 is tried it is already false.
+        r = s.solve(assumptions=[1, 2])
+        assert r.status is SolveStatus.UNSAT
+        assert set(r.core) == {1, 2}
+
+    def test_core_for_complementary_assumptions(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        r = s.solve(assumptions=[3, -3])
+        assert r.status is SolveStatus.UNSAT
+        assert set(r.core) == {3, -3}
+
+    def test_core_for_level_zero_falsified_assumption(self):
+        s = Solver()
+        s.add_clause([1])
+        r = s.solve(assumptions=[-1])
+        assert r.status is SolveStatus.UNSAT
+        assert r.core == [-1]
+
+    def test_core_empty_when_formula_unsat(self):
+        s = Solver()
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        r = s.solve(assumptions=[2, 3])
+        assert r.status is SolveStatus.UNSAT
+        assert r.core == []
+
+    def test_sat_has_no_core(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        r = s.solve(assumptions=[1])
+        assert r.status is SolveStatus.SAT
+        assert r.core is None
+
+    def test_core_after_real_search(self):
+        # php(6,5) is UNSAT by itself, but restricted to 5 pigeons it is
+        # SAT — so pinning pigeon 5 into hole 0 alongside pigeon 0
+        # forces a genuine search before the assumptions fail.
+        s = Solver()
+        holes = 5
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for p in range(6):
+            s.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(6):
+                for p2 in range(p1 + 1, 6):
+                    s.add_clause([-var(p1, h), -var(p2, h)])
+        r = s.solve()
+        assert r.status is SolveStatus.UNSAT  # sanity: instance is UNSAT
+        s2 = Solver()
+        for p in range(5):
+            s2.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(5):
+                for p2 in range(p1 + 1, 5):
+                    s2.add_clause([-var(p1, h), -var(p2, h)])
+        assumptions = [var(0, 0), var(1, 0)]
+        r = s2.solve(assumptions=assumptions)
+        assert r.status is SolveStatus.UNSAT
+        assert r.core is not None and set(r.core) <= set(assumptions)
+        assert s2.solve(assumptions=r.core).status is SolveStatus.UNSAT
+        # And without the budget-relevant assumptions the instance is SAT.
+        assert s2.solve().status is SolveStatus.SAT
+
+
+class TestEarlyUnsatCounters:
+    """Early-UNSAT exits must report real per-call deltas, not zeros
+    (the obs tracer subtracts consecutive per-solve figures)."""
+
+    def test_unsat_solver_reports_core_and_propagations(self):
+        s = Solver()
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        r = s.solve()
+        assert r.status is SolveStatus.UNSAT
+        assert r.core == []
+        assert r.decisions == 0 and r.conflicts == 0
+
+    def test_root_conflict_counts_propagations(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([1, -2])
+        s.add_clause([-1, 3])
+        s.add_clause([-1, -3])
+        # The instance is UNSAT at level 0 only after learning; drive it
+        # there with one solve, then the follow-up must still produce a
+        # well-formed result with per-call (not cumulative) counters.
+        first = s.solve()
+        assert first.status is SolveStatus.UNSAT
+        second = s.solve()
+        assert second.status is SolveStatus.UNSAT
+        assert second.core == []
+        assert second.conflicts == 0
+        assert second.decisions <= first.decisions + 1
 
 
 class TestStructured:
@@ -238,6 +356,22 @@ class TestHypothesisProperties:
         if r.status is SolveStatus.UNSAT:
             assert not brute_force(num_vars, clauses, assumptions), clauses
 
+    @given(clauses=clauses_strategy, assumptions=assumptions_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_core_is_assumption_subset_and_sufficient(self, clauses, assumptions):
+        """On UNSAT under assumptions the returned core (a) only contains
+        passed assumptions and (b) refutes the instance on its own."""
+        s = Solver()
+        for cl in clauses:
+            s.add_clause(cl)
+        r = s.solve(assumptions=assumptions)
+        if r.status is not SolveStatus.UNSAT:
+            return
+        assert r.core is not None, (clauses, assumptions)
+        assert set(r.core) <= set(assumptions), (clauses, assumptions, r.core)
+        again = s.solve(assumptions=r.core)
+        assert again.status is SolveStatus.UNSAT, (clauses, assumptions, r.core)
+
     @given(seed=st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=40, deadline=None)
     def test_conflict_budget_is_deterministic(self, seed):
@@ -279,13 +413,32 @@ class TestConflictBudget:
         assert s.solve(assumptions=[1000]).status is SolveStatus.SAT
 
     def test_time_limit_unknown_leaves_solver_reusable(self):
-        # The deadline is polled every 256 conflicts, so the instance
-        # must need more than that to be interruptible at all.
+        # The deadline is polled every 256 conflicts and every 256
+        # search steps, so a blown deadline stops within that window.
         s = php(7, 6)
         r = s.solve(time_limit=0.0)
         assert r.status is SolveStatus.UNKNOWN
-        assert r.conflicts == 256
+        assert r.conflicts <= 256
         assert s.solve().status is SolveStatus.UNSAT
+
+    def test_time_limit_polled_on_conflict_free_path(self):
+        """Regression: a conflict-free instance (nothing but decisions)
+        used to sail past its deadline because the check only ran every
+        256 conflicts.  It must now come back UNKNOWN via the decision
+        poll, and quickly."""
+        s = Solver()
+        # 4000 free variables chained pairwise: pure decisions +
+        # propagation, never a conflict.
+        for v in range(1, 4000, 2):
+            s.add_clause([-v, v + 1])
+        started = time.monotonic()
+        r = s.solve(time_limit=0.0)
+        elapsed = time.monotonic() - started
+        assert r.status is SolveStatus.UNKNOWN
+        assert r.conflicts == 0
+        assert elapsed < 2.0  # stops within the 256-step poll window
+        # Without a deadline the same instance is plain SAT.
+        assert s.solve().status is SolveStatus.SAT
 
 
 class TestLuby:

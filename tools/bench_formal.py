@@ -100,6 +100,26 @@ def _selfcomp_case():
     return task.circuit, task.prop
 
 
+def _pdr_showcase_case():
+    """Wrapping counter with unreachable bad: only PDR closes the proof.
+
+    The counter wraps at 3 but ``bad`` fires at 9.  The bad state is
+    unreachable from reset, yet the unreachable chain 4 -> 5 -> ... -> 9
+    defeats k-induction below k=6 and BMC can only report its bound —
+    so the case's one definitive verdict must come from PDR's inductive
+    generalization.
+    """
+    from repro.hdl import ModuleBuilder
+    from repro.formal import SafetyProperty
+
+    b = ModuleBuilder("wrap")
+    en = b.input("en", 1)
+    c = b.reg("cnt", 4)
+    c.drive(b.mux(c.eq(3), b.const(0, 4), c + 1), en=en)
+    b.output("bad", c.eq(9))
+    return b.build(), SafetyProperty("p", "bad")
+
+
 def _benchmark_set(quick: bool) -> List[Dict[str, Any]]:
     cases: List[Dict[str, Any]] = []
     fuzz_seeds = (0, 3, 7, 11) if quick else (0, 3, 7, 11, 17, 23)
@@ -118,6 +138,12 @@ def _benchmark_set(quick: bool) -> List[Dict[str, Any]]:
             "engines": ("bmc", "kind"),
             "max_bound": 10, "max_k": 5, "max_frames": 20,
         })
+    cases.append({
+        "name": "pdr-wrap-invariant",
+        "build": _pdr_showcase_case,
+        "engines": ("bmc", "kind", "pdr"),
+        "max_bound": 8, "max_k": 5, "max_frames": 30,
+    })
     cases.append({
         "name": "sodor-cellift-bmc",
         "build": _cellift_contract_case,
@@ -172,6 +198,26 @@ def _measure_encoding(circuit, prop, frames: int = 4) -> Dict[str, Any]:
     }
 
 
+def _definitive(engine: str, status: str) -> bool:
+    """Did this engine settle the case?  BMC is a bounded search, so
+    only a counterexample is definitive; the unbounded engines also
+    settle it with a proof."""
+    if engine == "bmc":
+        return status == "counterexample"
+    return status in ("proved", "counterexample")
+
+
+def _race_winner(out: Dict[str, Any]) -> Optional[str]:
+    """The fastest engine with a definitive verdict, as in the
+    portfolio race; None when every engine was inconclusive."""
+    definitive = [
+        (out[engine]["wall_s"], engine)
+        for engine in ("bmc", "kind", "pdr")
+        if engine in out and _definitive(engine, out[engine]["status"])
+    ]
+    return min(definitive)[1] if definitive else None
+
+
 def _run_engines(circuit, prop, spec, time_limit: float) -> Dict[str, Any]:
     from repro.formal import SolveCache, bounded_model_check, k_induction
     from repro.formal.pdr import pdr_prove
@@ -211,6 +257,7 @@ def _run_engines(circuit, prop, spec, time_limit: float) -> Dict[str, Any]:
         out["pdr"] = {"status": res.status.value, "frames": res.frames,
                       "wall_s": round(elapsed, 6)}
     sat = _sum_sat_counters(tracer)
+    out["winner"] = _race_winner(out)
     out["wall_s"] = round(wall, 6)
     out["propagations"] = sat["propagations"]
     out["conflicts"] = sat["conflicts"]
@@ -236,8 +283,19 @@ def run_benchmarks(quick: bool = False, repeat: int = 1,
         cases[spec["name"]] = best
         print(f"  {spec['name']}: {best['wall_s']:.3f}s, "
               f"{best['propagations']} props, "
-              f"{best['cache_hits']} cache hits", file=sys.stderr)
+              f"{best['cache_hits']} cache hits, "
+              f"winner={best['winner'] or '-'}", file=sys.stderr)
     return cases
+
+
+def count_wins(cases: Dict[str, Any]) -> Dict[str, int]:
+    """Per-engine tally of definitive race wins across the set."""
+    wins: Dict[str, int] = {}
+    for case in cases.values():
+        winner = case.get("winner")
+        if winner:
+            wins[winner] = wins.get(winner, 0) + 1
+    return wins
 
 
 # ----------------------------------------------------------------------
@@ -300,16 +358,25 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit nonzero when the geomean speedup vs "
                              "the baseline falls below this")
+    parser.add_argument("--require-pdr-win", action="store_true",
+                        help="exit nonzero unless PDR wins at least one "
+                             "engine race (guards the incremental-PDR "
+                             "hot path against regressions)")
     args = parser.parse_args(argv)
 
     print("running formal hot-path benchmarks...", file=sys.stderr)
     cases = run_benchmarks(quick=args.quick, repeat=args.repeat,
                            time_limit=args.time_limit)
+    wins = count_wins(cases)
     doc: Dict[str, Any] = {
         "schema": "bench_formal/v1",
         "quick": args.quick,
         "cases": cases,
+        "wins": wins,
     }
+    print("race wins: " + (", ".join(
+        f"{name}={count}" for name, count in sorted(wins.items()))
+        or "none"), file=sys.stderr)
     if args.baseline:
         with open(args.baseline) as fh:
             base_doc = json.load(fh)
@@ -331,6 +398,10 @@ def main(argv=None) -> int:
     if (args.baseline and args.min_speedup is not None
             and (doc["speedup"]["geomean"] or 0) < args.min_speedup):
         print(f"geomean speedup below required {args.min_speedup}",
+              file=sys.stderr)
+        return 1
+    if args.require_pdr_win and wins.get("pdr", 0) < 1:
+        print("PDR won no engine race (expected at least one)",
               file=sys.stderr)
         return 1
     return 0
