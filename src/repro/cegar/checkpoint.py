@@ -47,7 +47,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.faults import FaultPlan
-from repro.ioutil import atomic_write
+from repro.ioutil import atomic_write, sweep_orphans
 
 MAGIC = b"COMPASS-CKPT v1\n"
 _ENTRY_RE = re.compile(r"^journal-(\d{6})\.ckpt$")
@@ -137,6 +137,10 @@ class CheckpointJournal:
         self.keep = keep
         self.faults = faults
         os.makedirs(directory, exist_ok=True)
+        # A writer SIGKILLed between mkstemp and rename leaves a
+        # .tmp.* orphan next to the journal entries; clean old ones up
+        # (the age guard protects a concurrent writer's in-flight file).
+        sweep_orphans(directory)
 
     # -- enumeration -------------------------------------------------------
 

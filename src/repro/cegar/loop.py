@@ -187,6 +187,15 @@ class CegarConfig:
     solve_cache: Optional[SolveCache] = None
     #: Portfolio only: capacity of the per-run cache when none is given.
     cache_max_entries: int = 4096
+    #: Persistent solve store (:mod:`repro.store`): when set (and no
+    #: ``solve_cache`` was injected), ``run_compass`` opens the store
+    #: read-write, seeds a store-backed cache from it, and persists
+    #: every new verdict, so a rerun answers the already-decided solves
+    #: from disk.  A locked or corrupt store degrades gracefully to an
+    #: in-memory cache with a warning — persistence is never allowed to
+    #: fail a verify.  Deliberately absent from the checkpoint config
+    #: digest: where verdicts are stored does not shape the trajectory.
+    store_dir: Optional[str] = None
     #: Observability: a :class:`repro.obs.Tracer` that records phase
     #: spans (model-check / simulate / backtrace / generate), engine
     #: frames and SAT counters for this run.  None disables tracing;
@@ -247,6 +256,11 @@ class RefinementStats:
     #: rejected (each rejection downgraded its call to UNKNOWN).
     certificates_checked: int = 0
     certificates_failed: int = 0
+    #: Persistent-store observability: a snapshot of the
+    #: :class:`repro.store.StoreStats` counters when the run used a
+    #: ``store_dir`` (entries loaded/persisted, recovery events, hits
+    #: served from disk).  None when no store was attached.
+    store: Optional[object] = None
 
     @property
     def total(self) -> float:
@@ -317,6 +331,8 @@ class RefinementStats:
                         f"{self.resumed_from}")
         if self.checkpoints_written:
             rows.append(f"checkpoints written: {self.checkpoints_written}")
+        if self.store is not None:
+            rows.append(self.store.row())
         return rows
 
 
@@ -489,6 +505,51 @@ def run_compass(
 ) -> CegarResult:
     """Run the full Compass CEGAR loop on a verification task.
 
+    When ``config.store_dir`` is set (and no explicit ``solve_cache``
+    was injected), the persistent solve store at that directory backs
+    the run's cache: verdicts decided by earlier runs are answered from
+    disk and every new verdict is persisted for the next run.  Store
+    trouble — held by a live process, unreadable format, full disk —
+    degrades to an in-memory cache with a warning; it never fails the
+    verify.  ``result.stats.store`` carries the store counters.
+    """
+    config = config or CegarConfig()
+    if config.store_dir is None or config.solve_cache is not None:
+        return _run_compass_inner(task, config, initial_scheme,
+                                  checkpoint_dir, resume)
+    from repro.store import SolveStore, StoreError, StoreLockedError
+
+    try:
+        store = SolveStore(config.store_dir, faults=config.faults)
+    except (StoreLockedError, StoreError, OSError) as exc:
+        warnings.warn(
+            f"solve store {config.store_dir!r} unavailable ({exc}); "
+            "running with an in-memory cache instead",
+            stacklevel=2,
+        )
+        return _run_compass_inner(task, config, initial_scheme,
+                                  checkpoint_dir, resume)
+    try:
+        run_config = replace(
+            config, solve_cache=store.cache(config.cache_max_entries))
+        result = _run_compass_inner(task, run_config, initial_scheme,
+                                    checkpoint_dir, resume)
+    finally:
+        store.close()
+    # Snapshot after close so the flush/compaction counters are final.
+    result.stats.store = replace(store.stats)
+    return result
+
+
+def _run_compass_inner(
+    task: TaintVerificationTask,
+    config: Optional[CegarConfig] = None,
+    initial_scheme: Optional[TaintScheme] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+) -> CegarResult:
+    """The store-free CEGAR loop body (see :func:`run_compass`).
+
     Args:
         task: the verification task.
         config: budgets and knobs.
@@ -545,11 +606,17 @@ def run_compass(
 
     stats = RefinementStats()
     solve_cache: Optional[SolveCache] = None
-    if config.engine == "portfolio" or journal is not None:
+    if (config.engine == "portfolio" or journal is not None
+            or config.solve_cache is not None):
         # Checkpointed runs always keep a solve cache — journaled with
         # every entry, it is what makes a resume skip the already-
-        # decided solves even under the sequential engine.
-        solve_cache = config.solve_cache or SolveCache(config.cache_max_entries)
+        # decided solves even under the sequential engine.  An injected
+        # cache (store-backed or cross-run) is honored on every engine.
+        # NOT `config.solve_cache or ...`: SolveCache has __len__, so an
+        # injected-but-still-empty cache is falsy and would silently be
+        # replaced by a fresh one (dropping store write-through).
+        solve_cache = (config.solve_cache if config.solve_cache is not None
+                       else SolveCache(config.cache_max_entries))
         # Shared live counters: with an injected cache these accumulate
         # across runs, which is what cross-run observability wants.
         stats.cache = solve_cache.stats

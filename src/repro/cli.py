@@ -3,12 +3,19 @@
 Commands:
 
 - ``verify``     — run the Compass CEGAR loop on a core's contract.
+- ``analyze``    — SAT-free dataflow summary of a core's contract.
+- ``lint``       — static analysis over a core or netlist file.
 - ``leak-check`` — directed formal leak check with a gadget program.
 - ``overhead``   — Figure-5-style instrumentation overhead comparison.
 - ``simulate``   — run a benchmark kernel on a core (optionally tainted).
+- ``serve``      — run the verification job daemon on a unix socket.
 - ``export``     — emit a core's circuit as Verilog or JSON netlist.
 - ``trace``      — summarize a performance trace from ``verify --trace``.
 - ``tables``     — print the static tables (Table 1 and Table 5).
+
+``verify``, ``lint``, ``analyze`` and ``simulate`` accept ``--remote
+SOCKET`` to submit their job to a running daemon (``repro serve``);
+an unreachable daemon degrades to local execution with a warning.
 """
 
 from __future__ import annotations
@@ -41,6 +48,58 @@ def _add_core_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--secret-words", type=int, default=2)
 
 
+def _add_remote_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--remote", metavar="SOCKET", default=None,
+                        help="submit the job to the daemon listening on "
+                             "this unix socket (repro serve); falls back "
+                             "to local execution with a warning when the "
+                             "daemon is unreachable")
+
+
+def _core_doc(args) -> dict:
+    """The job document's ``core`` object for the current CLI args."""
+    return {
+        "name": args.core, "xlen": args.xlen, "imem": args.imem,
+        "dmem": args.dmem, "secret_words": args.secret_words,
+    }
+
+
+def _remote_submit(socket_path: str, job: dict,
+                   deadline: Optional[float] = None) -> Optional[dict]:
+    """Submit one job to the daemon; None means "run locally instead".
+
+    Transport failures (no daemon, daemon died mid-job) degrade to
+    local execution; a job the daemon *rejected* exits with an error,
+    because retrying the same document locally would fail identically.
+    """
+    from repro.serve import ServeJobError, ServeUnavailable, connect
+
+    try:
+        client = connect(socket_path)
+    except ServeUnavailable as exc:
+        print(f"warning: {exc}; running locally", file=sys.stderr)
+        return None
+    try:
+        return client.submit(job, deadline=deadline)
+    except ServeUnavailable as exc:
+        print(f"warning: {exc}; running locally", file=sys.stderr)
+        return None
+    except ServeJobError as exc:
+        print(f"error: daemon rejected the job: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    finally:
+        client.close()
+
+
+def _remote_analyze(args) -> Optional[dict]:
+    job = {"kind": "analyze", "core": _core_doc(args),
+           "max_frames": args.max_frames}
+    reply = _remote_submit(args.remote, job)
+    if reply is None:
+        return None
+    return reply["result"]["document"]
+
+
 def cmd_verify(args) -> int:
     from repro.contracts import make_contract_task
     from repro.cegar import (
@@ -50,6 +109,11 @@ def cmd_verify(args) -> int:
         prune_refinements,
         run_compass,
     )
+
+    if args.remote:
+        outcome = _remote_verify(args)
+        if outcome is not None:
+            return outcome
 
     tracer = None
     if args.trace:
@@ -71,6 +135,7 @@ def cmd_verify(args) -> int:
         jobs=args.jobs,
         static_prescreen=args.static_prescreen,
         certify=args.certify,
+        store_dir=args.store,
         trace=tracer,
     )
     if args.resume and not args.checkpoint:
@@ -127,10 +192,52 @@ def cmd_verify(args) -> int:
     return 0 if result.secure else 1
 
 
-def cmd_analyze(args) -> int:
-    """SAT-free dataflow summary of a core's contract task."""
+def _remote_verify(args) -> Optional[int]:
+    """Serve ``repro verify --remote`` from the daemon; None = fallback."""
     import json as _json
 
+    job = {
+        "kind": "verify",
+        "core": _core_doc(args),
+        "config": {
+            "max_bound": args.max_bound,
+            "use_induction": False,
+            "mc_enabled": not args.testing_only,
+            "mc_time_limit": args.budget / 3 if args.budget else None,
+            "total_time_limit": args.budget,
+            "max_refinements": args.max_refinements,
+            "seed": args.seed,
+            "engine": args.engine,
+            "jobs": args.jobs,
+            "static_prescreen": args.static_prescreen,
+            "certify": args.certify,
+        },
+    }
+    reply = _remote_submit(args.remote, job, deadline=args.budget)
+    if reply is None:
+        return None
+    result = reply["result"]
+    dedup = " [served from a deduplicated in-flight job]" \
+        if reply.get("dedup") else ""
+    print(f"status: {result['status']} (bound {result['bound']}) "
+          f"[remote, {reply.get('elapsed', 0.0):.2f}s]{dedup}")
+    for line in result["rows"]:
+        print(line)
+    if args.save_scheme:
+        from repro.ioutil import atomic_write
+
+        with atomic_write(args.save_scheme) as handle:
+            _json.dump(result["scheme"], handle, indent=1)
+        print(f"saved refined scheme to {args.save_scheme}")
+    return 0 if result["secure"] else 1
+
+
+def analyze_document(core, max_frames: int = 64) -> dict:
+    """The ``repro-analyze/v1`` summary document for one core.
+
+    Shared between ``repro analyze`` and the job daemon's ``analyze``
+    handler so both surfaces emit the identical schema.
+    """
     from repro.analyze import (
         constant_fixpoint,
         static_verify,
@@ -143,7 +250,6 @@ def cmd_analyze(args) -> int:
     from repro.hdl.lowering import lower_to_gates
     from repro.taint import cellift_scheme
 
-    core = _build_core(args)
     task = make_contract_task(core)
     circuit = task.circuit
     started = time.monotonic()
@@ -175,60 +281,86 @@ def cmd_analyze(args) -> int:
 
     # The static engine's verdict on the instrumented contract property.
     design, prop = instrument_task(task, task.initial_scheme())
-    verdict = static_verify(design.circuit, prop, max_frames=args.max_frames)
+    verdict = static_verify(design.circuit, prop, max_frames=max_frames)
     elapsed = time.monotonic() - started
 
-    if args.json:
-        print(_json.dumps({
-            "schema": "repro-analyze/v1",
-            "task": task.name,
-            "cells": len(circuit.cells),
-            "state_bits": circuit.state_bits(),
-            "taint": {
-                "sources": len(reach.sources),
-                "tainted_signals": len(reach.tainted),
-                "sinks": list(task.sinks),
-                "reachable_sinks": list(hot_sinks),
-            },
-            "constants": {
-                "slots": len(facts.values),
-                "pinned": len(constants),
-                "worklist_pops": facts.pops,
-            },
-            "xprop": {
-                "sources": list(xreach.sources),
-                "observable_outputs": list(x_outputs),
-            },
-            "static": {
-                "status": verdict.status,
-                "bound": verdict.bound,
-                "frames": verdict.frames,
-                "reason": verdict.reason,
-                "suspects": list(verdict.suspects),
-                "elapsed": round(verdict.elapsed, 3),
-            },
-            "elapsed": round(elapsed, 3),
-        }, indent=1))
-        return 0
+    return {
+        "schema": "repro-analyze/v1",
+        "task": task.name,
+        "cells": len(circuit.cells),
+        "state_bits": circuit.state_bits(),
+        "outputs": len(circuit.outputs),
+        "taint": {
+            "sources": len(reach.sources),
+            "tainted_signals": len(reach.tainted),
+            "sinks": list(task.sinks),
+            "reachable_sinks": list(hot_sinks),
+        },
+        "constants": {
+            "slots": len(facts.values),
+            "pinned": len(constants),
+            "worklist_pops": facts.pops,
+        },
+        "xprop": {
+            "sources": list(xreach.sources),
+            "observable_outputs": list(x_outputs),
+        },
+        "static": {
+            "status": verdict.status,
+            "bound": verdict.bound,
+            "frames": verdict.frames,
+            "reason": verdict.reason,
+            "suspects": list(verdict.suspects),
+            "elapsed": round(verdict.elapsed, 3),
+        },
+        "elapsed": round(elapsed, 3),
+    }
 
-    print(f"analyze {task.name}: {len(circuit.cells)} cells, "
-          f"{circuit.state_bits()} state bits")
-    print(f"  taint : {len(hot_sinks)}/{len(task.sinks)} sinks reachable "
-          f"from {len(reach.sources)} sources "
-          f"({len(reach.tainted)} signals ever-tainted)")
-    print(f"  const : {len(constants)}/{len(facts.values)} gate-level "
-          f"signals pinned at the ternary fixpoint")
-    print(f"  xprop : {len(xreach.sources)} uninitialized sources; "
-          f"observable at {len(x_outputs)}/{len(circuit.outputs)} outputs")
-    print(f"  static: {verdict.status} (bound {verdict.bound}, "
-          f"{verdict.frames} frames) in {verdict.elapsed:.2f}s")
-    if verdict.reason:
-        print(f"          {verdict.reason}")
-    if verdict.suspects:
-        shown = ", ".join(verdict.suspects[:8])
-        suffix = ", ..." if len(verdict.suspects) > 8 else ""
-        print(f"          suspects: {shown}{suffix}")
-    print(f"  ({elapsed:.2f}s total)")
+
+def render_analyze_document(doc: dict) -> List[str]:
+    """Human-readable lines for an ``analyze_document`` summary."""
+    taint, const = doc["taint"], doc["constants"]
+    xprop, static = doc["xprop"], doc["static"]
+    lines = [
+        f"analyze {doc['task']}: {doc['cells']} cells, "
+        f"{doc['state_bits']} state bits",
+        f"  taint : {len(taint['reachable_sinks'])}/{len(taint['sinks'])} "
+        f"sinks reachable from {taint['sources']} sources "
+        f"({taint['tainted_signals']} signals ever-tainted)",
+        f"  const : {const['pinned']}/{const['slots']} gate-level "
+        f"signals pinned at the ternary fixpoint",
+        f"  xprop : {len(xprop['sources'])} uninitialized sources; "
+        f"observable at {len(xprop['observable_outputs'])}/{doc['outputs']} "
+        f"outputs",
+        f"  static: {static['status']} (bound {static['bound']}, "
+        f"{static['frames']} frames) in {static['elapsed']:.2f}s",
+    ]
+    if static["reason"]:
+        lines.append(f"          {static['reason']}")
+    if static["suspects"]:
+        shown = ", ".join(static["suspects"][:8])
+        suffix = ", ..." if len(static["suspects"]) > 8 else ""
+        lines.append(f"          suspects: {shown}{suffix}")
+    lines.append(f"  ({doc['elapsed']:.2f}s total)")
+    return lines
+
+
+def cmd_analyze(args) -> int:
+    """SAT-free dataflow summary of a core's contract task."""
+    import json as _json
+
+    if getattr(args, "remote", None):
+        doc = _remote_analyze(args)
+        if doc is None:
+            doc = analyze_document(_build_core(args),
+                                   max_frames=args.max_frames)
+    else:
+        doc = analyze_document(_build_core(args), max_frames=args.max_frames)
+    if args.json:
+        print(_json.dumps(doc, indent=1))
+        return 0
+    for line in render_analyze_document(doc):
+        print(line)
     return 0
 
 
@@ -311,6 +443,25 @@ def cmd_simulate(args) -> int:
                                        run_workload_on_core)
     from repro.taint import TaintSources, cellift_scheme, instrument
     from repro.sim import make_simulator
+
+    if args.remote and not args.taint and not args.trace:
+        job = {"kind": "simulate", "core": args.core,
+               "workload": args.workload, "seed": args.seed,
+               "lanes": args.lanes}
+        reply = _remote_submit(args.remote, job)
+        if reply is not None:
+            result = reply["result"]
+            cycles = result["cycles"]
+            if result["lanes"] > 1:
+                print(f"{result['workload']} on {result['core']}: "
+                      f"{result['lanes']} lanes, "
+                      f"{min(cycles)}-{max(cycles)} cycles/lane, "
+                      f"{result['elapsed']:.3f}s [remote]")
+            else:
+                print(f"{result['workload']} on {result['core']}: "
+                      f"{cycles[0]} cycles, {result['elapsed']:.3f}s "
+                      "[remote]")
+            return 0
 
     tracer = None
     if args.trace:
@@ -415,6 +566,23 @@ def cmd_lint(args) -> int:
         print("error: a design (core name or netlist file) is required "
               "unless --selftest is given", file=sys.stderr)
         return 2
+    if args.remote and args.design in core_registry():
+        # Remote linting covers registered cores (netlist files stay
+        # local: the daemon has no access to the client's filesystem).
+        job = {
+            "kind": "lint",
+            "core": {"name": args.design, "xlen": args.xlen,
+                     "imem": args.imem, "dmem": args.dmem,
+                     "secret_words": args.secret_words,
+                     "with_shadow": not args.no_shadow},
+            "no_semantic": args.no_semantic,
+            "disable": sorted(args.disable or ()),
+        }
+        reply = _remote_submit(args.remote, job)
+        if reply is not None:
+            result = reply["result"]
+            print(_json.dumps(result["report"], indent=1))
+            return 0 if result["ok"] else 1
 
     scheme = None
     if args.scheme:
@@ -560,6 +728,27 @@ def cmd_trace(args) -> int:
     raise AssertionError(f"unhandled trace action {args.action!r}")
 
 
+def cmd_serve(args) -> int:
+    """Run the verification job daemon on a local unix socket."""
+    from repro.serve import JobServer
+
+    server = JobServer(
+        args.socket,
+        store_dir=args.store,
+        workers=args.workers,
+        default_deadline=args.deadline,
+        progress_interval=args.progress_interval,
+    )
+    suffix = f" (store: {args.store})" if args.store else ""
+    print(f"repro job daemon listening on {args.socket}{suffix}")
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    print(server.stats.row())
+    return 0
+
+
 def cmd_tables(_args) -> int:
     from repro.cores.configs import format_table1
     from repro.taint import PRESETS
@@ -631,6 +820,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(load in Perfetto / about:tracing) or JSONL "
                         "(one event per line; repro trace summarize "
                         "reads both)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="persistent solve store: seed the run's cache "
+                        "from DIR and persist every new verdict there "
+                        "(crash-safe; a locked or corrupt store degrades "
+                        "to an in-memory cache with a warning)")
+    _add_remote_option(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("analyze",
@@ -640,6 +835,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="frame budget of the bounded ternary pass")
     p.add_argument("--json", action="store_true",
                    help="emit the summary as JSON (repro-analyze/v1)")
+    _add_remote_option(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("leak-check", help="directed formal leak check")
@@ -671,6 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a performance trace (sim.lanes / "
                         "sim.steps_per_sec counters; repro trace summarize "
                         "reads it)")
+    _add_remote_option(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("export", help="emit a core as Verilog or JSON")
@@ -711,6 +908,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="info", help="lowest severity to print")
     p.add_argument("--selftest", action="store_true",
                    help="check the linter catches known-bad designs")
+    _add_remote_option(p)
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("trace", help="inspect performance traces")
@@ -721,6 +919,26 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--top", type=int, default=15,
                     help="number of span names to list")
     ps.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("serve",
+                       help="run the verification job daemon on a unix "
+                            "socket (verify/lint/analyze/simulate jobs, "
+                            "in-flight dedup, persistent solve store)")
+    p.add_argument("--socket", metavar="PATH", required=True,
+                   help="unix socket to listen on (replaced if stale)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="persistent solve store backing every job's "
+                        "cache; verdicts survive daemon restarts")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent job threads (each verification may "
+                        "itself fan out into portfolio processes)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-job wall-clock cap in seconds "
+                        "(submissions may carry their own)")
+    p.add_argument("--progress-interval", type=float, default=0.25,
+                   help="seconds between progress samples streamed to "
+                        "subscribed clients")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("tables", help="print Table 1 and Table 5")
     p.set_defaults(func=cmd_tables)

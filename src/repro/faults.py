@@ -22,7 +22,17 @@ journal consult at well-defined injection points:
 - :func:`kill_after_checkpoint` — SIGKILL the *calling process* right
   after journal entry N hit the disk (simulates a dead parent; the
   integration tests resume from the journal and expect the identical
-  verdict).
+  verdict);
+- :func:`torn_segment` / :func:`corrupt_manifest` — damage a persistent
+  solve-store segment or its manifest right after it was written (the
+  store's torn-tail / manifest-rebuild recovery must kick in on the
+  next open);
+- :func:`stale_lock` — plant a store lock file owned by a dead pid
+  before the store is opened (the open must detect the dead owner and
+  take the lock over);
+- :func:`enospc` — fail the N-th store segment write with ``ENOSPC``
+  (the store must keep the entries pending and retry on the next
+  flush instead of crashing the verify).
 
 Faults are scoped to a worker *attempt* (default: the first), so a
 killed worker's supervised retry runs clean — which is exactly the
@@ -47,7 +57,8 @@ KILLED_EXIT_CODE = 66
 _WORKER_KINDS = ("kill_worker", "drop_entry", "corrupt_entry", "delay_verdict")
 _JOURNAL_KINDS = ("corrupt_checkpoint", "truncate_checkpoint",
                   "kill_after_checkpoint")
-KINDS = _WORKER_KINDS + _JOURNAL_KINDS
+_STORE_KINDS = ("torn_segment", "corrupt_manifest", "stale_lock", "enospc")
+KINDS = _WORKER_KINDS + _JOURNAL_KINDS + _STORE_KINDS
 
 #: What a corrupted streamed cache entry is replaced with: not a
 #: :class:`~repro.formal.cache.CachedVerdict`, so a validating merge
@@ -64,6 +75,7 @@ class FaultSpec:
     after: int = 0                 # solve count / entry index / journal index
     attempt: int = 0               # which worker attempt the fault arms on
     delay: float = 0.0             # delay_verdict only
+    pid: Optional[int] = None      # stale_lock only: the planted dead owner
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -109,6 +121,30 @@ def truncate_checkpoint(index: int = 0) -> FaultSpec:
 def kill_after_checkpoint(index: int = 0) -> FaultSpec:
     """SIGKILL the writing process after journal entry ``index`` landed."""
     return FaultSpec("kill_after_checkpoint", after=index)
+
+
+def torn_segment(index: int = 0) -> FaultSpec:
+    """Truncate solve-store segment write ``index`` right after it lands."""
+    return FaultSpec("torn_segment", after=index)
+
+
+def corrupt_manifest(index: int = 0) -> FaultSpec:
+    """Flip bytes in the store manifest after its ``index``-th write."""
+    return FaultSpec("corrupt_manifest", after=index)
+
+
+def stale_lock(pid: Optional[int] = None) -> FaultSpec:
+    """Plant a store lock owned by a dead pid before the store opens.
+
+    ``pid=None`` spawns (and reaps) a short-lived child at injection
+    time and uses its — by then certainly dead — pid.
+    """
+    return FaultSpec("stale_lock", pid=pid)
+
+
+def enospc(index: int = 0) -> FaultSpec:
+    """Fail solve-store segment write ``index`` with ``ENOSPC``."""
+    return FaultSpec("enospc", after=index)
 
 
 @dataclass
@@ -209,3 +245,49 @@ class FaultPlan:
         for spec in self._matching("kill_after_checkpoint"):
             if spec.after == index:
                 os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- store-side hooks --------------------------------------------------
+
+    def on_store_open(self, directory: str) -> None:
+        """Called by the solve store right before its lock acquisition;
+        plants a stale lock file owned by a dead pid per plan."""
+        for spec in self._matching("stale_lock"):
+            from repro.store.lock import plant_stale_lock
+
+            plant_stale_lock(directory, pid=spec.pid)
+
+    def check_store_write(self, index: int) -> None:
+        """Called by the store before segment write ``index`` (counted
+        per open); raises an injected ``ENOSPC`` per plan."""
+        import errno
+
+        for spec in self._matching("enospc"):
+            if spec.after == index:
+                raise OSError(errno.ENOSPC, "injected ENOSPC (fault plan)")
+
+    def on_segment_written(self, index: int, path: str) -> None:
+        """Called right after segment write ``index`` was renamed into
+        place; tears its tail per plan (the reader must keep the intact
+        record prefix)."""
+        for spec in self._matching("torn_segment"):
+            if spec.after == index:
+                size = os.path.getsize(path)
+                with open(path, "r+b") as handle:
+                    # Keep the magic intact: the point is a torn *tail*
+                    # (keep-the-prefix recovery), not an unreadable file.
+                    handle.truncate(max(24, size // 2))
+
+    def on_manifest_written(self, index: int, path: str) -> None:
+        """Called right after manifest write ``index`` (counted per
+        open) landed; flips payload bytes per plan so the reader must
+        rebuild the manifest from the segments on disk."""
+        for spec in self._matching("corrupt_manifest"):
+            if spec.after == index:
+                rng = random.Random((self.seed << 16) ^ 0x5AFE ^ index)
+                with open(path, "r+b") as handle:
+                    data = bytearray(handle.read())
+                    for _ in range(3):
+                        pos = rng.randrange(len(data))
+                        data[pos] ^= 0xFF
+                    handle.seek(0)
+                    handle.write(bytes(data))

@@ -239,6 +239,28 @@ class SolveCache:
             if key not in self._entries:
                 self.put(key, verdict)
 
+    def preload_entries(self, entries: Dict[str, CachedVerdict]) -> int:
+        """Adopt pre-existing entries without touching the counters.
+
+        Used when a persistent store (:mod:`repro.store`) seeds a fresh
+        cache at open: unlike :meth:`merge_entries`, preloaded entries
+        do not count as ``stores`` — they were paid for by an earlier
+        run — but they are still *validated*, and anything malformed is
+        counted in ``stats.rejected`` and dropped.  Returns how many
+        entries were adopted.
+        """
+        loaded = 0
+        for key, verdict in entries.items():
+            if not valid_entry(key, verdict):
+                self.stats.rejected += 1
+                continue
+            self._entries[key] = verdict
+            loaded += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return loaded
+
     def clear(self) -> None:
         self._entries.clear()
 

@@ -7,14 +7,20 @@ and is moved into place with :func:`os.replace` only after it was
 written completely.  A crash (including SIGKILL) mid-write therefore
 never leaves a half-written artifact under the final name; at worst a
 ``.tmp.*`` orphan remains, which readers ignore.
+
+Orphans do accumulate in long-lived directories (checkpoint journals,
+the persistent solve store), so :func:`sweep_orphans` removes stale
+ones; the journal and store call it on open.
 """
 
 from __future__ import annotations
 
 import os
+import stat
 import tempfile
+import time
 from contextlib import contextmanager
-from typing import IO, Iterator
+from typing import IO, Iterator, List
 
 
 @contextmanager
@@ -51,3 +57,48 @@ def atomic_write(path: str, mode: str = "w", fsync: bool = False) -> Iterator[IO
         except OSError:  # pragma: no cover - already gone
             pass
         raise
+
+
+def sweep_orphans(directory: str, min_age: float = 3600.0) -> List[str]:
+    """Remove stale ``.tmp.*`` files left behind by crashed writers.
+
+    :func:`atomic_write` unlinks its temporary file on every exception
+    path, but a hard kill (SIGKILL, power loss) between ``mkstemp`` and
+    the rename leaves the orphan on disk forever.  Long-lived
+    directories — the checkpoint journal, the persistent solve store —
+    call this on open.
+
+    Args:
+        directory: the directory to sweep; a missing directory is a
+            no-op.
+        min_age: only remove orphans whose mtime is at least this many
+            seconds old, so an *in-flight* write by a concurrent
+            process is never swept out from under it.  Tests pass 0 to
+            sweep unconditionally.
+
+    Returns the file names that were removed (for logging/counters).
+    """
+    removed: List[str] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return removed
+    now = time.time()
+    for name in names:
+        if ".tmp." not in name:
+            continue
+        path = os.path.join(directory, name)
+        try:
+            info = os.stat(path)
+        except OSError:  # pragma: no cover - raced by another sweeper
+            continue
+        if not stat.S_ISREG(info.st_mode):
+            continue
+        if now - info.st_mtime < min_age:
+            continue
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced by another sweeper
+            continue
+        removed.append(name)
+    return removed

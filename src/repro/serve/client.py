@@ -1,0 +1,159 @@
+"""Thin synchronous client for the job daemon.
+
+This is what ``repro verify --remote SOCKET`` (and friends) talk
+through.  It is deliberately boring: blocking unix-socket I/O, one
+message per line, no threads.  The one interesting contract is
+*graceful degradation*: every transport-level problem — no daemon,
+stale socket file, daemon died mid-job — surfaces as
+:class:`ServeUnavailable`, which the CLI catches to fall back to local
+in-process execution.  Only :class:`ServeJobError` (the daemon ran the
+job and reported a real error, e.g. an unknown core) propagates as a
+user-visible failure, because retrying locally would fail identically.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.serve.protocol import ProtocolError, decode_message, encode_message
+
+
+class ServeUnavailable(Exception):
+    """The daemon cannot be reached (caller should run locally)."""
+
+
+class ServeJobError(Exception):
+    """The daemon processed the submission and reported an error."""
+
+
+def connect(path: str, retries: int = 0, retry_delay: float = 0.1,
+            timeout: Optional[float] = None) -> "ServeClient":
+    """Connect to the daemon at ``path``; raises ServeUnavailable.
+
+    ``retries`` > 0 waits for a daemon that is still starting up —
+    handy for scripts that launch the daemon and immediately submit.
+    """
+    last: Optional[Exception] = None
+    for attempt in range(retries + 1):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(timeout)
+            sock.connect(path)
+            return ServeClient(sock)
+        except OSError as exc:
+            sock.close()
+            last = exc
+            if attempt < retries:
+                time.sleep(retry_delay)
+    raise ServeUnavailable(f"no job daemon at {path!r}: {last}")
+
+
+class ServeClient:
+    """One connection to the daemon; submit jobs, read replies."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- transport ---------------------------------------------------------
+
+    def _send(self, msg: Dict[str, Any]) -> None:
+        try:
+            self._file.write(encode_message(msg))
+            self._file.flush()
+        except (OSError, ValueError) as exc:
+            raise ServeUnavailable(f"daemon connection lost: {exc}") from exc
+
+    def _recv(self) -> Dict[str, Any]:
+        try:
+            line = self._file.readline()
+        except (OSError, ValueError) as exc:
+            raise ServeUnavailable(f"daemon connection lost: {exc}") from exc
+        if not line:
+            raise ServeUnavailable("daemon closed the connection")
+        try:
+            return decode_message(line)
+        except ProtocolError as exc:
+            raise ServeUnavailable(f"daemon spoke garbage: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- requests ----------------------------------------------------------
+
+    def ping(self) -> bool:
+        self._send({"type": "ping"})
+        return self._recv()["type"] == "pong"
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's counter snapshot (serve / cache / store blocks)."""
+        self._send({"type": "stats"})
+        reply = self._recv()
+        if reply["type"] != "stats":
+            raise ServeUnavailable(
+                f"expected stats reply, got {reply['type']!r}")
+        return reply.get("stats", {})
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit."""
+        self._send({"type": "shutdown"})
+        try:
+            self._recv()  # "bye"
+        except ServeUnavailable:
+            pass  # it may exit before the reply lands; that is success
+
+    def submit(
+        self,
+        job: Dict[str, Any],
+        deadline: Optional[float] = None,
+        progress: bool = False,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Run one job to completion; returns the full result message.
+
+        The returned dict has ``result`` (the job's result document)
+        and ``dedup`` (True when this submission attached to a
+        computation another client started).  ``on_progress`` receives
+        every progress event when ``progress`` is on.
+
+        Raises:
+            ServeJobError: the daemon rejected or failed the job.
+            ServeUnavailable: the transport died before a verdict.
+        """
+        msg_id = self._next_id
+        self._next_id += 1
+        submit: Dict[str, Any] = {"type": "submit", "id": msg_id, "job": job,
+                                  "progress": bool(progress or on_progress)}
+        if deadline is not None:
+            submit["deadline"] = deadline
+        self._send(submit)
+        while True:
+            reply = self._recv()
+            if reply.get("id") != msg_id:
+                continue  # stale event from an earlier submission
+            rtype = reply["type"]
+            if rtype == "progress":
+                if on_progress is not None:
+                    on_progress(reply)
+                continue
+            if rtype == "result":
+                return reply
+            if rtype == "error":
+                raise ServeJobError(str(reply.get("error", "unknown error")))
+            raise ServeUnavailable(f"unexpected reply type {rtype!r}")

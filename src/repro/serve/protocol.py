@@ -1,0 +1,76 @@
+"""Versioned JSON-lines wire protocol of the job daemon.
+
+Every message is one JSON object on one ``\\n``-terminated line with a
+``v`` (protocol version) and a ``type`` field.  Client-to-server
+types::
+
+    submit    {id, job, deadline?, progress?}   run (or attach to) a job
+    cancel    {id}                              detach/cancel a submission
+    stats     {}                                server + store counters
+    ping      {}                                liveness probe
+    shutdown  {}                                drain and stop the daemon
+
+Server-to-client types::
+
+    result    {id, ok, result, dedup, elapsed}  terminal answer for a job
+    error     {id?, error}                      terminal failure
+    progress  {id, elapsed, events, counters}   tracer sample (opt-in)
+    stats     {stats}                           reply to ``stats``
+    pong      {}                                reply to ``ping``
+    bye       {}                                reply to ``shutdown``
+
+The version is checked on *every* incoming message: a daemon never
+guesses at messages from a future client (or vice versa), it rejects
+them with a ``protocol version`` error the peer can report verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+PROTOCOL_VERSION = 1
+
+CLIENT_TYPES = frozenset({"submit", "cancel", "stats", "ping", "shutdown"})
+SERVER_TYPES = frozenset({"result", "error", "progress", "stats", "pong",
+                          "bye"})
+#: Hard cap on one encoded message; a runaway (or hostile) peer cannot
+#: make the other side buffer unbounded input.
+MAX_MESSAGE = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """The peer sent something that is not a valid protocol message."""
+
+
+def encode_message(msg: Dict[str, Any]) -> bytes:
+    """Serialize one message to its wire form (adds the version)."""
+    doc = dict(msg)
+    doc.setdefault("v", PROTOCOL_VERSION)
+    line = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_MESSAGE:  # pragma: no cover - requires a huge job
+        raise ProtocolError(f"message too large ({len(data)} bytes)")
+    return data
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse and validate one wire line; raises :class:`ProtocolError`."""
+    if len(line) > MAX_MESSAGE:
+        raise ProtocolError(f"message too large ({len(line)} bytes)")
+    try:
+        doc = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"not a JSON message: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(doc).__name__}")
+    version = doc.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} != {PROTOCOL_VERSION} "
+            "(upgrade the older peer)")
+    mtype = doc.get("type")
+    if not isinstance(mtype, str) or not mtype:
+        raise ProtocolError("message has no 'type'")
+    return doc

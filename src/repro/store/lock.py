@@ -1,0 +1,142 @@
+"""Advisory writer lock for the persistent solve store.
+
+One writer at a time mutates a store directory; readers need no lock
+(segments are immutable once renamed into place and the manifest is
+replaced atomically).  The lock is a JSON file created with
+``O_CREAT | O_EXCL`` — portable, inspectable, and recoverable: a lock
+whose owner pid is dead (crashed writer, SIGKILLed daemon) is *stale*
+and taken over instead of wedging the store forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from typing import Optional
+
+LOCK_NAME = "store.lock"
+
+
+class StoreLockedError(Exception):
+    """The store is locked by a live writer process."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0, never delivers)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's live pid
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return True
+    return True
+
+
+def _dead_pid() -> int:
+    """A pid that is certainly dead: a reaped short-lived child."""
+    proc = subprocess.Popen([sys.executable, "-c", ""],
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    proc.wait()
+    return proc.pid
+
+
+def plant_stale_lock(directory: str, pid: Optional[int] = None) -> str:
+    """Write a lock file owned by a dead pid (fault injection helper).
+
+    Used by :meth:`repro.faults.FaultPlan.on_store_open` to prove the
+    dead-owner takeover path; ``pid=None`` spawns and reaps a child so
+    the planted owner is guaranteed dead.
+    """
+    if pid is None:
+        pid = _dead_pid()
+    path = os.path.join(directory, LOCK_NAME)
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"pid": pid, "host": socket.gethostname(),
+                   "created": time.time()}, handle)
+    return path
+
+
+class StoreLock:
+    """``O_CREAT|O_EXCL`` lock file with dead-pid takeover.
+
+    ``acquire`` raises :class:`StoreLockedError` when a *live* process
+    holds the lock; a lock owned by a dead pid — or an unreadable lock
+    file, which only a crashed writer leaves behind — is removed and
+    re-taken (``takeovers`` counts how often that happened, for the
+    store's observability counters).
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.path = os.path.join(directory, LOCK_NAME)
+        self.held = False
+        self.takeovers = 0
+
+    def _read_owner(self) -> Optional[int]:
+        """The owning pid, or None when the lock file is unreadable."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                info = json.load(handle)
+            pid = info["pid"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return pid if isinstance(pid, int) else None
+
+    def acquire(self) -> None:
+        if self.held:
+            return
+        payload = json.dumps({
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "created": time.time(),
+        }).encode("utf-8")
+        # Bounded retries: each loop either wins the O_EXCL create or
+        # observes a different owner; two takeover racers converge in
+        # one extra round.
+        for _ in range(16):
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                owner = self._read_owner()
+                if owner is not None and _pid_alive(owner):
+                    raise StoreLockedError(
+                        f"store is locked by live pid {owner} ({self.path})")
+                # Dead owner or unreadable lock: stale, take it over.
+                try:
+                    os.unlink(self.path)
+                except FileNotFoundError:  # racing takeover already won
+                    pass
+                self.takeovers += 1
+                continue
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            self.held = True
+            return
+        raise StoreLockedError(  # pragma: no cover - pathological racing
+            f"could not acquire {self.path} (takeover livelock)")
+
+    def release(self) -> None:
+        if not self.held:
+            return
+        self.held = False
+        try:
+            os.unlink(self.path)
+        except OSError:  # pragma: no cover - directory removed under us
+            pass
+
+    def __enter__(self) -> "StoreLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()

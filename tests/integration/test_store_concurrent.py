@@ -1,0 +1,135 @@
+"""Two OS processes sharing one solve store directory.
+
+The unit tests cover the store's recovery machinery in-process; these
+tests prove the cross-process contract: immutable segments plus an
+atomically-replaced manifest mean a reader needs no lock, a live
+writer excludes a second writer, and a *crashed* writer (lock left
+behind, pid dead) is taken over instead of wedging the store.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.formal.cache import CachedVerdict
+from repro.store import SolveStore, StoreLockedError
+
+_ENV = dict(os.environ,
+            PYTHONPATH=os.path.join(os.path.dirname(__file__), "..", "..",
+                                    "src"))
+
+
+def _run_child(script, *args, timeout=60):
+    proc = subprocess.run([sys.executable, "-c", script, *args],
+                          env=_ENV, capture_output=True, text=True,
+                          timeout=timeout)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestWriterAndReader:
+    def test_reader_sees_flushed_entries_with_zero_rejects(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        reader = """
+import json, sys
+from repro.store import SolveStore
+store = SolveStore(sys.argv[1], writable=False)
+print(json.dumps({"loaded": store.stats.loaded,
+                  "rejected": store.stats.rejected,
+                  "keys": sorted(store.entries())}))
+"""
+        with SolveStore(store_dir) as writer:
+            for i in range(4):
+                writer.append(f"k{i}", CachedVerdict(status="unsat", bound=i))
+            writer.flush()
+            # The writer is still alive and holds the lock: a reader
+            # needs none and sees exactly the flushed entries.
+            import json
+            doc = json.loads(_run_child(reader, store_dir))
+        assert doc["loaded"] == 4
+        assert doc["rejected"] == 0
+        assert doc["keys"] == ["k0", "k1", "k2", "k3"]
+
+
+class TestWriterAndWriter:
+    def test_live_writer_excludes_second_process(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        ready = str(tmp_path / "ready")
+        release = str(tmp_path / "release")
+        holder = """
+import os, sys, time
+from repro.store import SolveStore
+store = SolveStore(sys.argv[1])
+open(sys.argv[2], "w").close()
+deadline = time.time() + 30
+while not os.path.exists(sys.argv[3]) and time.time() < deadline:
+    time.sleep(0.05)
+store.close()
+"""
+        proc = subprocess.Popen(
+            [sys.executable, "-c", holder, store_dir, ready, release],
+            env=_ENV)
+        try:
+            deadline = time.time() + 30
+            while not os.path.exists(ready) and time.time() < deadline:
+                time.sleep(0.05)
+            assert os.path.exists(ready), "holder never came up"
+            with pytest.raises(StoreLockedError, match="locked by live"):
+                SolveStore(store_dir)
+        finally:
+            open(release, "w").close()
+            assert proc.wait(timeout=30) == 0
+        # Holder released cleanly: the lock is free again.
+        with SolveStore(store_dir) as store:
+            assert store.stats.lock_takeovers == 0
+
+    def test_crashed_writer_is_taken_over(self, tmp_path):
+        """A writer hard-killed mid-session leaves its lock file and a
+        flushed prefix; the next writer takes over and loses nothing
+        that was flushed."""
+        store_dir = str(tmp_path / "store")
+        crasher = """
+import os, sys
+from repro.formal.cache import CachedVerdict
+from repro.store import SolveStore
+store = SolveStore(sys.argv[1])
+for i in range(3):
+    store.append(f"crashed{i}", CachedVerdict(status="unsat", bound=i))
+store.flush()
+os._exit(0)  # no close(): the lock file stays behind
+"""
+        _run_child(crasher, store_dir)
+        from repro.store.lock import LOCK_NAME
+
+        assert os.path.exists(os.path.join(store_dir, LOCK_NAME))
+        with SolveStore(store_dir) as store:
+            assert store.stats.lock_takeovers == 1
+            assert store.stats.loaded == 3
+            assert store.stats.rejected == 0
+            store.append("survivor", CachedVerdict(status="unsat", bound=9))
+        with SolveStore(store_dir) as store:
+            assert store.stats.loaded == 4
+            assert sorted(store.entries()) == [
+                "crashed0", "crashed1", "crashed2", "survivor"]
+
+    def test_sequential_writers_converge(self, tmp_path):
+        """Two writer processes appending in turn: one consistent store,
+        every entry present, nothing rejected."""
+        store_dir = str(tmp_path / "store")
+        writer = """
+import sys
+from repro.formal.cache import CachedVerdict
+from repro.store import SolveStore
+with SolveStore(sys.argv[1]) as store:
+    for i in range(3):
+        store.append(f"{sys.argv[2]}-{i}", CachedVerdict("unsat", bound=i))
+"""
+        _run_child(writer, store_dir, "alpha")
+        _run_child(writer, store_dir, "beta")
+        with SolveStore(store_dir, writable=False) as store:
+            assert store.stats.loaded == 6
+            assert store.stats.rejected == 0
+            assert store.stats.torn_segments == 0

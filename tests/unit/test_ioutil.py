@@ -81,3 +81,43 @@ class TestArtifactWriters:
         content = target.read_text()
         assert "$enddefinitions" in content
         assert os.listdir(tmp_path) == ["wave.vcd"]
+
+
+class TestSweepOrphans:
+    def _orphan(self, tmp_path, name, age=7200.0):
+        path = tmp_path / name
+        path.write_text("leftover")
+        old = path.stat().st_mtime - age
+        os.utime(path, (old, old))
+        return path
+
+    def test_removes_stale_tmp_files(self, tmp_path):
+        from repro.ioutil import sweep_orphans
+
+        a = self._orphan(tmp_path, "journal.jsonl.tmp.abc123")
+        b = self._orphan(tmp_path, ".tmp.xyz")
+        removed = sweep_orphans(str(tmp_path))
+        assert sorted(removed) == sorted([a.name, b.name])
+        assert not a.exists() and not b.exists()
+
+    def test_keeps_young_and_non_tmp_files(self, tmp_path):
+        from repro.ioutil import sweep_orphans
+
+        young = tmp_path / "data.tmp.fresh"
+        young.write_text("in flight")          # mtime: now
+        data = self._orphan(tmp_path, "manifest.json")
+        assert sweep_orphans(str(tmp_path)) == []
+        assert young.exists() and data.exists()
+
+    def test_min_age_zero_sweeps_unconditionally(self, tmp_path):
+        from repro.ioutil import sweep_orphans
+
+        fresh = tmp_path / ".tmp.fresh"
+        fresh.write_text("x")
+        assert sweep_orphans(str(tmp_path), min_age=0) == [fresh.name]
+        assert not fresh.exists()
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        from repro.ioutil import sweep_orphans
+
+        assert sweep_orphans(str(tmp_path / "nope")) == []

@@ -7,11 +7,17 @@ hard-kills an engine worker mid-run and corrupts a streamed cache
 entry — and fails unless both runs reach the *same* verdict and final
 scheme.  A third phase SIGKILL-proofs the checkpoint journal: a run
 whose newest checkpoint is torn on disk must resume from the previous
-intact entry and still land on the clean verdict.
+intact entry and still land on the clean verdict.  A fourth phase does
+the same for the persistent solve store: a verify whose store suffers
+a stale lock, an ENOSPC'd segment write, a torn segment tail and a
+corrupted manifest — all in one run — must still match the clean
+verdict, and a warm rerun over the damaged-then-recovered store must
+match it again.
 
 This is the recovery-path regression guard: it exercises worker
 supervision (crash detection, seeded relaunch), validating cache
-merges, checksummed checkpoint fallback and resume in one short run.
+merges, checksummed checkpoint fallback and resume, and the store's
+recovery invariants in one short run.
 
 Run:  PYTHONPATH=src python tools/chaos_smoke.py
 """
@@ -125,6 +131,77 @@ def main() -> int:
                             f"{clean.status.value} -> {resumed.status.value}")
         if resumed.scheme != clean.scheme:
             failures.append("resumed scheme differs from the clean run")
+
+    # Phase 3: worker SIGKILL + stale lock + torn segment + corrupted
+    # manifest, all in ONE verify -> same verdict; then a warm rerun
+    # over the damaged store must recover (torn tail kept, manifest
+    # rebuilt) and match again.
+    with tempfile.TemporaryDirectory() as store_dir:
+        store_plan = faults.FaultPlan(seed=2026, specs=(
+            faults.kill_worker("kind", after_solves=1),
+            faults.stale_lock(),               # dead-owner lock at open
+            faults.torn_segment(index=0),      # close-time segment, torn
+            faults.corrupt_manifest(index=1),  # post-flush manifest write
+        ))
+        started = time.monotonic()
+        stored = run_compass(make_task(),
+                             config(faults=store_plan, store_dir=store_dir))
+        srow = stored.stats.store.row() if stored.stats.store else "n/a"
+        print(f"faulted-store run: {stored.status.value} "
+              f"({time.monotonic() - started:.1f}s) — "
+              f"{stored.stats.worker_retries} retries, {srow}")
+        if stored.status is not clean.status:
+            failures.append(f"verdict changed under store faults: "
+                            f"{clean.status.value} -> {stored.status.value}")
+        if stored.scheme != clean.scheme:
+            failures.append("final scheme changed under store faults")
+        store_stats = stored.stats.store
+        if store_stats is None:
+            failures.append("faulted-store run did not attach the store")
+        elif not store_stats.lock_takeovers:
+            failures.append("planted stale lock was not taken over")
+        if not stored.stats.worker_retries:
+            failures.append("store-phase worker kill produced no retry")
+        started = time.monotonic()
+        warm = run_compass(make_task(), config(store_dir=store_dir))
+        wrow = warm.stats.store.row() if warm.stats.store else "n/a"
+        print(f"warm-store rerun:  {warm.status.value} "
+              f"({time.monotonic() - started:.1f}s) — {wrow}")
+        if warm.status is not clean.status:
+            failures.append(f"warm rerun over recovered store diverged: "
+                            f"{clean.status.value} -> {warm.status.value}")
+        wstats = warm.stats.store
+        if wstats is not None:
+            if not wstats.torn_segments:
+                failures.append("torn segment tail was not detected on reopen")
+            if not wstats.manifest_recovered:
+                failures.append("corrupted manifest was not rebuilt")
+            if wstats.rejected:
+                failures.append("recovered store surfaced rejected entries")
+
+    # Phase 4: a full disk (ENOSPC on every segment write) degrades
+    # durability, never the verdict.
+    with tempfile.TemporaryDirectory() as store_dir:
+        import warnings
+
+        enospc_plan = faults.FaultPlan(seed=2026, specs=(
+            faults.enospc(index=0), faults.enospc(index=1)))
+        started = time.monotonic()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            full = run_compass(make_task(),
+                               config(faults=enospc_plan,
+                                      store_dir=store_dir))
+        frow = full.stats.store.row() if full.stats.store else "n/a"
+        print(f"full-disk run:     {full.status.value} "
+              f"({time.monotonic() - started:.1f}s) — {frow}")
+        if full.status is not clean.status:
+            failures.append(f"verdict changed under ENOSPC: "
+                            f"{clean.status.value} -> {full.status.value}")
+        if full.stats.store is None or not full.stats.store.write_errors:
+            failures.append("injected ENOSPC produced no write error")
+        if not any("stay pending" in str(w.message) for w in caught):
+            failures.append("ENOSPC did not surface its degradation warning")
 
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
