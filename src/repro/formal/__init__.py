@@ -14,6 +14,7 @@ from repro.formal.cache import (
     CachedVerdict,
     CacheStats,
     SolveCache,
+    ThreadSafeSolveCache,
     circuit_fingerprint,
     solve_key,
     valid_entry,
@@ -77,6 +78,7 @@ __all__ = [
     "CachedVerdict",
     "CacheStats",
     "SolveCache",
+    "ThreadSafeSolveCache",
     "circuit_fingerprint",
     "solve_key",
     "valid_entry",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple, Union
@@ -267,3 +268,49 @@ class SolveCache:
     def snapshot_entries(self) -> Dict[str, CachedVerdict]:
         """A shallow copy of the entries (for shipping to workers)."""
         return dict(self._entries)
+
+
+class ThreadSafeSolveCache(SolveCache):
+    """A :class:`SolveCache` safe to share across threads.
+
+    The base class is deliberately lock-free — the CLI and the
+    per-process portfolio workers are single-threaded — but the job
+    daemon hands one cache to a pool of worker threads, where the
+    ``OrderedDict`` LRU bookkeeping (``move_to_end``, eviction) breaks
+    under concurrent mutation.  Every public operation here runs under
+    a reentrant mutex; subclasses composing multi-step operations (see
+    :class:`repro.store.store.StoreBackedCache`) take the same
+    ``self._mutex`` around them.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        super().__init__(max_entries)
+        self._mutex = threading.RLock()
+
+    def get(self, key: str) -> Optional[CachedVerdict]:
+        with self._mutex:
+            return super().get(key)
+
+    def peek(self, key: str) -> Optional[CachedVerdict]:
+        with self._mutex:
+            return super().peek(key)
+
+    def put(self, key: str, verdict: CachedVerdict) -> None:
+        with self._mutex:
+            super().put(key, verdict)
+
+    def merge_entries(self, entries: Dict[str, CachedVerdict]) -> None:
+        with self._mutex:
+            super().merge_entries(entries)
+
+    def preload_entries(self, entries: Dict[str, CachedVerdict]) -> int:
+        with self._mutex:
+            return super().preload_entries(entries)
+
+    def clear(self) -> None:
+        with self._mutex:
+            super().clear()
+
+    def snapshot_entries(self) -> Dict[str, CachedVerdict]:
+        with self._mutex:
+            return super().snapshot_entries()

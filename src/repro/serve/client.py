@@ -146,6 +146,16 @@ class ServeClient:
         while True:
             reply = self._recv()
             if reply.get("id") != msg_id:
+                if reply.get("type") == "error" and reply.get("id") is None:
+                    # The daemon could not attribute the failure to any
+                    # submission (our line was undecodable or oversized,
+                    # so it never became a job) — no reply carrying our
+                    # id will ever arrive.  Transport-level, hence
+                    # ServeUnavailable: the caller falls back to local
+                    # execution, which does not involve the wire format.
+                    raise ServeUnavailable(
+                        "daemon rejected the submission line: "
+                        f"{reply.get('error', 'unknown error')}")
                 continue  # stale event from an earlier submission
             rtype = reply["type"]
             if rtype == "progress":

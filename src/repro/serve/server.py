@@ -125,8 +125,15 @@ class JobServer:
     # -- lifecycle ---------------------------------------------------------
 
     def _open_store(self) -> None:
-        """Attach the persistent store; degrade to in-memory on trouble."""
-        from repro.formal.cache import SolveCache
+        """Attach the persistent store; degrade to in-memory on trouble.
+
+        Both paths hand the worker pool a *thread-safe* cache: the
+        store-backed adapter locks internally, and the in-memory
+        fallback is a :class:`ThreadSafeSolveCache` — a plain
+        :class:`SolveCache` would corrupt its LRU bookkeeping under
+        ``workers >= 2``.
+        """
+        from repro.formal.cache import ThreadSafeSolveCache
 
         if self.store_dir is not None:
             from repro.store import SolveStore, StoreError, StoreLockedError
@@ -141,7 +148,7 @@ class JobServer:
                     "serving with an in-memory cache instead",
                     stacklevel=2,
                 )
-        self.cache = SolveCache()
+        self.cache = ThreadSafeSolveCache()
 
     async def start(self) -> None:
         import os
@@ -356,7 +363,9 @@ class JobServer:
             self.stats.failed += 1
         if self.store is not None:
             # Durability point: everything this job decided is on disk
-            # before any client sees the verdict.
+            # before any client sees the verdict.  Safe to call from
+            # the event loop while workers append through the cache:
+            # the store serializes flush/append on its own mutex.
             self.store.flush()
         elapsed = round(time.monotonic() - job.started, 3)
         for sub in job.subs:

@@ -5,7 +5,9 @@ One writer at a time mutates a store directory; readers need no lock
 replaced atomically).  The lock is a JSON file created with
 ``O_CREAT | O_EXCL`` — portable, inspectable, and recoverable: a lock
 whose owner pid is dead (crashed writer, SIGKILLed daemon) is *stale*
-and taken over instead of wedging the store forever.
+and taken over instead of wedging the store forever.  Takeover itself
+is serialized through an ``flock``-ed guard sidecar so two racers can
+never both replace the stale lock and believe they hold it.
 """
 
 from __future__ import annotations
@@ -18,7 +20,16 @@ import sys
 import time
 from typing import Optional
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 LOCK_NAME = "store.lock"
+
+#: Persistent sidecar serializing stale-lock takeover; never unlinked
+#: (its ``flock`` is dropped automatically when the holder exits).
+GUARD_SUFFIX = ".guard"
 
 
 class StoreLockedError(Exception):
@@ -99,9 +110,9 @@ class StoreLock:
             "host": socket.gethostname(),
             "created": time.time(),
         }).encode("utf-8")
-        # Bounded retries: each loop either wins the O_EXCL create or
-        # observes a different owner; two takeover racers converge in
-        # one extra round.
+        # Bounded retries: each loop either wins the O_EXCL create,
+        # completes a (guard-serialized) takeover, or observes a live
+        # owner and raises.
         for _ in range(16):
             try:
                 fd = os.open(self.path,
@@ -112,11 +123,8 @@ class StoreLock:
                     raise StoreLockedError(
                         f"store is locked by live pid {owner} ({self.path})")
                 # Dead owner or unreadable lock: stale, take it over.
-                try:
-                    os.unlink(self.path)
-                except FileNotFoundError:  # racing takeover already won
-                    pass
-                self.takeovers += 1
+                if self._take_over_stale(payload):
+                    return
                 continue
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
@@ -124,6 +132,49 @@ class StoreLock:
             return
         raise StoreLockedError(  # pragma: no cover - pathological racing
             f"could not acquire {self.path} (takeover livelock)")
+
+    def _take_over_stale(self, payload: bytes) -> bool:
+        """Replace a stale lock with our own; True when we now hold it.
+
+        The read-unlink-recreate sequence must be atomic with respect
+        to other takeover attempts: without that, two racers can both
+        observe the dead owner, racer A unlinks and recreates the
+        lock, then racer B unlinks A's *fresh* lock — two live
+        writers.  The sequence is therefore serialized through an
+        ``flock``-ed guard file that is never unlinked.  Plain
+        ``O_EXCL`` acquirers never unlink anything, so they cannot
+        reintroduce the race: a create that slips between our unlink
+        and our create simply wins, our create fails, and the next
+        loop round observes that live owner and raises.
+        """
+        guard = os.open(self.path + GUARD_SUFFIX,
+                        os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                # Blocking is fine: the critical section below is a
+                # few syscalls, and a holder that dies mid-section
+                # drops the flock with its fd.
+                fcntl.flock(guard, fcntl.LOCK_EX)
+            owner = self._read_owner()
+            if (os.path.exists(self.path)
+                    and owner is not None and _pid_alive(owner)):
+                return False  # re-locked while we waited for the guard
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass  # the racing takeover's winner already released
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                return False  # an O_EXCL acquirer slipped in; it wins
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            self.takeovers += 1
+            self.held = True
+            return True
+        finally:
+            os.close(guard)  # drops the flock
 
     def release(self) -> None:
         if not self.held:

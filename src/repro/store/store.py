@@ -17,21 +17,35 @@ Recovery invariants (each has a deterministic fault in
 - a failed segment write (``ENOSPC``) keeps the entries pending in
   memory and retries on the next flush — a full disk degrades
   durability, never correctness;
-- every entry is revalidated on load (:func:`repro.formal.cache
-  .valid_entry`); malformed or hostile records are counted and dropped.
+- records are stored as schema-checked JSON, never pickled: the bytes
+  come back from a directory another process (or an attacker) may have
+  touched, and unpickling untrusted data executes code, while JSON
+  decodes to plain data or not at all.  Every decoded entry is then
+  revalidated (:func:`repro.formal.cache.valid_entry`); malformed or
+  hostile records are counted and dropped.
+
+:class:`SolveStore` is additionally thread-safe: the job daemon's
+worker threads write through a shared :class:`StoreBackedCache` while
+the event loop flushes after each completed job, so every method that
+touches the pending buffer, the entry map or the segment list holds an
+internal mutex.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import pickle
 import threading
 import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.formal.cache import CachedVerdict, SolveCache, valid_entry
+from repro.formal.cache import (
+    CachedVerdict,
+    ThreadSafeSolveCache,
+    valid_entry,
+)
+from repro.formal.counterexample import Counterexample
 from repro.ioutil import atomic_write, sweep_orphans
 from repro.store.lock import StoreLock, StoreLockedError
 from repro.store.segment import (
@@ -86,19 +100,77 @@ class StoreStats:
                 f"segments{errors}{recovered}")
 
 
-def _encode_entry(key: str, verdict: CachedVerdict) -> bytes:
-    return pickle.dumps((key, verdict), protocol=pickle.HIGHEST_PROTOCOL)
+def _encode_entry(key: str, verdict: CachedVerdict) -> Optional[bytes]:
+    """One record as canonical JSON bytes; None when unencodable.
+
+    Deliberately not pickle: segment payloads are read back from a
+    directory whose bytes this process does not control, and
+    unpickling untrusted input executes arbitrary code.
+    """
+    doc: Dict[str, Any] = {
+        "key": key,
+        "status": verdict.status,
+        "bound": verdict.bound,
+        "detail": verdict.detail,
+    }
+    cex = verdict.counterexample
+    if cex is not None:
+        doc["cex"] = {
+            "length": cex.length,
+            "inputs": cex.inputs,
+            "initial_state": cex.initial_state,
+            "bad_signal": cex.bad_signal,
+        }
+    try:
+        line = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError):
+        return None
+    return line.encode("utf-8")
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_signal_map(doc: Any) -> bool:
+    return (isinstance(doc, dict)
+            and all(isinstance(k, str) and _is_int(v)
+                    for k, v in doc.items()))
+
+
+def _decode_cex(doc: Any) -> Optional[Counterexample]:
+    if not isinstance(doc, dict):
+        return None
+    length = doc.get("length")
+    inputs = doc.get("inputs")
+    initial = doc.get("initial_state")
+    bad = doc.get("bad_signal", "")
+    if (not _is_int(length) or not isinstance(inputs, list)
+            or not all(_is_signal_map(frame) for frame in inputs)
+            or not _is_signal_map(initial) or not isinstance(bad, str)):
+        return None
+    try:
+        return Counterexample(length, inputs, initial, bad)
+    except ValueError:  # frame count does not match the stated length
+        return None
 
 
 def _decode_entry(payload: bytes) -> Optional[Tuple[str, CachedVerdict]]:
     """(key, verdict) or None when the record is malformed or hostile."""
     try:
-        record = pickle.loads(payload)
-    except Exception:  # pickle raises a zoo of types
+        doc = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
         return None
-    if not isinstance(record, tuple) or len(record) != 2:
+    if not isinstance(doc, dict):
         return None
-    key, verdict = record
+    cex = None
+    if doc.get("cex") is not None:
+        cex = _decode_cex(doc["cex"])
+        if cex is None:
+            return None
+    key = doc.get("key")
+    verdict = CachedVerdict(status=doc.get("status"), bound=doc.get("bound"),
+                            counterexample=cex, detail=doc.get("detail"))
     if not valid_entry(key, verdict):
         return None
     return key, verdict
@@ -131,6 +203,12 @@ class SolveStore:
         self.compact_threshold = compact_threshold
         self.stats = StoreStats()
         self.generation = 0
+        # One writer thread is the common case, but the job daemon
+        # shares this store between its worker pool (appending through
+        # a StoreBackedCache) and the event loop (flushing after each
+        # job), so every method touching the maps below takes the
+        # mutex.  Reentrant because append() auto-flushes.
+        self._mutex = threading.RLock()
         self._entries: Dict[str, CachedVerdict] = {}
         self._pending: Dict[str, CachedVerdict] = {}
         self._segments: List[str] = []
@@ -283,18 +361,19 @@ class SolveStore:
 
     def append(self, key: str, verdict: CachedVerdict) -> bool:
         """Buffer one entry for the next flush; False if malformed."""
-        if self._closed:
-            raise StoreError("store is closed")
-        if not self.writable:
-            raise StoreError("store opened read-only")
-        if not valid_entry(key, verdict):
-            self.stats.rejected += 1
-            return False
-        self._pending[key] = verdict
-        self.stats.appended += 1
-        if len(self._pending) >= self.flush_every:
-            self.flush()
-        return True
+        with self._mutex:
+            if self._closed:
+                raise StoreError("store is closed")
+            if not self.writable:
+                raise StoreError("store opened read-only")
+            if not valid_entry(key, verdict):
+                self.stats.rejected += 1
+                return False
+            self._pending[key] = verdict
+            self.stats.appended += 1
+            if len(self._pending) >= self.flush_every:
+                self.flush()
+            return True
 
     def flush(self) -> bool:
         """Write pending entries as one new segment; False on failure.
@@ -302,36 +381,44 @@ class SolveStore:
         Failure (``ENOSPC``, permissions) keeps the entries pending so
         a later flush — or close — can retry; it never raises, because
         durability is best-effort while verdict correctness is not at
-        stake.
+        stake.  The mutex is held across the whole write, so a flush
+        from one thread can never race appends from another: when it
+        returns True, everything appended before the call is durable.
         """
-        if not self._pending:
-            return True
-        if not self.writable:
-            raise StoreError("store opened read-only")
-        records = [_encode_entry(key, verdict)
-                   for key, verdict in self._pending.items()]
-        index = self._write_attempts
-        self._write_attempts += 1
-        name = segment_name(self.generation, self._next_seq)
-        path = os.path.join(self.directory, name)
-        try:
+        with self._mutex:
+            if not self._pending:
+                return True
+            if not self.writable:
+                raise StoreError("store opened read-only")
+            records = []
+            for key, verdict in self._pending.items():
+                payload = _encode_entry(key, verdict)
+                if payload is None:  # unencodable detail; keep in memory
+                    self.stats.rejected += 1
+                    continue
+                records.append(payload)
+            index = self._write_attempts
+            self._write_attempts += 1
+            name = segment_name(self.generation, self._next_seq)
+            path = os.path.join(self.directory, name)
+            try:
+                if self.faults is not None:
+                    self.faults.check_store_write(index)
+                write_segment(path, records)
+            except OSError:
+                self.stats.write_errors += 1
+                self._warn_write_error("segment")
+                return False
             if self.faults is not None:
-                self.faults.check_store_write(index)
-            write_segment(path, records)
-        except OSError:
-            self.stats.write_errors += 1
-            self._warn_write_error("segment")
-            return False
-        if self.faults is not None:
-            # May tear the just-written file (post-rename disk damage).
-            self.faults.on_segment_written(index, path)
-        self._next_seq += 1
-        self._segments.append(name)
-        self._entries.update(self._pending)
-        self._pending.clear()
-        self.stats.flushed_segments += 1
-        self._write_manifest()
-        return True
+                # May tear the just-written file (post-rename damage).
+                self.faults.on_segment_written(index, path)
+            self._next_seq += 1
+            self._segments.append(name)
+            self._entries.update(self._pending)
+            self._pending.clear()
+            self.stats.flushed_segments += 1
+            self._write_manifest()
+            return True
 
     def compact(self) -> bool:
         """Fold all live entries into one fresh-generation segment.
@@ -342,52 +429,54 @@ class SolveStore:
         one fully-readable generation (plus redundant leftovers the
         next open removes).
         """
-        if not self.writable:
-            raise StoreError("store opened read-only")
-        live = dict(self._entries)
-        live.update(self._pending)
-        new_gen = self.generation + 1
-        name = segment_name(new_gen, 0)
-        path = os.path.join(self.directory, name)
-        records = [_encode_entry(key, verdict)
-                   for key, verdict in live.items()]
-        index = self._write_attempts
-        self._write_attempts += 1
-        try:
-            if self.faults is not None:
-                self.faults.check_store_write(index)
-            write_segment(path, records)
-        except OSError:
-            self.stats.write_errors += 1
-            self._warn_write_error("compaction")
-            return False
-        if self.faults is not None:
-            self.faults.on_segment_written(index, path)
-        old_segments = list(self._segments)
-        self.generation = new_gen
-        self._segments = [name]
-        self._next_seq = 1
-        self._entries = live
-        self._pending.clear()
-        self._write_manifest()
-        for old in old_segments:
+        with self._mutex:
+            if not self.writable:
+                raise StoreError("store opened read-only")
+            live = dict(self._entries)
+            live.update(self._pending)
+            new_gen = self.generation + 1
+            name = segment_name(new_gen, 0)
+            path = os.path.join(self.directory, name)
+            records = [payload for key, verdict in live.items()
+                       if (payload := _encode_entry(key, verdict)) is not None]
+            index = self._write_attempts
+            self._write_attempts += 1
             try:
-                os.unlink(os.path.join(self.directory, old))
-            except OSError:  # pragma: no cover - raced
-                pass
-        self.stats.compactions += 1
-        return True
+                if self.faults is not None:
+                    self.faults.check_store_write(index)
+                write_segment(path, records)
+            except OSError:
+                self.stats.write_errors += 1
+                self._warn_write_error("compaction")
+                return False
+            if self.faults is not None:
+                self.faults.on_segment_written(index, path)
+            old_segments = list(self._segments)
+            self.generation = new_gen
+            self._segments = [name]
+            self._next_seq = 1
+            self._entries = live
+            self._pending.clear()
+            self._write_manifest()
+            for old in old_segments:
+                try:
+                    os.unlink(os.path.join(self.directory, old))
+                except OSError:  # pragma: no cover - raced
+                    pass
+            self.stats.compactions += 1
+            return True
 
     def close(self) -> None:
         """Flush, optionally compact, and release the writer lock."""
-        if self._closed:
-            return
-        self._closed = True
-        if self.writable:
-            self._pending and self.flush()
-            if len(self._segments) > self.compact_threshold:
-                self.compact()
-        self._release_lock()
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            if self.writable:
+                self._pending and self.flush()
+                if len(self._segments) > self.compact_threshold:
+                    self.compact()
+            self._release_lock()
 
     def _release_lock(self) -> None:
         if self._lock is not None:
@@ -404,26 +493,30 @@ class SolveStore:
 
     def entries(self) -> Dict[str, CachedVerdict]:
         """A copy of the live view (loaded plus pending entries)."""
-        view = dict(self._entries)
-        view.update(self._pending)
-        return view
+        with self._mutex:
+            view = dict(self._entries)
+            view.update(self._pending)
+            return view
 
     def get(self, key: str) -> Optional[CachedVerdict]:
-        entry = self._pending.get(key)
-        return entry if entry is not None else self._entries.get(key)
+        with self._mutex:
+            entry = self._pending.get(key)
+            return entry if entry is not None else self._entries.get(key)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._pending or key in self._entries
+        with self._mutex:
+            return key in self._pending or key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries.keys() | self._pending.keys())
+        with self._mutex:
+            return len(self._entries.keys() | self._pending.keys())
 
     def cache(self, max_entries: int = 4096) -> "StoreBackedCache":
         """A :class:`SolveCache` view writing through to this store."""
         return StoreBackedCache(self, max_entries=max_entries)
 
 
-class StoreBackedCache(SolveCache):
+class StoreBackedCache(ThreadSafeSolveCache):
     """A thread-safe :class:`SolveCache` persisted by a :class:`SolveStore`.
 
     Entries present in the store are preloaded (without inflating the
@@ -434,15 +527,15 @@ class StoreBackedCache(SolveCache):
     which is what the serve-smoke "served from the persistent store"
     assertion reads.
 
-    Thread safety matters here because the job daemon shares one cache
-    across its worker pool; a mutex around every mutation keeps the
-    LRU bookkeeping consistent.
+    Thread safety comes from :class:`ThreadSafeSolveCache` (the job
+    daemon shares one cache across its worker pool); the store has its
+    own internal mutex, so flushing the store from a thread that does
+    not hold this cache's mutex — the daemon's event loop — is safe.
     """
 
     def __init__(self, store: SolveStore, max_entries: int = 4096) -> None:
         super().__init__(max_entries)
         self.store = store
-        self._mutex = threading.RLock()
         self.preload_entries(store.entries())
         self._persistent = set(self._entries)
 
@@ -459,10 +552,6 @@ class StoreBackedCache(SolveCache):
             if self.store.writable and key not in self.store:
                 self.store.append(key, verdict)
 
-    def merge_entries(self, entries: Dict[str, CachedVerdict]) -> None:
-        with self._mutex:
-            super().merge_entries(entries)
-
-    def snapshot_entries(self) -> Dict[str, CachedVerdict]:
-        with self._mutex:
-            return super().snapshot_entries()
+    def flush(self) -> bool:
+        """Drain the backing store's pending buffer to disk."""
+        return self.store.flush()

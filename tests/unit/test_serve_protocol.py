@@ -68,6 +68,53 @@ class TestWireProtocol:
             decode_message(b"x" * (MAX_MESSAGE + 1))
 
 
+class TestClientReadLoop:
+    def test_idless_error_reply_is_terminal(self):
+        """The daemon replies to an undecodable/oversized line with an
+        ``error`` carrying no id; the client's submit loop must surface
+        it (as ServeUnavailable, so the caller falls back to local
+        execution) instead of waiting forever for a reply with its id."""
+        import socket
+
+        from repro.serve.client import ServeClient, ServeUnavailable
+
+        left, right = socket.socketpair(socket.AF_UNIX,
+                                        socket.SOCK_STREAM)
+        try:
+            # Queue the daemon's reply up front: small enough to sit in
+            # the socketpair buffer, so no reader thread is needed.
+            right.sendall(encode_message(
+                {"type": "error", "error": "message too large"}))
+            client = ServeClient(left)
+            with pytest.raises(ServeUnavailable, match="too large"):
+                client.submit({"kind": "ping"})
+        finally:
+            left.close()
+            right.close()
+
+    def test_progress_for_another_id_is_still_skipped(self):
+        import socket
+
+        from repro.serve.client import ServeClient
+
+        left, right = socket.socketpair(socket.AF_UNIX,
+                                        socket.SOCK_STREAM)
+        try:
+            right.sendall(
+                encode_message({"type": "progress", "id": 99,
+                                "elapsed": 0.1, "events": 1,
+                                "counters": {}})
+                + encode_message({"type": "result", "id": 0, "ok": True,
+                                  "result": {"pong": True},
+                                  "dedup": False, "elapsed": 0.2}))
+            client = ServeClient(left)
+            reply = client.submit({"kind": "ping"})
+            assert reply["result"] == {"pong": True}
+        finally:
+            left.close()
+            right.close()
+
+
 class TestJobDigest:
     def test_stable_under_key_order(self):
         a = {"kind": "lint", "core": {"name": "Sodor", "xlen": 4}}

@@ -3,6 +3,7 @@
 import json
 import os
 import pickle
+import threading
 
 import pytest
 
@@ -18,6 +19,7 @@ from repro.store import (
     write_segment,
 )
 from repro.store.segment import MAGIC, parse_segment_name, segment_name
+from repro.store.store import _encode_entry
 
 
 def _verdict(status="unsat", bound=3):
@@ -91,6 +93,34 @@ class TestLock:
         assert lock.takeovers == 1
         lock.release()
 
+    def test_racing_takeover_yields_exactly_one_holder(self, tmp_path):
+        """Two contenders both observing the same dead owner must not
+        both end up holding the lock (the guard serializes takeover)."""
+        for _ in range(10):
+            plant_stale_lock(str(tmp_path))
+            barrier = threading.Barrier(2)
+            outcomes = []
+
+            def contend():
+                lock = StoreLock(str(tmp_path))
+                barrier.wait()
+                try:
+                    lock.acquire()
+                    outcomes.append(("held", lock))
+                except StoreLockedError:
+                    outcomes.append(("locked", lock))
+
+            threads = [threading.Thread(target=contend) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert sorted(kind for kind, _lock in outcomes) == [
+                "held", "locked"]
+            for kind, lock in outcomes:
+                if kind == "held":
+                    lock.release()
+
 
 class TestStoreRoundTrip:
     def test_entries_survive_reopen(self, tmp_path):
@@ -118,15 +148,52 @@ class TestStoreRoundTrip:
     def test_hostile_record_on_disk_is_dropped(self, tmp_path):
         with SolveStore(str(tmp_path)) as store:
             _fill(store, 2)
-        # Append a record that is a perfectly valid pickle of the wrong
+        # Append a record that is perfectly valid JSON of the wrong
         # shape: load must validate and drop it, not trust it.
         name = segment_name(0, 99)
         write_segment(str(tmp_path / name),
-                      [pickle.dumps(("key", "not-a-verdict"))])
+                      [json.dumps({"key": "key", "status": 42,
+                                   "bound": "nope", "detail": {}}).encode()])
         with SolveStore(str(tmp_path)) as store:
             assert store.stats.loaded == 2
             assert store.stats.rejected == 1
             assert "key" not in store
+
+    def test_pickle_record_is_rejected_not_executed(self, tmp_path):
+        """Segment payloads are attacker-reachable bytes, so the store
+        must never unpickle them: a tampered record is *rejected*, it
+        does not run code at open."""
+        marker = tmp_path / "owned"
+        store_dir = str(tmp_path / "store")
+
+        class Exploit:
+            def __reduce__(self):
+                return (open, (str(marker), "w"))
+
+        with SolveStore(store_dir) as store:
+            _fill(store, 1)
+        write_segment(os.path.join(store_dir, segment_name(0, 99)),
+                      [pickle.dumps(Exploit())])
+        with SolveStore(store_dir) as store:
+            assert store.stats.loaded == 1
+            assert store.stats.rejected == 1
+        assert not marker.exists()
+
+    def test_counterexample_round_trips(self, tmp_path):
+        from repro.formal.counterexample import Counterexample
+
+        cex = Counterexample(2, [{"a": 1}, {"a": 0}], {"r": 3}, "bad")
+        with SolveStore(str(tmp_path)) as store:
+            store.append("cx", CachedVerdict(
+                "sat", bound=2, counterexample=cex,
+                detail={"winner": "bmc"}))
+        with SolveStore(str(tmp_path)) as store:
+            got = store.get("cx")
+            assert got.status == "sat" and got.bound == 2
+            assert got.detail == {"winner": "bmc"}
+            assert got.counterexample.inputs == cex.inputs
+            assert got.counterexample.initial_state == {"r": 3}
+            assert got.counterexample.bad_signal == "bad"
 
     def test_read_only_open_needs_no_lock(self, tmp_path):
         with SolveStore(str(tmp_path)) as writer:
@@ -186,7 +253,7 @@ class TestStoreRecovery:
         with SolveStore(str(tmp_path)) as store:
             _fill(store, 2)
         write_segment(str(tmp_path / segment_name(0, 50)),
-                      [pickle.dumps(("extra", _verdict(bound=9)))])
+                      [_encode_entry("extra", _verdict(bound=9))])
         with SolveStore(str(tmp_path)) as store:
             assert store.get("extra").bound == 9
 
@@ -234,7 +301,7 @@ class TestCompaction:
             store.compact()
         # Re-plant an old-generation leftover as the interruption would.
         write_segment(str(tmp_path / segment_name(0, 7)),
-                      [pickle.dumps(("old", _verdict()))])
+                      [_encode_entry("old", _verdict())])
         with SolveStore(str(tmp_path)) as store:
             assert store.stats.stale_removed == 1
             assert "old" not in store
@@ -344,6 +411,43 @@ class TestStoreBackedCache:
             assert warm.cache_hit
             assert store.stats.hits >= 1
             assert cache.stats.misses == 0
+
+
+class TestConcurrentStoreAccess:
+    def test_concurrent_put_and_flush_lose_nothing(self, tmp_path):
+        """The daemon's event loop flushes while worker threads write
+        through the shared cache: the store's internal mutex must keep
+        the pending buffer consistent and every entry durable."""
+        writers, per_writer = 4, 200
+        with SolveStore(str(tmp_path), flush_every=10**9) as store:
+            cache = store.cache()
+            errors = []
+
+            def write(base):
+                try:
+                    for i in range(per_writer):
+                        cache.put(f"w{base}-{i}", _verdict(bound=i))
+                except Exception as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            def flush():
+                try:
+                    for _ in range(50):
+                        store.flush()
+                except Exception as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=write, args=(b,))
+                       for b in range(writers)]
+            threads.append(threading.Thread(target=flush))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+        with SolveStore(str(tmp_path)) as store:
+            assert store.stats.loaded == writers * per_writer
+            assert store.stats.rejected == 0
 
 
 class TestRunCompassStoreDir:
