@@ -33,6 +33,13 @@ from repro.cegar.checkpoint import (
     CheckpointError,
     CheckpointJournal,
 )
+from repro.cegar.speculate import (
+    CandidateVerdict,
+    SpeculativeScheduler,
+    predict_candidates,
+    scheme_digest,
+    verify_candidate,
+)
 from repro.cegar.prune import PruneReport, prune_refinements
 
 __all__ = [
@@ -54,6 +61,11 @@ __all__ = [
     "CegarCheckpoint",
     "CheckpointError",
     "CheckpointJournal",
+    "CandidateVerdict",
+    "SpeculativeScheduler",
+    "predict_candidates",
+    "scheme_digest",
+    "verify_candidate",
     "PruneReport",
     "prune_refinements",
 ]

@@ -83,6 +83,12 @@ class CegarCheckpoint:
     #: (the loop's pruned-candidate set, restored for observability and
     #: so resumed runs keep identical retry trajectories).
     pruned_candidates: Set[str] = field(default_factory=set)
+    #: In-flight speculation at checkpoint time (``{"n": fan-out,
+    #: "schemes": [TaintScheme, ...]}``) so a resumed run re-primes the
+    #: same wave.  ``None`` for sequential runs and pre-speculation
+    #: checkpoints (the field defaults keep old journals loadable, and
+    #: readers use ``getattr`` so new journals load in old code too).
+    speculation: Optional[Dict[str, Any]] = None
 
 
 def _encode(checkpoint: CegarCheckpoint) -> bytes:

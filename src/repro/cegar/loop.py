@@ -29,16 +29,9 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.faults import FaultPlan
 from repro.hdl.circuit import Circuit
-from repro.formal.bmc import BmcStatus, bounded_model_check
 from repro.formal.cache import CacheStats, SolveCache
 from repro.formal.counterexample import Counterexample
-from repro.formal.induction import InductionStatus, k_induction
-from repro.formal.portfolio import (
-    ENGINE_NAMES,
-    PortfolioConfig,
-    PortfolioStatus,
-    verify_portfolio,
-)
+from repro.formal.portfolio import ENGINE_NAMES
 from repro.formal.properties import SafetyProperty
 from repro.obs import NULL_TRACER, Tracer
 from repro.taint.instrument import InstrumentedDesign, TaintSources, instrument
@@ -214,6 +207,23 @@ class CegarConfig:
     #: None (the default) injects nothing; tests use this to prove the
     #: recovery paths.
     faults: Optional[FaultPlan] = None
+    #: Speculative CEGAR (:mod:`repro.cegar.speculate`): after each
+    #: refinement settles, fan the next N candidate schemes (the
+    #: settled lookahead plus its ladder siblings at the refinement
+    #: location) out to supervised worker processes; the loop consumes
+    #: a worker's verdict only for the exact scheme the sequential
+    #: walk reaches, so the result is bit-identical for any N.  Losers
+    #: are cancelled on the first refinement signal and their solve
+    #: traffic still warms the shared (store-backed) cache.  0 (the
+    #: default) disables speculation.  Deliberately absent from the
+    #: checkpoint config digest: speculation never shapes the
+    #: trajectory, only the wall-clock.
+    speculate: int = 0
+    #: Dispatch speculative candidates to the job daemon at this unix
+    #: socket (``repro verify --speculate N --remote SOCKET``) instead
+    #: of local worker processes.  Unreachable daemons degrade to
+    #: inline verification, never fail the run.
+    speculate_remote: Optional[str] = None
 
 
 @dataclass
@@ -261,6 +271,19 @@ class RefinementStats:
     #: ``store_dir`` (entries loaded/persisted, recovery events, hits
     #: served from disk).  None when no store was attached.
     store: Optional[object] = None
+    #: Speculation observability (``speculate > 0``): candidate waves
+    #: launched, workers submitted, model-checking calls answered by a
+    #: speculative verdict (hits) vs verified inline (misses), losers
+    #: cancelled, slots promoted into the next wave, and supervised
+    #: worker crashes/retries at the speculation level.
+    spec_waves: int = 0
+    spec_submitted: int = 0
+    spec_hits: int = 0
+    spec_misses: int = 0
+    spec_cancelled: int = 0
+    spec_promoted: int = 0
+    spec_crashes: int = 0
+    spec_retries: int = 0
 
     @property
     def total(self) -> float:
@@ -322,6 +345,22 @@ class RefinementStats:
             f"{self.static_proofs} proofs, {self.static_cex} definite "
             f"violations, {self.static_skipped_bounds} SAT bounds skipped"
         ]
+
+    def speculation_rows(self) -> List[str]:
+        """Speculative-CEGAR summary lines (empty when unused)."""
+        if not self.spec_submitted:
+            return []
+        rows = [
+            f"speculation: {self.spec_waves} waves, "
+            f"{self.spec_submitted} candidates submitted, "
+            f"{self.spec_hits} hits / {self.spec_misses} misses, "
+            f"{self.spec_cancelled} cancelled, "
+            f"{self.spec_promoted} promoted"
+        ]
+        if self.spec_crashes or self.spec_retries:
+            rows.append(f"speculation supervision: {self.spec_retries} "
+                        f"worker retries, {self.spec_crashes} crashes")
+        return rows
 
     def robustness_rows(self) -> List[str]:
         """Checkpoint/resume summary lines (empty when unused)."""
@@ -581,14 +620,21 @@ def _run_compass_inner(
         )
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True needs a checkpoint_dir")
-    rng = random.Random(config.seed) if config.seed is not None else None
+    digest = _config_digest(task, config)
+    if config.seed is not None:
+        rng = random.Random(config.seed)
+    else:
+        # seed=None must still be reproducible — a speculative worker
+        # and the sequential walk have to draw the same trajectory, and
+        # a resumed run replays the journaled rng state.  Derive the
+        # seed from the config digest instead of the old unseeded
+        # ``random.Random()`` fallback.
+        rng = random.Random(int(digest[:16], 16))
     tracer = config.trace or NULL_TRACER
 
     journal: Optional[CheckpointJournal] = None
     restored: Optional[CegarCheckpoint] = None
-    digest = None
     if checkpoint_dir is not None:
-        digest = _config_digest(task, config)
         journal = CheckpointJournal(checkpoint_dir, keep=config.checkpoint_keep,
                                     faults=config.faults)
         if resume:
@@ -639,7 +685,18 @@ def _run_compass_inner(
             solve_cache.merge_entries(restored.cache_entries)
             stats.cache = solve_cache.stats
         tracer.count("cegar.resumes")
+    restored_speculation = (getattr(restored, "speculation", None)
+                            if restored is not None else None)
     started = time.monotonic()
+
+    speculator = None
+    if config.speculate > 0 and config.mc_enabled and config.engine != "static":
+        from repro.cegar.speculate import SpeculativeScheduler
+
+        speculator = SpeculativeScheduler(
+            task, config, solve_cache, stats, tracer=config.trace,
+            remote=config.speculate_remote,
+        )
 
     def write_checkpoint(next_iteration: int) -> None:
         if journal is None:
@@ -659,6 +716,8 @@ def _run_compass_inner(
             cache_entries=(solve_cache.snapshot_entries()
                            if solve_cache is not None else {}),
             pruned_candidates=set(pruned_candidates),
+            speculation=(speculator.snapshot()
+                         if speculator is not None else None),
         ))
         stats.checkpoints_written += 1
         tracer.count("cegar.checkpoints")
@@ -668,6 +727,19 @@ def _run_compass_inner(
             config.total_time_limit is not None
             and time.monotonic() - started > config.total_time_limit
         )
+
+    def mc_limit() -> Optional[float]:
+        """``mc_time_limit`` clamped to the remaining overall budget.
+
+        A per-candidate verify (speculative or inline) must never
+        outlive the loop's own deadline.
+        """
+        limit = config.mc_time_limit
+        if config.total_time_limit is not None:
+            remaining = max(
+                0.0, config.total_time_limit - (time.monotonic() - started))
+            limit = remaining if limit is None else min(limit, remaining)
+        return limit
 
     if config.lint_on_entry:
         from repro.lint import LintConfig, LintError, lint
@@ -680,261 +752,233 @@ def _run_compass_inner(
         if not report.ok:
             raise LintError(report)
 
-    with tracer.span("cegar.instrument", cat="gen") as sp:
-        design, prop = instrument_task(task, scheme)
-    stats.t_gen += sp.elapsed
+    from repro.cegar.speculate import predict_candidates, verify_candidate
 
-    validator: Optional[ExactValidator] = None
-    if config.exact_validation:
-        with tracer.span("cegar.validator-init", cat="mc") as sp:
-            validator = ExactValidator(
-                task.circuit, task.secret_registers(), task.sinks,
-                init_assumption_outputs=task.init_assumption_outputs,
-            )
-        stats.t_mc += sp.elapsed
-
-    if journal is not None and restored is None:
-        # Entry 0: even a run killed inside its first iteration can be
-        # resumed (from the initial scheme, with an empty cache).
-        write_checkpoint(start_iteration)
-
-    verify_time = 0.0
-    for iteration in range(start_iteration, config.max_counterexamples + 1):
-        # ---- Step 2: model checking -----------------------------------
-        cex: Optional[Counterexample] = None
-        if config.sim_prefilter:
-            with tracer.span("cegar.sim-prefilter", cat="simu",
-                             iteration=iteration) as sp:
-                sim_rng = rng if rng is not None else random.Random()
-                cex = simulate_for_counterexample(
-                    task, design, prop, config.sim_trials, config.sim_depth, sim_rng,
-                )
-                sp.set(hit=cex is not None)
-            stats.t_simu += sp.elapsed
-        start_bound = 0
-        static_suspects: Tuple[str, ...] = ()
-        with tracer.span("cegar.model-check", cat="mc", iteration=iteration,
-                         engine=config.engine) as mc_span:
-            if (cex is None and config.mc_enabled
-                    and (config.static_prescreen or config.engine == "static")):
-                # SAT-free pre-screen: a definitive ternary verdict ends
-                # the iteration without any solver; an inconclusive one
-                # still donates its proven-clean bound and suspect hints.
-                from repro.analyze import static_verify
-
-                with tracer.span("cegar.analyze", cat="mc",
-                                 iteration=iteration) as asp:
-                    sres = static_verify(
-                        design.circuit, prop,
-                        max_frames=config.static_max_frames, tracer=tracer,
-                    )
-                    asp.set(status=sres.status, bound=sres.bound)
-                stats.static_prescreens += 1
-                tracer.count("analyze.prescreens")
-                if sres.proved:
-                    stats.static_proofs += 1
-                    verify_time = mc_span.elapsed
-                    stats.t_mc += verify_time
-                    write_checkpoint(iteration)
-                    return CegarResult(CegarStatus.PROVED, task, scheme,
-                                       design, prop, stats, bound=-1,
-                                       verify_time=verify_time)
-                if sres.status == "violation":
-                    stats.static_cex += 1
-                    cex = sres.counterexample
-                else:
-                    static_suspects = sres.suspects
-                    last_bound = max(last_bound, sres.bound)
-                    if sres.bound >= 0:
-                        start_bound = sres.bound + 1
-                        stats.static_skipped_bounds += start_bound
-                        tracer.count("analyze.skipped_bounds", start_bound)
-            if cex is not None:
-                pass  # the prefilter or pre-screen produced a violation
-            elif not config.mc_enabled or config.engine == "static":
-                pass  # no model checker to consult; stop at the bound
-            elif config.engine == "portfolio":
-                pres = verify_portfolio(
-                    design.circuit, prop,
-                    PortfolioConfig(
-                        engines=config.portfolio_engines,
-                        jobs=config.jobs,
-                        max_bound=config.max_bound,
-                        induction_max_k=config.induction_max_k,
-                        unique_states=config.unique_states,
-                        pdr_max_frames=config.pdr_max_frames,
-                        time_limit=config.mc_time_limit,
-                        max_conflicts=config.max_conflicts,
-                        start_bound=start_bound,
-                        static_max_frames=config.static_max_frames,
-                        certify=config.certify,
-                        max_worker_retries=config.max_worker_retries,
-                        retry_backoff=config.retry_backoff,
-                        faults=config.faults,
-                    ),
-                    cache=solve_cache,
-                    tracer=config.trace,
-                )
-                stats.record_portfolio(pres)
-                mc_span.set(status=pres.status.value, winner=pres.winner)
-                if pres.status is PortfolioStatus.PROVED:
-                    verify_time = mc_span.elapsed
-                    stats.t_mc += verify_time
-                    # Terminal checkpoint: a resume re-runs this iteration
-                    # and the restored cache answers the proof instantly.
-                    write_checkpoint(iteration)
-                    return CegarResult(CegarStatus.PROVED, task, scheme, design,
-                                       prop, stats, bound=-1,
-                                       verify_time=verify_time)
-                if pres.status is PortfolioStatus.COUNTEREXAMPLE:
-                    cex = pres.counterexample
-                last_bound = max(last_bound, pres.bound)
-            elif config.use_induction:
-                ind = k_induction(
-                    design.circuit, prop,
-                    max_k=config.induction_max_k,
-                    time_limit=config.mc_time_limit,
-                    unique_states=config.unique_states,
-                    cache=solve_cache,
-                    tracer=config.trace,
-                )
-                mc_span.set(status=ind.status.value)
-                if ind.status is InductionStatus.PROVED:
-                    verify_time = mc_span.elapsed
-                    stats.t_mc += verify_time
-                    write_checkpoint(iteration)
-                    return CegarResult(CegarStatus.PROVED, task, scheme, design,
-                                       prop, stats, bound=-1,
-                                       verify_time=verify_time)
-                if ind.status is InductionStatus.COUNTEREXAMPLE:
-                    cex = ind.counterexample
-                    last_bound = max(last_bound, ind.bound)
-                else:
-                    # Induction inconclusive: fall back to plain BMC for depth.
-                    bmc = bounded_model_check(
-                        design.circuit, prop,
-                        max_bound=config.max_bound, time_limit=config.mc_time_limit,
-                        start_bound=start_bound,
-                        cache=solve_cache, tracer=config.trace,
-                    )
-                    if bmc.status is BmcStatus.COUNTEREXAMPLE:
-                        cex = bmc.counterexample
-                    last_bound = max(last_bound, bmc.bound)
-            else:
-                bmc = bounded_model_check(
-                    design.circuit, prop,
-                    max_bound=config.max_bound, time_limit=config.mc_time_limit,
-                    start_bound=start_bound,
-                    cache=solve_cache, tracer=config.trace,
-                )
-                mc_span.set(status=bmc.status.value)
-                if bmc.status is BmcStatus.COUNTEREXAMPLE:
-                    cex = bmc.counterexample
-                last_bound = max(last_bound, bmc.bound)
-        verify_time = mc_span.elapsed
-        stats.t_mc += verify_time
-
-        if cex is None:
-            write_checkpoint(iteration)
-            return CegarResult(CegarStatus.BOUND_REACHED, task, scheme, design, prop,
-                               stats, bound=last_bound, verify_time=verify_time)
-
-        # ---- Counterexample validation --------------------------------
-        with tracer.span("cegar.replay", cat="simu", iteration=iteration) as sp:
-            taint_wf = cex.replay(design.circuit)
-        stats.t_simu += sp.elapsed
-        final_cycle = taint_wf.length - 1
-        sink = _tainted_sink(design, taint_wf, task.sinks, final_cycle)
-        if sink is None:
-            raise RuntimeError("model checker produced a trace with no tainted sink")
-
-        if config.exact_validation:
-            with tracer.span("cegar.validate", cat="mc", iteration=iteration,
-                             sink=sink) as sp:
-                spurious = validator.is_falsely_tainted(
-                    cex, sink, time_limit=config.mc_time_limit,
-                )
-                sp.set(spurious=spurious)
-            stats.t_mc += sp.elapsed
-        else:
-            with tracer.span("cegar.validate-fast", cat="simu",
-                             iteration=iteration, sink=sink) as sp:
-                quick = FastFalseTaintOracle(
-                    task.circuit, cex, SecretSpec.from_sources(task.sources)
-                )
-                spurious = quick.is_falsely_tainted(sink, final_cycle)
-                sp.set(spurious=spurious)
-            stats.t_simu += sp.elapsed
-        if not spurious:
-            write_checkpoint(iteration)
-            return CegarResult(CegarStatus.REAL_LEAK, task, scheme, design, prop,
-                               stats, bound=last_bound, leak=cex, verify_time=verify_time)
-
-        # ---- Step 3: iterative refinement (Figure 3) -------------------
-        with tracer.span("cegar.oracle-build", cat="simu",
-                         iteration=iteration) as sp:
-            oracle = FastFalseTaintOracle(
-                task.circuit, cex, SecretSpec.from_sources(task.sources)
-            )
-        stats.t_simu += sp.elapsed
-        failed_locations: set = set()
-        while _tainted_sink(design, taint_wf, task.sinks, final_cycle) is not None:
-            if stats.refinements >= config.max_refinements or out_of_time():
-                return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme, design,
-                                   prop, stats, bound=last_bound)
-            sink = _tainted_sink(design, taint_wf, task.sinks, final_cycle)
-            outcome = None
-            alert = None
-            for _attempt in range(config.max_location_retries):
-                with tracer.span("cegar.backtrace", cat="bt",
-                                 iteration=iteration, sink=sink) as sp:
-                    location = find_refinement_location(
-                        design, taint_wf, oracle, sink, cycle=final_cycle, rng=rng,
-                        excluded=failed_locations, hints=static_suspects,
-                    )
-                    sp.set(location=location.name)
-                stats.t_bt += sp.elapsed
-                try:
-                    outcome = apply_refinement(
-                        task.circuit, task.sources, scheme, design, location, cex,
-                    )
-                    break
-                except CorrelationImprecisionAlert as caught:
-                    # The ladder is exhausted here; the fast test may have
-                    # misjudged an upstream signal, so retry the trace
-                    # with this location excluded before giving up.
-                    alert = caught
-                    failed_locations.add(location.name)
-            if outcome is None:
-                return CegarResult(CegarStatus.CORRELATION_ALERT, task, scheme, design,
-                                   prop, stats, bound=last_bound, alert=alert)
-            stats.t_gen += outcome.gen_time
-            stats.t_simu += outcome.sim_time
-            if tracer.enabled:
-                # The refinement machinery measures its own generate /
-                # simulate split; fold it into the trace as backdated
-                # spans so category totals keep matching the stats.
-                tracer.add_span("cegar.refine-gen", "gen", outcome.gen_time,
-                                iteration=iteration, location=location.name)
-                tracer.add_span("cegar.refine-sim", "simu", outcome.sim_time,
-                                iteration=iteration, location=location.name)
-                tracer.count("cegar.refinements")
-            stats.refinements += 1
-            stats.refinement_log.append(f"{location}: {outcome.description}")
-            scheme = outcome.scheme
+    try:
+        with tracer.span("cegar.instrument", cat="gen") as sp:
             design, prop = instrument_task(task, scheme)
-            with tracer.span("cegar.replay", cat="simu", iteration=iteration) as sp:
+        stats.t_gen += sp.elapsed
+
+        validator: Optional[ExactValidator] = None
+        if config.exact_validation:
+            with tracer.span("cegar.validator-init", cat="mc") as sp:
+                validator = ExactValidator(
+                    task.circuit, task.secret_registers(), task.sinks,
+                    init_assumption_outputs=task.init_assumption_outputs,
+                )
+            stats.t_mc += sp.elapsed
+
+        if journal is not None and restored is None:
+            # Entry 0: even a run killed inside its first iteration can be
+            # resumed (from the initial scheme, with an empty cache).
+            write_checkpoint(start_iteration)
+
+        if speculator is not None and restored_speculation:
+            # Re-prime the wave the interrupted run had in flight so a
+            # resume replays the same speculative overlap.
+            speculator.advance(list(restored_speculation.get("schemes", ())),
+                               mc_limit())
+
+        verify_time = 0.0
+        for iteration in range(start_iteration, config.max_counterexamples + 1):
+            # ---- Step 2: model checking -------------------------------
+            if speculator is not None:
+                # The current scheme is the one candidate certain to be
+                # verified: make sure its worker runs while the sim
+                # prefilter searches (the prefilter never solves, so
+                # the worker sees the same cache the inline call would).
+                speculator.ensure(scheme, mc_limit())
+            cex: Optional[Counterexample] = None
+            if config.sim_prefilter:
+                with tracer.span("cegar.sim-prefilter", cat="simu",
+                                 iteration=iteration) as sp:
+                    cex = simulate_for_counterexample(
+                        task, design, prop, config.sim_trials,
+                        config.sim_depth, rng,
+                    )
+                    sp.set(hit=cex is not None)
+                stats.t_simu += sp.elapsed
+            static_suspects: Tuple[str, ...] = ()
+            with tracer.span("cegar.model-check", cat="mc",
+                             iteration=iteration,
+                             engine=config.engine) as mc_span:
+                verdict = None
+                if cex is not None:
+                    # First refinement signal wins: the prefilter beat
+                    # this scheme's speculative verify; drop the loser
+                    # (its streamed solves stay in the cache).
+                    if speculator is not None:
+                        speculator.discard(scheme)
+                else:
+                    if speculator is not None:
+                        verdict = speculator.collect(scheme)
+                    if verdict is None:
+                        verdict = verify_candidate(
+                            task, scheme, config, cache=solve_cache,
+                            tracer=tracer, design=design, prop=prop,
+                            time_limit=mc_limit(), iteration=iteration,
+                        )
+                if verdict is not None:
+                    stats.static_prescreens += verdict.static_prescreens
+                    stats.static_proofs += verdict.static_proofs
+                    stats.static_cex += verdict.static_cex
+                    stats.static_skipped_bounds += verdict.static_skipped_bounds
+                    static_suspects = verdict.suspects
+                    last_bound = max(last_bound, verdict.static_bound)
+                    if verdict.portfolio is not None:
+                        stats.record_portfolio(verdict.portfolio)
+                    if verdict.engine_status:
+                        if verdict.portfolio is not None:
+                            mc_span.set(status=verdict.engine_status,
+                                        winner=verdict.winner)
+                        else:
+                            mc_span.set(status=verdict.engine_status)
+                    if verdict.source != "inline":
+                        mc_span.set(speculative=verdict.source)
+                    if verdict.status == "proved":
+                        verify_time = mc_span.elapsed
+                        stats.t_mc += verify_time
+                        # Terminal checkpoint: a resume re-runs this
+                        # iteration and the restored cache answers the
+                        # proof instantly.
+                        write_checkpoint(iteration)
+                        return CegarResult(CegarStatus.PROVED, task, scheme,
+                                           design, prop, stats, bound=-1,
+                                           verify_time=verify_time)
+                    last_bound = max(last_bound, verdict.bound)
+                    if verdict.status == "counterexample":
+                        cex = verdict.counterexample
+            verify_time = mc_span.elapsed
+            stats.t_mc += verify_time
+
+            if cex is None:
+                write_checkpoint(iteration)
+                return CegarResult(CegarStatus.BOUND_REACHED, task, scheme,
+                                   design, prop, stats, bound=last_bound,
+                                   verify_time=verify_time)
+
+            # ---- Counterexample validation ----------------------------
+            with tracer.span("cegar.replay", cat="simu",
+                             iteration=iteration) as sp:
                 taint_wf = cex.replay(design.circuit)
             stats.t_simu += sp.elapsed
-        stats.counterexamples_eliminated += 1
-        stats.eliminated.append(cex)
-        tracer.count("cegar.counterexamples_eliminated")
-        pruned_candidates |= failed_locations
-        # Iteration complete (counterexample eliminated, scheme stable):
-        # journal the state so a crash from here on resumes at k + 1.
-        write_checkpoint(iteration + 1)
-        if out_of_time():
-            return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme, design,
-                               prop, stats, bound=last_bound)
-    return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme, design, prop,
-                       stats, bound=last_bound)
+            final_cycle = taint_wf.length - 1
+            sink = _tainted_sink(design, taint_wf, task.sinks, final_cycle)
+            if sink is None:
+                raise RuntimeError(
+                    "model checker produced a trace with no tainted sink")
+
+            if config.exact_validation:
+                with tracer.span("cegar.validate", cat="mc",
+                                 iteration=iteration, sink=sink) as sp:
+                    spurious = validator.is_falsely_tainted(
+                        cex, sink, time_limit=mc_limit(),
+                    )
+                    sp.set(spurious=spurious)
+                stats.t_mc += sp.elapsed
+            else:
+                with tracer.span("cegar.validate-fast", cat="simu",
+                                 iteration=iteration, sink=sink) as sp:
+                    quick = FastFalseTaintOracle(
+                        task.circuit, cex, SecretSpec.from_sources(task.sources)
+                    )
+                    spurious = quick.is_falsely_tainted(sink, final_cycle)
+                    sp.set(spurious=spurious)
+                stats.t_simu += sp.elapsed
+            if not spurious:
+                write_checkpoint(iteration)
+                return CegarResult(CegarStatus.REAL_LEAK, task, scheme, design,
+                                   prop, stats, bound=last_bound, leak=cex,
+                                   verify_time=verify_time)
+
+            # ---- Step 3: iterative refinement (Figure 3) ---------------
+            with tracer.span("cegar.oracle-build", cat="simu",
+                             iteration=iteration) as sp:
+                oracle = FastFalseTaintOracle(
+                    task.circuit, cex, SecretSpec.from_sources(task.sources)
+                )
+            stats.t_simu += sp.elapsed
+            failed_locations: set = set()
+            while _tainted_sink(design, taint_wf, task.sinks,
+                                final_cycle) is not None:
+                if stats.refinements >= config.max_refinements or out_of_time():
+                    return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task,
+                                       scheme, design, prop, stats,
+                                       bound=last_bound)
+                sink = _tainted_sink(design, taint_wf, task.sinks, final_cycle)
+                outcome = None
+                alert = None
+                for _attempt in range(config.max_location_retries):
+                    with tracer.span("cegar.backtrace", cat="bt",
+                                     iteration=iteration, sink=sink) as sp:
+                        location = find_refinement_location(
+                            design, taint_wf, oracle, sink, cycle=final_cycle,
+                            rng=rng, excluded=failed_locations,
+                            hints=static_suspects,
+                        )
+                        sp.set(location=location.name)
+                    stats.t_bt += sp.elapsed
+                    try:
+                        outcome = apply_refinement(
+                            task.circuit, task.sources, scheme, design,
+                            location, cex,
+                        )
+                        break
+                    except CorrelationImprecisionAlert as caught:
+                        # The ladder is exhausted here; the fast test may
+                        # have misjudged an upstream signal, so retry the
+                        # trace with this location excluded before giving up.
+                        alert = caught
+                        failed_locations.add(location.name)
+                if outcome is None:
+                    return CegarResult(CegarStatus.CORRELATION_ALERT, task,
+                                       scheme, design, prop, stats,
+                                       bound=last_bound, alert=alert)
+                stats.t_gen += outcome.gen_time
+                stats.t_simu += outcome.sim_time
+                if tracer.enabled:
+                    # The refinement machinery measures its own generate /
+                    # simulate split; fold it into the trace as backdated
+                    # spans so category totals keep matching the stats.
+                    tracer.add_span("cegar.refine-gen", "gen",
+                                    outcome.gen_time, iteration=iteration,
+                                    location=location.name)
+                    tracer.add_span("cegar.refine-sim", "simu",
+                                    outcome.sim_time, iteration=iteration,
+                                    location=location.name)
+                    tracer.count("cegar.refinements")
+                stats.refinements += 1
+                stats.refinement_log.append(f"{location}: {outcome.description}")
+                scheme = outcome.scheme
+                design, prop = instrument_task(task, scheme)
+                with tracer.span("cegar.replay", cat="simu",
+                                 iteration=iteration) as sp:
+                    taint_wf = cex.replay(design.circuit)
+                stats.t_simu += sp.elapsed
+            stats.counterexamples_eliminated += 1
+            stats.eliminated.append(cex)
+            tracer.count("cegar.counterexamples_eliminated")
+            pruned_candidates |= failed_locations
+            if speculator is not None:
+                # Refinement settled: fan out the next wave — the settled
+                # scheme (the lookahead the next model-checking call is
+                # certain to need) plus its ladder siblings at the last
+                # refinement location.  Slots already computing a wave
+                # candidate are promoted; the rest are cancelled.
+                speculator.advance(
+                    predict_candidates(task, scheme, design, location,
+                                       config.speculate),
+                    mc_limit(),
+                )
+            # Iteration complete (counterexample eliminated, scheme
+            # stable): journal the state — including the in-flight
+            # speculation — so a crash from here on resumes at k + 1.
+            write_checkpoint(iteration + 1)
+            if out_of_time():
+                return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme,
+                                   design, prop, stats, bound=last_bound)
+        return CegarResult(CegarStatus.BUDGET_EXHAUSTED, task, scheme, design,
+                           prop, stats, bound=last_bound)
+    finally:
+        if speculator is not None:
+            speculator.close()

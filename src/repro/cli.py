@@ -110,7 +110,9 @@ def cmd_verify(args) -> int:
         run_compass,
     )
 
-    if args.remote:
+    if args.remote and not args.speculate:
+        # --speculate keeps the loop local and dispatches *candidates*
+        # to the daemon instead of shipping the whole verify.
         outcome = _remote_verify(args)
         if outcome is not None:
             return outcome
@@ -137,6 +139,8 @@ def cmd_verify(args) -> int:
         certify=args.certify,
         store_dir=args.store,
         trace=tracer,
+        speculate=args.speculate,
+        speculate_remote=args.remote if args.speculate else None,
     )
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint DIR", file=sys.stderr)
@@ -157,6 +161,8 @@ def cmd_verify(args) -> int:
         # resume) brings one into the run.
         print(result.stats.cache.row())
     for line in result.stats.analyze_rows():
+        print(line)
+    for line in result.stats.speculation_rows():
         print(line)
     for line in result.stats.robustness_rows():
         print(line)
@@ -825,6 +831,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "from DIR and persist every new verdict there "
                         "(crash-safe; a locked or corrupt store degrades "
                         "to an in-memory cache with a warning)")
+    p.add_argument("--speculate", type=int, default=0, metavar="N",
+                   help="speculative CEGAR: verify up to N candidate "
+                        "schemes concurrently in supervised worker "
+                        "processes, cancelling losers on the first "
+                        "refinement signal; the result is bit-identical "
+                        "to the sequential walk (0 disables).  With "
+                        "--remote, candidates are dispatched to the "
+                        "daemon instead of local workers")
     _add_remote_option(p)
     p.set_defaults(func=cmd_verify)
 

@@ -11,11 +11,13 @@ whitelist rejects with :class:`JobError` — it can never inject code.
 
 Job kinds::
 
-    solve     one portfolio model-checking call on a serialized circuit
-    verify    the full Compass CEGAR loop on a registered core
-    lint      the static linter over a registered core
-    analyze   the SAT-free dataflow summary (repro-analyze/v1)
-    simulate  a benchmark workload on a core (optionally bit-parallel)
+    solve      one portfolio model-checking call on a serialized circuit
+    verify     the full Compass CEGAR loop on a registered core
+    candidate  one CEGAR candidate-scheme verification on a serialized
+               circuit (the speculative scheduler's remote unit)
+    lint       the static linter over a registered core
+    analyze    the SAT-free dataflow summary (repro-analyze/v1)
+    simulate   a benchmark workload on a core (optionally bit-parallel)
 
 :func:`job_digest` is the daemon's dedup key: two clients submitting
 the same canonical job document attach to one running computation.
@@ -29,7 +31,7 @@ import json
 import time
 from typing import Any, Callable, Dict, Optional
 
-JOB_KINDS = ("solve", "verify", "lint", "analyze", "simulate")
+JOB_KINDS = ("solve", "verify", "candidate", "lint", "analyze", "simulate")
 
 
 class JobError(Exception):
@@ -226,6 +228,7 @@ _VERIFY_FIELDS = {
     "certify": bool,
     "max_worker_retries": int,
     "retry_backoff": float,
+    "speculate": int,
 }
 
 
@@ -264,6 +267,95 @@ def _run_verify(job, cache, tracer, deadline):
         "scheme": json.loads(buf.getvalue()),
         "leak": _cex_doc(result.leak),
     }
+
+
+_CANDIDATE_FIELDS = {
+    "engine": str,
+    "mc_enabled": bool,
+    "use_induction": bool,
+    "max_bound": int,
+    "induction_max_k": int,
+    "unique_states": bool,
+    "static_prescreen": bool,
+    "static_max_frames": int,
+    "jobs": int,
+    "portfolio_engines": lambda v: tuple(v),
+    "pdr_max_frames": int,
+    "max_conflicts": int,
+    "certify": bool,
+    "mc_time_limit": float,
+    "max_worker_retries": int,
+    "retry_backoff": float,
+}
+
+
+def _run_candidate(job, cache, tracer, deadline):
+    """Verify one candidate taint scheme on a serialized task.
+
+    The remote unit behind ``repro verify --speculate N --remote``:
+    the speculative scheduler ships ``{"task": ..., "scheme": ...,
+    "config": ...}`` and gets back a :class:`~repro.cegar.speculate.
+    CandidateVerdict` document.  The task travels as a serialized
+    circuit (not a registered-core name) so speculation works on any
+    design, and the daemon's store-backed cache absorbs every solve —
+    an abandoned (advisorily-cancelled) candidate still warms the
+    store for the next submission.
+    """
+    from repro.cegar.loop import TaintVerificationTask
+    from repro.cegar.speculate import verdict_to_doc, verify_candidate
+    from repro.cegar import CegarConfig
+    from repro.hdl.serialize import circuit_from_dict
+    from repro.taint.instrument import TaintSources
+    from repro.taint.scheme_io import scheme_from_dict
+
+    tdoc = _require_dict(job, "task")
+    try:
+        circuit = circuit_from_dict(_require_dict(tdoc, "circuit"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JobError(f"bad circuit document: {exc}") from exc
+    sdoc = tdoc.get("sources") or {}
+    try:
+        task = TaintVerificationTask(
+            name=str(tdoc.get("name", "candidate")),
+            circuit=circuit,
+            sources=TaintSources(
+                registers={str(k): int(v) for k, v in
+                           (sdoc.get("registers") or {}).items()},
+                inputs={str(k): int(v) for k, v in
+                        (sdoc.get("inputs") or {}).items()},
+            ),
+            sinks=tuple(tdoc.get("sinks", ())),
+            clean_assumptions=tuple(tdoc.get("clean_assumptions", ())),
+            gated_clean_assumptions=tuple(
+                (str(a), str(b))
+                for a, b in tdoc.get("gated_clean_assumptions", ())),
+            assumption_outputs=tuple(tdoc.get("assumption_outputs", ())),
+            init_assumption_outputs=tuple(
+                tdoc.get("init_assumption_outputs", ())),
+            symbolic_registers=frozenset(tdoc.get("symbolic_registers", ())),
+            blackbox_modules=(tuple(tdoc["blackbox_modules"])
+                              if tdoc.get("blackbox_modules") is not None
+                              else None),
+            precise_modules=tuple(tdoc.get("precise_modules", ())),
+        )
+    except (TypeError, ValueError) as exc:
+        raise JobError(f"bad task document: {exc}") from exc
+    try:
+        scheme = scheme_from_dict(_require_dict(job, "scheme"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JobError(f"bad scheme document: {exc}") from exc
+    kwargs = _config_kwargs(job.get("config", {}) or {}, _CANDIDATE_FIELDS,
+                            "candidate")
+    time_limit = kwargs.pop("mc_time_limit", None)
+    if deadline is not None:
+        time_limit = deadline if time_limit is None else min(time_limit,
+                                                             deadline)
+    config = CegarConfig(faults=_faults_from_doc(job), **kwargs)
+    verdict = verify_candidate(task, scheme, config, cache=cache,
+                               tracer=tracer, time_limit=time_limit)
+    doc = verdict_to_doc(verdict)
+    doc["kind"] = "candidate"
+    return doc
 
 
 def _run_lint(job, cache, tracer, deadline):
@@ -333,6 +425,7 @@ def _run_simulate(job, cache, tracer, deadline):
 _HANDLERS: Dict[str, Callable] = {
     "solve": _run_solve,
     "verify": _run_verify,
+    "candidate": _run_candidate,
     "lint": _run_lint,
     "analyze": _run_analyze,
     "simulate": _run_simulate,

@@ -1,0 +1,260 @@
+"""Unit tests for repro.cegar.speculate: the candidate-verification
+unit, scheme digests, wave prediction, and the verdict JSON round trip."""
+
+import pytest
+
+from repro.hdl import ModuleBuilder
+from repro.taint import TaintSources
+from repro.cegar import (
+    CandidateVerdict,
+    CegarConfig,
+    CegarStatus,
+    TaintVerificationTask,
+    run_compass,
+    scheme_digest,
+    verify_candidate,
+)
+from repro.cegar.loop import instrument_task
+from repro.cegar.speculate import (
+    ladder_siblings,
+    predict_candidates,
+    verdict_from_doc,
+    verdict_to_doc,
+)
+
+
+def _leaky_task():
+    b = ModuleBuilder("leaky")
+    sel = b.input("sel", 1)
+    sec = b.reg("secret", 4)
+    sec.drive(sec)
+    pub = b.reg("pub", 4)
+    pub.drive(pub)
+    b.output("sink", b.mux(sel, sec, pub))
+    return TaintVerificationTask(
+        name="leaky", circuit=b.build(),
+        sources=TaintSources(registers={"secret": -1}),
+        sinks=("sink",),
+        symbolic_registers=frozenset({"secret", "pub"}),
+    )
+
+
+def _safe_task():
+    b = ModuleBuilder("safe")
+    sel = b.input("sel", 1)
+    sec = b.reg("secret", 4)
+    sec.drive(sec)
+    pub = b.reg("pub", 4)
+    pub.drive(pub)
+    b.output("sink", b.mux(sel, pub, pub))
+    return TaintVerificationTask(
+        name="safe", circuit=b.build(),
+        sources=TaintSources(registers={"secret": -1}),
+        sinks=("sink",),
+        symbolic_registers=frozenset({"secret", "pub"}),
+    )
+
+
+class TestSchemeDigest:
+    def test_name_insensitive(self):
+        task = _safe_task()
+        a = task.initial_scheme().copy(name="a")
+        b = task.initial_scheme().copy(name="b")
+        assert scheme_digest(a) == scheme_digest(b)
+
+    def test_content_sensitive(self):
+        task = _safe_task()
+        base = task.initial_scheme()
+        refined = base.copy()
+        from repro.taint.space import Complexity, Granularity, TaintOption
+
+        refined.refine_cell("x", TaintOption(Granularity.WORD, Complexity.FULL))
+        assert scheme_digest(base) != scheme_digest(refined)
+
+    def test_stable_across_copies(self):
+        scheme = _safe_task().initial_scheme()
+        assert scheme_digest(scheme) == scheme_digest(scheme.copy())
+
+
+class TestVerifyCandidate:
+    def test_proved_on_clean_scheme(self):
+        task = _safe_task()
+        from repro.taint import cellift_scheme
+
+        verdict = verify_candidate(task, cellift_scheme(),
+                                   CegarConfig(max_bound=5, induction_max_k=5))
+        assert verdict.status == "proved"
+        assert verdict.source == "inline"
+
+    def test_counterexample_on_blackbox_scheme(self):
+        task = _safe_task()
+        verdict = verify_candidate(task, task.initial_scheme(),
+                                   CegarConfig(max_bound=5, induction_max_k=5))
+        # The blackbox scheme overtaints: either a counterexample or a
+        # proof, but on this design the sticky module taint reaches the
+        # sink, and the verdict must carry the replayable trace.
+        if verdict.status == "counterexample":
+            assert verdict.counterexample is not None
+
+    def test_deterministic_with_and_without_design(self):
+        task = _safe_task()
+        scheme = task.initial_scheme()
+        config = CegarConfig(max_bound=5, induction_max_k=5)
+        design, prop = instrument_task(task, scheme)
+        a = verify_candidate(task, scheme, config)
+        b = verify_candidate(task, scheme, config, design=design, prop=prop)
+        assert (a.status, a.bound, a.digest) == (b.status, b.bound, b.digest)
+
+    def test_mc_disabled_stops_at_bound(self):
+        task = _safe_task()
+        verdict = verify_candidate(task, task.initial_scheme(),
+                                   CegarConfig(mc_enabled=False))
+        assert verdict.status == "bound_reached"
+        assert verdict.engine_status == ""
+
+
+class TestWavePrediction:
+    def test_settled_scheme_leads_the_wave(self):
+        task = _safe_task()
+        scheme = task.initial_scheme()
+        design, _prop = instrument_task(task, scheme)
+        wave = predict_candidates(task, scheme, design, None, 4)
+        assert wave and scheme_digest(wave[0]) == scheme_digest(scheme)
+
+    def test_cell_siblings_are_distinct_refinements(self):
+        from repro.cegar.backtrace import LocationKind, RefinementLocation
+        from repro.taint import cellift_scheme
+
+        task = _safe_task()
+        scheme = cellift_scheme()
+        design, _prop = instrument_task(task, scheme)
+        # Find a real cell in the instrumented design to refine at.
+        from repro.hdl.circuit import CellOp
+
+        cell_name = None
+        for cell in task.circuit.cells:
+            if cell.op is CellOp.MUX:
+                cell_name = cell.out.name
+                break
+        assert cell_name is not None
+        location = RefinementLocation(kind=LocationKind.CELL,
+                                      name=cell_name, cycle=0,
+                                      signal=cell_name)
+        siblings = ladder_siblings(task.circuit, scheme, design, location)
+        digests = {scheme_digest(s) for s in siblings}
+        assert scheme_digest(scheme) not in digests
+        assert len(digests) == len(siblings)
+
+    def test_limit_caps_the_wave(self):
+        task = _safe_task()
+        scheme = task.initial_scheme()
+        design, _prop = instrument_task(task, scheme)
+        wave = predict_candidates(task, scheme, design, None, 1)
+        assert len(wave) == 1
+
+    def test_unknown_signal_yields_no_siblings(self):
+        from repro.cegar.backtrace import LocationKind, RefinementLocation
+
+        task = _safe_task()
+        scheme = task.initial_scheme()
+        design, _prop = instrument_task(task, scheme)
+        location = RefinementLocation(kind=LocationKind.CELL,
+                                      name="no.such.signal", cycle=0,
+                                      signal="no.such.signal")
+        assert ladder_siblings(task.circuit, scheme, design, location) == []
+
+
+class TestVerdictDoc:
+    def test_round_trip_plain(self):
+        verdict = CandidateVerdict(digest="d" * 64, status="bound_reached",
+                                   bound=7, static_bound=2,
+                                   suspects=("a", "b"))
+        back = verdict_from_doc(verdict_to_doc(verdict))
+        assert back.digest == verdict.digest
+        assert back.status == verdict.status
+        assert back.bound == 7
+        assert back.static_bound == 2
+        assert back.suspects == ("a", "b")
+
+    def test_round_trip_counterexample(self):
+        from repro.formal.counterexample import Counterexample
+
+        cex = Counterexample(length=2, inputs=[{"sel": 1}, {"sel": 0}],
+                             initial_state={"secret": 3}, bad_signal="bad")
+        verdict = CandidateVerdict(digest="d" * 64, status="counterexample",
+                                   counterexample=cex, bound=2)
+        back = verdict_from_doc(verdict_to_doc(verdict))
+        assert back.counterexample is not None
+        assert back.counterexample.length == 2
+        assert back.counterexample.inputs == cex.inputs
+        assert back.counterexample.initial_state == {"secret": 3}
+
+    def test_round_trip_is_json(self):
+        import json
+
+        verdict = CandidateVerdict(digest="d" * 64)
+        json.dumps(verdict_to_doc(verdict))  # must not raise
+
+    def test_candidate_job_kind(self):
+        """The daemon's candidate handler equals the local unit."""
+        from repro.hdl.serialize import circuit_to_dict
+        from repro.serve.jobs import run_job
+        from repro.taint.scheme_io import scheme_to_dict
+
+        task = _safe_task()
+        scheme = task.initial_scheme()
+        job = {
+            "kind": "candidate",
+            "task": {
+                "name": task.name,
+                "circuit": circuit_to_dict(task.circuit),
+                "sources": {"registers": dict(task.sources.registers),
+                            "inputs": dict(task.sources.inputs)},
+                "sinks": list(task.sinks),
+                "symbolic_registers": sorted(task.symbolic_registers),
+            },
+            "scheme": scheme_to_dict(scheme),
+            "config": {"engine": "sequential", "max_bound": 5,
+                       "induction_max_k": 5},
+        }
+        remote = verdict_from_doc(run_job(job))
+        local = verify_candidate(task, scheme,
+                                 CegarConfig(max_bound=5, induction_max_k=5))
+        assert remote.digest == local.digest
+        assert remote.status == local.status
+        assert remote.bound == local.bound
+
+    def test_candidate_job_rejects_unknown_config(self):
+        from repro.hdl.serialize import circuit_to_dict
+        from repro.serve.jobs import JobError, run_job
+        from repro.taint.scheme_io import scheme_to_dict
+
+        task = _safe_task()
+        job = {
+            "kind": "candidate",
+            "task": {"name": task.name,
+                     "circuit": circuit_to_dict(task.circuit),
+                     "sinks": list(task.sinks)},
+            "scheme": scheme_to_dict(task.initial_scheme()),
+            "config": {"solve_cache": "hostile"},
+        }
+        with pytest.raises(JobError):
+            run_job(job)
+
+
+class TestSeedlessDeterminism:
+    def test_seed_none_is_reproducible(self):
+        """seed=None derives a digest-based RNG: two runs are identical."""
+        config = CegarConfig(max_bound=5, induction_max_k=5, seed=None)
+        r1 = run_compass(_safe_task(), config)
+        r2 = run_compass(_safe_task(), config)
+        assert r1.status is r2.status
+        assert r1.stats.refinement_log == r2.stats.refinement_log
+
+    def test_seed_none_differs_from_seeded_by_config(self):
+        # Not asserting inequality of trajectories (they may coincide),
+        # just that seed=None no longer crashes or draws from the clock.
+        result = run_compass(_leaky_task(),
+                             CegarConfig(max_bound=5, induction_max_k=5,
+                                         seed=None))
+        assert result.status is CegarStatus.REAL_LEAK
